@@ -1,0 +1,186 @@
+(* coggc — the code generator generator's command line.
+
+   Subcommands:
+     check SPEC           build the tables, report conflicts and errors
+     stats SPEC           print the Table-1 statistics
+     sizes SPEC           print the Table-2 artifact sizes
+     gen SPEC IF-FILE     generate code for a linearized-IF program
+     conflicts SPEC       list every resolved parsing conflict *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* a .cgt file is a serialized table bundle; anything else is a
+   specification compiled on the fly *)
+let load_tables ?(mode = Cogg.Lookahead.Slr) path =
+  if Filename.check_suffix path ".cgt" then
+    match Cogg.Tables_io.read (read_file path) with
+    | t -> Ok t
+    | exception Cogg.Tables_io.Corrupt m ->
+        Error (Fmt.str "%s: corrupt table bundle (%s)" path m)
+  else
+    match Cogg.Cogg_build.build_file ~mode path with
+    | Ok t -> Ok t
+    | Error es ->
+        Error (Fmt.str "%a" (Fmt.list ~sep:Fmt.cut Cogg.Cogg_build.pp_error) es)
+
+let load_spec path =
+  match Cogg.Spec_parse.of_file path with
+  | Ok s -> Ok s
+  | Error e -> Error (Fmt.str "%a" Cogg.Spec_parse.pp_error e)
+
+let spec_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"SPEC" ~doc:"Code generator specification (.cgg)")
+
+let mode_conv =
+  Arg.enum [ ("slr", Cogg.Lookahead.Slr); ("lalr", Cogg.Lookahead.Lalr) ]
+
+let mode_arg =
+  Arg.(
+    value & opt mode_conv Cogg.Lookahead.Slr
+    & info [ "mode" ] ~docv:"MODE" ~doc:"Lookahead construction: slr or lalr")
+
+let or_die = function
+  | Ok x -> x
+  | Error m ->
+      Fmt.epr "%s@." m;
+      exit 1
+
+let check_cmd =
+  let run mode spec_path =
+    let t = or_die (load_tables ~mode spec_path) in
+    let conflicts = Cogg.Tables.conflicts t in
+    let sr, rr =
+      List.partition
+        (fun c -> c.Cogg.Parse_table.c_kind = `Shift_reduce)
+        conflicts
+    in
+    Fmt.pr "%s: OK@." spec_path;
+    Fmt.pr "  %d productions, %d states@." t.Cogg.Tables.n_user_prods
+      (Cogg.Parse_table.n_states t.Cogg.Tables.parse);
+    Fmt.pr
+      "  %d shift/reduce and %d reduce/reduce conflicts resolved (Graham-Glanville policy)@."
+      (List.length sr) (List.length rr)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Build a specification and report conflicts")
+    Term.(const run $ mode_arg $ spec_arg)
+
+let stats_cmd =
+  let run mode spec_path =
+    let spec = or_die (load_spec spec_path) in
+    let t = or_die (load_tables ~mode spec_path) in
+    Fmt.pr "%a" Cogg.Stats.pp_table1 (Cogg.Stats.table1 spec t)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print the paper's Table-1 statistics")
+    Term.(const run $ mode_arg $ spec_arg)
+
+let sizes_cmd =
+  let run mode spec_path =
+    let t = or_die (load_tables ~mode spec_path) in
+    let s = Cogg.Tables_io.sizes t in
+    let row label bytes =
+      Fmt.pr "%-28s %8d bytes  %6.1f pages@." label bytes
+        (Cogg.Tables_io.pages bytes)
+    in
+    row "template array" s.Cogg.Tables_io.template_array;
+    row "compressed parse table" s.Cogg.Tables_io.compressed_table;
+    row "uncompressed parse table" s.Cogg.Tables_io.uncompressed_table
+  in
+  Cmd.v (Cmd.info "sizes" ~doc:"Print the Table-2 artifact sizes")
+    Term.(const run $ mode_arg $ spec_arg)
+
+let conflicts_cmd =
+  let run mode spec_path limit =
+    let t = or_die (load_tables ~mode spec_path) in
+    let g = t.Cogg.Tables.grammar in
+    List.iteri
+      (fun i c ->
+        if i < limit then Fmt.pr "%a@." (Cogg.Parse_table.pp_conflict g) c)
+      (Cogg.Tables.conflicts t)
+  in
+  let limit =
+    Arg.(
+      value & opt int 50
+      & info [ "limit"; "n" ] ~docv:"N" ~doc:"Show at most N conflicts")
+  in
+  Cmd.v (Cmd.info "conflicts" ~doc:"List resolved parsing conflicts")
+    Term.(const run $ mode_arg $ spec_arg $ limit)
+
+let tables_cmd =
+  let run mode spec_path out =
+    let t = or_die (load_tables ~mode spec_path) in
+    let bytes = Cogg.Tables_io.write t in
+    let oc = open_out_bin out in
+    output_string oc bytes;
+    close_out oc;
+    Fmt.pr "wrote %d bytes of driving tables to %s@." (String.length bytes) out
+  in
+  let out =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUT.cgt" ~doc:"Output table bundle")
+  in
+  Cmd.v
+    (Cmd.info "tables"
+       ~doc:"Compile a specification into a loadable table bundle (.cgt)")
+    Term.(const run $ mode_arg $ spec_arg $ out)
+
+let gen_cmd =
+  let run mode spec_path if_path run_it =
+    let t = or_die (load_tables ~mode spec_path) in
+    let text = read_file if_path in
+    match Cogg.Codegen.generate_string t text with
+    | Error m -> or_die (Error m)
+    | Ok r ->
+        Fmt.pr "* generated %d bytes (%d branch sites, %d long)@."
+          (Bytes.length r.Cogg.Codegen.resolved.Cogg.Loader_gen.code)
+          r.Cogg.Codegen.resolved.Cogg.Loader_gen.n_sites
+          r.Cogg.Codegen.resolved.Cogg.Loader_gen.n_long;
+        Fmt.pr "%s@." r.Cogg.Codegen.listing;
+        Fmt.pr "* object module:@.%s@."
+          (Machine.Objmod.to_string r.Cogg.Codegen.objmod);
+        if run_it then begin
+          match Machine.Runtime.boot r.Cogg.Codegen.objmod with
+          | Error m -> or_die (Error m)
+          | Ok (sim, entry) -> (
+              match Machine.Runtime.run sim ~entry with
+              | Error m -> or_die (Error m)
+              | Ok out ->
+                  Fmt.pr "* executed %d instructions%a@."
+                    out.Machine.Runtime.steps
+                    Fmt.(
+                      option (fun ppf m -> Fmt.pf ppf " (aborted: %s)" m))
+                    out.Machine.Runtime.aborted)
+        end
+  in
+  let if_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"IF-FILE" ~doc:"Linearized intermediate-form program")
+  in
+  let run_flag =
+    Arg.(value & flag & info [ "run" ] ~doc:"Execute on the 370 simulator")
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate code for an IF program")
+    Term.(const run $ mode_arg $ spec_arg $ if_arg $ run_flag)
+
+let () =
+  let info =
+    Cmd.info "coggc" ~version:"1.0"
+      ~doc:"CoGG: a code generator generator for table driven code generators"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ check_cmd; stats_cmd; sizes_cmd; conflicts_cmd; tables_cmd; gen_cmd ]))

@@ -1,0 +1,118 @@
+(* pasc — the mini-Pascal compiler driving the CoGG-generated code
+   generator (or the hand-written baseline), targeting the simulated
+   Amdahl 470. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let or_die = function
+  | Ok x -> x
+  | Error m ->
+      Fmt.epr "%s@." m;
+      exit 1
+
+let src_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"SOURCE" ~doc:"mini-Pascal source file")
+
+let spec_arg =
+  Arg.(
+    value
+    & opt file "specs/amdahl470.cgg"
+    & info [ "spec" ] ~docv:"SPEC" ~doc:"Code generator specification")
+
+let pp_value ppf = function
+  | Pascal.Interp.Vint n -> Fmt.int ppf n
+  | Pascal.Interp.Vbool b -> Fmt.bool ppf b
+  | Pascal.Interp.Vchar c -> Fmt.pf ppf "%C" c
+  | Pascal.Interp.Vreal f -> Fmt.float ppf f
+  | _ -> Fmt.string ppf "<aggregate>"
+
+let compile_cmd =
+  let run spec_path src_path no_cse checks baseline show_if show_listing
+      run_it verify =
+    let src = read_file src_path in
+    if baseline then begin
+      let c = or_die (Pipeline.compile_baseline ~checks src) in
+      if show_listing then Fmt.pr "%s@." c.Pipeline.b_gen.Baseline.listing;
+      if run_it then begin
+        let x = or_die (Pipeline.execute_baseline c) in
+        List.iter (fun v -> Fmt.pr "%d@." v) x.Pipeline.written_ints;
+        List.iter (fun v -> Fmt.pr "%g@." v) x.Pipeline.written_reals;
+        match x.Pipeline.outcome.Machine.Runtime.aborted with
+        | Some m -> Fmt.epr "aborted: %s@." m
+        | None -> ()
+      end
+    end
+    else begin
+      let tables =
+        match Cogg.Cogg_build.build_file spec_path with
+        | Ok t -> t
+        | Error es ->
+            or_die
+              (Error (Fmt.str "%a" (Fmt.list Cogg.Cogg_build.pp_error) es))
+      in
+      let c = or_die (Pipeline.compile ~cse:(not no_cse) ~checks tables src) in
+      if show_if then
+        List.iter
+          (fun tok -> Fmt.pr "%a " Ifl.Token.pp tok)
+          c.Pipeline.tokens;
+      if show_if then Fmt.pr "@.";
+      if show_listing then Fmt.pr "%s@." c.Pipeline.gen.Cogg.Codegen.listing;
+      if verify then begin
+        let v = or_die (Pipeline.verify ~cse:(not no_cse) ~checks tables src) in
+        if v.Pipeline.agreed then Fmt.pr "verified: machine = interpreter@."
+        else begin
+          Fmt.epr "MISMATCH: %a@." Fmt.(list string) v.Pipeline.mismatches;
+          exit 1
+        end
+      end;
+      if run_it then begin
+        let x = or_die (Pipeline.execute c) in
+        List.iter (fun v -> Fmt.pr "%d@." v) x.Pipeline.written_ints;
+        List.iter (fun v -> Fmt.pr "%g@." v) x.Pipeline.written_reals;
+        match x.Pipeline.outcome.Machine.Runtime.aborted with
+        | Some m -> Fmt.epr "aborted: %s@." m
+        | None -> ()
+      end
+    end
+  in
+  let flag names doc = Arg.(value & flag & info names ~doc) in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile (and optionally run) a program")
+    Term.(
+      const run $ spec_arg $ src_arg
+      $ flag [ "no-cse" ] "Disable the common-subexpression optimizer"
+      $ flag [ "checks" ] "Emit subscript checking code"
+      $ flag [ "baseline" ] "Use the hand-written code generator"
+      $ flag [ "dump-if" ] "Print the linearized intermediate form"
+      $ flag [ "listing"; "S" ] "Print the generated assembly listing"
+      $ flag [ "run" ] "Execute on the simulator and print write output"
+      $ flag [ "verify" ] "Check the machine against the reference interpreter")
+
+let interp_cmd =
+  let run src_path =
+    let src = read_file src_path in
+    let checked = or_die (Pascal.Sema.front_end src) in
+    match Pascal.Interp.run checked with
+    | Error e -> or_die (Error (Fmt.str "%a" Pascal.Interp.pp_error e))
+    | Ok r ->
+        List.iter (fun v -> Fmt.pr "%a@." pp_value v) r.Pascal.Interp.written
+  in
+  Cmd.v (Cmd.info "interp" ~doc:"Run the reference interpreter")
+    Term.(const run $ src_arg)
+
+let () =
+  let info =
+    Cmd.info "pasc" ~version:"1.0"
+      ~doc:"mini-Pascal compiler over the CoGG table-driven code generator"
+  in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; interp_cmd ]))

@@ -1,0 +1,1 @@
+examples/pascal_pipeline.ml: Cogg Fmt Ifl List Pipeline Shaper Util_ex

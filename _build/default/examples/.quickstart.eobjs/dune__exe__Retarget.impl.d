@@ -1,0 +1,1 @@
+examples/retarget.ml: Cogg Fmt List Pipeline Util_ex

@@ -1,0 +1,1 @@
+examples/spec_report.ml: Cogg Fmt List Util_ex

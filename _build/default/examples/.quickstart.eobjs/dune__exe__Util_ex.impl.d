@@ -1,0 +1,1 @@
+examples/util_ex.ml: Cogg Filename Fmt Sys

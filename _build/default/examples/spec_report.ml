@@ -1,0 +1,37 @@
+(* A report on the Amdahl 470 code generator specification: the paper's
+   Table 1/Table 2 measurements and a sample of the resolved parsing
+   conflicts (maximal-munch shift preference and longest-rule
+   reduce/reduce resolution).
+
+     dune exec examples/spec_report.exe *)
+
+let () =
+  let spec = Util_ex.amdahl_spec () in
+  let tables = Util_ex.amdahl_tables () in
+  Fmt.pr "%a@." Cogg.Stats.pp_table1 (Cogg.Stats.table1 spec tables);
+
+  let sizes = Cogg.Tables_io.sizes tables in
+  Fmt.pr "Table 2 (artifact sizes)%26s %10s@." "bytes" "pages";
+  let row label bytes =
+    Fmt.pr "%-40s %10d %10.1f@." label bytes (Cogg.Tables_io.pages bytes)
+  in
+  row "i.   Template array" sizes.Cogg.Tables_io.template_array;
+  row "ii.  Compressed parse table" sizes.Cogg.Tables_io.compressed_table;
+  row "iii. Uncompressed parse table" sizes.Cogg.Tables_io.uncompressed_table;
+  Fmt.pr "@.";
+
+  let conflicts = Cogg.Tables.conflicts tables in
+  let sr, rr =
+    List.partition (fun c -> c.Cogg.Parse_table.c_kind = `Shift_reduce) conflicts
+  in
+  Fmt.pr "Conflicts resolved by the Graham-Glanville policy:@.";
+  Fmt.pr "  shift/reduce (shift wins, maximal munch): %d@." (List.length sr);
+  Fmt.pr "  reduce/reduce (longest production wins):  %d@.@." (List.length rr);
+  let g = tables.Cogg.Tables.grammar in
+  Fmt.pr "A few examples:@.";
+  List.iteri
+    (fun i c -> if i < 3 then Fmt.pr "  %a@." (Cogg.Parse_table.pp_conflict g) c)
+    sr;
+  List.iteri
+    (fun i c -> if i < 3 then Fmt.pr "  %a@." (Cogg.Parse_table.pp_conflict g) c)
+    rr

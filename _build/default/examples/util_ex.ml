@@ -1,0 +1,29 @@
+(* Shared helper: locate the spec directory whether the example runs from
+   the project root or from _build. *)
+
+let rec find_up ?(depth = 6) dir rel =
+  let candidate = Filename.concat dir rel in
+  if Sys.file_exists candidate then Some candidate
+  else if depth = 0 then None
+  else find_up ~depth:(depth - 1) (Filename.dirname dir) rel
+
+let spec_path name =
+  match find_up (Sys.getcwd ()) (Filename.concat "specs" name) with
+  | Some p -> p
+  | None ->
+      Fmt.epr "cannot locate specs/%s from %s@." name (Sys.getcwd ());
+      exit 1
+
+let amdahl_tables () =
+  match Cogg.Cogg_build.build_file (spec_path "amdahl470.cgg") with
+  | Ok t -> t
+  | Error es ->
+      Fmt.epr "%a@." (Fmt.list Cogg.Cogg_build.pp_error) es;
+      exit 1
+
+let amdahl_spec () =
+  match Cogg.Spec_parse.of_file (spec_path "amdahl470.cgg") with
+  | Ok s -> s
+  | Error e ->
+      Fmt.epr "%a@." Cogg.Spec_parse.pp_error e;
+      exit 1

@@ -1,0 +1,695 @@
+(** A hand-written code generator over the same intermediate form.
+
+    This plays the role of the traditionally crafted comparator (the
+    paper compares its generated code generator against IBM's PascalVS,
+    Appendix 1): a direct recursive tree walker with explicit OCaml code
+    for every IF operator, first-free register assignment and no
+    common-subexpression support.  It shares only the code buffer and the
+    loader record generator with the table-driven system — exactly the
+    parts the paper says survive retargeting.
+
+    Differences from the table-driven generator, on purpose:
+    - no CSE handling (feed it trees shaped without the optimizer);
+    - halfword/byte operands are loaded before arithmetic rather than
+      fused into the instruction;
+    - booleans are always materialized as 0/1 registers;
+    - register allocation is first-free rather than LRU. *)
+
+module Tree = Ifl.Tree
+module Token = Ifl.Token
+module CB = Cogg.Code_buffer
+module I = Machine.Insn
+module R = Machine.Runtime
+
+exception Error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type t = {
+  buf : CB.t;
+  gprs : bool array; (* busy flags *)
+  fprs : bool array;
+  mutable next_internal : int;
+  mutable n_allocs : int;
+}
+
+let create () =
+  {
+    buf = CB.create ();
+    gprs = Array.make 16 false;
+    fprs = Array.make 8 false;
+    next_internal = 0;
+    n_allocs = 0;
+  }
+
+let gpr_pool = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 11 ]
+let fpr_pool = [ 0; 2; 4; 6 ]
+
+let alloc_gpr t =
+  match List.find_opt (fun r -> not t.gprs.(r)) gpr_pool with
+  | Some r ->
+      t.gprs.(r) <- true;
+      t.n_allocs <- t.n_allocs + 1;
+      r
+  | None -> err "baseline: out of registers"
+
+let alloc_pair t =
+  match
+    List.find_opt (fun e -> (not t.gprs.(e)) && not t.gprs.(e + 1)) [ 2; 4; 6; 8 ]
+  with
+  | Some e ->
+      t.gprs.(e) <- true;
+      t.gprs.(e + 1) <- true;
+      t.n_allocs <- t.n_allocs + 1;
+      e
+  | None -> err "baseline: out of register pairs"
+
+let alloc_fpr t =
+  match List.find_opt (fun r -> not t.fprs.(r)) fpr_pool with
+  | Some r ->
+      t.fprs.(r) <- true;
+      t.n_allocs <- t.n_allocs + 1;
+      r
+  | None -> err "baseline: out of float registers"
+
+let free_gpr t r = if List.mem r gpr_pool then t.gprs.(r) <- false
+let free_pair t e = t.gprs.(e) <- false; t.gprs.(e + 1) <- false
+let free_fpr t r = t.fprs.(r) <- false
+
+let emit t i = CB.add t.buf (CB.Fixed i)
+let rr op r1 r2 : I.t = Rr { op; r1; r2 }
+let rx op r1 ?(x = 0) ?(b = 0) d : I.t = Rx { op; r1; d2 = d; x2 = x; b2 = b }
+let shift op r1 n : I.t = Rs { op; r1; r3 = 0; d2 = n; b2 = 0 }
+
+let fresh_label t =
+  let l = t.next_internal in
+  t.next_internal <- l + 1;
+  CB.Internal l
+
+(* -- tree access ------------------------------------------------------------- *)
+
+let sym (Tree.Node (tok, _)) = tok.Token.sym
+let value (Tree.Node (tok, _)) = tok.Token.value
+let kids (Tree.Node (_, ks)) = ks
+
+let ivalue tr =
+  match value tr with
+  | Ifl.Value.Int n | Ifl.Value.Reg n | Ifl.Value.Label n | Ifl.Value.Cse n
+  | Ifl.Value.Cond n ->
+      n
+  | Ifl.Value.Unit -> err "baseline: token %s has no value" (sym tr)
+
+(* a memory reference: displacement, index reg option, base reg *)
+type mem = { d : int; x : int; b : int; free_x : bool; free_b : bool }
+
+(* -- expressions -------------------------------------------------------------- *)
+
+(* is this a plain (non-indexed) fullword location? *)
+let rec gen_mem t (tr : Tree.t) : mem =
+  (* [type_op dsp base] or [type_op idx dsp base] *)
+  match kids tr with
+  | [ dsp; base ] ->
+      let b, free_b = gen_base t base in
+      { d = ivalue dsp; x = 0; b; free_x = false; free_b }
+  | [ idx; dsp; base ] ->
+      let x = gen_int t idx in
+      let b, free_b = gen_base t base in
+      { d = ivalue dsp; x; b; free_x = true; free_b }
+  | _ -> err "baseline: malformed storage operand under %s" (sym tr)
+
+and gen_base t (tr : Tree.t) : int * bool =
+  match sym tr with
+  | "r" -> (ivalue tr, false)
+  | _ ->
+      (* a loaded chain (global access from a procedure) *)
+      (gen_int t tr, true)
+
+and free_mem t (m : mem) =
+  if m.free_x then free_gpr t m.x;
+  if m.free_b then free_gpr t m.b
+
+(* integer expression -> register *)
+and gen_int t (tr : Tree.t) : int =
+  match sym tr with
+  | "fullword" ->
+      let m = gen_mem t tr in
+      free_mem t m;
+      let r = alloc_gpr t in
+      emit t (rx "l" r ~x:m.x ~b:m.b m.d);
+      r
+  | "hlfword" ->
+      let m = gen_mem t tr in
+      free_mem t m;
+      let r = alloc_gpr t in
+      emit t (rx "lh" r ~x:m.x ~b:m.b m.d);
+      r
+  | "byteword" ->
+      (* destination allocated while the index is still live: the XR
+         precedes the IC, so they must not alias *)
+      let m = gen_mem t tr in
+      let r = alloc_gpr t in
+      emit t (rr "xr" r r);
+      emit t (rx "ic" r ~x:m.x ~b:m.b m.d);
+      free_mem t m;
+      r
+  | "addr" ->
+      let m = gen_mem t tr in
+      free_mem t m;
+      let r = alloc_gpr t in
+      emit t (rx "la" r ~x:m.x ~b:m.b m.d);
+      r
+  | "name_param" ->
+      let m = gen_mem t tr in
+      free_mem t m;
+      let r = alloc_gpr t in
+      emit t (rx "l" r ~x:m.x ~b:m.b m.d);
+      r
+  | "pos_constant" ->
+      let r = alloc_gpr t in
+      emit t (rx "la" r (ivalue (List.nth (kids tr) 0)));
+      r
+  | "neg_constant" ->
+      let r = alloc_gpr t in
+      emit t (rx "la" r (ivalue (List.nth (kids tr) 0)));
+      emit t (rr "lcr" r r);
+      r
+  | "iadd" -> binop t tr "ar" "a" "ah" ~commutative:true
+  | "isub" -> binop t tr "sr" "s" "sh" ~commutative:false
+  | "imult" -> (
+      let a, b = two_kids tr in
+      (* product in the odd register of a pair *)
+      match plain_fullword b with
+      | Some _ ->
+          let ra = gen_int t a in
+          let e = alloc_pair t in
+          emit t (rr "lr" (e + 1) ra);
+          free_gpr t ra;
+          let m = gen_mem t b in
+          free_mem t m;
+          emit t (rx "m" e ~x:m.x ~b:m.b m.d);
+          let r = alloc_gpr t in
+          emit t (rr "lr" r (e + 1));
+          free_pair t e;
+          r
+      | None ->
+          let ra = gen_int t a in
+          let rb = gen_int t b in
+          let e = alloc_pair t in
+          emit t (rr "lr" (e + 1) ra);
+          free_gpr t ra;
+          emit t (rr "mr" e rb);
+          free_gpr t rb;
+          let r = alloc_gpr t in
+          emit t (rr "lr" r (e + 1));
+          free_pair t e;
+          r)
+  | "idiv" | "imod" -> (
+      let a, b = two_kids tr in
+      let ra = gen_int t a in
+      let e = alloc_pair t in
+      emit t (rr "lr" e ra);
+      free_gpr t ra;
+      emit t (Rs { op = "srda"; r1 = e; r3 = 0; d2 = 32; b2 = 0 });
+      (match plain_fullword b with
+      | Some _ ->
+          let m = gen_mem t b in
+          free_mem t m;
+          emit t (rx "d" e ~x:m.x ~b:m.b m.d)
+      | None ->
+          let rb = gen_int t b in
+          emit t (rr "dr" e rb);
+          free_gpr t rb);
+      let r = alloc_gpr t in
+      emit t (rr "lr" r (if sym tr = "idiv" then e + 1 else e));
+      free_pair t e;
+      r)
+  | "ineg" ->
+      let r = gen_int t (one_kid tr) in
+      emit t (rr "lcr" r r);
+      r
+  | "iabs" ->
+      let r = gen_int t (one_kid tr) in
+      emit t (rr "lpr" r r);
+      r
+  | "incr" ->
+      let r = gen_int t (one_kid tr) in
+      emit t (rx "la" r ~b:r 1);
+      r
+  | "decr" ->
+      let r = gen_int t (one_kid tr) in
+      emit t (rr "bctr" r 0);
+      r
+  | "imax" | "imin" ->
+      let a, b = two_kids tr in
+      let ra = gen_int t a in
+      let rb = gen_int t b in
+      let l = fresh_label t in
+      emit t (rr "cr" ra rb);
+      CB.add t.buf
+        (CB.Branch_site
+           { mask = (if sym tr = "imax" then R.mask_gte else R.mask_lte);
+             lbl = l; idx = 0; x = 0 });
+      emit t (rr "lr" ra rb);
+      CB.add t.buf (CB.Label_def l);
+      free_gpr t rb;
+      ra
+  | "iodd" ->
+      let r = gen_int t (one_kid tr) in
+      emit t (rx "n" r ~b:R.pr_base R.psa_one_loc);
+      r
+  | "l_shift" | "r_shift" -> (
+      let a, b = two_kids tr in
+      let r = gen_int t a in
+      let op = if sym tr = "l_shift" then "sla" else "sra" in
+      match sym b with
+      | "v" ->
+          emit t (shift op r (ivalue b));
+          r
+      | _ ->
+          let rb = gen_int t b in
+          emit t (I.Rs { op; r1 = r; r3 = 0; d2 = 0; b2 = rb });
+          free_gpr t rb;
+          r)
+  | "set_union" | "set_intersect" | "set_difference" -> (
+      let a, b = two_kids tr in
+      let ra = gen_int t a in
+      let rb = gen_int t b in
+      (match sym tr with
+      | "set_union" -> emit t (rr "or" ra rb)
+      | "set_intersect" -> emit t (rr "nr" ra rb)
+      | _ ->
+          emit t (rx "x" rb ~b:R.pr_base R.psa_minus_one_loc);
+          emit t (rr "nr" ra rb));
+      free_gpr t rb;
+      ra)
+  | "boolean_not" ->
+      let r = gen_int t (one_kid tr) in
+      emit t (rx "x" r ~b:R.pr_base R.psa_one_loc);
+      r
+  | "boolean_and" | "boolean_or" ->
+      let a, b = two_kids tr in
+      let ra = gen_bool t a in
+      let rb = gen_bool t b in
+      emit t (rr (if sym tr = "boolean_and" then "nr" else "or") ra rb);
+      free_gpr t rb;
+      ra
+  | "cond" ->
+      (* relational result as 0/1: evaluate the comparison, then branch *)
+      let mask = ivalue tr in
+      gen_compare t (one_kid tr);
+      let r = alloc_gpr t in
+      let l = fresh_label t in
+      emit t (rx "la" r 0);
+      CB.add t.buf (CB.Branch_site { mask; lbl = l; idx = 0; x = 0 });
+      emit t (rx "la" r 1);
+      CB.add t.buf (CB.Label_def l);
+      r
+  | "boolean_test" -> gen_bool t (one_kid tr)
+  | "test_bit_value" ->
+      gen_compare t tr;
+      let r = alloc_gpr t in
+      let l = fresh_label t in
+      emit t (rx "la" r 0);
+      CB.add t.buf (CB.Branch_site { mask = R.mask_false; lbl = l; idx = 0; x = 0 });
+      emit t (rx "la" r 1);
+      CB.add t.buf (CB.Label_def l);
+      r
+  | "x_s_cnvrt" ->
+      let f = gen_real t (one_kid tr) in
+      emit t (rr "ldr" 0 f);
+      free_fpr t f;
+      emit t (rx "bal" 14 ~b:R.pr_base R.psa_real_to_int);
+      let r = alloc_gpr t in
+      emit t (rx "l" r ~b:R.pr_base R.psa_scratch);
+      r
+  | "range_check" | "subscript_check" | "case_check" -> (
+      let low_trap, high_trap =
+        match sym tr with
+        | "range_check" -> (R.psa_underflow, R.psa_overflow)
+        | "subscript_check" -> (R.psa_array_underflow, R.psa_array_overflow)
+        | _ -> (R.psa_case_low, R.psa_case_high)
+      in
+      match kids tr with
+      | [ v; lo; hi ] ->
+          let r = gen_int t v in
+          let rlo = gen_int t lo in
+          emit t (rr "cr" r rlo);
+          free_gpr t rlo;
+          emit t (rx "bal" 14 ~b:R.pr_base low_trap);
+          let rhi = gen_int t hi in
+          emit t (rr "cr" r rhi);
+          free_gpr t rhi;
+          emit t (rx "bal" 14 ~b:R.pr_base high_trap);
+          r
+      | _ -> err "baseline: malformed check")
+  | "uninit_check" ->
+      let r = gen_int t (one_kid tr) in
+      emit t (rx "c" r ~b:R.pr_base R.psa_uninit_pattern);
+      emit t (rx "bal" 14 ~b:R.pr_base R.psa_not_initialized);
+      r
+  | s -> err "baseline: unsupported integer operator %s" s
+
+and one_kid tr =
+  match kids tr with [ a ] -> a | _ -> err "baseline: arity under %s" (sym tr)
+
+and two_kids tr =
+  match kids tr with
+  | [ a; b ] -> (a, b)
+  | _ -> err "baseline: arity under %s" (sym tr)
+
+and plain_fullword (tr : Tree.t) =
+  match (sym tr, kids tr) with
+  | "fullword", ([ _; _ ] | [ _; _; _ ]) -> Some ()
+  | _ -> None
+
+(* a + b with memory-operand forms when the right side is a plain load *)
+and binop t tr op_rr op_rx op_rx_h ~commutative : int =
+  let a, b = two_kids tr in
+  let mem_side, reg_side =
+    match (plain_fullword b, commutative, plain_fullword a) with
+    | Some _, _, _ -> (Some b, a)
+    | None, true, Some _ -> (Some a, b)
+    | _ -> (None, b)
+  in
+  ignore op_rx_h;
+  match mem_side with
+  | Some m ->
+      let r = gen_int t reg_side in
+      let mm = gen_mem t m in
+      free_mem t mm;
+      emit t (rx op_rx r ~x:mm.x ~b:mm.b mm.d);
+      r
+  | None ->
+      let ra = gen_int t a in
+      let rb = gen_int t b in
+      emit t (rr op_rr ra rb);
+      free_gpr t rb;
+      ra
+
+(* boolean value (0/1 register) *)
+and gen_bool t (tr : Tree.t) : int =
+  match sym tr with
+  | "byteword" -> gen_int t tr
+  | _ -> gen_int t tr
+
+(* comparisons and bit tests: set the machine condition code *)
+and gen_compare t (tr : Tree.t) : unit =
+  match sym tr with
+  | "icompare" -> (
+      let a, b = two_kids tr in
+      match plain_fullword b with
+      | Some _ ->
+          let ra = gen_int t a in
+          let m = gen_mem t b in
+          free_mem t m;
+          emit t (rx "c" ra ~x:m.x ~b:m.b m.d);
+          free_gpr t ra
+      | None ->
+          let ra = gen_int t a in
+          let rb = gen_int t b in
+          emit t (rr "cr" ra rb);
+          free_gpr t ra;
+          free_gpr t rb)
+  | "rcompare" ->
+      let a, b = two_kids tr in
+      let fa = gen_real t a in
+      let fb = gen_real t b in
+      emit t (rr "cdr" fa fb);
+      free_fpr t fa;
+      free_fpr t fb
+  | "boolean_test" ->
+      let r = gen_bool t (one_kid tr) in
+      emit t (rr "ltr" r r);
+      free_gpr t r
+  | "boolean_and" | "boolean_or" ->
+      let r = gen_int t tr in
+      emit t (rr "ltr" r r);
+      free_gpr t r
+  | "test_bit_value" -> (
+      match kids tr with
+      | [ addr; el ] when sym el = "elmnt" -> (
+          match sym addr with
+          | "addr" ->
+              let m = gen_mem t addr in
+              free_mem t m;
+              emit t (I.Si { op = "tm"; d1 = m.d; b1 = m.b; i2 = ivalue el })
+          | _ ->
+              let r = gen_int t addr in
+              emit t (I.Si { op = "tm"; d1 = 0; b1 = r; i2 = ivalue el });
+              free_gpr t r)
+      | [ addr; el ] ->
+          (* variable element: isolate byte and mask, then NR sets cc *)
+          let m = gen_mem t addr in
+          let re = gen_int t el in
+          let rbyte = alloc_gpr t in
+          emit t (rr "lr" rbyte re);
+          emit t (shift "srl" rbyte 3);
+          emit t (rx "n" re ~b:R.pr_base R.psa_seven);
+          let rmask = alloc_gpr t in
+          emit t (rr "xr" rmask rmask);
+          emit t (rx "ic" rmask ~x:re ~b:R.pr_base R.psa_bitmasks_b);
+          let rtmp = alloc_gpr t in
+          emit t (rr "xr" rtmp rtmp);
+          emit t (rx "ic" rtmp ~x:rbyte ~b:m.b m.d);
+          emit t (rr "nr" rtmp rmask);
+          free_mem t m;
+          free_gpr t re;
+          free_gpr t rbyte;
+          free_gpr t rmask;
+          free_gpr t rtmp
+      | _ -> err "baseline: malformed test_bit_value")
+  | s -> err "baseline: unsupported comparison %s" s
+
+(* real expression -> floating register *)
+and gen_real t (tr : Tree.t) : int =
+  match sym tr with
+  | "realword" ->
+      let m = gen_mem t tr in
+      free_mem t m;
+      let f = alloc_fpr t in
+      emit t (rx "le" f ~x:m.x ~b:m.b m.d);
+      f
+  | "dblrealword" ->
+      let m = gen_mem t tr in
+      free_mem t m;
+      let f = alloc_fpr t in
+      emit t (rx "ld" f ~x:m.x ~b:m.b m.d);
+      f
+  | "radd" | "rsub" | "rmult" | "rdiv" ->
+      let a, b = two_kids tr in
+      let fa = gen_real t a in
+      let fb = gen_real t b in
+      let op =
+        match sym tr with
+        | "radd" -> "adr"
+        | "rsub" -> "sdr"
+        | "rmult" -> "mdr"
+        | _ -> "ddr"
+      in
+      emit t (rr op fa fb);
+      free_fpr t fb;
+      fa
+  | "rneg" ->
+      let f = gen_real t (one_kid tr) in
+      emit t (rr "lcdr" f f);
+      f
+  | "rabs" ->
+      let f = gen_real t (one_kid tr) in
+      emit t (rr "lpdr" f f);
+      f
+  | "halve" ->
+      let f = gen_real t (one_kid tr) in
+      emit t (rr "hdr" f f);
+      f
+  | "rmax" | "rmin" ->
+      let a, b = two_kids tr in
+      let fa = gen_real t a in
+      let fb = gen_real t b in
+      let l = fresh_label t in
+      emit t (rr "cdr" fa fb);
+      CB.add t.buf
+        (CB.Branch_site
+           { mask = (if sym tr = "rmax" then R.mask_gte else R.mask_lte);
+             lbl = l; idx = 0; x = 0 });
+      emit t (rr "ldr" fa fb);
+      CB.add t.buf (CB.Label_def l);
+      free_fpr t fb;
+      fa
+  | "s_x_cnvrt" ->
+      let r = gen_int t (one_kid tr) in
+      emit t (rx "x" r ~b:R.pr_base R.psa_sign_flip);
+      emit t (rx "st" r ~b:R.pr_base (R.psa_scratch + 4));
+      free_gpr t r;
+      CB.add t.buf
+        (CB.Fixed
+           (I.Ss
+              { op = "mvc"; l = 4; d1 = R.psa_scratch; b1 = R.pr_base;
+                d2 = R.psa_cnvrt_hi; b2 = R.pr_base }));
+      let f = alloc_fpr t in
+      emit t (rx "ld" f ~b:R.pr_base R.psa_scratch);
+      emit t (rx "sd" f ~b:R.pr_base R.psa_cnvrt_magic);
+      f
+  | s -> err "baseline: unsupported real operator %s" s
+
+(* -- statements ---------------------------------------------------------------- *)
+
+let rec gen_stmt t (tr : Tree.t) : unit =
+  match sym tr with
+  | "procedure_entry" ->
+      emit t (I.Rs { op = "stm"; r1 = 14; r3 = 13; d2 = R.save_area; b2 = 13 });
+      emit t (rx "bal" 14 ~b:R.pr_base R.psa_entry_code)
+  | "procedure_exit" ->
+      emit t (rx "l" 13 ~b:13 R.old_base);
+      emit t (I.Rs { op = "lm"; r1 = 14; r3 = 13; d2 = R.save_area; b2 = 13 });
+      emit t (rr "bcr" 15 14)
+  | "assign" -> (
+      match kids tr with
+      | [ target; value ] -> (
+          let store_int mnem =
+            let r = gen_int t value in
+            let m = gen_mem t target in
+            free_mem t m;
+            emit t (rx mnem r ~x:m.x ~b:m.b m.d);
+            free_gpr t r
+          in
+          match sym target with
+          | "fullword" -> store_int "st"
+          | "hlfword" -> store_int "sth"
+          | "byteword" -> store_int "stc"
+          | "realword" | "dblrealword" ->
+              let f = gen_real t value in
+              let m = gen_mem t target in
+              free_mem t m;
+              emit t
+                (rx (if sym target = "realword" then "ste" else "std") f ~x:m.x
+                   ~b:m.b m.d);
+              free_fpr t f
+          | "addr" ->
+              err "baseline: block assigns are not used by the shaper"
+          | s -> err "baseline: assign to %s" s)
+      | [ target; value; _lng ] ->
+          ignore target;
+          ignore value;
+          err "baseline: block move"
+      | _ -> err "baseline: malformed assign")
+  | "clear" ->
+      let m = gen_mem t (Tree.Node (Token.op "fullword", kids tr)) in
+      free_mem t m;
+      let r = alloc_gpr t in
+      emit t (rr "xr" r r);
+      emit t (rx "st" r ~x:m.x ~b:m.b m.d);
+      free_gpr t r
+  | "label_def" -> CB.add t.buf (CB.Label_def (CB.User (ivalue (one_kid tr))))
+  | "label_index" ->
+      CB.add t.buf (CB.Word_label (CB.User (ivalue (one_kid tr))))
+  | "branch_op" -> (
+      match kids tr with
+      | [ lbl ] ->
+          CB.add t.buf
+            (CB.Branch_site
+               { mask = R.mask_unconditional; lbl = CB.User (ivalue lbl);
+                 idx = alloc_scratch t; x = 0 })
+      | [ lbl; cond; cc ] ->
+          gen_compare t cc;
+          CB.add t.buf
+            (CB.Branch_site
+               { mask = ivalue cond; lbl = CB.User (ivalue lbl);
+                 idx = alloc_scratch t; x = 0 })
+      | _ -> err "baseline: malformed branch_op")
+  | "case_index" -> (
+      match kids tr with
+      | [ lbl; sel ] ->
+          let r = gen_int t sel in
+          emit t (shift "sll" r 2);
+          let idx = alloc_scratch t in
+          CB.add t.buf (CB.Case_site { reg = r; lbl = CB.User (ivalue lbl); idx });
+          emit t (rx "bc" 15 ~x:r ~b:R.code_base 0);
+          free_gpr t r
+      | _ -> err "baseline: malformed case_index")
+  | "procedure_call" -> (
+      match kids tr with
+      | [ _cnt; target ] ->
+          let m = gen_mem t target in
+          free_mem t m;
+          emit t (rx "l" 15 ~x:m.x ~b:m.b m.d);
+          emit t (rr "balr" 14 15)
+      | _ -> err "baseline: malformed procedure_call")
+  | "statement" -> ()
+  | "abort_op" ->
+      emit t (rx "la" 1 (ivalue (one_kid tr)));
+      emit t (rx "bal" 14 ~b:R.pr_base R.psa_abort)
+  | "set_bit_value" | "clear_bit_value" -> (
+      match kids tr with
+      | [ addr; el ] when sym el = "elmnt" -> (
+          let imm = ivalue el in
+          let op = if sym tr = "set_bit_value" then "oi" else "ni" in
+          match sym addr with
+          | "addr" ->
+              let m = gen_mem t addr in
+              free_mem t m;
+              emit t (I.Si { op; d1 = m.d; b1 = m.b; i2 = imm })
+          | _ ->
+              let r = gen_int t addr in
+              emit t (I.Si { op; d1 = 0; b1 = r; i2 = imm });
+              free_gpr t r)
+      | [ addr; el ] ->
+          (* variable element: compute byte address and mask explicitly *)
+          let m = gen_mem t addr in
+          let re = gen_int t el in
+          let rbyte = alloc_gpr t in
+          let rmask = alloc_gpr t in
+          emit t (rr "lr" rbyte re);
+          emit t (shift "srl" rbyte 3);
+          emit t (rx "n" re ~b:R.pr_base R.psa_seven);
+          emit t (rr "xr" rmask rmask);
+          emit t (rx "ic" rmask ~x:re ~b:R.pr_base R.psa_bitmasks_b);
+          (if sym tr = "clear_bit_value" then
+             emit t (rx "x" rmask ~b:R.pr_base R.psa_minus_one_loc));
+          let rtmp = alloc_gpr t in
+          emit t (rr "xr" rtmp rtmp);
+          emit t (rx "ic" rtmp ~x:rbyte ~b:m.b m.d);
+          emit t (rr (if sym tr = "set_bit_value" then "or" else "nr") rtmp rmask);
+          emit t (rx "stc" rtmp ~x:rbyte ~b:m.b m.d);
+          free_mem t m;
+          free_gpr t re;
+          free_gpr t rbyte;
+          free_gpr t rmask;
+          free_gpr t rtmp
+      | _ -> err "baseline: malformed set op")
+  | s -> err "baseline: unsupported statement operator %s" s
+
+and alloc_scratch t =
+  (* scratch for a possible long branch; freed immediately since the
+     loader generator materializes it only inside the expansion *)
+  let r = alloc_gpr t in
+  free_gpr t r;
+  r
+
+(* -- whole programs --------------------------------------------------------------- *)
+
+type result_t = {
+  objmod : Machine.Objmod.t;
+  resolved : Cogg.Loader_gen.resolved;
+  listing : string;
+  n_items : int;
+}
+
+let generate ?(name = "BASE") (trees : Tree.t list) : (result_t, string) result
+    =
+  let t = create () in
+  (* the emitter's internal labels must not collide with user labels;
+     Code_buffer keeps them in distinct namespaces already *)
+  match List.iter (gen_stmt t) trees with
+  | () -> (
+      match Cogg.Loader_gen.to_objmod ~name (CB.items t.buf) with
+      | Ok (objmod, resolved) ->
+          Ok
+            {
+              objmod;
+              resolved;
+              listing = CB.to_listing t.buf;
+              n_items = CB.length t.buf;
+            }
+      | Error m -> Error m)
+  | exception Error m -> Error m
+  | exception Cogg.Loader_gen.Resolve_error m -> Error m

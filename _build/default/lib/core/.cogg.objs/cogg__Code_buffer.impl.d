@@ -1,0 +1,1 @@
+lib/core/code_buffer.ml: Fmt List Machine

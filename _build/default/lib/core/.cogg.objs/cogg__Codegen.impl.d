@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Code_buffer Driver Emit Fmt Ifl Loader_gen Machine Regalloc Tables

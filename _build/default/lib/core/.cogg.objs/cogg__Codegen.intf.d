@@ -1,0 +1,1 @@
+lib/core/codegen.mli: Driver Format Ifl Loader_gen Machine Regalloc Tables

@@ -1,0 +1,1 @@
+lib/core/cogg_build.ml: Array Fmt Grammar List Lookahead Lr0 Option Parse_table Result Spec_ast Spec_parse Symtab Tables Template

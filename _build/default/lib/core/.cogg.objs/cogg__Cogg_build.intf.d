@@ -1,0 +1,1 @@
+lib/core/cogg_build.mli: Format Grammar Lookahead Spec_ast Symtab Tables

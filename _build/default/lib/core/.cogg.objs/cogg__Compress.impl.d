@@ -1,0 +1,1 @@
+lib/core/compress.ml: Array Fmt Fun Grammar Hashtbl List Option Parse_table

@@ -1,0 +1,1 @@
+lib/core/cse.ml: Grammar Hashtbl

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Array Fmt Fun Grammar Ifl List Lr0 Parse_table String Symtab Tables

@@ -1,0 +1,1 @@
+lib/core/emit.ml: Array Code_buffer Cse Fmt Grammar Hashtbl Ifl List Loader_gen Machine Option Regalloc Symtab Tables Template

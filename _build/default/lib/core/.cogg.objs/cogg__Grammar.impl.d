@@ -1,0 +1,1 @@
+lib/core/grammar.ml: Array Fmt Hashtbl Int List Set

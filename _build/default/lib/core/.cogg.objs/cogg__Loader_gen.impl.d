@@ -1,0 +1,1 @@
+lib/core/loader_gen.ml: Array Bytes Code_buffer Fmt Hashtbl Int32 Machine

@@ -1,0 +1,1 @@
+lib/core/loader_gen.mli: Bytes Code_buffer Machine

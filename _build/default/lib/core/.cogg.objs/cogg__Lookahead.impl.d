@@ -1,0 +1,1 @@
+lib/core/lookahead.ml: Array Grammar Hashtbl List Lr0 Option Queue

@@ -1,0 +1,1 @@
+lib/core/lr0.ml: Array Fmt Grammar Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/core/parse_table.ml: Array Fmt Grammar List Lookahead Lr0

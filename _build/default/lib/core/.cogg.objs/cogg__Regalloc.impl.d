@@ -1,0 +1,1 @@
+lib/core/regalloc.ml: Array Fmt List Option Symtab

@@ -1,0 +1,1 @@
+lib/core/semops.ml: List String

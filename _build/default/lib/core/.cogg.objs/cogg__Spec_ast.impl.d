@@ -1,0 +1,1 @@
+lib/core/spec_ast.ml: Fmt List

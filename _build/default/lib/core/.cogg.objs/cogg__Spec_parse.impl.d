@@ -1,0 +1,1 @@
+lib/core/spec_parse.ml: Buffer Fmt List Spec_ast String

@@ -1,0 +1,1 @@
+lib/core/spec_subset.ml: Cogg_build List Spec_ast Tables

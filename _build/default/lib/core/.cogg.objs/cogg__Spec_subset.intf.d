@@ -1,0 +1,1 @@
+lib/core/spec_subset.mli: Cogg_build Lookahead Spec_ast Tables

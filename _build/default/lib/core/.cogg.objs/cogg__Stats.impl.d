@@ -1,0 +1,1 @@
+lib/core/stats.ml: Array Fmt Fun Grammar List Parse_table Spec_ast Symtab Tables

@@ -1,0 +1,1 @@
+lib/core/symtab.ml: Fmt Hashtbl List Machine Semops Spec_ast String

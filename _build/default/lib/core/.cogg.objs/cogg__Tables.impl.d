@@ -1,0 +1,1 @@
+lib/core/tables.ml: Array Grammar Option Parse_table Regalloc Symtab Template

@@ -1,0 +1,1 @@
+lib/core/tables_io.ml: Array Buffer Compress Float Fmt Grammar Hashtbl Int32 List Lookahead Lr0 Parse_table String Symtab Tables Template

@@ -1,0 +1,1 @@
+lib/core/template.ml: Array Fmt Grammar Hashtbl List Machine Option Semops Spec_ast Symtab

@@ -1,0 +1,62 @@
+(** The code buffer filled by the code emission routine.
+
+    Most entries are finished machine instructions; branch and case-table
+    sites stay symbolic ("while parsing the IF, label locations and branch
+    instructions are kept in a dictionary", paper section 3) until the
+    Loader Record Generator resolves them. *)
+
+(** Labels: [User] labels come from the IF ([label_def lbl.n]); [Internal]
+    labels are invented by the code emitter for [skip] targets, so the
+    shaper never has to allocate them (paper section 4.2). *)
+type label = User of int | Internal of int
+
+let pp_label ppf = function
+  | User n -> Fmt.pf ppf "L%d" n
+  | Internal n -> Fmt.pf ppf ".%d" n
+
+type item =
+  | Fixed of Machine.Insn.t
+  | Branch_site of { mask : int; lbl : label; idx : int; x : int }
+      (** conditional branch to [lbl]; [idx] is the register reserved for
+          the long form; [x] an optional extra index register (0 = none) *)
+  | Case_site of { reg : int; lbl : label; idx : int }
+      (** load of branch-table word at [lbl] indexed by [reg] *)
+  | Label_def of label
+  | Word_lit of int  (** literal data word in the instruction stream *)
+  | Word_label of label  (** data word holding a label's offset *)
+
+type t = { mutable items : item list (* reversed *); mutable n : int }
+
+let create () = { items = []; n = 0 }
+
+let add t item =
+  t.items <- item :: t.items;
+  t.n <- t.n + 1
+
+let items t = List.rev t.items
+let length t = t.n
+
+(** Count of machine instructions (sites count as one). *)
+let n_instructions t =
+  List.fold_left
+    (fun acc it ->
+      match it with
+      | Fixed _ | Branch_site _ | Case_site _ -> acc + 1
+      | Label_def _ | Word_lit _ | Word_label _ -> acc)
+    0 t.items
+
+let pp_item ppf = function
+  | Fixed i -> Fmt.pf ppf "      %a" Machine.Insn.pp i
+  | Branch_site { mask; lbl; x; _ } ->
+      if x = 0 then Fmt.pf ppf "      bc    %d,%a" mask pp_label lbl
+      else Fmt.pf ppf "      bc    %d,%a(r%d)" mask pp_label lbl x
+  | Case_site { reg; lbl; _ } ->
+      Fmt.pf ppf "      l     r%d,%a(r%d)" reg pp_label lbl reg
+  | Label_def l -> Fmt.pf ppf "%a:" pp_label l
+  | Word_lit v -> Fmt.pf ppf "      dc    f'%d'" v
+  | Word_label l -> Fmt.pf ppf "      dc    a(%a)" pp_label l
+
+(** Assembly-style listing in the manner of the paper's Appendix 1. *)
+let pp ppf t = Fmt.(vbox (list ~sep:cut pp_item)) ppf (items t)
+
+let to_listing t = Fmt.str "%a" pp t

@@ -1,0 +1,54 @@
+(** The generated code generator, assembled: tables + skeletal parser +
+    code emission + loader record generation, end to end. *)
+
+type result_t = {
+  objmod : Machine.Objmod.t;
+  resolved : Loader_gen.resolved;
+  listing : string;
+  outcome : Driver.outcome;
+  alloc_stats : Regalloc.stats;
+  n_items : int;
+}
+
+type error =
+  | Parse_error of Driver.error
+  | Emit_failure of string
+  | Resolve_failure of string
+
+let pp_error ppf = function
+  | Parse_error e -> Driver.pp_error ppf e
+  | Emit_failure m -> Fmt.pf ppf "code emission failed: %s" m
+  | Resolve_failure m -> Fmt.pf ppf "loader record generation failed: %s" m
+
+(** Generate code for a linearized IF program. *)
+let generate ?(name = "MAIN") ?(strategy = Regalloc.Lru) ?reload_dsp
+    ?reload_reg (tables : Tables.t) (input : Ifl.Token.t list) :
+    (result_t, error) result =
+  let emitter = Emit.create ~strategy ?reload_dsp ?reload_reg tables in
+  match Driver.parse tables ~reduce:(Emit.reduce emitter) input with
+  | Error e -> Error (Parse_error e)
+  | exception Emit.Emit_error m -> Error (Emit_failure m)
+  | exception Regalloc.Pressure m -> Error (Emit_failure m)
+  | Ok outcome -> (
+      match Emit.finish ~name emitter with
+      | Error m -> Error (Resolve_failure m)
+      | Ok (objmod, resolved) ->
+          Ok
+            {
+              objmod;
+              resolved;
+              listing = Emit.listing emitter;
+              outcome;
+              alloc_stats = Emit.stats emitter;
+              n_items = Code_buffer.length emitter.Emit.buf;
+            })
+
+(** Convenience: parse the textual IF syntax and generate. *)
+let generate_string ?name ?strategy ?reload_dsp ?reload_reg tables text :
+    (result_t, string) result =
+  match Ifl.Reader.program_of_string text with
+  | Error m -> Error m
+  | Ok tokens -> (
+      match generate ?name ?strategy ?reload_dsp ?reload_reg tables tokens with
+      | Ok r -> Ok r
+      | Error e -> Error (Fmt.str "%a" pp_error e))

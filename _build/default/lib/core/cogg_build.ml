@@ -1,0 +1,121 @@
+(** CoGG's top level: specification text -> driving tables.
+
+    [build] performs the whole pipeline: parse the specification, build
+    the typed symbol table, construct the grammar and its LR automaton,
+    resolve conflicts, and compile every template. *)
+
+type error = { line : int; msg : string }
+
+let pp_error ppf e =
+  if e.line > 0 then Fmt.pf ppf "spec:%d: %s" e.line e.msg
+  else Fmt.pf ppf "spec: %s" e.msg
+
+let lift_parse (e : Spec_parse.error) = { line = e.Spec_parse.line; msg = e.Spec_parse.msg }
+let lift_symtab (e : Symtab.error) = { line = e.Symtab.line; msg = e.Symtab.msg }
+let lift_template (e : Template.error) = { line = e.Template.line; msg = e.Template.msg }
+
+let ( let* ) = Result.bind
+
+(** Build the grammar from a checked specification. *)
+let grammar_of_spec (symtab : Symtab.t) (spec : Spec_ast.t) :
+    (Grammar.t, error list) result =
+  let b = Grammar.builder () in
+  List.iter
+    (fun (name, _cls) -> ignore (Grammar.declare_nonterminal b name))
+    symtab.Symtab.nonterminals;
+  List.iter
+    (fun (name, _k) -> ignore (Grammar.declare_terminal b name))
+    symtab.Symtab.terminals;
+  List.iter
+    (fun name -> ignore (Grammar.declare_terminal b name))
+    symtab.Symtab.operators;
+  let errs = ref [] in
+  let err line fmt = Fmt.kstr (fun msg -> errs := { line; msg } :: !errs) fmt in
+  let sym_of line (s : Spec_ast.ssym) ~lhs =
+    let name = s.Spec_ast.base in
+    if lhs && name = Grammar.lambda_name then
+      Some (Grammar.declare_nonterminal ~in_if:false b Grammar.lambda_name)
+    else
+      match Symtab.find symtab name with
+      | Some (Symtab.Nonterminal _) when lhs -> Some (Grammar.intern b name)
+      | Some (Symtab.Nonterminal _ | Symtab.Terminal _ | Symtab.Operator)
+        when not lhs ->
+          Some (Grammar.intern b name)
+      | Some info ->
+          err line "%s (%s) cannot appear %s a production" name
+            (Fmt.str "%a" Symtab.pp_info info)
+            (if lhs then "as the LHS of" else "in");
+          None
+      | None ->
+          err line "%s is not declared" name;
+          None
+  in
+  List.iter
+    (fun (p : Spec_ast.production) ->
+      let lhs = sym_of p.p_line p.p_lhs ~lhs:true in
+      let rhs = List.map (sym_of p.p_line ~lhs:false) p.p_rhs in
+      match (lhs, List.for_all Option.is_some rhs) with
+      | Some lhs, true ->
+          Grammar.add_prod b ~lhs
+            ~rhs:(Array.of_list (List.map Option.get rhs))
+            ~line:p.p_line
+      | _ -> ())
+    spec.Spec_ast.productions;
+  if !errs <> [] then Error (List.rev !errs) else Ok (Grammar.finish b)
+
+let build ?(mode = Lookahead.Slr) (spec : Spec_ast.t) :
+    (Tables.t, error list) result =
+  let* symtab = Result.map_error (fun e -> [ lift_symtab e ]) (Symtab.of_spec spec) in
+  let* grammar = grammar_of_spec symtab spec in
+  let automaton = Lr0.build grammar in
+  let parse = Parse_table.build ~mode automaton in
+  (* compile templates; production ids follow declaration order *)
+  let n_user = List.length spec.Spec_ast.productions in
+  let compiled = Array.make (Grammar.n_prods grammar) None in
+  let errs = ref [] in
+  List.iteri
+    (fun i (p : Spec_ast.production) ->
+      match Template.compile ~grammar ~symtab ~prod_id:i p with
+      | Ok c -> compiled.(i) <- Some c
+      | Error e -> errs := lift_template e :: !errs)
+    spec.Spec_ast.productions;
+  if !errs <> [] then Error (List.rev !errs)
+  else begin
+    let n = Grammar.n_syms grammar in
+    let class_of = Array.make n None in
+    let kind_of = Array.make n None in
+    List.iter
+      (fun (name, cls) ->
+        match Grammar.sym grammar name with
+        | Some s -> class_of.(s) <- Some cls
+        | None -> ())
+      symtab.Symtab.nonterminals;
+    List.iter
+      (fun (name, k) ->
+        match Grammar.sym grammar name with
+        | Some s -> kind_of.(s) <- Some k
+        | None -> ())
+      symtab.Symtab.terminals;
+    Ok
+      {
+        Tables.grammar;
+        symtab;
+        parse;
+        compiled;
+        n_user_prods = n_user;
+        class_of;
+        kind_of;
+      }
+  end
+
+let build_string ?mode (text : string) : (Tables.t, error list) result =
+  let* spec =
+    Result.map_error (fun e -> [ lift_parse e ]) (Spec_parse.of_string text)
+  in
+  build ?mode spec
+
+let build_file ?mode (path : string) : (Tables.t, error list) result =
+  let* spec =
+    Result.map_error (fun e -> [ lift_parse e ]) (Spec_parse.of_file path)
+  in
+  build ?mode spec

@@ -1,0 +1,24 @@
+(** CoGG's top level: specification text -> driving tables.
+
+    [build] performs the whole pipeline: parse the specification, build
+    the typed symbol table, construct the grammar and its LR automaton,
+    resolve conflicts with the Graham-Glanville policy, and compile
+    every template.  Errors carry specification line numbers. *)
+
+type error = { line : int; msg : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val grammar_of_spec :
+  Symtab.t -> Spec_ast.t -> (Grammar.t, error list) result
+(** Build the augmented machine grammar from a checked specification. *)
+
+val build : ?mode:Lookahead.mode -> Spec_ast.t -> (Tables.t, error list) result
+(** Build the complete table bundle.  [mode] selects SLR(1) (the
+    default, as in the paper) or LALR(1) lookaheads. *)
+
+val build_string :
+  ?mode:Lookahead.mode -> string -> (Tables.t, error list) result
+
+val build_file :
+  ?mode:Lookahead.mode -> string -> (Tables.t, error list) result

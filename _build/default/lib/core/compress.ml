@@ -1,0 +1,235 @@
+(** Parse-table compression.
+
+    Two classical techniques, composable (the paper's "compressed" table,
+    Table 2, notes its tables are "by no means minimally compressed"):
+
+    - default reductions: the most common reduce action of a row becomes
+      the row default, removing those entries from the row (error
+      detection is delayed by at most a few reductions, never lost);
+    - row-displacement ("comb") packing: the remaining sparse rows are
+      overlaid into a single value array with a check array.
+
+    Entry encoding (16-bit): 0 = error, 1 = accept, 2+2k = shift k,
+    3+2k = reduce k. *)
+
+type method_ = No_compression | Defaults_only | Comb_only | Defaults_and_comb
+
+let encode_action : Parse_table.action -> int = function
+  | Error -> 0
+  | Accept -> 1
+  | Shift s -> 2 + (2 * s)
+  | Reduce p -> 3 + (2 * p)
+
+let decode_action (v : int) : Parse_table.action =
+  if v = 0 then Error
+  else if v = 1 then Accept
+  else if v mod 2 = 0 then Shift ((v - 2) / 2)
+  else Reduce ((v - 3) / 2)
+
+type t = {
+  n_states : int;
+  n_syms : int;
+  method_ : method_;
+  row_index : int array; (* state -> shared row id *)
+  defaults : int array; (* per-row default entry (encoded) *)
+  offsets : int array; (* per-row displacement into value/check *)
+  value : int array;
+  check : int array; (* owning row id + 1, 0 = free *)
+  size_bytes : int;
+}
+
+(** Size in bytes of the uncompressed table: one 16-bit entry per
+    (state, symbol) pair. *)
+let uncompressed_bytes (pt : Parse_table.t) =
+  Parse_table.n_states pt * Grammar.n_syms pt.Parse_table.grammar * 2
+
+let row_default method_ (row : Parse_table.action array) : int =
+  match method_ with
+  | No_compression | Comb_only -> 0
+  | Defaults_only | Defaults_and_comb ->
+      (* most common reduce action in the row; shifts and errors are never
+         defaulted (a defaulted shift would consume input wrongly) *)
+      let counts = Hashtbl.create 8 in
+      Array.iter
+        (fun a ->
+          match a with
+          | Parse_table.Reduce _ ->
+              let v = encode_action a in
+              Hashtbl.replace counts v
+                (1 + Option.value (Hashtbl.find_opt counts v) ~default:0)
+          | _ -> ())
+        row;
+      Hashtbl.fold
+        (fun v c (bv, bc) -> if c > bc then (v, c) else (bv, bc))
+        counts (0, 0)
+      |> fst
+
+let compress ?(method_ = Defaults_and_comb) (pt : Parse_table.t) : t =
+  let n_states = Parse_table.n_states pt in
+  let n_syms = Grammar.n_syms pt.Parse_table.grammar in
+  (* per-state (default, significant entries); identical rows share *)
+  let state_rows =
+    Array.init n_states (fun s ->
+        let row = pt.Parse_table.actions.(s) in
+        let d = row_default method_ row in
+        let entries = ref [] in
+        Array.iteri
+          (fun sym a ->
+            let v = encode_action a in
+            if v <> d && v <> 0 then entries := (sym, v) :: !entries)
+          row;
+        (d, List.rev !entries))
+  in
+  (* row sharing: map distinct (default, entries) to a row id *)
+  let row_ids : ((int * (int * int) list), int) Hashtbl.t = Hashtbl.create 64 in
+  let row_index = Array.make n_states 0 in
+  let distinct = ref [] in
+  let n_rows = ref 0 in
+  Array.iteri
+    (fun s row ->
+      match Hashtbl.find_opt row_ids row with
+      | Some id -> row_index.(s) <- id
+      | None ->
+          let id = !n_rows in
+          incr n_rows;
+          Hashtbl.replace row_ids row id;
+          distinct := row :: !distinct;
+          row_index.(s) <- id)
+    state_rows;
+  let rows = Array.of_list (List.rev !distinct) in
+  let defaults = Array.map fst rows in
+  let entries_of = Array.map snd rows in
+  match method_ with
+  | No_compression | Defaults_only ->
+      (* dense layout, one row per state (no sharing: the point of this
+         method is the flat table the paper calls "uncompressed") *)
+      let value = Array.make (n_states * n_syms) 0 in
+      let check = Array.make (n_states * n_syms) 0 in
+      let row_index = Array.init n_states Fun.id in
+      let defaults = Array.map (fun (d, _) -> d) state_rows in
+      Array.iteri
+        (fun s (_, entries) ->
+          List.iter
+            (fun (sym, v) ->
+              value.((s * n_syms) + sym) <- v;
+              check.((s * n_syms) + sym) <- s + 1)
+            entries)
+        state_rows;
+      let offsets = Array.init n_states (fun s -> s * n_syms) in
+      let size_bytes =
+        (* dense layout stores only the value array plus defaults *)
+        (n_states * n_syms * 2)
+        + match method_ with Defaults_only -> n_states * 2 | _ -> 0
+      in
+      { n_states; n_syms; method_; row_index; defaults; offsets; value; check;
+        size_bytes }
+  | Comb_only | Defaults_and_comb ->
+      (* First-fit row displacement over the distinct rows, densest first.
+         The check array stores the *column symbol* (one byte), which is
+         sound because distinct rows always take distinct offsets: a
+         position p can only satisfy check[p] = sym with p = offset + sym
+         for the single row that owns it. *)
+      let order = Array.init !n_rows (fun i -> i) in
+      Array.sort
+        (fun a b ->
+          compare (List.length entries_of.(b)) (List.length entries_of.(a)))
+        order;
+      let cap = ref (max 64 (!n_rows * 4)) in
+      let value = ref (Array.make !cap 0) in
+      let check = ref (Array.make !cap 0) in
+      let used = ref 0 in
+      let taken = Hashtbl.create 64 in
+      let ensure n =
+        if n > !cap then begin
+          let ncap = max n (!cap * 2) in
+          let nv = Array.make ncap 0 and nc = Array.make ncap 0 in
+          Array.blit !value 0 nv 0 !cap;
+          Array.blit !check 0 nc 0 !cap;
+          value := nv;
+          check := nc;
+          cap := ncap
+        end
+      in
+      let offsets = Array.make !n_rows 0 in
+      let empties = ref [] in
+      Array.iter
+        (fun rid ->
+          let entries = entries_of.(rid) in
+          if entries = [] then empties := rid :: !empties
+          else begin
+            let fits off =
+              (not (Hashtbl.mem taken off))
+              && List.for_all
+                   (fun (sym, _) ->
+                     let p = off + sym in
+                     p >= 0 && (p >= !cap || !check.(p) = 0))
+                   entries
+            in
+            let off = ref 0 in
+            while not (fits !off) do
+              incr off
+            done;
+            Hashtbl.replace taken !off ();
+            offsets.(rid) <- !off;
+            List.iter
+              (fun (sym, v) ->
+                let p = !off + sym in
+                ensure (p + 1);
+                !value.(p) <- v;
+                !check.(p) <- sym + 1;
+                if p + 1 > !used then used := p + 1)
+              entries
+          end)
+        order;
+      (* empty rows point past the packed area: every probe misses *)
+      List.iter (fun rid -> offsets.(rid) <- !used) !empties;
+      let value = Array.sub !value 0 !used in
+      let check = Array.sub !check 0 !used in
+      let size_bytes =
+        (!used * 2) (* value: 16-bit actions *)
+        + !used (* check: 8-bit symbol ids *)
+        + (!n_rows * 2) (* offsets *)
+        + (n_states * 2) (* state -> row mapping *)
+        + match method_ with Defaults_and_comb -> !n_rows * 2 | _ -> 0
+      in
+      { n_states; n_syms; method_; row_index; defaults; offsets; value; check;
+        size_bytes }
+
+(** Table lookup through the compressed representation. *)
+let lookup (c : t) ~(state : int) ~(sym : int) : Parse_table.action =
+  let rid = c.row_index.(state) in
+  let p = c.offsets.(rid) + sym in
+  let v =
+    match c.method_ with
+    | Comb_only | Defaults_and_comb ->
+        if p >= 0 && p < Array.length c.check && c.check.(p) = sym + 1 then
+          c.value.(p)
+        else c.defaults.(rid)
+    | No_compression | Defaults_only ->
+        if p >= 0 && p < Array.length c.check && c.check.(p) = state + 1 then
+          c.value.(p)
+        else c.defaults.(rid)
+  in
+  decode_action v
+
+(** Check that a compressed table reproduces the original exactly, modulo
+    default reductions replacing errors (which only delay error
+    detection).  Returns the number of entries where an error was replaced
+    by a default reduction. *)
+let verify (c : t) (pt : Parse_table.t) : (int, string) result =
+  let softened = ref 0 in
+  let bad = ref None in
+  Array.iteri
+    (fun state row ->
+      Array.iteri
+        (fun sym a ->
+          let got = lookup c ~state ~sym in
+          if got <> a then
+            match (a, got) with
+            | Parse_table.Error, Parse_table.Reduce _ -> incr softened
+            | _ ->
+                if !bad = None then
+                  bad := Some (Fmt.str "state %d sym %d mismatch" state sym))
+        row)
+    pt.Parse_table.actions;
+  match !bad with Some m -> Error m | None -> Ok !softened

@@ -1,0 +1,161 @@
+(** The skeletal LR parser driving the generated code generator
+    (paper section 3).
+
+    The parser consumes the linearized IF.  On a reduction it calls the
+    code emission routine, which returns the tokens to prefix back onto
+    the input stream (normally the production's LHS bound to the result
+    register; possibly a converted odd register or a CSE's location).
+    Because non-terminal tokens are shifted like any others, no separate
+    GOTO table exists.
+
+    "If the specification of the code generator is correct, then the code
+    generator cannot emit incorrect instruction sequences.  Instead it
+    will stop and signal an error." — a [Parse_error] result carries the
+    state and offending token. *)
+
+type error = {
+  position : int;  (** index of the offending token in the input *)
+  state : int;
+  token : Ifl.Token.t option;  (** [None] at end of input *)
+  msg : string;
+  expected : string list;  (** symbols with an action in the blocked state *)
+}
+
+let pp_error ppf e =
+  Fmt.pf ppf "code generation blocked at token %d%a in state %d: %s"
+    e.position
+    (Fmt.option (fun ppf t -> Fmt.pf ppf " (%a)" Ifl.Token.pp t))
+    e.token e.state e.msg;
+  match e.expected with
+  | [] -> ()
+  | xs ->
+      Fmt.pf ppf "@.expected one of: %s"
+        (String.concat ", "
+           (if List.length xs <= 12 then xs
+            else List.filteri (fun i _ -> i < 12) xs @ [ "..." ]))
+
+type outcome = {
+  reductions : int;
+  shifts : int;
+  max_stack : int;
+}
+
+(** [parse tables ~reduce input] runs the table-driven parse.
+
+    [reduce ~prod ~rhs ~remap] is the code emission routine: [rhs] holds
+    the popped translation-stack tokens; [remap] lets the emitter rewrite
+    register bindings on the live stack and pending input (needed when a
+    [need] directive transfers a busy register); the returned tokens are
+    prefixed to the input (first element consumed first). *)
+let parse (tables : Tables.t)
+    ~(reduce :
+       prod:int ->
+       rhs:Ifl.Token.t array ->
+       remap:((Ifl.Token.t -> Ifl.Token.t) -> unit) ->
+       Ifl.Token.t list) (input : Ifl.Token.t list) : (outcome, error) result =
+  let g = tables.Tables.grammar in
+  let pt = tables.Tables.parse in
+  (* the translation/parse stack: (state, token) *)
+  let stack = ref [ (pt.Parse_table.automaton.Lr0.start, Ifl.Token.op "%bottom") ] in
+  let pending = ref (input @ [ Ifl.Token.op Grammar.eof_name ]) in
+  let position = ref 0 in
+  let shifts = ref 0 and reductions = ref 0 and max_stack = ref 1 in
+  let remap f =
+    stack := List.map (fun (s, t) -> (s, f t)) !stack;
+    pending := List.map f !pending
+  in
+  let fail state token msg =
+    let expected =
+      List.filter
+        (fun s ->
+          Parse_table.action pt state s <> Parse_table.Error
+          && g.Grammar.in_if.(s))
+        (List.init (Grammar.n_syms g) Fun.id)
+      |> List.map (Grammar.name g)
+    in
+    Error { position = !position; state; token; msg; expected }
+  in
+  let rec loop () =
+    let state = fst (List.hd !stack) in
+    match !pending with
+    | [] -> fail state None "input exhausted without accept"
+    | tok :: rest -> (
+        match Grammar.sym g tok.Ifl.Token.sym with
+        | None -> fail state (Some tok) "symbol is not part of the machine grammar"
+        | Some sym -> (
+            (* shaper convenience: integer-valued tokens are coerced to the
+               kind the grammar symbol declares (register binding, label,
+               CSE number, condition mask) *)
+            let tok =
+              match (Tables.class_of tables sym, tok.Ifl.Token.value) with
+              | ( Some (Symtab.Gpr | Symtab.Pair | Symtab.Fpr | Symtab.Fpair),
+                  Ifl.Value.Int n ) ->
+                  { tok with Ifl.Token.value = Ifl.Value.Reg n }
+              | _ -> (
+                  match (Tables.kind_of tables sym, tok.Ifl.Token.value) with
+                  | Some Symtab.Klabel, Ifl.Value.Int n ->
+                      { tok with Ifl.Token.value = Ifl.Value.Label n }
+                  | Some Symtab.Kcse, Ifl.Value.Int n ->
+                      { tok with Ifl.Token.value = Ifl.Value.Cse n }
+                  | Some Symtab.Kcond, Ifl.Value.Int n ->
+                      { tok with Ifl.Token.value = Ifl.Value.Cond n }
+                  | _ -> tok)
+            in
+            (* runtime type check: terminals must carry the declared value
+               kind; register non-terminals must carry a register *)
+            let kind_ok =
+              match (Tables.kind_of tables sym, tok.Ifl.Token.value) with
+              | Some Symtab.Kint, (Ifl.Value.Int _ | Ifl.Value.Unit) -> true
+              | Some Symtab.Klabel, Ifl.Value.Label _ -> true
+              | Some Symtab.Kcse, Ifl.Value.Cse _ -> true
+              | Some Symtab.Kcond, Ifl.Value.Cond _ -> true
+              | Some _, _ -> false
+              | None, _ -> true
+            in
+            let class_ok =
+              match (Tables.class_of tables sym, tok.Ifl.Token.value) with
+              | Some (Symtab.Gpr | Symtab.Pair | Symtab.Fpr | Symtab.Fpair), Ifl.Value.Reg _
+                -> true
+              | Some (Symtab.Cc | Symtab.Noclass), _ -> true
+              | Some _, _ -> false
+              | None, _ -> true
+            in
+            if not kind_ok then
+              fail state (Some tok) "token value does not match the terminal's declared kind"
+            else if not class_ok then
+              fail state (Some tok) "register non-terminal token without a register binding"
+            else
+              match Parse_table.action pt state sym with
+              | Parse_table.Shift s' ->
+                  stack := (s', tok) :: !stack;
+                  pending := rest;
+                  incr position;
+                  incr shifts;
+                  max_stack := max !max_stack (List.length !stack);
+                  loop ()
+              | Parse_table.Accept -> Ok { reductions = !reductions; shifts = !shifts; max_stack = !max_stack }
+              | Parse_table.Error ->
+                  fail state (Some tok) "no action (invalid IF for this machine grammar)"
+              | Parse_table.Reduce p ->
+                  incr reductions;
+                  let prod = Grammar.prod g p in
+                  let n = Array.length prod.Grammar.rhs in
+                  let rhs = Array.make n (Ifl.Token.op "?") in
+                  for i = n - 1 downto 0 do
+                    match !stack with
+                    | (_, t) :: tl ->
+                        rhs.(i) <- t;
+                        stack := tl
+                    | [] -> assert false
+                  done;
+                  let prefixed =
+                    if Tables.is_user_prod tables p then
+                      reduce ~prod:p ~rhs ~remap
+                    else
+                      (* augmentation production: prefix the bare LHS *)
+                      [ Ifl.Token.op (Grammar.name g prod.Grammar.lhs) ]
+                  in
+                  pending := prefixed @ !pending;
+                  loop ()))
+  in
+  loop ()

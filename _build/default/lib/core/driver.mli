@@ -1,0 +1,43 @@
+(** The skeletal LR parser driving the generated code generator
+    (paper section 3).
+
+    The parser consumes the linearized IF.  On a reduction it calls the
+    code emission routine, which returns the tokens to prefix back onto
+    the input stream (normally the production's LHS bound to the result
+    register; possibly a converted odd register or a CSE's location).
+    Because non-terminal tokens are shifted like any others, no separate
+    GOTO table exists. *)
+
+type error = {
+  position : int;  (** index of the offending token in the input *)
+  state : int;
+  token : Ifl.Token.t option;  (** [None] at end of input *)
+  msg : string;
+  expected : string list;  (** symbols with an action in the blocked state *)
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+type outcome = { reductions : int; shifts : int; max_stack : int }
+
+val parse :
+  Tables.t ->
+  reduce:
+    (prod:int ->
+    rhs:Ifl.Token.t array ->
+    remap:((Ifl.Token.t -> Ifl.Token.t) -> unit) ->
+    Ifl.Token.t list) ->
+  Ifl.Token.t list ->
+  (outcome, error) result
+(** [parse tables ~reduce input] runs the table-driven parse.
+
+    [reduce ~prod ~rhs ~remap] is the code emission routine: [rhs] holds
+    the popped translation-stack tokens; [remap] lets the emitter rewrite
+    register bindings on the live stack and pending input (needed when a
+    [need] directive transfers a busy register); the returned tokens are
+    prefixed to the input (first element consumed first).
+
+    Input tokens are type-checked against the specification: terminals
+    must carry their declared value kind, register non-terminals a
+    register binding (integer payloads are coerced for shaper
+    convenience). *)

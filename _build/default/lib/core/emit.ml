@@ -1,0 +1,451 @@
+(** The code emission routine (paper section 3):
+
+    {v
+    begin
+      remove current production from the parse stack.
+      allocate all requested registers.
+      for all associated templates do begin
+        fill in required values
+        if template requires semantic intervention
+          then case intervention code of ... end
+          else append instruction to code buffer
+      end
+      prefix LHS to input stream.
+    end
+    v} *)
+
+exception Emit_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Emit_error s)) fmt
+
+type t = {
+  tables : Tables.t;
+  regs : Regalloc.t;
+  cse : Cse.t;
+  buf : Code_buffer.t;
+  reload_dsp : string;  (** terminal name used when reloading a CSE *)
+  reload_reg : string;  (** register non-terminal name for CSE reloads *)
+  mutable next_internal : int;
+  (* open [skip]s: remaining instruction count until the internal label *)
+  mutable open_skips : (int ref * Code_buffer.label) list;
+  mutable stmt_records : (int * int) list;  (** stmt number -> insn index *)
+  mutable list_requests : int list;
+}
+
+let create ?(strategy = Regalloc.Lru) ?(reload_dsp = "dsp") ?(reload_reg = "r")
+    (tables : Tables.t) : t =
+  {
+    tables;
+    regs = Regalloc.create ~strategy ();
+    cse = Cse.create ();
+    buf = Code_buffer.create ();
+    reload_dsp;
+    reload_reg;
+    next_internal = 0;
+    open_skips = [];
+    stmt_records = [];
+    list_requests = [];
+  }
+
+let items t = Code_buffer.items t.buf
+let stats t = t.regs.Regalloc.stats
+
+(* -- appending with skip bookkeeping -------------------------------------- *)
+
+let append_instruction t item =
+  Code_buffer.add t.buf item;
+  let still_open = ref [] in
+  List.iter
+    (fun (count, lbl) ->
+      decr count;
+      if !count <= 0 then Code_buffer.add t.buf (Code_buffer.Label_def lbl)
+      else still_open := (count, lbl) :: !still_open)
+    t.open_skips;
+  t.open_skips <- List.rev !still_open
+
+let append_data t item = Code_buffer.add t.buf item
+
+(* -- banks and classes ----------------------------------------------------- *)
+
+let class_of_src t (c : Template.compiled) (rhs_syms : Grammar.sym array)
+    (s : Template.src) : Symtab.reg_class =
+  let rec go = function
+    | Template.Alloc i -> c.Template.c_allocs.(i).Template.a_class
+    | Template.Phys r -> (
+        match
+          Array.find_opt (fun (n : Template.need_req) -> n.n_reg = r)
+            c.Template.c_needs
+        with
+        | Some n -> n.Template.n_class
+        | None -> Symtab.Gpr)
+    | Template.Stack k -> (
+        match Tables.class_of t.tables rhs_syms.(k) with
+        | Some cls -> cls
+        | None -> Symtab.Gpr)
+    | Template.Plus (s, _) -> go s
+    | Template.Lit _ -> Symtab.Gpr
+  in
+  go s
+
+let bank_of_sym t sym : Regalloc.bank =
+  match Tables.bank_of t.tables sym with
+  | Some b -> b
+  | None -> Regalloc.Gp
+
+(* -- CSE helpers ----------------------------------------------------------- *)
+
+let store_mnem (e : Cse.entry) = if e.fp then "std" else "st"
+
+(* save an evicted CSE register to its temporary *)
+let save_cse t (ev : Regalloc.evicted) =
+  match Cse.find t.cse ev.Regalloc.ev_cse with
+  | None -> err "evicted register bound to unknown CSE %d" ev.Regalloc.ev_cse
+  | Some entry ->
+      append_instruction t
+        (Code_buffer.Fixed
+           (Machine.Insn.Rx
+              {
+                op = store_mnem entry;
+                r1 = ev.Regalloc.ev_reg;
+                d2 = entry.Cse.temp_dsp;
+                x2 = 0;
+                b2 = entry.Cse.temp_base;
+              }));
+      Cse.to_memory t.cse entry.Cse.id
+
+(* -- instruction building --------------------------------------------------- *)
+
+let build_insn (mnem : string) (vals : (int * int list) list) : Machine.Insn.t =
+  (* vals: per operand, (base value, sub values) *)
+  let fmt =
+    match Machine.Insn.format_of_mnemonic mnem with
+    | Some f -> f
+    | None -> err "unknown mnemonic %s at emission" mnem
+  in
+  let plain k =
+    match List.nth_opt vals k with
+    | Some (v, []) -> v
+    | _ -> err "%s: operand %d shape mismatch at emission" mnem (k + 1)
+  in
+  let memop k =
+    match List.nth_opt vals k with
+    | Some (d, []) -> (d, 0, 0)
+    | Some (d, [ b ]) -> (d, 0, b)
+    | Some (d, [ x; b ]) -> (d, x, b)
+    | _ -> err "%s: missing storage operand" mnem
+  in
+  match fmt with
+  | Machine.Insn.RR -> Rr { op = mnem; r1 = plain 0; r2 = plain 1 }
+  | Machine.Insn.RX ->
+      let d2, x2, b2 = memop 1 in
+      Rx { op = mnem; r1 = plain 0; d2; x2; b2 }
+  | Machine.Insn.RS -> (
+      match mnem with
+      | "sla" | "sra" | "sll" | "srl" | "slda" | "srda" | "sldl" | "srdl" ->
+          let d2, _, b2 = memop 1 in
+          Rs { op = mnem; r1 = plain 0; r3 = 0; d2; b2 }
+      | _ ->
+          let d2, _, b2 = memop 2 in
+          Rs { op = mnem; r1 = plain 0; r3 = plain 1; d2; b2 })
+  | Machine.Insn.SI ->
+      let d1, _, b1 = memop 0 in
+      Si { op = mnem; d1; b1; i2 = plain 1 }
+  | Machine.Insn.SS ->
+      let d1, subs1 =
+        match List.nth_opt vals 0 with
+        | Some (d, [ l; b ]) -> (d, (l, b))
+        | _ -> err "%s: first operand must be d(l,b)" mnem
+      in
+      let l, b1 = subs1 in
+      let d2, _, b2 = memop 1 in
+      Ss { op = mnem; l; d1; b1; d2; b2 }
+
+(* -- the reduction --------------------------------------------------------- *)
+
+(** Code emission for one reduction.  Matches {!Driver.parse}'s [reduce]
+    callback signature. *)
+let reduce (t : t) ~(prod : int) ~(rhs : Ifl.Token.t array)
+    ~(remap : (Ifl.Token.t -> Ifl.Token.t) -> unit) : Ifl.Token.t list =
+  let g = t.tables.Tables.grammar in
+  let p = Grammar.prod g prod in
+  let rhs_syms =
+    Array.map
+      (fun (tok : Ifl.Token.t) ->
+        match Grammar.sym g tok.Ifl.Token.sym with
+        | Some s -> s
+        | None -> err "unknown symbol %s on the stack" tok.Ifl.Token.sym)
+      rhs
+  in
+  let c =
+    match Tables.compiled t.tables prod with
+    | Some c -> c
+    | None -> err "no compiled templates for production %d" prod
+  in
+  Regalloc.begin_reduction t.regs;
+  (* 1. allocate all requested registers *)
+  let allocs =
+    Array.map
+      (fun (req : Template.alloc_req) ->
+        let reg, evicted = Regalloc.alloc t.regs req.Template.a_class in
+        Option.iter (save_cse t) evicted;
+        reg)
+      c.Template.c_allocs
+  in
+  Array.iter
+    (fun (req : Template.need_req) ->
+      match Regalloc.need t.regs req.Template.n_class req.Template.n_reg with
+      | Error m -> err "need r%d: %s" req.Template.n_reg m
+      | Ok (transfer, evicted) ->
+          Option.iter (save_cse t) evicted;
+          Option.iter
+            (fun (tr : Regalloc.transfer) ->
+              (* move the old contents and rebind the translation stack *)
+              append_instruction t
+                (Code_buffer.Fixed
+                   (Machine.Insn.Rr
+                      { op = "lr"; r1 = tr.Regalloc.tr_to; r2 = tr.Regalloc.tr_from }));
+              let bank = Regalloc.bank_of_class req.Template.n_class in
+              remap (fun (tok : Ifl.Token.t) ->
+                  match
+                    (Grammar.sym g tok.Ifl.Token.sym, tok.Ifl.Token.value)
+                  with
+                  | Some s, Ifl.Value.Reg r
+                    when r = tr.Regalloc.tr_from && bank_of_sym t s = bank ->
+                      { tok with Ifl.Token.value = Ifl.Value.Reg tr.Regalloc.tr_to }
+                  | _ -> tok);
+              Hashtbl.iter
+                (fun _ (e : Cse.entry) ->
+                  match e.Cse.residence with
+                  | Cse.In_reg r when r = tr.Regalloc.tr_from ->
+                      e.Cse.residence <- Cse.In_reg tr.Regalloc.tr_to
+                  | _ -> ())
+                t.cse.Cse.entries)
+            transfer)
+    c.Template.c_needs;
+  (* 2. fill in required values *)
+  let rec eval (s : Template.src) : int =
+    match s with
+    | Template.Stack k -> (
+        match rhs.(k).Ifl.Token.value with
+        | Ifl.Value.Unit -> err "template references valueless RHS slot %d" k
+        | v -> Ifl.Value.to_int v)
+    | Template.Alloc i -> allocs.(i)
+    | Template.Phys r -> r
+    | Template.Lit n -> n
+    | Template.Plus (s, k) -> eval s + k
+  in
+  let pushed = ref [] (* tokens to prefix, reversed *) in
+  let push_token sym reg =
+    pushed := Ifl.Token.reg (Grammar.name g sym) reg :: !pushed
+  in
+  (* 3. interpret the template sequence *)
+  Array.iter
+    (fun (step : Template.step) ->
+      match step with
+      | Template.Instr { mnem; ops } ->
+          let vals =
+            List.map
+              (fun (o : Template.operand) ->
+                (eval o.Template.base, List.map eval o.Template.subs))
+              ops
+          in
+          append_instruction t (Code_buffer.Fixed (build_insn mnem vals))
+      | Template.Modifies src ->
+          let cls = class_of_src t c rhs_syms src in
+          let bank = Regalloc.bank_of_class cls in
+          (* Copy-on-write: the template is about to destroy the register
+             in place.  If other live references exist (another RHS slot
+             aliases it through a CSE, or the register still holds a CSE
+             with pending uses), the production's own operand moves to a
+             fresh register first. *)
+          (match src with
+          | Template.Stack k ->
+              let r = eval src in
+              let claims = ref 0 in
+              Array.iteri
+                (fun i (tok : Ifl.Token.t) ->
+                  match tok.Ifl.Token.value with
+                  | Ifl.Value.Reg r'
+                    when r' = r
+                         && Option.map Regalloc.bank_of_class
+                              (Tables.class_of t.tables rhs_syms.(i))
+                            = Some bank ->
+                      incr claims
+                  | _ -> ())
+                rhs;
+              if
+                Regalloc.is_busy t.regs bank r
+                && Regalloc.use_count t.regs bank r > !claims
+              then begin
+                let fresh, evicted = Regalloc.alloc t.regs cls in
+                Option.iter (save_cse t) evicted;
+                append_instruction t
+                  (Code_buffer.Fixed
+                     (Machine.Insn.Rr
+                        { op = (if bank = Regalloc.Fp then "ldr" else "lr");
+                          r1 = fresh; r2 = r }));
+                rhs.(k) <-
+                  { rhs.(k) with Ifl.Token.value = Ifl.Value.Reg fresh };
+                Regalloc.release t.regs bank r
+              end
+          | _ -> ());
+          let r = eval src in
+          Option.iter
+            (fun cse_id ->
+              match Cse.find t.cse cse_id with
+              | Some entry when entry.Cse.remaining > 0 ->
+                  (* save the CSE before the register is clobbered; its
+                     remaining uses will reload from the temporary, so
+                     their share of the use count is dropped *)
+                  append_instruction t
+                    (Code_buffer.Fixed
+                       (Machine.Insn.Rx
+                          {
+                            op = store_mnem entry;
+                            r1 = r;
+                            d2 = entry.Cse.temp_dsp;
+                            x2 = 0;
+                            b2 = entry.Cse.temp_base;
+                          }));
+                  Cse.to_memory t.cse cse_id;
+                  Regalloc.drop_cse_shares t.regs bank r
+              | Some _ -> Cse.to_memory t.cse cse_id
+              | None -> ())
+            (Regalloc.touch t.regs bank r)
+      | Template.Ignore_lhs -> ()
+      | Template.Label_location src ->
+          append_data t (Code_buffer.Label_def (Code_buffer.User (eval src)))
+      | Template.Label_ptr src ->
+          append_data t (Code_buffer.Word_label (Code_buffer.User (eval src)))
+      | Template.Branch { cond; lbl; idx } ->
+          append_instruction t
+            (Code_buffer.Branch_site
+               {
+                 mask = eval cond;
+                 lbl = Code_buffer.User (eval lbl);
+                 idx = eval idx;
+                 x = 0;
+               })
+      | Template.Branch_indexed { cond; lbl; idx; index } ->
+          append_instruction t
+            (Code_buffer.Branch_site
+               {
+                 mask = eval cond;
+                 lbl = Code_buffer.User (eval lbl);
+                 idx = eval idx;
+                 x = eval index;
+               })
+      | Template.Skip { cond; dist; idx } ->
+          let lbl = Code_buffer.Internal t.next_internal in
+          t.next_internal <- t.next_internal + 1;
+          let d = eval dist in
+          append_instruction t
+            (Code_buffer.Branch_site
+               { mask = eval cond; lbl; idx = eval idx; x = 0 });
+          if d - 1 <= 0 then append_data t (Code_buffer.Label_def lbl)
+          else t.open_skips <- (ref (d - 1), lbl) :: t.open_skips
+      | Template.Case_load { reg; lbl; idx } ->
+          append_instruction t
+            (Code_buffer.Case_site
+               { reg = eval reg; lbl = Code_buffer.User (eval lbl); idx = eval idx })
+      | Template.Push { sym; value } -> push_token sym (eval value)
+      | Template.Ibm_length src ->
+          let v = eval src in
+          if v < 1 || v > 256 then
+            err "IBM_length: %d outside the machine's 1..256 range" v
+      | Template.Stmt_record src ->
+          t.stmt_records <-
+            (eval src, Code_buffer.n_instructions t.buf) :: t.stmt_records
+      | Template.List_request src -> t.list_requests <- eval src :: t.list_requests
+      | Template.Abort src ->
+          append_instruction t
+            (Code_buffer.Fixed
+               (Machine.Insn.Rx { op = "la"; r1 = 1; d2 = eval src; x2 = 0; b2 = 0 }));
+          append_instruction t
+            (Code_buffer.Fixed
+               (Machine.Insn.Rx
+                  {
+                    op = "bal";
+                    r1 = 14;
+                    d2 = Machine.Runtime.psa_abort;
+                    x2 = 0;
+                    b2 = Machine.Runtime.pr_base;
+                  }))
+      | Template.Common { ty; fp; cse; cnt; reg; dsp; base } ->
+          let id = eval cse and count = eval cnt and r = eval reg in
+          Cse.define t.cse ~id ~ty ~fp ~count ~reg:r ~temp_dsp:(eval dsp)
+            ~temp_base:(eval base);
+          let bank = if fp then Regalloc.Fp else Regalloc.Gp in
+          Regalloc.retain ~count t.regs bank r;
+          Regalloc.bind_cse ~shares:count t.regs bank r id
+      | Template.Find_common { cse; fp = _; push_sym } -> (
+          let id = eval cse in
+          match Cse.find t.cse id with
+          | None -> err "find_common: CSE %d was never defined" id
+          | Some entry ->
+              Cse.consume t.cse id;
+              (match entry.Cse.residence with
+              | Cse.In_reg r ->
+                  (* the reserved share becomes the stack reference the
+                     push below retains *)
+                  Regalloc.consume_cse_share t.regs
+                    (if entry.Cse.fp then Regalloc.Fp else Regalloc.Gp)
+                    r;
+                  push_token push_sym r
+              | Cse.In_mem -> (
+                  match entry.Cse.ty with
+                  | None ->
+                      err "find_common: CSE %d has no reload type operator" id
+                  | Some ty ->
+                      (* prefix the address of the temporary; the ordinary
+                         load productions bring it back *)
+                      pushed :=
+                        Ifl.Token.reg t.reload_reg entry.Cse.temp_base
+                        :: Ifl.Token.int t.reload_dsp entry.Cse.temp_dsp
+                        :: Ifl.Token.op (Grammar.name g ty)
+                        :: !pushed))))
+    c.Template.c_steps;
+  (* 4. prefix LHS to input stream *)
+  (match c.Template.c_push with
+  | Some { push_sym; push_src } -> push_token push_sym (eval push_src)
+  | None ->
+      if p.Grammar.lhs = g.Grammar.lambda then
+        pushed := Ifl.Token.op Grammar.lambda_name :: !pushed);
+  let result = List.rev !pushed in
+  (* 5. liveness: retain pushed registers, then release consumed RHS
+     occurrences and the scratch allocations *)
+  List.iter
+    (fun (tok : Ifl.Token.t) ->
+      match (Grammar.sym g tok.Ifl.Token.sym, tok.Ifl.Token.value) with
+      | Some s, Ifl.Value.Reg r -> Regalloc.retain t.regs (bank_of_sym t s) r
+      | _ -> ())
+    result;
+  Array.iteri
+    (fun k (tok : Ifl.Token.t) ->
+      match tok.Ifl.Token.value with
+      | Ifl.Value.Reg r -> Regalloc.release t.regs (bank_of_sym t rhs_syms.(k)) r
+      | _ -> ())
+    rhs;
+  Array.iteri
+    (fun i (req : Template.alloc_req) ->
+      let bank = Regalloc.bank_of_class req.Template.a_class in
+      List.iter
+        (fun r -> Regalloc.release t.regs bank r)
+        (Regalloc.covered req.Template.a_class allocs.(i)))
+    c.Template.c_allocs;
+  Array.iter
+    (fun (req : Template.need_req) ->
+      Regalloc.release t.regs
+        (Regalloc.bank_of_class req.Template.n_class)
+        req.Template.n_reg)
+    c.Template.c_needs;
+  result
+
+(** Finish the module: resolve labels and branches and emit loader
+    records. *)
+let finish ?(name = "MAIN") (t : t) :
+    (Machine.Objmod.t * Loader_gen.resolved, string) result =
+  if t.open_skips <> [] then Error "unterminated skip at end of module"
+  else Loader_gen.to_objmod ~name (Code_buffer.items t.buf)
+
+let listing (t : t) = Code_buffer.to_listing t.buf

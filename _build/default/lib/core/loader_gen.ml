@@ -1,0 +1,216 @@
+(** The Loader Record Generator (paper sections 3 and 4.2).
+
+    After all IF for a module has been processed, label references and
+    branch instructions are resolved in a two-phase traversal of the
+    dictionary and the object module's TEXT records are constructed.
+
+    Branch targets are addressed off the code-base register, whose 12-bit
+    displacement reaches only the first 4096-byte page.  A branch whose
+    target lies beyond needs the long form: an additional load
+    establishing addressability of the target's page (paper 4.2), here a
+    load of the target offset from a literal pool placed at the head of
+    the module (inside page 0 by construction):
+
+    - short branch (4 bytes):   [bc mask,target(x,code_base)]
+    - long branch (8 bytes):    [l idx,pool_k(code_base)]
+                                [bc mask,0(idx,code_base)]
+    - long branch, indexed (10):[l idx,pool_k(code_base)]
+                                [ar idx,x]
+                                [bc mask,0(idx,code_base)]
+    - short case load (4):      [l reg,table(reg,code_base)]
+    - long case load (10):      [l idx,pool_k(code_base)]
+                                [ar idx,reg]
+                                [l reg,0(idx,code_base)]
+
+    Since lengthening a branch can push other targets across the page
+    boundary (and grow the pool), sizing iterates to a fixpoint — the
+    classical span-dependent-instruction algorithm the paper cites
+    (Robertson; Leverett & Szymanski). *)
+
+type resolved = {
+  code : Bytes.t;
+  entry : int;  (** module-relative entry offset (after the literal pool) *)
+  labels : (Code_buffer.label * int) list;
+  n_sites : int;
+  n_long : int;
+  pool_words : int;
+  iterations : int;
+}
+
+exception Resolve_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Resolve_error s)) fmt
+
+let short_size = function
+  | Code_buffer.Branch_site _ -> 4
+  | Code_buffer.Case_site _ -> 4
+  | Code_buffer.Fixed i -> Machine.Insn.size i
+  | Code_buffer.Label_def _ -> 0
+  | Code_buffer.Word_lit _ | Code_buffer.Word_label _ -> 4
+
+let long_size = function
+  | Code_buffer.Branch_site { x; _ } -> if x = 0 then 8 else 10
+  | Code_buffer.Case_site _ -> 10
+  | it -> short_size it
+
+let resolve ?(code_base = Machine.Runtime.code_base) (items : Code_buffer.item list)
+    : resolved =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let is_long = Array.make n false in
+  (* site index -> pool slot, assigned in item order for determinism *)
+  let iterations = ref 0 in
+  let labels : (Code_buffer.label, int) Hashtbl.t = Hashtbl.create 64 in
+  let offsets = Array.make n 0 in
+  let n_long = ref 0 in
+  let changed = ref true in
+  while !changed do
+    incr iterations;
+    if !iterations > n + 8 then err "span-dependent sizing did not converge";
+    changed := false;
+    n_long := 0;
+    Array.iteri (fun i it ->
+        if is_long.(i) then
+          match it with
+          | Code_buffer.Branch_site _ | Code_buffer.Case_site _ -> incr n_long
+          | _ -> ()) items;
+    let pool_bytes = 4 * !n_long in
+    if pool_bytes > 4096 - 4 then
+      err "literal pool overflow: %d long branch sites" !n_long;
+    (* place items *)
+    Hashtbl.reset labels;
+    let pos = ref pool_bytes in
+    Array.iteri
+      (fun i it ->
+        offsets.(i) <- !pos;
+        (match it with
+        | Code_buffer.Label_def l ->
+            if Hashtbl.mem labels l then
+              err "label %s defined twice" (Fmt.str "%a" Code_buffer.pp_label l);
+            Hashtbl.replace labels l !pos
+        | _ -> ());
+        pos := !pos + (if is_long.(i) then long_size it else short_size it))
+      items;
+    (* widen sites whose target is out of short range *)
+    Array.iteri
+      (fun i it ->
+        match it with
+        | Code_buffer.Branch_site { lbl; _ } | Code_buffer.Case_site { lbl; _ }
+          -> (
+            match Hashtbl.find_opt labels lbl with
+            | None ->
+                err "undefined label %s" (Fmt.str "%a" Code_buffer.pp_label lbl)
+            | Some target ->
+                if target > 4095 && not is_long.(i) then begin
+                  is_long.(i) <- true;
+                  changed := true
+                end)
+        | _ -> ())
+      items
+  done;
+  (* pool slot assignment *)
+  let pool_slot = Array.make n (-1) in
+  let next_slot = ref 0 in
+  Array.iteri
+    (fun i it ->
+      match it with
+      | (Code_buffer.Branch_site _ | Code_buffer.Case_site _) when is_long.(i)
+        ->
+          pool_slot.(i) <- !next_slot;
+          incr next_slot
+      | _ -> ())
+    items;
+  let pool_bytes = 4 * !next_slot in
+  let total =
+    Array.fold_left ( + ) pool_bytes
+      (Array.mapi
+         (fun i it -> if is_long.(i) then long_size it else short_size it)
+         items)
+  in
+  let code = Bytes.make total '\000' in
+  let put_insn pos i =
+    let b = Machine.Encode.encode i in
+    Bytes.blit b 0 code pos (Bytes.length b);
+    pos + Bytes.length b
+  in
+  let target lbl = Hashtbl.find labels lbl in
+  Array.iteri
+    (fun i it ->
+      let pos = offsets.(i) in
+      match it with
+      | Code_buffer.Fixed ins -> ignore (put_insn pos ins)
+      | Code_buffer.Label_def _ -> ()
+      | Code_buffer.Word_lit v -> Bytes.set_int32_be code pos (Int32.of_int v)
+      | Code_buffer.Word_label l ->
+          Bytes.set_int32_be code pos (Int32.of_int (target l))
+      | Code_buffer.Branch_site { mask; lbl; idx; x } ->
+          let t = target lbl in
+          if not is_long.(i) then
+            ignore
+              (put_insn pos
+                 (Machine.Insn.Rx { op = "bc"; r1 = mask; d2 = t; x2 = x; b2 = code_base }))
+          else begin
+            let slot = pool_slot.(i) in
+            Bytes.set_int32_be code (4 * slot) (Int32.of_int t);
+            let pos =
+              put_insn pos
+                (Machine.Insn.Rx
+                   { op = "l"; r1 = idx; d2 = 4 * slot; x2 = 0; b2 = code_base })
+            in
+            let pos =
+              if x = 0 then pos
+              else put_insn pos (Machine.Insn.Rr { op = "ar"; r1 = idx; r2 = x })
+            in
+            ignore
+              (put_insn pos
+                 (Machine.Insn.Rx
+                    { op = "bc"; r1 = mask; d2 = 0; x2 = idx; b2 = code_base }))
+          end
+      | Code_buffer.Case_site { reg; lbl; idx } ->
+          let t = target lbl in
+          if not is_long.(i) then
+            ignore
+              (put_insn pos
+                 (Machine.Insn.Rx { op = "l"; r1 = reg; d2 = t; x2 = reg; b2 = code_base }))
+          else begin
+            let slot = pool_slot.(i) in
+            Bytes.set_int32_be code (4 * slot) (Int32.of_int t);
+            let pos =
+              put_insn pos
+                (Machine.Insn.Rx
+                   { op = "l"; r1 = idx; d2 = 4 * slot; x2 = 0; b2 = code_base })
+            in
+            let pos =
+              put_insn pos (Machine.Insn.Rr { op = "ar"; r1 = idx; r2 = reg })
+            in
+            ignore
+              (put_insn pos
+                 (Machine.Insn.Rx
+                    { op = "l"; r1 = reg; d2 = 0; x2 = idx; b2 = code_base }))
+          end)
+    items;
+  let n_sites =
+    Array.fold_left
+      (fun a it ->
+        match it with
+        | Code_buffer.Branch_site _ | Code_buffer.Case_site _ -> a + 1
+        | _ -> a)
+      0 items
+  in
+  {
+    code;
+    entry = pool_bytes;
+    labels = Hashtbl.fold (fun l o acc -> (l, o) :: acc) labels [];
+    n_sites;
+    n_long = !next_slot;
+    pool_words = !next_slot;
+    iterations = !iterations;
+  }
+
+(** Resolve and wrap into an object module. *)
+let to_objmod ?(name = "MAIN") ?code_base (items : Code_buffer.item list) :
+    (Machine.Objmod.t * resolved, string) result =
+  match resolve ?code_base items with
+  | r -> Ok (Machine.Objmod.of_code ~name ~entry:r.entry r.code, r)
+  | exception Resolve_error m -> Error m
+  | exception Machine.Encode.Encode_error m -> Error m

@@ -1,0 +1,37 @@
+(** The Loader Record Generator (paper sections 3 and 4.2).
+
+    After all IF for a module has been processed, label references and
+    branch instructions are resolved in a two-phase traversal of the
+    dictionary and the object module's TEXT records are constructed.
+
+    Branch targets are addressed off the code-base register, whose
+    12-bit displacement reaches only the first 4096-byte page.  A branch
+    whose target lies beyond needs the long form: an additional load
+    establishing addressability (paper 4.2), here a load of the target
+    offset from a literal pool placed at the head of the module.  Since
+    lengthening a branch can push other targets across the page boundary
+    (and grow the pool), sizing iterates to a fixpoint — the classical
+    span-dependent-instruction algorithm the paper cites (Robertson;
+    Leverett & Szymanski). *)
+
+type resolved = {
+  code : Bytes.t;
+  entry : int;  (** module-relative entry offset (after the literal pool) *)
+  labels : (Code_buffer.label * int) list;  (** resolved label offsets *)
+  n_sites : int;  (** branch/case-load sites *)
+  n_long : int;  (** sites that needed the long form *)
+  pool_words : int;  (** literal pool size *)
+  iterations : int;  (** fixpoint iterations *)
+}
+
+exception Resolve_error of string
+(** Undefined/duplicate label, literal pool overflow, or divergence. *)
+
+val resolve : ?code_base:int -> Code_buffer.item list -> resolved
+
+val to_objmod :
+  ?name:string ->
+  ?code_base:int ->
+  Code_buffer.item list ->
+  (Machine.Objmod.t * resolved, string) result
+(** Resolve and wrap into an object module. *)

@@ -1,0 +1,153 @@
+(** Reduce lookahead computation: SLR(1) and LALR(1).
+
+    SLR uses FOLLOW sets.  LALR lookaheads are computed with the
+    spontaneous-generation / propagation algorithm (Dragon book 4.63)
+    over the LR(0) automaton, using a sentinel lookahead [#]. *)
+
+module Symset = Grammar.Symset
+
+type mode = Slr | Lalr
+
+let sentinel = -1
+
+(* LR(1) closure over (item -> lookahead set), as a fixpoint. *)
+let closure1 (g : Grammar.t) (an : Grammar.analysis)
+    (init : (Lr0.item * Symset.t) list) : (Lr0.item, Symset.t) Hashtbl.t =
+  let sets : (Lr0.item, Symset.t) Hashtbl.t = Hashtbl.create 32 in
+  let work = Queue.create () in
+  let add item la =
+    let cur =
+      Option.value (Hashtbl.find_opt sets item) ~default:Symset.empty
+    in
+    let merged = Symset.union cur la in
+    if not (Symset.equal cur merged) then begin
+      Hashtbl.replace sets item merged;
+      Queue.add item work
+    end
+  in
+  List.iter (fun (i, la) -> add i la) init;
+  while not (Queue.is_empty work) do
+    let i = Queue.pop work in
+    let la = Hashtbl.find sets i in
+    let p = Grammar.prod g (Lr0.item_prod i) in
+    let dot = Lr0.item_dot i in
+    if dot < Array.length p.rhs then begin
+      let b = p.rhs.(dot) in
+      if g.Grammar.is_nonterminal.(b) then begin
+        let fst, nullable = Grammar.first_of_seq an p.rhs ~from:(dot + 1) in
+        let new_la = if nullable then Symset.union fst la else fst in
+        List.iter
+          (fun pid -> add (Lr0.item ~prod:pid ~dot:0) new_la)
+          g.Grammar.by_lhs.(b)
+      end
+    end
+  done;
+  sets
+
+(** LALR kernel lookaheads: (state, kernel item) -> lookahead set. *)
+let lalr_kernel_lookaheads (a : Lr0.t) (an : Grammar.analysis) :
+    (int * Lr0.item, Symset.t) Hashtbl.t =
+  let g = a.Lr0.grammar in
+  let la : (int * Lr0.item, Symset.t) Hashtbl.t = Hashtbl.create 256 in
+  let links : (int * Lr0.item, (int * Lr0.item) list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let get key = Option.value (Hashtbl.find_opt la key) ~default:Symset.empty in
+  let spontaneous = ref [] in
+  (* discover spontaneous lookaheads and propagation links *)
+  Array.iter
+    (fun (st : Lr0.state) ->
+      Array.iter
+        (fun k ->
+          let cl =
+            closure1 g an [ (k, Symset.singleton sentinel) ]
+          in
+          Hashtbl.iter
+            (fun i iset ->
+              let p = Grammar.prod g (Lr0.item_prod i) in
+              let dot = Lr0.item_dot i in
+              if dot < Array.length p.rhs then begin
+                let x = p.rhs.(dot) in
+                match Lr0.goto st x with
+                | None -> ()
+                | Some s' ->
+                    let adv = Lr0.item ~prod:(Lr0.item_prod i) ~dot:(dot + 1) in
+                    let spont = Symset.remove sentinel iset in
+                    if not (Symset.is_empty spont) then
+                      spontaneous := ((s', adv), spont) :: !spontaneous;
+                    if Symset.mem sentinel iset then
+                      Hashtbl.replace links (st.id, k)
+                        ((s', adv)
+                        :: Option.value
+                             (Hashtbl.find_opt links (st.id, k))
+                             ~default:[])
+              end)
+            cl)
+        st.kernel)
+    a.Lr0.states;
+  (* initial: goal item gets eof *)
+  let goal_item = a.Lr0.states.(a.Lr0.start).kernel.(0) in
+  Hashtbl.replace la (a.Lr0.start, goal_item) (Symset.singleton g.Grammar.eof);
+  List.iter
+    (fun (key, s) -> Hashtbl.replace la key (Symset.union (get key) s))
+    !spontaneous;
+  (* propagate to fixpoint *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun src dsts ->
+        let s = get src in
+        if not (Symset.is_empty s) then
+          List.iter
+            (fun dst ->
+              let cur = get dst in
+              let merged = Symset.union cur s in
+              if not (Symset.equal cur merged) then begin
+                Hashtbl.replace la dst merged;
+                changed := true
+              end)
+            dsts)
+      links
+  done;
+  la
+
+(** [reductions a an mode] returns, per state, the reducible productions
+    with their lookahead sets. *)
+let reductions (a : Lr0.t) (an : Grammar.analysis) (mode : mode) :
+    (int * Symset.t) list array =
+  let g = a.Lr0.grammar in
+  match mode with
+  | Slr ->
+      Array.map
+        (fun st ->
+          Lr0.reducible g st
+          |> List.map (fun i ->
+                 let p = Lr0.item_prod i in
+                 (p, an.Grammar.follow.((Grammar.prod g p).lhs)))
+          |> List.sort_uniq compare)
+        a.Lr0.states
+  | Lalr ->
+      let kla = lalr_kernel_lookaheads a an in
+      Array.map
+        (fun (st : Lr0.state) ->
+          (* run the lookahead closure over the kernel with its final
+             lookahead sets, then read off the final items *)
+          let init =
+            Array.to_list st.kernel
+            |> List.map (fun k ->
+                   ( k,
+                     Option.value
+                       (Hashtbl.find_opt kla (st.id, k))
+                       ~default:Symset.empty ))
+          in
+          let cl = closure1 g an init in
+          Hashtbl.fold
+            (fun i iset acc ->
+              let p = Grammar.prod g (Lr0.item_prod i) in
+              if Lr0.item_dot i = Array.length p.rhs then
+                (p.id, iset) :: acc
+              else acc)
+            cl []
+          |> List.sort_uniq compare)
+        a.Lr0.states

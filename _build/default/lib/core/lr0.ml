@@ -1,0 +1,139 @@
+(** LR(0) automaton construction.
+
+    States are canonical sets of kernel items; closures are computed on
+    demand.  Items are packed into ints: [(prod lsl DOT_BITS) lor dot]. *)
+
+let dot_bits = 5
+let max_rhs = (1 lsl dot_bits) - 1
+
+type item = int
+
+let item ~prod ~dot : item = (prod lsl dot_bits) lor dot
+let item_prod (i : item) = i lsr dot_bits
+let item_dot (i : item) = i land max_rhs
+
+type state = {
+  id : int;
+  kernel : item array; (* sorted *)
+  mutable closure : item array; (* kernel + nonkernel, sorted *)
+  mutable transitions : (Grammar.sym * int) list; (* symbol -> state id *)
+}
+
+type t = {
+  grammar : Grammar.t;
+  states : state array;
+  start : int;
+}
+
+let n_states t = Array.length t.states
+
+let pp_item g ppf (i : item) =
+  let p = Grammar.prod g (item_prod i) in
+  let dot = item_dot i in
+  Fmt.pf ppf "%s ::=" (Grammar.name g p.lhs);
+  Array.iteri
+    (fun k s ->
+      if k = dot then Fmt.pf ppf " .";
+      Fmt.pf ppf " %s" (Grammar.name g s))
+    p.rhs;
+  if dot = Array.length p.rhs then Fmt.pf ppf " ."
+
+(** Closure of an item set: a dot before non-terminal N adds N's
+    productions with the dot at the start. *)
+let closure (g : Grammar.t) (kernel : item array) : item array =
+  let seen = Hashtbl.create 32 in
+  let acc = ref [] in
+  let rec add i =
+    if not (Hashtbl.mem seen i) then begin
+      Hashtbl.replace seen i ();
+      acc := i :: !acc;
+      let p = Grammar.prod g (item_prod i) in
+      let dot = item_dot i in
+      if dot < Array.length p.rhs then
+        let s = p.rhs.(dot) in
+        if g.Grammar.is_nonterminal.(s) then
+          List.iter
+            (fun pid -> add (item ~prod:pid ~dot:0))
+            g.Grammar.by_lhs.(s)
+    end
+  in
+  Array.iter add kernel;
+  let a = Array.of_list !acc in
+  Array.sort compare a;
+  a
+
+let build (g : Grammar.t) : t =
+  if
+    Array.exists
+      (fun (p : Grammar.prod) -> Array.length p.rhs > max_rhs)
+      g.Grammar.prods
+  then invalid_arg "Lr0.build: production RHS too long";
+  let goal_prod =
+    match g.Grammar.by_lhs.(g.Grammar.goal) with
+    | [ p ] -> p
+    | _ -> invalid_arg "Lr0.build: goal must have exactly one production"
+  in
+  let states = ref [] in
+  let n = ref 0 in
+  let index : (item array, int) Hashtbl.t = Hashtbl.create 256 in
+  let worklist = Queue.create () in
+  let get_state kernel =
+    match Hashtbl.find_opt index kernel with
+    | Some id -> id
+    | None ->
+        let id = !n in
+        incr n;
+        let st = { id; kernel; closure = [||]; transitions = [] } in
+        Hashtbl.replace index kernel id;
+        states := st :: !states;
+        Queue.add st worklist;
+        id
+  in
+  let start = get_state [| item ~prod:goal_prod ~dot:0 |] in
+  while not (Queue.is_empty worklist) do
+    let st = Queue.pop worklist in
+    let cl = closure g st.kernel in
+    st.closure <- cl;
+    (* group advanceable items by the symbol after the dot *)
+    let by_sym : (Grammar.sym, item list ref) Hashtbl.t = Hashtbl.create 16 in
+    Array.iter
+      (fun i ->
+        let p = Grammar.prod g (item_prod i) in
+        let dot = item_dot i in
+        if dot < Array.length p.rhs then begin
+          let s = p.rhs.(dot) in
+          let cell =
+            match Hashtbl.find_opt by_sym s with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.replace by_sym s c;
+                c
+          in
+          cell := item ~prod:(item_prod i) ~dot:(dot + 1) :: !cell
+        end)
+      cl;
+    let trans =
+      Hashtbl.fold
+        (fun s cell acc ->
+          let kernel = Array.of_list !cell in
+          Array.sort compare kernel;
+          (s, get_state kernel) :: acc)
+        by_sym []
+    in
+    (* deterministic order for reproducible tables *)
+    st.transitions <- List.sort compare trans
+  done;
+  let arr = Array.make !n (List.hd !states) in
+  List.iter (fun st -> arr.(st.id) <- st) !states;
+  { grammar = g; states = arr; start }
+
+(** Final (reducible) items of a state's closure. *)
+let reducible (g : Grammar.t) (st : state) : item list =
+  Array.to_list st.closure
+  |> List.filter (fun i ->
+         let p = Grammar.prod g (item_prod i) in
+         item_dot i = Array.length p.rhs)
+
+let goto (st : state) (s : Grammar.sym) : int option =
+  List.assoc_opt s st.transitions

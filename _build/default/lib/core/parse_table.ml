@@ -1,0 +1,153 @@
+(** Parse (action) table construction with Graham-Glanville conflict
+    resolution.
+
+    The table is indexed by state and by *every* grammar symbol: in this
+    scheme non-terminals are shifted like tokens (reductions prefix their
+    LHS back onto the input stream, paper footnote 3), so the classical
+    ACTION and GOTO tables collapse into one.
+
+    Conflicts are resolved as Glanville prescribes for machine grammars:
+    - shift/reduce: shift (maximal munch over addressing idioms);
+    - reduce/reduce: the production with the longer RHS wins; ties go to
+      the earlier declaration.
+    All resolutions are recorded for reporting. *)
+
+type action = Shift of int | Reduce of int | Accept | Error
+
+type conflict = {
+  c_state : int;
+  c_sym : Grammar.sym;
+  c_kind : [ `Shift_reduce | `Reduce_reduce ];
+  c_chosen : action;
+  c_dropped : action;
+}
+
+type t = {
+  grammar : Grammar.t;
+  automaton : Lr0.t;
+  mode : Lookahead.mode;
+  actions : action array array; (* state x symbol *)
+  conflicts : conflict list;
+}
+
+let n_states t = Array.length t.actions
+let action t state sym = t.actions.(state).(sym)
+
+let pp_action g ppf = function
+  | Shift s -> Fmt.pf ppf "s%d" s
+  | Reduce p -> Fmt.pf ppf "r%d(%s)" p (Grammar.prod_to_string g (Grammar.prod g p))
+  | Accept -> Fmt.pf ppf "acc"
+  | Error -> Fmt.pf ppf "."
+
+let pp_conflict g ppf c =
+  Fmt.pf ppf "state %d on %s: %s; kept %a, dropped %a" c.c_state
+    (Grammar.name g c.c_sym)
+    (match c.c_kind with
+    | `Shift_reduce -> "shift/reduce"
+    | `Reduce_reduce -> "reduce/reduce")
+    (pp_action g) c.c_chosen (pp_action g) c.c_dropped
+
+(** Resolve two competing actions; returns (winner, conflict record). *)
+let resolve g state sym a b : action * conflict option =
+  if a = b then (a, None)
+  else
+    match (a, b) with
+    | Error, x | x, Error -> (x, None)
+    | Accept, x | x, Accept ->
+        (* accept only competes on %eof; keep accept *)
+        ( Accept,
+          Some
+            {
+              c_state = state;
+              c_sym = sym;
+              c_kind = `Shift_reduce;
+              c_chosen = Accept;
+              c_dropped = x;
+            } )
+    | Shift s, Reduce r | Reduce r, Shift s ->
+        ( Shift s,
+          Some
+            {
+              c_state = state;
+              c_sym = sym;
+              c_kind = `Shift_reduce;
+              c_chosen = Shift s;
+              c_dropped = Reduce r;
+            } )
+    | Reduce p, Reduce q ->
+        let len i = Array.length (Grammar.prod g i).rhs in
+        let winner, loser =
+          if len p > len q then (p, q)
+          else if len q > len p then (q, p)
+          else if p < q then (p, q)
+          else (q, p)
+        in
+        ( Reduce winner,
+          Some
+            {
+              c_state = state;
+              c_sym = sym;
+              c_kind = `Reduce_reduce;
+              c_chosen = Reduce winner;
+              c_dropped = Reduce loser;
+            } )
+    | Shift s1, Shift s2 ->
+        (* impossible in a deterministic LR(0) automaton *)
+        invalid_arg
+          (Fmt.str "Parse_table.resolve: shift/shift %d/%d in state %d" s1 s2
+             state)
+
+let build ?(mode = Lookahead.Slr) (a : Lr0.t) : t =
+  let g = a.Lr0.grammar in
+  let an = Grammar.analyze g in
+  let n_syms = Grammar.n_syms g in
+  let actions =
+    Array.init (Lr0.n_states a) (fun _ -> Array.make n_syms Error)
+  in
+  let conflicts = ref [] in
+  let set state sym act =
+    let cur = actions.(state).(sym) in
+    let winner, c = resolve g state sym cur act in
+    actions.(state).(sym) <- winner;
+    match c with Some c -> conflicts := c :: !conflicts | None -> ()
+  in
+  (* shifts (including non-terminal "gotos") *)
+  Array.iter
+    (fun (st : Lr0.state) ->
+      List.iter
+        (fun (sym, dst) ->
+          if sym = g.Grammar.eof then
+            (* the goal item shifts eof; that is acceptance *)
+            set st.id sym Accept
+          else set st.id sym (Shift dst))
+        st.transitions)
+    a.Lr0.states;
+  (* reductions *)
+  let reds = Lookahead.reductions a an mode in
+  Array.iteri
+    (fun state rs ->
+      List.iter
+        (fun (p, las) ->
+          Grammar.Symset.iter
+            (fun sym ->
+              if sym >= 0 && sym <> g.Grammar.goal then
+                set state sym (Reduce p))
+            las)
+        rs)
+    reds;
+  { grammar = g; automaton = a; mode; actions; conflicts = List.rev !conflicts }
+
+(** Number of non-error entries (the paper's "significant entries"),
+    counted over the given symbol columns. *)
+let significant_entries ?(cols = None) t =
+  let keep =
+    match cols with
+    | None -> fun _ -> true
+    | Some set -> fun s -> List.mem s set
+  in
+  Array.fold_left
+    (fun acc row ->
+      let c = ref 0 in
+      Array.iteri (fun s a -> if keep s && a <> Error then incr c) row;
+      acc + !c)
+    0 t.actions

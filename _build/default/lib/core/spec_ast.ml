@@ -1,0 +1,80 @@
+(** Abstract syntax of the code-generator specification language.
+
+    The surface syntax follows the paper's Appendix 2: a declaration
+    section with five subsections ([$Non-terminals], [$Terminals],
+    [$Operators], [$Opcodes], [$Constants]) followed by [$Productions].
+    Productions are left-aligned; template lines "MUST skip column one";
+    lines beginning with [*] are comments, and text after a template's
+    operand field is a trailing comment. *)
+
+(** An identifier occurrence, optionally indexed: [r.2], [dsp.1], [iadd]. *)
+type ssym = { base : string; idx : int option }
+
+let ssym ?idx base = { base; idx }
+
+let pp_ssym ppf s =
+  match s.idx with
+  | None -> Fmt.string ppf s.base
+  | Some i -> Fmt.pf ppf "%s.%d" s.base i
+
+(** Atom of a template operand: a symbol reference or a numeric literal. *)
+type atom = Asym of ssym | Anum of int
+
+let pp_atom ppf = function
+  | Asym s -> pp_ssym ppf s
+  | Anum n -> Fmt.int ppf n
+
+(** Template operand: [base], [base(sub)] or [base(sub,sub)] — e.g.
+    [dsp.1(r.3,r.1)], [zero(lng.1,r.1)], [r.2]. *)
+type operand = { o_base : atom; o_subs : atom list }
+
+let pp_operand ppf o =
+  match o.o_subs with
+  | [] -> pp_atom ppf o.o_base
+  | subs ->
+      Fmt.pf ppf "%a(%a)" pp_atom o.o_base
+        (Fmt.list ~sep:Fmt.comma pp_atom)
+        subs
+
+(** One template line: an opcode or semantic-operator name and its
+    operands. *)
+type template = { t_op : string; t_operands : operand list; t_line : int }
+
+let pp_template ppf t =
+  Fmt.pf ppf "%s %a" t.t_op (Fmt.list ~sep:Fmt.comma pp_operand) t.t_operands
+
+(** One production with its associated template sequence. *)
+type production = {
+  p_lhs : ssym;
+  p_rhs : ssym list;
+  p_templates : template list;
+  p_line : int;
+}
+
+let pp_production ppf p =
+  Fmt.pf ppf "%a ::= %a" pp_ssym p.p_lhs
+    (Fmt.list ~sep:Fmt.sp pp_ssym)
+    p.p_rhs
+
+(** A declaration: bare name, [name = kind] (classes / value kinds) or
+    [name = number] (constants). *)
+type decl = { d_name : string; d_value : dvalue; d_line : int }
+
+and dvalue = Dnone | Dnum of int | Dkind of string
+
+type t = {
+  nonterminals : decl list;
+  terminals : decl list;
+  operators : decl list;
+  opcodes : decl list;
+  constants : decl list;
+  productions : production list;
+}
+
+let n_templates t =
+  List.fold_left (fun a p -> a + List.length p.p_templates) 0 t.productions
+
+let n_declared t =
+  List.length t.nonterminals + List.length t.terminals
+  + List.length t.operators + List.length t.opcodes
+  + List.length t.constants

@@ -1,0 +1,185 @@
+(** Typed symbol table for the specification.
+
+    "This allows CoGG to build a symbol table which contains the type of
+    each identifier used, enabling the table constructor to type check the
+    use of each identifier" (paper section 2). *)
+
+type reg_class = Gpr | Pair | Fpr | Fpair | Cc | Noclass
+
+let reg_class_of_string = function
+  | "gpr" | "register" -> Some Gpr
+  | "pair" | "double" -> Some Pair
+  | "fpr" | "real" -> Some Fpr
+  | "fpair" | "quad" -> Some Fpair
+  | "cc" | "condition" -> Some Cc
+  | "none" -> Some Noclass
+  | _ -> None
+
+let pp_reg_class ppf c =
+  Fmt.string ppf
+    (match c with
+    | Gpr -> "gpr"
+    | Pair -> "pair"
+    | Fpr -> "fpr"
+    | Fpair -> "fpair"
+    | Cc -> "cc"
+    | Noclass -> "none")
+
+(** Value kind a terminal's token must carry (checked by the driver). *)
+type value_kind = Kint | Klabel | Kcse | Kcond
+
+let value_kind_of_string = function
+  | "displacement" | "length" | "count" | "shift" | "value" | "element"
+  | "error" | "stmt" | "int" ->
+      Some Kint
+  | "label" -> Some Klabel
+  | "cse" -> Some Kcse
+  | "condition" -> Some Kcond
+  | _ -> None
+
+let pp_value_kind ppf k =
+  Fmt.string ppf
+    (match k with
+    | Kint -> "int"
+    | Klabel -> "label"
+    | Kcse -> "cse"
+    | Kcond -> "condition")
+
+type info =
+  | Nonterminal of reg_class
+  | Terminal of value_kind
+  | Operator
+  | Opcode
+  | Constant of int
+  | Semantic
+
+let pp_info ppf = function
+  | Nonterminal c -> Fmt.pf ppf "non-terminal (%a)" pp_reg_class c
+  | Terminal k -> Fmt.pf ppf "terminal (%a)" pp_value_kind k
+  | Operator -> Fmt.string ppf "operator"
+  | Opcode -> Fmt.string ppf "opcode"
+  | Constant v -> Fmt.pf ppf "constant (= %d)" v
+  | Semantic -> Fmt.string ppf "semantic operator"
+
+type t = {
+  table : (string, info) Hashtbl.t;
+  nonterminals : (string * reg_class) list;
+  terminals : (string * value_kind) list;
+  operators : string list;
+  opcodes : string list;
+  constants : (string * int) list;
+  semantics : string list;
+}
+
+type error = { line : int; msg : string }
+
+let pp_error ppf (e : error) = Fmt.pf ppf "spec:%d: %s" e.line e.msg
+
+exception Fail of error
+
+let fail line fmt = Fmt.kstr (fun msg -> raise (Fail { line; msg })) fmt
+
+let find t name = Hashtbl.find_opt t.table name
+
+(** Counts for the paper's Table 1. *)
+let n_declared t =
+  List.length t.nonterminals + List.length t.terminals
+  + List.length t.operators + List.length t.opcodes
+  + List.length t.constants + List.length t.semantics
+
+let of_spec (spec : Spec_ast.t) : (t, error) result =
+  let table = Hashtbl.create 256 in
+  let declare line name info =
+    match Hashtbl.find_opt table name with
+    | Some prev ->
+        fail line "%s is already declared as %s" name (Fmt.str "%a" pp_info prev)
+    | None -> Hashtbl.replace table name info
+  in
+  try
+    let nonterminals =
+      List.map
+        (fun (d : Spec_ast.decl) ->
+          let cls =
+            match d.d_value with
+            | Dnone -> Gpr
+            | Dkind k -> (
+                match reg_class_of_string k with
+                | Some c -> c
+                | None -> fail d.d_line "unknown register class %S for %s" k d.d_name)
+            | Dnum _ ->
+                fail d.d_line "non-terminal %s cannot have a numeric value" d.d_name
+          in
+          declare d.d_line d.d_name (Nonterminal cls);
+          (d.d_name, cls))
+        spec.nonterminals
+    in
+    let terminals =
+      List.map
+        (fun (d : Spec_ast.decl) ->
+          let kind =
+            match d.d_value with
+            | Dnone -> Kint
+            | Dkind k -> (
+                match value_kind_of_string k with
+                | Some v -> v
+                | None -> fail d.d_line "unknown value kind %S for %s" k d.d_name)
+            | Dnum _ ->
+                fail d.d_line "terminal %s cannot have a numeric value" d.d_name
+          in
+          declare d.d_line d.d_name (Terminal kind);
+          (d.d_name, kind))
+        spec.terminals
+    in
+    let operators =
+      List.map
+        (fun (d : Spec_ast.decl) ->
+          (match d.d_value with
+          | Spec_ast.Dnone -> ()
+          | _ -> fail d.d_line "operator %s cannot have a value" d.d_name);
+          declare d.d_line d.d_name Operator;
+          d.d_name)
+        spec.operators
+    in
+    let opcodes =
+      List.map
+        (fun (d : Spec_ast.decl) ->
+          (match d.d_value with
+          | Spec_ast.Dnone -> ()
+          | _ -> fail d.d_line "opcode %s cannot have a value" d.d_name);
+          let name = String.lowercase_ascii d.d_name in
+          if not (Machine.Insn.is_mnemonic name) then
+            fail d.d_line "opcode %s is not a known target instruction" d.d_name;
+          declare d.d_line name Opcode;
+          name)
+        spec.opcodes
+    in
+    let constants, semantics =
+      List.fold_left
+        (fun (cs, ss) (d : Spec_ast.decl) ->
+          match d.d_value with
+          | Spec_ast.Dnum v ->
+              declare d.d_line d.d_name (Constant v);
+              ((d.d_name, v) :: cs, ss)
+          | Spec_ast.Dnone ->
+              let name = String.lowercase_ascii d.d_name in
+              if not (Semops.is_semantic name) then
+                fail d.d_line
+                  "constant %s has no value and is not a known semantic operator"
+                  d.d_name;
+              declare d.d_line name Semantic;
+              (cs, name :: ss)
+          | Spec_ast.Dkind k ->
+              fail d.d_line "constant %s: expected a number, got %S" d.d_name k)
+        ([], []) spec.constants
+    in
+    Ok
+      {
+        table;
+        nonterminals;
+        terminals;
+        operators;
+        opcodes;
+        constants = List.rev constants;
+        semantics = List.rev semantics;
+      }
+  with Fail e -> Error e

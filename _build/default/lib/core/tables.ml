@@ -1,0 +1,28 @@
+(** The complete table bundle produced by CoGG: the driving tables for the
+    skeletal parser plus the compiled templates and the type information
+    the runtime needs (paper section 2). *)
+
+type t = {
+  grammar : Grammar.t;
+  symtab : Symtab.t;
+  parse : Parse_table.t;
+  compiled : Template.compiled option array;
+      (** per production id; [None] for the augmentation productions *)
+  n_user_prods : int;
+  class_of : Symtab.reg_class option array;  (** by grammar symbol *)
+  kind_of : Symtab.value_kind option array;  (** by grammar symbol *)
+}
+
+let class_of t sym = t.class_of.(sym)
+let kind_of t sym = t.kind_of.(sym)
+
+let is_user_prod t p = p < t.n_user_prods
+
+let compiled t p =
+  if p < Array.length t.compiled then t.compiled.(p) else None
+
+(** Register bank a grammar symbol's values live in. *)
+let bank_of t sym : Regalloc.bank option =
+  Option.map Regalloc.bank_of_class (class_of t sym)
+
+let conflicts t = t.parse.Parse_table.conflicts

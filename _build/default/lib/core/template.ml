@@ -1,0 +1,536 @@
+(** Compiled translation templates.
+
+    "In the generated tables, the templates contain indices into the
+    translation stack or the list of allocated registers to speed up the
+    process of code emission" (paper section 2): every symbol reference
+    [r.2] / [dsp.1] in a template is resolved *at table-construction time*
+    to a stack slot, an allocated-register slot, a specific register or a
+    literal.  The code emission routine never searches by name. *)
+
+(** Where an operand value comes from at emission time. *)
+type src =
+  | Stack of int  (** payload of the k-th RHS token (0-based, from left) *)
+  | Alloc of int  (** i-th [using]-allocated register (even one of a pair) *)
+  | Phys of int  (** specific register obtained with [need] *)
+  | Lit of int  (** literal or declared constant *)
+  | Plus of src * int  (** partner register: odd of a pair, high of a quad *)
+
+let rec pp_src ppf = function
+  | Stack k -> Fmt.pf ppf "$%d" k
+  | Alloc i -> Fmt.pf ppf "@%d" i
+  | Phys r -> Fmt.pf ppf "r%d" r
+  | Lit n -> Fmt.pf ppf "#%d" n
+  | Plus (s, n) -> Fmt.pf ppf "%a+%d" pp_src s n
+
+type operand = { base : src; subs : src list }
+
+let pp_operand ppf o =
+  match o.subs with
+  | [] -> pp_src ppf o.base
+  | subs ->
+      Fmt.pf ppf "%a(%a)" pp_src o.base (Fmt.list ~sep:Fmt.comma pp_src) subs
+
+(** A machine-instruction template with resolved operand sources. *)
+type instr = { mnem : string; ops : operand list }
+
+let pp_instr ppf i =
+  Fmt.pf ppf "%s %a" i.mnem (Fmt.list ~sep:Fmt.comma pp_operand) i.ops
+
+(** One interpreted step of a production's template sequence. *)
+type step =
+  | Instr of instr
+  | Modifies of src
+  | Ignore_lhs
+  | Label_location of src
+  | Label_ptr of src
+  | Branch of { cond : src; lbl : src; idx : src }
+  | Branch_indexed of { cond : src; lbl : src; idx : src; index : src }
+  | Skip of { cond : src; dist : src; idx : src }
+  | Case_load of { reg : src; lbl : src; idx : src }
+  | Push of { sym : Grammar.sym; value : src }
+      (** [push_odd]/[push_even]: prefix a converted register token *)
+  | Ibm_length of src
+  | Stmt_record of src
+  | List_request of src
+  | Abort of src
+  | Common of {
+      ty : Grammar.sym option;  (** IF type operator for reloads *)
+      fp : bool;
+      cse : src;
+      cnt : src;
+      reg : src;
+      dsp : src;
+      base : src;
+    }
+  | Find_common of { cse : src; fp : bool; push_sym : Grammar.sym }
+      (** prefixes either the holding register (as a [push_sym] token) or
+          the temporary's address tokens, depending on residence *)
+
+type alloc_req = { a_class : Symtab.reg_class; a_name : string; a_idx : int }
+type need_req = { n_class : Symtab.reg_class; n_reg : int }
+
+(** A fully compiled production: registers to allocate up front, the
+    template steps, and what to prefix back to the input stream. *)
+type compiled = {
+  c_prod : int;
+  c_allocs : alloc_req array;
+  c_needs : need_req array;
+  c_steps : step array;
+  c_push : push option;
+}
+
+and push = { push_sym : Grammar.sym; push_src : src }
+
+type error = { line : int; msg : string }
+
+let pp_error ppf (e : error) = Fmt.pf ppf "spec:%d: %s" e.line e.msg
+
+exception Fail of error
+
+let fail line fmt = Fmt.kstr (fun msg -> raise (Fail { line; msg })) fmt
+
+(* -- compilation ----------------------------------------------------------- *)
+
+type env = {
+  grammar : Grammar.t;
+  symtab : Symtab.t;
+  rhs : (string * int, int) Hashtbl.t; (* (base, idx) -> stack slot *)
+  rhs_syms : Spec_ast.ssym array;
+  binds : (string * int, src) Hashtbl.t; (* using/need bindings *)
+  mutable allocs : alloc_req list; (* reversed *)
+  mutable needs : need_req list; (* reversed *)
+  line : int;
+}
+
+let nt_class env line name =
+  match Symtab.find env.symtab name with
+  | Some (Symtab.Nonterminal c) -> c
+  | Some other ->
+      fail line "%s is %s, not a register non-terminal" name
+        (Fmt.str "%a" Symtab.pp_info other)
+  | None -> fail line "%s is not declared" name
+
+let resolve_atom env line (a : Spec_ast.atom) : src =
+  match a with
+  | Anum n -> Lit n
+  | Asym { base; idx = None } -> (
+      match Symtab.find env.symtab base with
+      | Some (Symtab.Constant v) -> Lit v
+      | Some info ->
+          fail line "%s is %s; only constants may appear un-indexed" base
+            (Fmt.str "%a" Symtab.pp_info info)
+      | None -> fail line "%s is not declared" base)
+  | Asym { base; idx = Some i } -> (
+      match Hashtbl.find_opt env.rhs (base, i) with
+      | Some slot -> Stack slot
+      | None -> (
+          match Hashtbl.find_opt env.binds (base, i) with
+          | Some src -> src
+          | None -> fail line "%s.%d is not bound in this production" base i))
+
+let resolve_operand env line (o : Spec_ast.operand) : operand =
+  {
+    base = resolve_atom env line o.o_base;
+    subs = List.map (resolve_atom env line) o.o_subs;
+  }
+
+(* expected value kind of a stack slot, for static checking *)
+let slot_kind env (s : src) : Symtab.value_kind option =
+  match s with
+  | Stack k -> (
+      let sym = env.rhs_syms.(k) in
+      match Symtab.find env.symtab sym.Spec_ast.base with
+      | Some (Symtab.Terminal vk) -> Some vk
+      | _ -> None)
+  | _ -> None
+
+let check_kind env line what expected (s : src) =
+  match (slot_kind env s, s) with
+  | Some k, _ when k <> expected ->
+      fail line "%s operand must be a %a terminal, got %a" what
+        Symtab.pp_value_kind expected Symtab.pp_value_kind k
+  | None, Stack k -> (
+      (* a non-terminal slot can never yield a label/cse/cond *)
+      let sym = env.rhs_syms.(k) in
+      match Symtab.find env.symtab sym.Spec_ast.base with
+      | Some (Symtab.Nonterminal _) when expected <> Symtab.Kint ->
+          fail line "%s operand must be a %a terminal, got non-terminal %s"
+            what Symtab.pp_value_kind expected sym.Spec_ast.base
+      | _ -> ())
+  | _ -> ()
+
+let check_register env line what (s : src) =
+  match s with
+  | Alloc _ | Phys _ | Plus _ -> ()
+  | Stack k -> (
+      let sym = env.rhs_syms.(k) in
+      match Symtab.find env.symtab sym.Spec_ast.base with
+      | Some (Symtab.Nonterminal _) -> ()
+      | _ ->
+          fail line "%s operand must be a register, got terminal %s" what
+            sym.Spec_ast.base)
+  | Lit _ -> fail line "%s operand must be a register, got a literal" what
+
+let plain env line (t : Spec_ast.template) n k =
+  match List.nth_opt t.t_operands k with
+  | Some { o_base; o_subs = [] } -> resolve_atom env line o_base
+  | Some _ -> fail line "%s: operand %d must not have sub-operands" t.t_op (k + 1)
+  | None -> fail line "%s: expected %d operands" t.t_op n
+
+let mem env line (t : Spec_ast.template) k =
+  match List.nth_opt t.t_operands k with
+  | Some o -> resolve_operand env line o
+  | None -> fail line "%s: missing storage operand" t.t_op
+
+let arity line (t : Spec_ast.template) n =
+  if List.length t.t_operands <> n then
+    fail line "%s: expected %d operands, got %d" t.t_op n
+      (List.length t.t_operands)
+
+(* validate machine-instruction operand shapes against the format *)
+let compile_machine_instr env line (t : Spec_ast.template) : instr =
+  let fmt =
+    match Machine.Insn.format_of_mnemonic t.t_op with
+    | Some f -> f
+    | None -> fail line "%s is not a target instruction" t.t_op
+  in
+  let ops = List.map (resolve_operand env line) t.t_operands in
+  let nsubs k =
+    match List.nth_opt ops k with
+    | Some o -> List.length o.subs
+    | None -> -1
+  in
+  (match fmt with
+  | Machine.Insn.RR ->
+      arity line t 2;
+      if nsubs 0 <> 0 || nsubs 1 <> 0 then
+        fail line "%s: RR operands take no sub-operands" t.t_op
+  | Machine.Insn.RX ->
+      arity line t 2;
+      if nsubs 0 <> 0 then fail line "%s: first operand must be a register" t.t_op;
+      if nsubs 1 > 2 then fail line "%s: too many address sub-operands" t.t_op
+  | Machine.Insn.RS -> (
+      match t.t_op with
+      | "sla" | "sra" | "sll" | "srl" | "slda" | "srda" | "sldl" | "srdl" ->
+          arity line t 2;
+          if nsubs 0 <> 0 then fail line "%s: first operand must be a register" t.t_op;
+          if nsubs 1 > 1 then fail line "%s: shift takes at most d(b)" t.t_op
+      | _ ->
+          arity line t 3;
+          if nsubs 0 <> 0 || nsubs 1 <> 0 then
+            fail line "%s: register operands take no sub-operands" t.t_op;
+          if nsubs 2 > 1 then fail line "%s: address takes at most d(b)" t.t_op)
+  | Machine.Insn.SI ->
+      arity line t 2;
+      if nsubs 0 > 1 then fail line "%s: address takes at most d(b)" t.t_op;
+      if nsubs 1 <> 0 then fail line "%s: immediate takes no sub-operands" t.t_op
+  | Machine.Insn.SS ->
+      arity line t 2;
+      if nsubs 0 <> 2 then
+        fail line "%s: first operand must be d(l,b)" t.t_op;
+      if nsubs 1 > 1 then fail line "%s: second operand takes at most d(b)" t.t_op);
+  { mnem = t.t_op; ops }
+
+let lhs_push env (lhs : Spec_ast.ssym) : push option =
+  match lhs with
+  | { base = "lambda"; _ } -> None
+  | { base; idx = Some i } -> (
+      let sym =
+        match Grammar.sym env.grammar base with
+        | Some s -> s
+        | None -> fail env.line "LHS %s is not a grammar symbol" base
+      in
+      match Hashtbl.find_opt env.rhs (base, i) with
+      | Some slot -> Some { push_sym = sym; push_src = Stack slot }
+      | None -> (
+          match Hashtbl.find_opt env.binds (base, i) with
+          | Some src -> Some { push_sym = sym; push_src = src }
+          | None -> (
+              (* type conversion: an RHS non-terminal with the same index *)
+              let conv = ref None in
+              Hashtbl.iter
+                (fun (b, ix) slot ->
+                  if ix = i && b <> base then
+                    match Symtab.find env.symtab b with
+                    | Some (Symtab.Nonterminal _) -> conv := Some slot
+                    | _ -> ())
+                env.rhs;
+              match !conv with
+              | Some slot -> Some { push_sym = sym; push_src = Stack slot }
+              | None ->
+                  fail env.line
+                    "LHS %s.%d is neither in the RHS nor allocated with using/need"
+                    base i)))
+  | { base; idx = None } ->
+      fail env.line "LHS %s must be indexed (or lambda)" base
+
+let compile ~(grammar : Grammar.t) ~(symtab : Symtab.t) ~(prod_id : int)
+    (p : Spec_ast.production) : (compiled, error) result =
+  try
+    let rhs_syms = Array.of_list p.p_rhs in
+    let rhs = Hashtbl.create 8 in
+    Array.iteri
+      (fun k (s : Spec_ast.ssym) ->
+        match s.idx with
+        | None -> () (* un-indexed RHS symbols carry no referenced value *)
+        | Some i ->
+            if Hashtbl.mem rhs (s.base, i) then
+              fail p.p_line "%s.%d appears twice in the RHS" s.base i;
+            Hashtbl.replace rhs (s.base, i) k)
+      rhs_syms;
+    let env =
+      {
+        grammar;
+        symtab;
+        rhs;
+        rhs_syms;
+        binds = Hashtbl.create 8;
+        allocs = [];
+        needs = [];
+        line = p.p_line;
+      }
+    in
+    (* pass 1: collect using/need bindings (allocation happens before any
+       template is interpreted, paper section 4.1) *)
+    let n_alloc = ref 0 in
+    List.iter
+      (fun (t : Spec_ast.template) ->
+        match t.t_op with
+        | "using" ->
+            List.iter
+              (fun (o : Spec_ast.operand) ->
+                match o with
+                | { o_base = Asym { base; idx = Some i }; o_subs = [] } ->
+                    let cls = nt_class env t.t_line base in
+                    if Hashtbl.mem env.rhs (base, i) then
+                      fail t.t_line "using %s.%d: already bound in the RHS" base i;
+                    if Hashtbl.mem env.binds (base, i) then
+                      fail t.t_line "using %s.%d: already allocated" base i;
+                    Hashtbl.replace env.binds (base, i) (Alloc !n_alloc);
+                    env.allocs <-
+                      { a_class = cls; a_name = base; a_idx = i } :: env.allocs;
+                    incr n_alloc
+                | _ -> fail t.t_line "using: operands must be nt.n symbols")
+              t.t_operands
+        | "need" ->
+            List.iter
+              (fun (o : Spec_ast.operand) ->
+                match o with
+                | { o_base = Asym { base; idx = Some i }; o_subs = [] } ->
+                    let cls = nt_class env t.t_line base in
+                    if Hashtbl.mem env.binds (base, i) then
+                      fail t.t_line "need %s.%d: already bound" base i;
+                    Hashtbl.replace env.binds (base, i) (Phys i);
+                    env.needs <- { n_class = cls; n_reg = i } :: env.needs
+                | _ -> fail t.t_line "need: operands must be nt.N symbols")
+              t.t_operands
+        | _ -> ())
+      p.p_templates;
+    (* pass 2: compile the remaining templates in order *)
+    let ignore_lhs = ref false in
+    let steps =
+      List.concat_map
+        (fun (t : Spec_ast.template) ->
+          let line = t.t_line in
+          match t.t_op with
+          | "using" | "need" -> []
+          | "modifies" ->
+              List.map
+                (fun (o : Spec_ast.operand) ->
+                  let s = resolve_operand env line o in
+                  check_register env line "modifies" s.base;
+                  Modifies s.base)
+                t.t_operands
+          | "ignore_lhs" ->
+              arity line t 0;
+              if p.p_lhs.Spec_ast.base = "lambda" then
+                fail line "ignore_lhs on a lambda production would lose the statement reduction";
+              ignore_lhs := true;
+              [ Ignore_lhs ]
+          | "label_location" ->
+              arity line t 1;
+              let s = plain env line t 1 0 in
+              check_kind env line "label_location" Symtab.Klabel s;
+              [ Label_location s ]
+          | "label_pntr" ->
+              arity line t 1;
+              let s = plain env line t 1 0 in
+              check_kind env line "label_pntr" Symtab.Klabel s;
+              [ Label_ptr s ]
+          | "branch" ->
+              arity line t 3;
+              let cond = plain env line t 3 0 in
+              let lbl = plain env line t 3 1 in
+              let idx = plain env line t 3 2 in
+              check_kind env line "branch label" Symtab.Klabel lbl;
+              check_register env line "branch index" idx;
+              [ Branch { cond; lbl; idx } ]
+          | "branch_indexed" ->
+              arity line t 4;
+              let cond = plain env line t 4 0 in
+              let lbl = plain env line t 4 1 in
+              let idx = plain env line t 4 2 in
+              let index = plain env line t 4 3 in
+              check_kind env line "branch label" Symtab.Klabel lbl;
+              [ Branch_indexed { cond; lbl; idx; index } ]
+          | "skip" ->
+              arity line t 3;
+              let cond = plain env line t 3 0 in
+              let dist = plain env line t 3 1 in
+              let idx = plain env line t 3 2 in
+              (match dist with
+              | Lit n when n >= 1 -> ()
+              | _ -> fail line "skip: distance must be a positive constant");
+              [ Skip { cond; dist; idx } ]
+          | "case_load" ->
+              arity line t 3;
+              let reg = plain env line t 3 0 in
+              let lbl = plain env line t 3 1 in
+              let idx = plain env line t 3 2 in
+              check_register env line "case_load target" reg;
+              check_kind env line "case_load label" Symtab.Klabel lbl;
+              [ Case_load { reg; lbl; idx } ]
+          | "push_odd" | "push_even" ->
+              arity line t 1;
+              let pair = plain env line t 1 0 in
+              check_register env line t.t_op pair;
+              let value = if t.t_op = "push_odd" then Plus (pair, 1) else pair in
+              let sym =
+                match Grammar.sym grammar p.p_lhs.Spec_ast.base with
+                | Some s when p.p_lhs.Spec_ast.base <> "lambda" -> s
+                | _ -> fail line "%s requires a register LHS" t.t_op
+              in
+              [ Push { sym; value } ]
+          | "load_odd_addr" | "load_odd_full" | "load_odd_half" ->
+              arity line t 2;
+              let pair = plain env line t 2 0 in
+              check_register env line t.t_op pair;
+              let m = mem env line t 1 in
+              let mnem =
+                match t.t_op with
+                | "load_odd_addr" -> "la"
+                | "load_odd_full" -> "l"
+                | _ -> "lh"
+              in
+              [
+                Instr
+                  {
+                    mnem;
+                    ops = [ { base = Plus (pair, 1); subs = [] }; m ];
+                  };
+              ]
+          | "load_odd_reg" ->
+              arity line t 2;
+              let pair = plain env line t 2 0 in
+              let r = plain env line t 2 1 in
+              check_register env line t.t_op pair;
+              check_register env line t.t_op r;
+              [
+                Instr
+                  {
+                    mnem = "lr";
+                    ops =
+                      [
+                        { base = Plus (pair, 1); subs = [] };
+                        { base = r; subs = [] };
+                      ];
+                  };
+              ]
+          | "load_extended" | "store_extended" ->
+              arity line t 2;
+              let pair = plain env line t 2 0 in
+              check_register env line t.t_op pair;
+              let m = mem env line t 1 in
+              let m2 = { m with base = Plus (m.base, 8) } in
+              let mnem = if t.t_op = "load_extended" then "ld" else "std" in
+              [
+                Instr { mnem; ops = [ { base = pair; subs = [] }; m ] };
+                Instr
+                  { mnem; ops = [ { base = Plus (pair, 2); subs = [] }; m2 ] };
+              ]
+          | "clear_extended" ->
+              arity line t 1;
+              let pair = plain env line t 1 0 in
+              check_register env line t.t_op pair;
+              let sub r =
+                Instr
+                  {
+                    mnem = "sdr";
+                    ops = [ { base = r; subs = [] }; { base = r; subs = [] } ];
+                  }
+              in
+              [ sub pair; sub (Plus (pair, 2)) ]
+          | "ibm_length" ->
+              arity line t 1;
+              [ Ibm_length (plain env line t 1 0) ]
+          | "stmt_record" ->
+              arity line t 1;
+              [ Stmt_record (plain env line t 1 0) ]
+          | "list_request" ->
+              arity line t 1;
+              [ List_request (plain env line t 1 0) ]
+          | "abort" ->
+              arity line t 1;
+              [ Abort (plain env line t 1 0) ]
+          | "full_common" | "half_common" | "byte_common" | "real_common"
+          | "dreal_common" ->
+              arity line t 5;
+              let cse = plain env line t 5 0 in
+              let cnt = plain env line t 5 1 in
+              let reg = plain env line t 5 2 in
+              let dsp = plain env line t 5 3 in
+              let base = plain env line t 5 4 in
+              check_kind env line "common cse" Symtab.Kcse cse;
+              check_register env line "common register" reg;
+              check_register env line "common base" base;
+              let ty =
+                Option.bind (Semops.common_type_operator t.t_op)
+                  (Grammar.sym grammar)
+              in
+              let fp = t.t_op = "real_common" || t.t_op = "dreal_common" in
+              [ Common { ty; fp; cse; cnt; reg; dsp; base } ]
+          | "find_common" | "find_real_common" -> (
+              (* the paper writes FIND_COMMON CSE.1,R.1; the register
+                 operand is advisory (the CSE's current location decides
+                 what is prefixed), so we accept and ignore it *)
+              match t.t_operands with
+              | [ _ ] | [ _; _ ] ->
+                  let cse = plain env line t 1 0 in
+                  check_kind env line "find_common" Symtab.Kcse cse;
+                  let push_sym =
+                    match Grammar.sym grammar p.p_lhs.Spec_ast.base with
+                    | Some s when p.p_lhs.Spec_ast.base <> "lambda" -> s
+                    | _ -> fail line "%s requires a register LHS" t.t_op
+                  in
+                  [
+                    Find_common
+                      { cse; fp = t.t_op = "find_real_common"; push_sym };
+                  ]
+              | _ -> fail line "%s: expected 1 or 2 operands" t.t_op)
+          | op when Machine.Insn.is_mnemonic op -> (
+              match Symtab.find symtab op with
+              | Some Symtab.Opcode -> [ Instr (compile_machine_instr env line t) ]
+              | _ -> fail line "opcode %s is not declared in $Opcodes" op)
+          | op -> fail line "unknown template operator %s" op)
+        p.p_templates
+    in
+    (* "currently up to eight machine instructions may be emitted during a
+       single reduction" (paper section 2) *)
+    let n_instrs =
+      List.length (List.filter (function Instr _ -> true | _ -> false) steps)
+    in
+    if n_instrs > 8 then
+      fail p.p_line "template sequence emits %d instructions (maximum is 8)"
+        n_instrs;
+    let push = if !ignore_lhs then None else lhs_push env p.p_lhs in
+    Ok
+      {
+        c_prod = prod_id;
+        c_allocs = Array.of_list (List.rev env.allocs);
+        c_needs = Array.of_list (List.rev env.needs);
+        c_steps = Array.of_list steps;
+        c_push = push;
+      }
+  with
+  | Fail e -> Error e
+  | Not_found -> Error { line = p.p_line; msg = "internal: unresolved symbol" }

@@ -1,0 +1,1 @@
+lib/ifl/reader.ml: Buffer Fmt List Result String Token Tree

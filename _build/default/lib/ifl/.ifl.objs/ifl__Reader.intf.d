@@ -1,0 +1,1 @@
+lib/ifl/reader.mli: Token Tree

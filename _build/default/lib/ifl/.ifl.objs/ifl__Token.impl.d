@@ -1,0 +1,1 @@
+lib/ifl/token.ml: Fmt String Value

@@ -1,0 +1,1 @@
+lib/ifl/token.mli: Format Value

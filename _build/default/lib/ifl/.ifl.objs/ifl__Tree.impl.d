@@ -1,0 +1,1 @@
+lib/ifl/tree.ml: Fmt List Token

@@ -1,0 +1,1 @@
+lib/ifl/tree.mli: Format Token Value

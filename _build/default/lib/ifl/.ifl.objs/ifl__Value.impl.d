@@ -1,0 +1,1 @@
+lib/ifl/value.ml: Fmt Stdlib

@@ -1,0 +1,1 @@
+lib/ifl/value.mli: Format

@@ -1,0 +1,105 @@
+(** Textual syntax for the intermediate form.
+
+    Two forms are accepted:
+    - linear: whitespace-separated tokens, e.g.
+      ["assign fullword dsp:100 r:13 r:1"]
+    - tree (s-expression): [(iadd (fullword dsp:4 r:13) (fullword dsp:8 r:13))]
+
+    Lines starting with [*] are comments, matching the specification
+    language's comment convention. *)
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let strip_comments s =
+  String.split_on_char '\n' s
+  |> List.filter (fun line ->
+         let line = String.trim line in
+         String.length line = 0 || line.[0] <> '*')
+  |> String.concat "\n"
+
+(** Parse a linear token stream. *)
+let tokens_of_string s : (Token.t list, string) result =
+  let s = strip_comments s in
+  let words =
+    String.split_on_char '\n' s
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun w -> w <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | w :: ws ->
+        if String.contains w '(' || String.contains w ')' then
+          Error (Fmt.str "unexpected parenthesis in token %S" w)
+        else (
+          match Token.of_string w with
+          | Ok t -> go (t :: acc) ws
+          | Error e -> Error e)
+  in
+  go [] words
+
+type sexp_token = Lparen | Rparen | Atom of string
+
+let lex_sexp s =
+  let n = String.length s in
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Atom (Buffer.contents buf) :: !out;
+      Buffer.clear buf
+    end
+  in
+  for i = 0 to n - 1 do
+    match s.[i] with
+    | '(' ->
+        flush ();
+        out := Lparen :: !out
+    | ')' ->
+        flush ();
+        out := Rparen :: !out
+    | c when is_space c -> flush ()
+    | c -> Buffer.add_char buf c
+  done;
+  flush ();
+  List.rev !out
+
+(** Parse one or more trees from the s-expression syntax.  A bare atom is a
+    leaf; [(op child...)] is an interior node. *)
+let trees_of_string s : (Tree.t list, string) result =
+  let s = strip_comments s in
+  let toks = lex_sexp s in
+  let ( let* ) = Result.bind in
+  (* parse one tree from the stream *)
+  let rec tree = function
+    | Atom a :: rest ->
+        let* t = Token.of_string a in
+        Ok (Tree.Node (t, []), rest)
+    | Lparen :: Atom a :: rest ->
+        let* t = Token.of_string a in
+        let* cs, rest = tree_list [] rest in
+        Ok (Tree.Node (t, cs), rest)
+    | Lparen :: _ -> Error "expected operator after '('"
+    | Rparen :: _ -> Error "unexpected ')'"
+    | [] -> Error "unexpected end of input"
+  and tree_list acc = function
+    | Rparen :: rest -> Ok (List.rev acc, rest)
+    | [] -> Error "missing ')'"
+    | rest ->
+        let* t, rest = tree rest in
+        tree_list (t :: acc) rest
+  in
+  let rec many acc = function
+    | [] -> Ok (List.rev acc)
+    | rest ->
+        let* t, rest = tree rest in
+        many (t :: acc) rest
+  in
+  many [] toks
+
+(** Parse a program in either syntax and return its linearized token
+    stream.  Uses the tree syntax when the text contains a parenthesis. *)
+let program_of_string s : (Token.t list, string) result =
+  if String.contains s '(' then
+    Result.map Tree.linearize_program (trees_of_string s)
+  else tokens_of_string s

@@ -1,0 +1,20 @@
+(** Textual syntax for the intermediate form.
+
+    Two forms are accepted:
+    - linear: whitespace-separated tokens, e.g.
+      ["assign fullword dsp:100 r:13 r:1"];
+    - tree (s-expression):
+      [(iadd (fullword dsp:4 r:13) (fullword dsp:8 r:13))].
+
+    Lines starting with [*] are comments, matching the specification
+    language's convention. *)
+
+val tokens_of_string : string -> (Token.t list, string) result
+(** Parse the linear token syntax. *)
+
+val trees_of_string : string -> (Tree.t list, string) result
+(** Parse one or more trees in the s-expression syntax. *)
+
+val program_of_string : string -> (Token.t list, string) result
+(** Parse a program in either syntax (trees when the text contains a
+    parenthesis) and return its linearized token stream. *)

@@ -1,0 +1,48 @@
+(** A token of the linearized intermediate form.
+
+    The IF emitted by the shaper is a string of prefix (Polish) expressions
+    over the symbols declared in the code-generator specification: operators
+    ([iadd], [fullword], [assign], ...), valued terminals ([dsp], [lng],
+    [lbl], ...) and pre-bound non-terminals (dedicated registers such as the
+    stack base, which appear in the input stream as [r] tokens carrying a
+    register attribute). *)
+
+type t = { sym : string; value : Value.t }
+
+let make ?(value = Value.Unit) sym = { sym; value }
+let op sym = { sym; value = Value.Unit }
+let int sym n = { sym; value = Value.Int n }
+let reg sym n = { sym; value = Value.Reg n }
+let label sym n = { sym; value = Value.Label n }
+let cse sym n = { sym; value = Value.Cse n }
+let cond sym n = { sym; value = Value.Cond n }
+
+let equal a b = String.equal a.sym b.sym && Value.equal a.value b.value
+
+let pp ppf t = Fmt.pf ppf "%s%a" t.sym Value.pp t.value
+let to_string t = Fmt.str "%a" pp t
+
+(** Parse a single token of the textual IF syntax: [sym], [sym:N],
+    [sym:rN], [sym:LN], [sym:cN], [sym:mN]. *)
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> Ok (op s)
+  | Some i ->
+      let sym = String.sub s 0 i in
+      let payload = String.sub s (i + 1) (String.length s - i - 1) in
+      if sym = "" || payload = "" then
+        Error (Fmt.str "malformed IF token %S" s)
+      else
+        let tagged tag rest_of =
+          match int_of_string_opt rest_of with
+          | Some n -> Ok { sym; value = tag n }
+          | None -> Error (Fmt.str "malformed IF token payload %S" s)
+        in
+        let body = String.sub payload 1 (String.length payload - 1) in
+        (match payload.[0] with
+        | 'r' -> tagged (fun n -> Value.Reg n) body
+        | 'L' -> tagged (fun n -> Value.Label n) body
+        | 'c' -> tagged (fun n -> Value.Cse n) body
+        | 'm' -> tagged (fun n -> Value.Cond n) body
+        | '0' .. '9' | '-' -> tagged (fun n -> Value.Int n) payload
+        | _ -> Error (Fmt.str "malformed IF token payload %S" s))

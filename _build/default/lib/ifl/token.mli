@@ -1,0 +1,29 @@
+(** A token of the linearized intermediate form.
+
+    The IF emitted by the shaper is a string of prefix (Polish)
+    expressions over the symbols declared in the code-generator
+    specification: operators ([iadd], [fullword], [assign], ...), valued
+    terminals ([dsp], [lng], [lbl], ...) and pre-bound non-terminals
+    (dedicated registers such as the stack base, which appear in the
+    input stream as [r] tokens carrying a register attribute). *)
+
+type t = { sym : string; value : Value.t }
+
+val make : ?value:Value.t -> string -> t
+
+(** Constructors for each attribute kind. *)
+
+val op : string -> t
+val int : string -> int -> t
+val reg : string -> int -> t
+val label : string -> int -> t
+val cse : string -> int -> t
+val cond : string -> int -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parse a single token of the textual IF syntax: [sym], [sym:N],
+    [sym:rN], [sym:LN], [sym:cN], [sym:mN]. *)

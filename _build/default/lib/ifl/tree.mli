@@ -1,0 +1,29 @@
+(** Tree view of the intermediate form.
+
+    The input to the code generator "is actually a linearized tree
+    structure" (paper, section 6).  The front end builds trees; the
+    shaper rewrites them; {!linearize} produces the prefix token stream
+    the table-driven code generator parses. *)
+
+type t = Node of Token.t * t list
+
+val node : ?value:Value.t -> string -> t list -> t
+val leaf : ?value:Value.t -> string -> t
+val token : t -> Token.t
+val children : t -> t list
+
+val size : t -> int
+(** Number of nodes, which equals the length of the linearization. *)
+
+val linearize : t -> Token.t list
+(** Prefix (Polish) linearization of one tree. *)
+
+val linearize_program : t list -> Token.t list
+(** Linearize a program: a sequence of statement trees becomes one token
+    stream, statement by statement. *)
+
+val pp : Format.formatter -> t -> unit
+(** S-expression rendering, parseable by {!Reader.trees_of_string}. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/machine/encode.ml: Bytes Fmt Hashtbl Insn List

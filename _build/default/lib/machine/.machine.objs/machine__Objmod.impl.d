@@ -1,0 +1,1 @@
+lib/machine/objmod.ml: Bytes Char Fmt List Option String

@@ -1,0 +1,1 @@
+lib/machine/runtime.ml: Encode Fmt Int32 Objmod Sim

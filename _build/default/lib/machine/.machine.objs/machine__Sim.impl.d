@@ -1,0 +1,1 @@
+lib/machine/sim.ml: Array Bytes Encode Float Fmt Hashtbl Int32 Int64

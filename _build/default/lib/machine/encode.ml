@@ -1,0 +1,181 @@
+(** Binary encoding and decoding of 370 instructions.
+
+    Encodings follow the architected formats:
+    - RR: [op(8) r1(4) r2(4)]
+    - RX: [op(8) r1(4) x2(4) b2(4) d2(12)]
+    - RS: [op(8) r1(4) r3(4) b2(4) d2(12)]
+    - SI: [op(8) i2(8)  b1(4) d1(12)]
+    - SS: [op(8) l(8)   b1(4) d1(12) b2(4) d2(12)] *)
+
+exception Encode_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Encode_error s)) fmt
+
+let check_nibble what v =
+  if v < 0 || v > 15 then err "%s out of range: %d (must fit 4 bits)" what v
+
+let check_disp what v =
+  if v < 0 || v > 4095 then
+    err "%s out of range: %d (must fit 12-bit displacement)" what v
+
+let check_byte what v =
+  if v < 0 || v > 255 then err "%s out of range: %d (must fit 8 bits)" what v
+
+let opcode_of m =
+  match Hashtbl.find_opt Insn.opcode_of_mnemonic m with
+  | Some (op, f) -> (op, f)
+  | None -> err "unknown mnemonic %S" m
+
+(** [encode insn] returns the architected byte encoding. Raises
+    [Encode_error] if any field is out of range or the mnemonic's declared
+    format does not match the operand shape. *)
+let encode (i : Insn.t) : Bytes.t =
+  match i with
+  | Rr { op; r1; r2 } ->
+      let code, f = opcode_of op in
+      if f <> RR then err "%s is not an RR instruction" op;
+      check_nibble "r1" r1;
+      check_nibble "r2" r2;
+      let b = Bytes.create 2 in
+      Bytes.set_uint8 b 0 code;
+      Bytes.set_uint8 b 1 ((r1 lsl 4) lor r2);
+      b
+  | Rx { op; r1; d2; x2; b2 } ->
+      let code, f = opcode_of op in
+      if f <> RX then err "%s is not an RX instruction" op;
+      check_nibble "r1" r1;
+      check_nibble "x2" x2;
+      check_nibble "b2" b2;
+      check_disp "d2" d2;
+      let b = Bytes.create 4 in
+      Bytes.set_uint8 b 0 code;
+      Bytes.set_uint8 b 1 ((r1 lsl 4) lor x2);
+      Bytes.set_uint8 b 2 ((b2 lsl 4) lor (d2 lsr 8));
+      Bytes.set_uint8 b 3 (d2 land 0xFF);
+      b
+  | Rs { op; r1; r3; d2; b2 } ->
+      let code, f = opcode_of op in
+      if f <> RS then err "%s is not an RS instruction" op;
+      check_nibble "r1" r1;
+      check_nibble "r3" r3;
+      check_nibble "b2" b2;
+      check_disp "d2" d2;
+      let b = Bytes.create 4 in
+      Bytes.set_uint8 b 0 code;
+      Bytes.set_uint8 b 1 ((r1 lsl 4) lor r3);
+      Bytes.set_uint8 b 2 ((b2 lsl 4) lor (d2 lsr 8));
+      Bytes.set_uint8 b 3 (d2 land 0xFF);
+      b
+  | Si { op; d1; b1; i2 } ->
+      let code, f = opcode_of op in
+      if f <> SI then err "%s is not an SI instruction" op;
+      check_byte "i2" i2;
+      check_nibble "b1" b1;
+      check_disp "d1" d1;
+      let b = Bytes.create 4 in
+      Bytes.set_uint8 b 0 code;
+      Bytes.set_uint8 b 1 i2;
+      Bytes.set_uint8 b 2 ((b1 lsl 4) lor (d1 lsr 8));
+      Bytes.set_uint8 b 3 (d1 land 0xFF);
+      b
+  | Ss { op; l; d1; b1; d2; b2 } ->
+      let code, f = opcode_of op in
+      if f <> SS then err "%s is not an SS instruction" op;
+      (* architected SS length field holds length-1; we carry the true
+         length in the symbolic form *)
+      if l < 1 || l > 256 then err "SS length out of range: %d" l;
+      check_nibble "b1" b1;
+      check_nibble "b2" b2;
+      check_disp "d1" d1;
+      check_disp "d2" d2;
+      let b = Bytes.create 6 in
+      Bytes.set_uint8 b 0 code;
+      Bytes.set_uint8 b 1 (l - 1);
+      Bytes.set_uint8 b 2 ((b1 lsl 4) lor (d1 lsr 8));
+      Bytes.set_uint8 b 3 (d1 land 0xFF);
+      Bytes.set_uint8 b 4 ((b2 lsl 4) lor (d2 lsr 8));
+      Bytes.set_uint8 b 5 (d2 land 0xFF);
+      b
+
+(** [decode mem pos] disassembles the instruction at [pos].  Returns the
+    symbolic instruction and its size.  Raises [Encode_error] on an
+    unknown opcode. *)
+let decode (mem : Bytes.t) (pos : int) : Insn.t * int =
+  let u8 i = Bytes.get_uint8 mem (pos + i) in
+  let code = u8 0 in
+  match Hashtbl.find_opt Insn.mnemonic_of_opcode code with
+  | None -> err "unknown opcode byte 0x%02X at %d" code pos
+  | Some (op, f) -> (
+      match f with
+      | RR ->
+          let b1 = u8 1 in
+          (Rr { op; r1 = b1 lsr 4; r2 = b1 land 0xF }, 2)
+      | RX ->
+          let b1 = u8 1 and b2 = u8 2 and b3 = u8 3 in
+          ( Rx
+              {
+                op;
+                r1 = b1 lsr 4;
+                x2 = b1 land 0xF;
+                b2 = b2 lsr 4;
+                d2 = ((b2 land 0xF) lsl 8) lor b3;
+              },
+            4 )
+      | RS ->
+          let b1 = u8 1 and b2 = u8 2 and b3 = u8 3 in
+          ( Rs
+              {
+                op;
+                r1 = b1 lsr 4;
+                r3 = b1 land 0xF;
+                b2 = b2 lsr 4;
+                d2 = ((b2 land 0xF) lsl 8) lor b3;
+              },
+            4 )
+      | SI ->
+          let b1 = u8 1 and b2 = u8 2 and b3 = u8 3 in
+          ( Si
+              {
+                op;
+                i2 = b1;
+                b1 = b2 lsr 4;
+                d1 = ((b2 land 0xF) lsl 8) lor b3;
+              },
+            4 )
+      | SS ->
+          let b1 = u8 1 and b2 = u8 2 and b3 = u8 3 in
+          let b4 = u8 4 and b5 = u8 5 in
+          ( Ss
+              {
+                op;
+                l = b1 + 1;
+                b1 = b2 lsr 4;
+                d1 = ((b2 land 0xF) lsl 8) lor b3;
+                b2 = b4 lsr 4;
+                d2 = ((b4 land 0xF) lsl 8) lor b5;
+              },
+            6 ))
+
+(** Encode a whole instruction sequence into one buffer. *)
+let encode_all (is : Insn.t list) : Bytes.t =
+  let bufs = List.map encode is in
+  let total = List.fold_left (fun a b -> a + Bytes.length b) 0 bufs in
+  let out = Bytes.create total in
+  let _ =
+    List.fold_left
+      (fun pos b ->
+        Bytes.blit b 0 out pos (Bytes.length b);
+        pos + Bytes.length b)
+      0 bufs
+  in
+  out
+
+(** Disassemble [len] bytes starting at [pos]. *)
+let decode_all (mem : Bytes.t) ~(pos : int) ~(len : int) : Insn.t list =
+  let rec go p acc =
+    if p >= pos + len then List.rev acc
+    else
+      let i, sz = decode mem p in
+      go (p + sz) (i :: acc)
+  in
+  go pos []

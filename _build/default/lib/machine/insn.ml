@@ -1,0 +1,203 @@
+(** IBM System/360-370 (Amdahl 470) instruction subset.
+
+    Symbolic instructions as filled in by the code emission routine, the
+    opcode/format tables, and instruction sizes.  Binary encoding lives in
+    {!Encode}; execution semantics in {!Sim}. *)
+
+(** The five machine instruction formats of the 360/370 subset we model.
+    [RR] instructions are 2 bytes, [RX]/[RS]/[SI] are 4, [SS] is 6. *)
+type format = RR | RX | RS | SI | SS
+
+(** A symbolic machine instruction with all operand fields resolved to
+    numbers.  [Rx] covers both indexed storage operands [d2(x2,b2)] and
+    branch instructions (where [r1] is the condition mask). *)
+type t =
+  | Rr of { op : string; r1 : int; r2 : int }
+  | Rx of { op : string; r1 : int; d2 : int; x2 : int; b2 : int }
+  | Rs of { op : string; r1 : int; r3 : int; d2 : int; b2 : int }
+  | Si of { op : string; d1 : int; b1 : int; i2 : int }
+  | Ss of { op : string; l : int; d1 : int; b1 : int; d2 : int; b2 : int }
+
+let mnemonic = function
+  | Rr { op; _ } | Rx { op; _ } | Rs { op; _ } | Si { op; _ } | Ss { op; _ }
+    -> op
+
+(** Mnemonic -> (opcode byte, format).  Opcode values are the architected
+    System/370 encodings. *)
+let opcode_table : (string * (int * format)) list =
+  [
+    (* RR: load/arithmetic register-register *)
+    ("lr", (0x18, RR));
+    ("ltr", (0x12, RR));
+    ("lcr", (0x13, RR));
+    ("lpr", (0x10, RR));
+    ("lnr", (0x11, RR));
+    ("ar", (0x1A, RR));
+    ("sr", (0x1B, RR));
+    ("mr", (0x1C, RR));
+    ("dr", (0x1D, RR));
+    ("alr", (0x1E, RR));
+    ("slr", (0x1F, RR));
+    ("cr", (0x19, RR));
+    ("clr", (0x15, RR));
+    ("nr", (0x14, RR));
+    ("or", (0x16, RR));
+    ("xr", (0x17, RR));
+    ("bcr", (0x07, RR));
+    ("balr", (0x05, RR));
+    ("bctr", (0x06, RR));
+    ("spm", (0x04, RR));
+    ("mvcl", (0x0E, RR));
+    ("clcl", (0x0F, RR));
+    (* RR floating point (short and long) *)
+    ("ler", (0x38, RR));
+    ("ldr", (0x28, RR));
+    ("lcer", (0x33, RR));
+    ("lcdr", (0x23, RR));
+    ("lper", (0x30, RR));
+    ("lpdr", (0x20, RR));
+    ("lner", (0x31, RR));
+    ("lndr", (0x21, RR));
+    ("ltdr", (0x22, RR));
+    ("lter", (0x32, RR));
+    ("aer", (0x3A, RR));
+    ("adr", (0x2A, RR));
+    ("ser", (0x3B, RR));
+    ("sdr", (0x2B, RR));
+    ("mer", (0x3C, RR));
+    ("mdr", (0x2C, RR));
+    ("der", (0x3D, RR));
+    ("ddr", (0x2D, RR));
+    ("cer", (0x39, RR));
+    ("cdr", (0x29, RR));
+    ("her", (0x34, RR));
+    ("hdr", (0x24, RR));
+    ("axr", (0x36, RR));
+    ("sxr", (0x37, RR));
+    ("mxr", (0x26, RR));
+    ("lrer", (0x35, RR));
+    ("lrdr", (0x25, RR));
+    (* RX: storage-and-register *)
+    ("l", (0x58, RX));
+    ("lh", (0x48, RX));
+    ("la", (0x41, RX));
+    ("st", (0x50, RX));
+    ("sth", (0x40, RX));
+    ("stc", (0x42, RX));
+    ("ic", (0x43, RX));
+    ("a", (0x5A, RX));
+    ("ah", (0x4A, RX));
+    ("s", (0x5B, RX));
+    ("sh", (0x4B, RX));
+    ("m", (0x5C, RX));
+    ("mh", (0x4C, RX));
+    ("d", (0x5D, RX));
+    ("c", (0x59, RX));
+    ("ch", (0x49, RX));
+    ("cl", (0x55, RX));
+    ("al", (0x5E, RX));
+    ("sl", (0x5F, RX));
+    ("n", (0x54, RX));
+    ("o", (0x56, RX));
+    ("x", (0x57, RX));
+    ("bc", (0x47, RX));
+    ("bal", (0x45, RX));
+    ("bct", (0x46, RX));
+    ("ex", (0x44, RX));
+    ("cvb", (0x4F, RX));
+    ("cvd", (0x4E, RX));
+    (* RX floating point *)
+    ("le", (0x78, RX));
+    ("ld", (0x68, RX));
+    ("ste", (0x70, RX));
+    ("std", (0x60, RX));
+    ("ae", (0x7A, RX));
+    ("ad", (0x6A, RX));
+    ("se", (0x7B, RX));
+    ("sd", (0x6B, RX));
+    ("me", (0x7C, RX));
+    ("md", (0x6C, RX));
+    ("de", (0x7D, RX));
+    ("dd", (0x6D, RX));
+    ("ce", (0x79, RX));
+    ("cd", (0x69, RX));
+    (* RS: register-storage, shifts, multiple load/store *)
+    ("lm", (0x98, RS));
+    ("stm", (0x90, RS));
+    ("sla", (0x8B, RS));
+    ("sra", (0x8A, RS));
+    ("sll", (0x89, RS));
+    ("srl", (0x88, RS));
+    ("slda", (0x8F, RS));
+    ("srda", (0x8E, RS));
+    ("sldl", (0x8D, RS));
+    ("srdl", (0x8C, RS));
+    ("bxh", (0x86, RS));
+    ("bxle", (0x87, RS));
+    (* SI: storage-immediate *)
+    ("mvi", (0x92, SI));
+    ("cli", (0x95, SI));
+    ("ni", (0x94, SI));
+    ("oi", (0x96, SI));
+    ("xi", (0x97, SI));
+    ("tm", (0x91, SI));
+    (* SS: storage-storage *)
+    ("mvc", (0xD2, SS));
+    ("clc", (0xD5, SS));
+    ("nc", (0xD4, SS));
+    ("oc", (0xD6, SS));
+    ("xc", (0xD7, SS));
+    ("tr", (0xDC, SS));
+  ]
+
+let opcode_of_mnemonic : (string, int * format) Hashtbl.t =
+  let h = Hashtbl.create 128 in
+  List.iter (fun (m, v) -> Hashtbl.replace h m v) opcode_table;
+  h
+
+let mnemonic_of_opcode : (int, string * format) Hashtbl.t =
+  let h = Hashtbl.create 128 in
+  List.iter (fun (m, (op, f)) -> Hashtbl.replace h op (m, f)) opcode_table;
+  h
+
+let is_mnemonic m = Hashtbl.mem opcode_of_mnemonic m
+
+let format_of_mnemonic m =
+  match Hashtbl.find_opt opcode_of_mnemonic m with
+  | Some (_, f) -> Some f
+  | None -> None
+
+let size_of_format = function RR -> 2 | RX | RS | SI -> 4 | SS -> 6
+
+(** Encoded size in bytes of a symbolic instruction. *)
+let size = function
+  | Rr _ -> 2
+  | Rx _ | Rs _ | Si _ -> 4
+  | Ss _ -> 6
+
+(** Assembly-listing rendering, in the style of the paper's Appendix 1
+    ([l r1,132(r12)], [sla r1,2], [mvc 144(4,13),168(13)], ...). *)
+let pp ppf t =
+  let reg r = Fmt.str "r%d" r in
+  match t with
+  | Rr { op; r1; r2 } -> Fmt.pf ppf "%-5s %s,%s" op (reg r1) (reg r2)
+  | Rx { op; r1; d2; x2; b2 } ->
+      if x2 = 0 && b2 = 0 then Fmt.pf ppf "%-5s %s,%d" op (reg r1) d2
+      else if x2 = 0 then Fmt.pf ppf "%-5s %s,%d(%s)" op (reg r1) d2 (reg b2)
+      else Fmt.pf ppf "%-5s %s,%d(%s,%s)" op (reg r1) d2 (reg x2) (reg b2)
+  | Rs { op; r1; r3; d2; b2 } -> (
+      match op with
+      | "sla" | "sra" | "sll" | "srl" | "slda" | "srda" | "sldl" | "srdl" ->
+          if b2 = 0 then Fmt.pf ppf "%-5s %s,%d" op (reg r1) d2
+          else Fmt.pf ppf "%-5s %s,%d(%s)" op (reg r1) d2 (reg b2)
+      | _ ->
+          if b2 = 0 then Fmt.pf ppf "%-5s %s,%s,%d" op (reg r1) (reg r3) d2
+          else
+            Fmt.pf ppf "%-5s %s,%s,%d(%s)" op (reg r1) (reg r3) d2 (reg b2))
+  | Si { op; d1; b1; i2 } ->
+      if b1 = 0 then Fmt.pf ppf "%-5s %d,%d" op d1 i2
+      else Fmt.pf ppf "%-5s %d(%s),%d" op d1 (reg b1) i2
+  | Ss { op; l; d1; b1; d2; b2 } ->
+      Fmt.pf ppf "%-5s %d(%d,%s),%d(%s)" op d1 l (reg b1) d2 (reg b2)
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,163 @@
+(** Program support area (PSA) and execution harness.
+
+    The paper's generated code reaches runtime support through a dedicated
+    base register ([pr_base]): constant words ([one_loc], bit-mask tables),
+    frame bookkeeping ([entry_code]) and the range/subscript checking
+    routines ([underflow], [overflow], ...).  We reproduce that surface: a
+    PSA block at a fixed address holds the constant data, and the support
+    routines are simulator traps at their architected displacements (a
+    documented substitution for the PascalVS runtime library).
+
+    Register conventions (our choice, fixed across the project):
+    - r13 = [stack_base]  (current frame)
+    - r10 = [pr_base]     (program support area)
+    - r12 = [code_base]   (code origin, for case branch tables)
+    - r14, r15            (linkage, obtained with [need])
+    - r0                  (never allocated; "zero" in address computations)
+
+    Frame layout: [old_base] (back chain) at +4, [save_area] (16 words) at
+    +8, locals from +[locals_base] up. *)
+
+(* -- constant values shared with the specification files ----------------- *)
+
+(* Branch masks: bit 8 selects cc=0, 4 -> cc=1, 2 -> cc=2, 1 -> cc=3. *)
+let mask_eq = 8
+let mask_lt = 4
+let mask_gt = 2
+let mask_ne = 7
+let mask_lte = 12
+let mask_gte = 10
+let mask_unconditional = 15
+let mask_false = 8 (* boolean false: cc=0 after TM *)
+let mask_true = 7 (* boolean true: cc<>0 *)
+
+(* Dedicated registers *)
+let stack_base = 13
+let pr_base = 10
+let code_base = 12
+
+(* Frame displacements *)
+let old_base = 4
+let save_area = 8
+let locals_base = 80
+
+(* PSA displacements *)
+let psa_one_loc = 64
+let psa_minus_one_loc = 68
+let psa_seven = 7 (* fullword 7 lives at PSA+7; see the paper's appendix *)
+let psa_uninit_pattern = 72 (* the "never initialized" bit pattern *)
+let psa_sign_flip = 76 (* 0x80000000, for int->real conversion *)
+let psa_cnvrt_hi = 80 (* 0x43300000: IEEE 2^52 exponent word *)
+let psa_cnvrt_magic = 88 (* double 2^52 + 2^31 *)
+let psa_bitmasks = 128 (* 8 fullwords: 0x80 >> i *)
+let psa_bitmasks_b = 160 (* the same masks as 8 single bytes *)
+let psa_entry_code = 256
+let psa_underflow = 260
+let psa_overflow = 264
+let psa_not_initialized = 268
+let psa_array_underflow = 272
+let psa_array_overflow = 276
+let psa_case_low = 280
+let psa_case_high = 284
+let psa_abort = 288
+let psa_real_to_int = 292 (* runtime conversion routine (trap stub) *)
+let psa_scratch = 512
+let psa_proctab = 768 (* procedure address table, filled by the loader *)
+let psa_size = 1024
+
+let uninit_pattern = 0x80808080
+
+(* -- memory layout -------------------------------------------------------- *)
+
+type layout = {
+  psa_addr : int;  (** absolute PSA base; loaded into r10 *)
+  code_addr : int;  (** code load address; loaded into r12 *)
+  stack_top : int;  (** initial (outer) frame address; loaded into r13 *)
+  frame_size : int;  (** bytes reserved per procedure activation *)
+}
+
+let default_layout =
+  { psa_addr = 0x1000; code_addr = 0x10000; stack_top = 0x80000;
+    frame_size = 4096 }
+
+type outcome = {
+  steps : int;
+  aborted : string option;
+  final_frame : int;  (** frame address of the outermost procedure *)
+}
+
+(** Install PSA constants and trap handlers into a simulator. *)
+let install (sim : Sim.t) (lay : layout) =
+  let psa = lay.psa_addr in
+  Sim.store_w sim (psa + psa_one_loc) 1;
+  Sim.store_w sim (psa + psa_minus_one_loc) (-1);
+  Sim.store_w sim (psa + psa_seven) 7;
+  Sim.store_w sim (psa + psa_uninit_pattern) uninit_pattern;
+  Sim.store_w sim (psa + psa_sign_flip) 0x80000000;
+  Sim.store_w sim (psa + psa_cnvrt_hi) 0x43300000;
+  Sim.store_f64 sim (psa + psa_cnvrt_magic) (4503599627370496.0 +. 2147483648.0);
+  for i = 0 to 7 do
+    Sim.store_w sim (psa + psa_bitmasks + (4 * i)) (0x80 lsr i);
+    Sim.store_u8 sim (psa + psa_bitmasks_b + i) (0x80 lsr i)
+  done;
+  (* entry_code: build a new stack frame.  Called by
+     [bal r14,entry_code(pr_base)] after the caller's registers were saved
+     with [stm r14,r13,save_area(r13)]. *)
+  Sim.set_trap sim (psa + psa_entry_code) (fun s ->
+      let old_frame = Sim.reg s stack_base in
+      let new_frame = old_frame - lay.frame_size in
+      if new_frame < lay.psa_addr + psa_size then
+        Sim.abort s "stack overflow"
+      else begin
+        Sim.store_w s (new_frame + old_base) old_frame;
+        Sim.set_reg s stack_base new_frame
+      end);
+  (* checking stubs: called with the condition code set by a compare *)
+  let check_cc name bad_mask addr =
+    Sim.set_trap sim addr (fun s ->
+        if bad_mask land (8 lsr s.Sim.cc) <> 0 then
+          Sim.abort s name)
+  in
+  check_cc "range underflow" mask_lt (psa + psa_underflow);
+  check_cc "range overflow" mask_gt (psa + psa_overflow);
+  check_cc "uninitialized variable" mask_eq (psa + psa_not_initialized);
+  check_cc "array subscript underflow" mask_lt (psa + psa_array_underflow);
+  check_cc "array subscript overflow" mask_gt (psa + psa_array_overflow);
+  check_cc "case index too low" mask_lt (psa + psa_case_low);
+  check_cc "case index too high" mask_gt (psa + psa_case_high);
+  Sim.set_trap sim (psa + psa_abort) (fun s ->
+      Sim.abort s (Fmt.str "program abort (code %d)" (Sim.reg s 1)));
+  (* real -> integer truncation: operand in f0, result stored at the PSA
+     scratch word (a runtime library call in the real system) *)
+  Sim.set_trap sim (psa + psa_real_to_int) (fun s ->
+      let v = Sim.freg s 0 in
+      Sim.store_w s (psa + psa_scratch) (Int32.to_int (Int32.of_float v)))
+
+(** Create a simulator, install the PSA, and load an object module.
+    Returns the simulator and the absolute entry address. *)
+let boot ?(layout = default_layout) (objmod : Objmod.t) :
+    (Sim.t * int, string) result =
+  let sim = Sim.create ~mem_size:(1 lsl 20) ~halt_addr:0 () in
+  install sim layout;
+  match Objmod.load sim.Sim.mem ~at:layout.code_addr objmod with
+  | Error e -> Error e
+  | Ok entry ->
+      Sim.set_reg sim pr_base layout.psa_addr;
+      Sim.set_reg sim code_base layout.code_addr;
+      Sim.set_reg sim stack_base layout.stack_top;
+      Sim.set_reg sim 14 0 (* returning from the outer procedure halts *);
+      Sim.set_reg sim 15 entry;
+      Ok (sim, entry)
+
+(** The frame address the outermost procedure's locals live in (valid
+    after its [procedure_entry] ran). *)
+let main_frame (layout : layout) = layout.stack_top - layout.frame_size
+
+(** Run a booted program to completion. *)
+let run ?(max_steps = 1_000_000) ?(layout = default_layout) sim ~entry :
+    (outcome, string) result =
+  match Sim.run ~max_steps sim ~entry with
+  | steps ->
+      Ok { steps; aborted = sim.Sim.aborted; final_frame = main_frame layout }
+  | exception Sim.Sim_error e -> Error e
+  | exception Encode.Encode_error e -> Error e

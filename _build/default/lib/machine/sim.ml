@@ -1,0 +1,478 @@
+(** A System/360-370 subset simulator.
+
+    Executes the binary code produced by the code generator so that emitted
+    code can be checked for functional correctness, not just inspected.
+    Word size is 32 bits (big-endian storage); registers are kept as OCaml
+    ints normalized to signed 32-bit range.  Floating point substitutes
+    IEEE single/double for IBM hexadecimal float (see DESIGN.md).
+
+    A trap table maps absolute addresses to OCaml handlers: branching into
+    a trapped address runs the handler and returns via register 14 (unless
+    the handler redirects).  This models the runtime support routines the
+    generated code reaches through [bal rx,disp(pr_base)]. *)
+
+exception Sim_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Sim_error s)) fmt
+
+type t = {
+  mem : Bytes.t;
+  regs : int array; (* 16 GPRs, signed 32-bit normalized *)
+  fregs : float array; (* FP registers 0,2,4,6 *)
+  mutable cc : int; (* condition code, 0..3 *)
+  mutable pc : int;
+  mutable running : bool;
+  mutable steps : int;
+  mutable aborted : string option;
+  traps : (int, t -> unit) Hashtbl.t;
+  halt_addr : int;
+}
+
+let mask32 = 0xFFFFFFFF
+
+(* normalize to signed 32-bit *)
+let norm32 x =
+  let v = x land mask32 in
+  if v >= 0x80000000 then v - 0x100000000 else v
+
+let unsigned32 x = x land mask32
+
+let create ?(mem_size = 1 lsl 20) ?(halt_addr = 0) () =
+  {
+    mem = Bytes.make mem_size '\000';
+    regs = Array.make 16 0;
+    fregs = Array.make 8 0.0;
+    cc = 0;
+    pc = 0;
+    running = false;
+    steps = 0;
+    aborted = None;
+    traps = Hashtbl.create 16;
+    halt_addr;
+  }
+
+let set_trap t addr handler = Hashtbl.replace t.traps addr handler
+let reg t r = t.regs.(r)
+let set_reg t r v = t.regs.(r) <- norm32 v
+let freg t r = t.fregs.(r)
+let set_freg t r v = t.fregs.(r) <- v
+
+(* -- memory access ------------------------------------------------------- *)
+
+let check t addr n what =
+  if addr < 0 || addr + n > Bytes.length t.mem then
+    err "%s access out of bounds at %06X" what addr
+
+let load_u8 t a =
+  check t a 1 "byte load";
+  Bytes.get_uint8 t.mem a
+
+let store_u8 t a v =
+  check t a 1 "byte store";
+  Bytes.set_uint8 t.mem a (v land 0xFF)
+
+let load_h t a =
+  check t a 2 "halfword load";
+  let v = Bytes.get_uint16_be t.mem a in
+  if v >= 0x8000 then v - 0x10000 else v
+
+let store_h t a v =
+  check t a 2 "halfword store";
+  Bytes.set_uint16_be t.mem a (v land 0xFFFF)
+
+let load_w t a =
+  check t a 4 "word load";
+  norm32 (Int32.to_int (Bytes.get_int32_be t.mem a) land mask32)
+
+let store_w t a v =
+  check t a 4 "word store";
+  Bytes.set_int32_be t.mem a (Int32.of_int (norm32 v))
+
+let load_f32 t a =
+  check t a 4 "float load";
+  Int32.float_of_bits (Bytes.get_int32_be t.mem a)
+
+let store_f32 t a v =
+  check t a 4 "float store";
+  Bytes.set_int32_be t.mem a (Int32.bits_of_float v)
+
+let load_f64 t a =
+  check t a 8 "double load";
+  Int64.float_of_bits (Bytes.get_int64_be t.mem a)
+
+let store_f64 t a v =
+  check t a 8 "double store";
+  Bytes.set_int64_be t.mem a (Int64.bits_of_float v)
+
+(* -- condition code helpers ---------------------------------------------- *)
+
+let cc_of_sign v = if v = 0 then 0 else if v < 0 then 1 else 2
+
+let cc_of_compare a b = if a = b then 0 else if a < b then 1 else 2
+
+let arith_result t v =
+  (* detect 32-bit signed overflow: v is the mathematically exact result *)
+  let n = norm32 v in
+  if n <> v then t.cc <- 3 else t.cc <- cc_of_sign n;
+  n
+
+let logical_result t v =
+  let n = norm32 v in
+  t.cc <- (if n = 0 then 0 else 1);
+  n
+
+(* -- addressing ---------------------------------------------------------- *)
+
+let ea t ~d ~x ~b =
+  let xi = if x = 0 then 0 else unsigned32 t.regs.(x)
+  and bi = if b = 0 then 0 else unsigned32 t.regs.(b) in
+  (d + xi + bi) land 0xFFFFFF
+
+let ea_rs t ~d ~b = ea t ~d ~x:0 ~b
+
+(* -- even/odd pair helpers ----------------------------------------------- *)
+
+let get_pair t r =
+  if r mod 2 <> 0 then err "odd register %d used as even/odd pair" r;
+  let hi = Int64.of_int (unsigned32 t.regs.(r))
+  and lo = Int64.of_int (unsigned32 t.regs.(r + 1)) in
+  Int64.logor (Int64.shift_left hi 32) lo
+
+let set_pair t r v =
+  if r mod 2 <> 0 then err "odd register %d used as even/odd pair" r;
+  t.regs.(r) <- norm32 (Int64.to_int (Int64.shift_right_logical v 32) land mask32);
+  t.regs.(r + 1) <- norm32 (Int64.to_int v land mask32)
+
+(* -- branching ----------------------------------------------------------- *)
+
+let branch_taken t mask = mask land (8 lsr t.cc) <> 0
+
+(* -- execution ----------------------------------------------------------- *)
+
+let exec_rr t op r1 r2 next =
+  let regs = t.regs in
+  let branch target = t.pc <- target land 0xFFFFFF in
+  (match op with
+  | "lr" -> regs.(r1) <- regs.(r2)
+  | "ltr" ->
+      regs.(r1) <- regs.(r2);
+      t.cc <- cc_of_sign regs.(r1)
+  | "lcr" -> regs.(r1) <- arith_result t (-regs.(r2))
+  | "lpr" -> regs.(r1) <- arith_result t (abs regs.(r2))
+  | "lnr" ->
+      regs.(r1) <- norm32 (-abs regs.(r2));
+      t.cc <- cc_of_sign regs.(r1)
+  | "ar" -> regs.(r1) <- arith_result t (regs.(r1) + regs.(r2))
+  | "sr" -> regs.(r1) <- arith_result t (regs.(r1) - regs.(r2))
+  | "alr" ->
+      let sum = unsigned32 regs.(r1) + unsigned32 regs.(r2) in
+      let carry = sum > mask32 in
+      regs.(r1) <- norm32 sum;
+      t.cc <- (if norm32 sum = 0 then if carry then 2 else 0
+               else if carry then 3 else 1)
+  | "slr" ->
+      let diff = unsigned32 regs.(r1) - unsigned32 regs.(r2) in
+      let borrow = diff < 0 in
+      regs.(r1) <- norm32 diff;
+      t.cc <- (if norm32 diff = 0 then 2 else if borrow then 1 else 3)
+  | "mr" ->
+      (* product of odd register and r2 -> 64-bit result in the pair *)
+      if r1 mod 2 <> 0 then err "mr: r1 must be even";
+      let prod = Int64.mul (Int64.of_int regs.(r1 + 1)) (Int64.of_int regs.(r2)) in
+      set_pair t r1 prod
+  | "dr" ->
+      if r1 mod 2 <> 0 then err "dr: r1 must be even";
+      if regs.(r2) = 0 then err "dr: division by zero";
+      let dividend = get_pair t r1 in
+      let divisor = Int64.of_int regs.(r2) in
+      let q = Int64.div dividend divisor and r = Int64.rem dividend divisor in
+      regs.(r1) <- norm32 (Int64.to_int r land mask32 |> norm32);
+      regs.(r1 + 1) <- norm32 (Int64.to_int q land mask32 |> norm32)
+  | "cr" -> t.cc <- cc_of_compare regs.(r1) regs.(r2)
+  | "clr" -> t.cc <- cc_of_compare (unsigned32 regs.(r1)) (unsigned32 regs.(r2))
+  | "nr" -> regs.(r1) <- logical_result t (regs.(r1) land regs.(r2))
+  | "or" -> regs.(r1) <- logical_result t (regs.(r1) lor regs.(r2))
+  | "xr" -> regs.(r1) <- logical_result t (regs.(r1) lxor regs.(r2))
+  | "bcr" -> if branch_taken t r1 && r2 <> 0 then branch (unsigned32 regs.(r2))
+  | "balr" ->
+      regs.(r1) <- next;
+      if r2 <> 0 then branch (unsigned32 regs.(r2))
+  | "bctr" ->
+      regs.(r1) <- norm32 (regs.(r1) - 1);
+      if regs.(r1) <> 0 && r2 <> 0 then branch (unsigned32 regs.(r2))
+  | "spm" -> () (* set program mask: no-op in this model *)
+  | "mvcl" ->
+      if r1 mod 2 <> 0 || r2 mod 2 <> 0 then err "mvcl: registers must be even";
+      let dst = unsigned32 regs.(r1) land 0xFFFFFF
+      and dlen = unsigned32 regs.(r1 + 1) land 0xFFFFFF
+      and src = unsigned32 regs.(r2) land 0xFFFFFF
+      and slen = unsigned32 regs.(r2 + 1) land 0xFFFFFF in
+      let pad = (unsigned32 regs.(r2 + 1) lsr 24) land 0xFF in
+      for i = 0 to dlen - 1 do
+        let b = if i < slen then load_u8 t (src + i) else pad in
+        store_u8 t (dst + i) b
+      done;
+      regs.(r1) <- norm32 (dst + dlen);
+      regs.(r1 + 1) <- 0;
+      regs.(r2) <- norm32 (src + min slen dlen);
+      regs.(r2 + 1) <- norm32 (slen - min slen dlen);
+      t.cc <- cc_of_compare dlen slen
+  (* floating point RR *)
+  | "ler" | "ldr" -> t.fregs.(r1) <- t.fregs.(r2)
+  | "lcer" | "lcdr" ->
+      t.fregs.(r1) <- -.t.fregs.(r2);
+      t.cc <- cc_of_sign (compare t.fregs.(r1) 0.0)
+  | "lper" | "lpdr" ->
+      t.fregs.(r1) <- Float.abs t.fregs.(r2);
+      t.cc <- cc_of_sign (compare t.fregs.(r1) 0.0)
+  | "lner" | "lndr" ->
+      t.fregs.(r1) <- -.Float.abs t.fregs.(r2);
+      t.cc <- cc_of_sign (compare t.fregs.(r1) 0.0)
+  | "lter" | "ltdr" ->
+      t.fregs.(r1) <- t.fregs.(r2);
+      t.cc <- cc_of_sign (compare t.fregs.(r1) 0.0)
+  | "aer" | "adr" | "axr" ->
+      t.fregs.(r1) <- t.fregs.(r1) +. t.fregs.(r2);
+      t.cc <- cc_of_sign (compare t.fregs.(r1) 0.0)
+  | "ser" | "sdr" | "sxr" ->
+      t.fregs.(r1) <- t.fregs.(r1) -. t.fregs.(r2);
+      t.cc <- cc_of_sign (compare t.fregs.(r1) 0.0)
+  | "mer" | "mdr" | "mxr" -> t.fregs.(r1) <- t.fregs.(r1) *. t.fregs.(r2)
+  | "der" | "ddr" ->
+      if t.fregs.(r2) = 0.0 then err "der/ddr: division by zero";
+      t.fregs.(r1) <- t.fregs.(r1) /. t.fregs.(r2)
+  | "her" | "hdr" -> t.fregs.(r1) <- t.fregs.(r2) /. 2.0
+  | "cer" | "cdr" -> t.cc <- cc_of_compare (compare t.fregs.(r1) t.fregs.(r2)) 0
+  | "lrer" | "lrdr" -> t.fregs.(r1) <- t.fregs.(r2)
+  | "clcl" -> err "clcl: not implemented"
+  | _ -> err "unimplemented RR instruction %s" op);
+  ()
+
+let exec_rx t op r1 addr next =
+  let regs = t.regs in
+  match op with
+  | "l" -> regs.(r1) <- load_w t addr
+  | "lh" -> regs.(r1) <- load_h t addr
+  | "la" -> regs.(r1) <- addr land 0xFFFFFF
+  | "st" -> store_w t addr regs.(r1)
+  | "sth" -> store_h t addr regs.(r1)
+  | "stc" -> store_u8 t addr regs.(r1)
+  | "ic" -> regs.(r1) <- norm32 ((regs.(r1) land (lnot 0xFF)) lor load_u8 t addr)
+  | "a" -> regs.(r1) <- arith_result t (regs.(r1) + load_w t addr)
+  | "ah" -> regs.(r1) <- arith_result t (regs.(r1) + load_h t addr)
+  | "s" -> regs.(r1) <- arith_result t (regs.(r1) - load_w t addr)
+  | "sh" -> regs.(r1) <- arith_result t (regs.(r1) - load_h t addr)
+  | "al" ->
+      let sum = unsigned32 regs.(r1) + unsigned32 (load_w t addr) in
+      let carry = sum > mask32 in
+      regs.(r1) <- norm32 sum;
+      t.cc <- (if norm32 sum = 0 then if carry then 2 else 0
+               else if carry then 3 else 1)
+  | "sl" ->
+      let diff = unsigned32 regs.(r1) - unsigned32 (load_w t addr) in
+      regs.(r1) <- norm32 diff;
+      t.cc <- (if norm32 diff = 0 then 2 else if diff < 0 then 1 else 3)
+  | "m" ->
+      if r1 mod 2 <> 0 then err "m: r1 must be even";
+      let prod =
+        Int64.mul (Int64.of_int regs.(r1 + 1)) (Int64.of_int (load_w t addr))
+      in
+      set_pair t r1 prod
+  | "mh" -> regs.(r1) <- norm32 (regs.(r1) * load_h t addr)
+  | "d" ->
+      if r1 mod 2 <> 0 then err "d: r1 must be even";
+      let divisor = load_w t addr in
+      if divisor = 0 then err "d: division by zero";
+      let dividend = get_pair t r1 in
+      let q = Int64.div dividend (Int64.of_int divisor)
+      and r = Int64.rem dividend (Int64.of_int divisor) in
+      regs.(r1) <- norm32 (Int64.to_int r land mask32 |> norm32);
+      regs.(r1 + 1) <- norm32 (Int64.to_int q land mask32 |> norm32)
+  | "c" -> t.cc <- cc_of_compare regs.(r1) (load_w t addr)
+  | "ch" -> t.cc <- cc_of_compare regs.(r1) (load_h t addr)
+  | "cl" -> t.cc <- cc_of_compare (unsigned32 regs.(r1)) (unsigned32 (load_w t addr))
+  | "n" -> regs.(r1) <- logical_result t (regs.(r1) land load_w t addr)
+  | "o" -> regs.(r1) <- logical_result t (regs.(r1) lor load_w t addr)
+  | "x" -> regs.(r1) <- logical_result t (regs.(r1) lxor load_w t addr)
+  | "bc" -> if branch_taken t r1 then t.pc <- addr
+  | "bal" ->
+      regs.(r1) <- next;
+      t.pc <- addr
+  | "bct" ->
+      regs.(r1) <- norm32 (regs.(r1) - 1);
+      if regs.(r1) <> 0 then t.pc <- addr
+  (* floating point RX: r1 names an FP register *)
+  | "le" -> t.fregs.(r1) <- load_f32 t addr
+  | "ld" -> t.fregs.(r1) <- load_f64 t addr
+  | "ste" -> store_f32 t addr t.fregs.(r1)
+  | "std" -> store_f64 t addr t.fregs.(r1)
+  | "ae" | "ad" ->
+      t.fregs.(r1) <-
+        t.fregs.(r1) +. (if op = "ae" then load_f32 t addr else load_f64 t addr);
+      t.cc <- cc_of_sign (compare t.fregs.(r1) 0.0)
+  | "se" | "sd" ->
+      t.fregs.(r1) <-
+        t.fregs.(r1) -. (if op = "se" then load_f32 t addr else load_f64 t addr);
+      t.cc <- cc_of_sign (compare t.fregs.(r1) 0.0)
+  | "me" | "md" ->
+      t.fregs.(r1) <-
+        t.fregs.(r1) *. (if op = "me" then load_f32 t addr else load_f64 t addr)
+  | "de" | "dd" ->
+      let v = if op = "de" then load_f32 t addr else load_f64 t addr in
+      if v = 0.0 then err "de/dd: division by zero";
+      t.fregs.(r1) <- t.fregs.(r1) /. v
+  | "ce" | "cd" ->
+      let v = if op = "ce" then load_f32 t addr else load_f64 t addr in
+      t.cc <- cc_of_compare (compare t.fregs.(r1) v) 0
+  | "ex" | "cvb" | "cvd" -> err "%s: not implemented" op
+  | _ -> err "unimplemented RX instruction %s" op
+
+let exec_rs t op r1 r3 addr =
+  let regs = t.regs in
+  let shift_amount = addr land 0x3F in
+  match op with
+  | "sla" ->
+      let v = regs.(r1) in
+      let exact = v * (1 lsl shift_amount) in
+      regs.(r1) <- arith_result t exact
+  | "sra" ->
+      regs.(r1) <- norm32 (regs.(r1) asr shift_amount);
+      t.cc <- cc_of_sign regs.(r1)
+  | "sll" -> regs.(r1) <- norm32 (unsigned32 regs.(r1) lsl shift_amount)
+  | "srl" -> regs.(r1) <- norm32 (unsigned32 regs.(r1) lsr shift_amount)
+  | "slda" ->
+      let v = get_pair t r1 in
+      let shifted = Int64.shift_left v shift_amount in
+      set_pair t r1 shifted;
+      t.cc <- cc_of_sign (Int64.compare shifted 0L)
+  | "srda" ->
+      let v = get_pair t r1 in
+      let shifted = Int64.shift_right v shift_amount in
+      set_pair t r1 shifted;
+      t.cc <- cc_of_sign (Int64.compare shifted 0L)
+  | "sldl" ->
+      let v = get_pair t r1 in
+      set_pair t r1 (Int64.shift_left v shift_amount)
+  | "srdl" ->
+      let v = get_pair t r1 in
+      set_pair t r1 (Int64.shift_right_logical v shift_amount)
+  | "lm" ->
+      let r = ref r1 and a = ref addr in
+      let continue = ref true in
+      while !continue do
+        regs.(!r) <- load_w t !a;
+        a := !a + 4;
+        if !r = r3 then continue := false else r := (!r + 1) mod 16
+      done
+  | "stm" ->
+      let r = ref r1 and a = ref addr in
+      let continue = ref true in
+      while !continue do
+        store_w t !a regs.(!r);
+        a := !a + 4;
+        if !r = r3 then continue := false else r := (!r + 1) mod 16
+      done
+  | "bxh" ->
+      let incr = regs.(r3) in
+      let cmp = if r3 mod 2 = 0 then regs.(r3 + 1) else regs.(r3) in
+      regs.(r1) <- norm32 (regs.(r1) + incr);
+      if regs.(r1) > cmp then t.pc <- addr
+  | "bxle" ->
+      let incr = regs.(r3) in
+      let cmp = if r3 mod 2 = 0 then regs.(r3 + 1) else regs.(r3) in
+      regs.(r1) <- norm32 (regs.(r1) + incr);
+      if regs.(r1) <= cmp then t.pc <- addr
+  | _ -> err "unimplemented RS instruction %s" op
+
+let exec_si t op addr i2 =
+  match op with
+  | "mvi" -> store_u8 t addr i2
+  | "cli" -> t.cc <- cc_of_compare (load_u8 t addr) i2
+  | "ni" ->
+      let v = load_u8 t addr land i2 in
+      store_u8 t addr v;
+      t.cc <- (if v = 0 then 0 else 1)
+  | "oi" ->
+      let v = load_u8 t addr lor i2 in
+      store_u8 t addr v;
+      t.cc <- (if v = 0 then 0 else 1)
+  | "xi" ->
+      let v = load_u8 t addr lxor i2 in
+      store_u8 t addr v;
+      t.cc <- (if v = 0 then 0 else 1)
+  | "tm" ->
+      let b = load_u8 t addr in
+      let sel = b land i2 in
+      t.cc <- (if sel = 0 then 0 else if sel = i2 then 3 else 1)
+  | _ -> err "unimplemented SI instruction %s" op
+
+let exec_ss t op l a1 a2 =
+  match op with
+  | "mvc" ->
+      (* one byte at a time, left to right: architected overlap behaviour *)
+      for i = 0 to l - 1 do
+        store_u8 t (a1 + i) (load_u8 t (a2 + i))
+      done
+  | "clc" ->
+      let rec cmp i =
+        if i >= l then 0
+        else
+          let c = compare (load_u8 t (a1 + i)) (load_u8 t (a2 + i)) in
+          if c <> 0 then c else cmp (i + 1)
+      in
+      t.cc <- cc_of_compare (cmp 0) 0
+  | "nc" | "oc" | "xc" ->
+      let f =
+        match op with
+        | "nc" -> ( land )
+        | "oc" -> ( lor )
+        | _ -> ( lxor )
+      in
+      let nonzero = ref false in
+      for i = 0 to l - 1 do
+        let v = f (load_u8 t (a1 + i)) (load_u8 t (a2 + i)) land 0xFF in
+        if v <> 0 then nonzero := true;
+        store_u8 t (a1 + i) v
+      done;
+      t.cc <- (if !nonzero then 1 else 0)
+  | _ -> err "unimplemented SS instruction %s" op
+
+(** Execute a single instruction at the current PC. *)
+let step t =
+  let insn, sz = Encode.decode t.mem t.pc in
+  let next = t.pc + sz in
+  t.pc <- next;
+  (match insn with
+  | Rr { op; r1; r2 } -> exec_rr t op r1 r2 next
+  | Rx { op; r1; d2; x2; b2 } -> exec_rx t op r1 (ea t ~d:d2 ~x:x2 ~b:b2) next
+  | Rs { op; r1; r3; d2; b2 } -> exec_rs t op r1 r3 (ea_rs t ~d:d2 ~b:b2)
+  | Si { op; d1; b1; i2 } -> exec_si t op (ea_rs t ~d:d1 ~b:b1) i2
+  | Ss { op; l; d1; b1; d2; b2 } ->
+      exec_ss t op l (ea_rs t ~d:d1 ~b:b1) (ea_rs t ~d:d2 ~b:b2));
+  t.steps <- t.steps + 1
+
+(** Run from [entry] until the PC reaches the halt address, a trap handler
+    stops the machine, or [max_steps] is exceeded. *)
+let run ?(max_steps = 1_000_000) t ~entry =
+  t.pc <- entry;
+  t.running <- true;
+  let budget = ref max_steps in
+  while t.running do
+    if t.pc = t.halt_addr then t.running <- false
+    else
+      match Hashtbl.find_opt t.traps t.pc with
+      | Some handler ->
+          handler t;
+          if t.running && Hashtbl.mem t.traps t.pc then
+            (* handler did not redirect: return via r14 *)
+            t.pc <- unsigned32 t.regs.(14) land 0xFFFFFF
+      | None ->
+          step t;
+          decr budget;
+          if !budget <= 0 then err "instruction budget exhausted (%d steps)" max_steps
+  done;
+  t.steps
+
+let abort t reason =
+  t.aborted <- Some reason;
+  t.running <- false

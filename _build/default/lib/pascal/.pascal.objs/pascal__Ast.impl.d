@@ -1,0 +1,1 @@
+lib/pascal/ast.ml: Fmt

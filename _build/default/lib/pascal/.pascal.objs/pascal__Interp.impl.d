@@ -1,0 +1,1 @@
+lib/pascal/interp.ml: Array Ast Char Float Fmt Hashtbl List Option Sema

@@ -1,0 +1,1 @@
+lib/pascal/sema.ml: Ast Fmt Hashtbl List Option Parser

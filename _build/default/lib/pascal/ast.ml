@@ -1,0 +1,92 @@
+(** Abstract syntax of the mini-Pascal front end.
+
+    The subset covers what the paper's evaluation exercises: integer,
+    boolean, char and real arithmetic, subrange (halfword) storage,
+    arrays, sets (via [include]/[exclude]/[in]), the full statement
+    repertoire (assignment, if, while, repeat, for, case, procedure
+    calls) and the built-in functions that map onto machine idioms
+    (abs, odd, min, max, trunc, ...). *)
+
+type ty =
+  | Tint
+  | Tbool
+  | Tchar
+  | Treal
+  | Tsub of int * int  (** subrange; stored as a halfword when it fits *)
+  | Tarray of { lo : int; hi : int; elem : ty }
+  | Tset of int  (** [set of 0..n] *)
+
+let rec pp_ty ppf = function
+  | Tint -> Fmt.string ppf "integer"
+  | Tbool -> Fmt.string ppf "boolean"
+  | Tchar -> Fmt.string ppf "char"
+  | Treal -> Fmt.string ppf "real"
+  | Tsub (a, b) -> Fmt.pf ppf "%d..%d" a b
+  | Tarray { lo; hi; elem } -> Fmt.pf ppf "array[%d..%d] of %a" lo hi pp_ty elem
+  | Tset n -> Fmt.pf ppf "set of 0..%d" n
+
+(** The scalar type used for expression typing (arrays decay to their
+    element type on indexing; subranges behave as integers). *)
+let rec scalar = function
+  | Tsub _ -> Tint
+  | Tarray { elem; _ } -> scalar elem
+  | t -> t
+
+type binop =
+  | Add | Sub | Mul | Div (* integer div *) | Mod
+  | RDiv (* real / *)
+  | And | Or
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | In  (** set membership *)
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "div" | Mod -> "mod"
+  | RDiv -> "/" | And -> "and" | Or -> "or"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "=" | Ne -> "<>"
+  | In -> "in"
+
+type unop = Neg | Not
+
+type expr =
+  | Eint of int
+  | Ereal of float
+  | Ebool of bool
+  | Echar of char
+  | Evar of string
+  | Eindex of string * expr
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Ecall of string * expr list  (** built-in functions only *)
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt =
+  | Sassign of lvalue * expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Srepeat of stmt list * expr
+  | Sfor of { var : string; from_ : expr; downto_ : bool; to_ : expr; body : stmt list }
+  | Scase of expr * (int list * stmt list) list * stmt list option
+  | Scall of string * expr list
+      (** user procedures (no arguments) and built-in procedures
+          ([include], [exclude], [write]) *)
+  | Sblock of stmt list
+  | Sempty
+
+type var_decl = { v_name : string; v_ty : ty }
+
+type proc_decl = { p_name : string; p_locals : var_decl list; p_body : stmt list }
+
+type program = {
+  prog_name : string;
+  globals : var_decl list;
+  procs : proc_decl list;
+  main : stmt list;
+}
+
+(** Built-in functions with their argument counts. *)
+let builtins =
+  [ ("abs", 1); ("odd", 1); ("sqr", 1); ("trunc", 1); ("ord", 1);
+    ("chr", 1); ("succ", 1); ("pred", 1); ("min", 2); ("max", 2) ]
+
+let builtin_procs = [ ("include", 2); ("exclude", 2); ("write", 1) ]

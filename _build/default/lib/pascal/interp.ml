@@ -1,0 +1,288 @@
+(** Reference interpreter: the ground truth the generated machine code is
+    checked against.  Integer arithmetic is normalized to signed 32-bit,
+    matching the 370's word size; [div]/[mod] truncate toward zero like
+    the hardware. *)
+
+type value =
+  | Vint of int
+  | Vbool of bool
+  | Vchar of char
+  | Vreal of float
+  | Varr of value array * int (* elements, low bound *)
+  | Vset of bool array
+
+type error = { msg : string }
+
+let pp_error ppf e = Fmt.pf ppf "interp: %s" e.msg
+
+exception Fail of error
+
+let fail fmt = Fmt.kstr (fun msg -> raise (Fail { msg })) fmt
+
+let norm32 x =
+  let v = x land 0xFFFFFFFF in
+  if v >= 0x80000000 then v - 0x100000000 else v
+
+let rec zero_of (t : Ast.ty) : value =
+  match t with
+  | Ast.Tint | Ast.Tsub _ -> Vint 0
+  | Ast.Tbool -> Vbool false
+  | Ast.Tchar -> Vchar '\000'
+  | Ast.Treal -> Vreal 0.0
+  | Ast.Tarray { lo; hi; elem } ->
+      Varr (Array.init (hi - lo + 1) (fun _ -> zero_of elem), lo)
+  | Ast.Tset n -> Vset (Array.make (n + 1) false)
+
+type frame = (string, value ref) Hashtbl.t
+
+type t = {
+  globals : frame;
+  prog : Ast.program;
+  mutable written : value list; (* reversed *)
+  mutable steps : int;
+  max_steps : int;
+}
+
+let mk_frame (decls : Ast.var_decl list) : frame =
+  let h = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Ast.var_decl) -> Hashtbl.replace h d.Ast.v_name (ref (zero_of d.Ast.v_ty)))
+    decls;
+  h
+
+let cell t (locals : frame option) name : value ref =
+  match Option.bind locals (fun l -> Hashtbl.find_opt l name) with
+  | Some c -> c
+  | None -> (
+      match Hashtbl.find_opt t.globals name with
+      | Some c -> c
+      | None -> fail "undeclared variable %s" name)
+
+let as_int = function
+  | Vint n -> n
+  | Vchar c -> Char.code c
+  | Vbool b -> if b then 1 else 0
+  | _ -> fail "integer expected"
+
+let as_real = function
+  | Vreal f -> f
+  | Vint n -> float_of_int n
+  | _ -> fail "real expected"
+
+let as_bool = function Vbool b -> b | _ -> fail "boolean expected"
+
+let tick t =
+  t.steps <- t.steps + 1;
+  if t.steps > t.max_steps then fail "interpreter step budget exhausted"
+
+let rec eval t locals (e : Ast.expr) : value =
+  tick t;
+  match e with
+  | Ast.Eint n -> Vint (norm32 n)
+  | Ast.Ereal f -> Vreal f
+  | Ast.Ebool b -> Vbool b
+  | Ast.Echar c -> Vchar c
+  | Ast.Evar v -> !(cell t locals v)
+  | Ast.Eindex (v, idx) -> (
+      let i = as_int (eval t locals idx) in
+      match !(cell t locals v) with
+      | Varr (elems, lo) ->
+          if i < lo || i - lo >= Array.length elems then
+            fail "subscript %d out of range for %s" i v
+          else elems.(i - lo)
+      | _ -> fail "%s is not an array" v)
+  | Ast.Eun (Ast.Neg, e) -> (
+      match eval t locals e with
+      | Vint n -> Vint (norm32 (-n))
+      | Vreal f -> Vreal (-.f)
+      | _ -> fail "bad operand to unary minus")
+  | Ast.Eun (Ast.Not, e) -> Vbool (not (as_bool (eval t locals e)))
+  | Ast.Ebin (op, a, b) -> (
+      match op with
+      | Ast.And -> Vbool (as_bool (eval t locals a) && as_bool (eval t locals b))
+      | Ast.Or -> Vbool (as_bool (eval t locals a) || as_bool (eval t locals b))
+      | Ast.In -> (
+          let x = as_int (eval t locals a) in
+          match eval t locals b with
+          | Vset bits -> Vbool (x >= 0 && x < Array.length bits && bits.(x))
+          | _ -> fail "in over a non-set")
+      | _ -> (
+          let va = eval t locals a and vb = eval t locals b in
+          let arith fi fr =
+            match (va, vb) with
+            | Vint x, Vint y -> Vint (norm32 (fi x y))
+            | (Vreal _ | Vint _), (Vreal _ | Vint _) ->
+                Vreal (fr (as_real va) (as_real vb))
+            | _ -> fail "bad arithmetic operands"
+          in
+          let compare_vals () =
+            match (va, vb) with
+            | Vchar x, Vchar y -> compare x y
+            | Vbool x, Vbool y -> compare x y
+            | (Vreal _ | Vint _), (Vreal _ | Vint _) ->
+                compare (as_real va) (as_real vb)
+            | _ -> fail "bad comparison operands"
+          in
+          match op with
+          | Ast.Add -> arith ( + ) ( +. )
+          | Ast.Sub -> arith ( - ) ( -. )
+          | Ast.Mul -> arith ( * ) ( *. )
+          | Ast.Div ->
+              let d = as_int vb in
+              if d = 0 then fail "division by zero"
+              else Vint (norm32 (as_int va / d))
+          | Ast.Mod ->
+              let d = as_int vb in
+              if d = 0 then fail "modulo by zero"
+              else Vint (norm32 (as_int va mod d))
+          | Ast.RDiv ->
+              let d = as_real vb in
+              if d = 0.0 then fail "division by zero"
+              else Vreal (as_real va /. d)
+          | Ast.Lt -> Vbool (compare_vals () < 0)
+          | Ast.Le -> Vbool (compare_vals () <= 0)
+          | Ast.Gt -> Vbool (compare_vals () > 0)
+          | Ast.Ge -> Vbool (compare_vals () >= 0)
+          | Ast.Eq -> Vbool (compare_vals () = 0)
+          | Ast.Ne -> Vbool (compare_vals () <> 0)
+          | Ast.And | Ast.Or | Ast.In -> assert false))
+  | Ast.Ecall (f, args) -> (
+      let vs = List.map (eval t locals) args in
+      match (f, vs) with
+      | "abs", [ Vint n ] -> Vint (norm32 (abs n))
+      | "abs", [ Vreal f ] -> Vreal (Float.abs f)
+      | "sqr", [ Vint n ] -> Vint (norm32 (n * n))
+      | "sqr", [ Vreal f ] -> Vreal (f *. f)
+      | "odd", [ Vint n ] -> Vbool (n land 1 = 1)
+      | "trunc", [ Vreal f ] -> Vint (norm32 (int_of_float (Float.trunc f)))
+      | "trunc", [ Vint n ] -> Vint n
+      | "ord", [ v ] -> Vint (as_int v)
+      | "chr", [ Vint n ] -> Vchar (Char.chr (n land 0xFF))
+      | "succ", [ Vint n ] -> Vint (norm32 (n + 1))
+      | "succ", [ Vchar c ] -> Vchar (Char.chr ((Char.code c + 1) land 0xFF))
+      | "pred", [ Vint n ] -> Vint (norm32 (n - 1))
+      | "pred", [ Vchar c ] -> Vchar (Char.chr ((Char.code c - 1) land 0xFF))
+      | "min", [ a; b ] -> (
+          match (a, b) with
+          | Vint x, Vint y -> Vint (min x y)
+          | _ -> Vreal (min (as_real a) (as_real b)))
+      | "max", [ a; b ] -> (
+          match (a, b) with
+          | Vint x, Vint y -> Vint (max x y)
+          | _ -> Vreal (max (as_real a) (as_real b)))
+      | _ -> fail "bad builtin call %s" f)
+
+let assign_value target v =
+  (* implicit int -> real coercion on assignment *)
+  match (!target, v) with
+  | Vreal _, Vint n -> target := Vreal (float_of_int n)
+  | Vchar _, Vint n -> target := Vchar (Char.chr (n land 0xFF))
+  | _ -> target := v
+
+let rec exec t locals (s : Ast.stmt) : unit =
+  tick t;
+  match s with
+  | Ast.Sempty -> ()
+  | Ast.Sblock body -> List.iter (exec t locals) body
+  | Ast.Sassign (Ast.Lvar v, e) -> assign_value (cell t locals v) (eval t locals e)
+  | Ast.Sassign (Ast.Lindex (v, idx), e) -> (
+      let i = as_int (eval t locals idx) in
+      let value = eval t locals e in
+      match !(cell t locals v) with
+      | Varr (elems, lo) ->
+          if i < lo || i - lo >= Array.length elems then
+            fail "subscript %d out of range for %s" i v
+          else
+            let r = ref elems.(i - lo) in
+            assign_value r value;
+            elems.(i - lo) <- !r
+      | _ -> fail "%s is not an array" v)
+  | Ast.Sif (c, a, b) ->
+      if as_bool (eval t locals c) then List.iter (exec t locals) a
+      else List.iter (exec t locals) b
+  | Ast.Swhile (c, body) ->
+      while as_bool (eval t locals c) do
+        tick t;
+        List.iter (exec t locals) body
+      done
+  | Ast.Srepeat (body, c) ->
+      let continue = ref true in
+      while !continue do
+        tick t;
+        List.iter (exec t locals) body;
+        if as_bool (eval t locals c) then continue := false
+      done
+  | Ast.Sfor { var; from_; downto_; to_; body } ->
+      (* mirrors the generated code exactly: the loop variable is
+         initialized before the bound test and steps past the limit *)
+      let v = cell t locals var in
+      let limit = as_int (eval t locals to_) in
+      v := Vint (as_int (eval t locals from_));
+      let continue () =
+        let i = as_int !v in
+        if downto_ then i >= limit else i <= limit
+      in
+      while continue () do
+        tick t;
+        List.iter (exec t locals) body;
+        v := Vint (norm32 (as_int !v + if downto_ then -1 else 1))
+      done
+  | Ast.Scase (sel, arms, otherwise) -> (
+      let x = as_int (eval t locals sel) in
+      match
+        List.find_opt (fun (labels, _) -> List.mem x labels) arms
+      with
+      | Some (_, body) -> List.iter (exec t locals) body
+      | None -> (
+          match otherwise with
+          | Some body -> List.iter (exec t locals) body
+          | None -> fail "case selector %d matches no arm" x))
+  | Ast.Scall ("include", [ Ast.Evar s; e ]) -> (
+      let x = as_int (eval t locals e) in
+      match !(cell t locals s) with
+      | Vset bits when x >= 0 && x < Array.length bits -> bits.(x) <- true
+      | Vset _ -> fail "set element %d out of range" x
+      | _ -> fail "include over a non-set")
+  | Ast.Scall ("exclude", [ Ast.Evar s; e ]) -> (
+      let x = as_int (eval t locals e) in
+      match !(cell t locals s) with
+      | Vset bits when x >= 0 && x < Array.length bits -> bits.(x) <- false
+      | Vset _ -> fail "set element %d out of range" x
+      | _ -> fail "exclude over a non-set")
+  | Ast.Scall ("write", [ e ]) -> t.written <- eval t locals e :: t.written
+  | Ast.Scall (p, _) -> (
+      match
+        List.find_opt (fun (d : Ast.proc_decl) -> d.Ast.p_name = p) t.prog.Ast.procs
+      with
+      | Some proc ->
+          let frame = mk_frame proc.Ast.p_locals in
+          List.iter (exec t (Some frame)) proc.Ast.p_body
+      | None -> fail "unknown procedure %s" p)
+
+type result_t = {
+  final_globals : (string * value) list;
+  written : value list;
+  steps : int;
+}
+
+let run ?(max_steps = 2_000_000) (c : Sema.checked) : (result_t, error) result =
+  let prog = c.Sema.prog in
+  let t =
+    {
+      globals = mk_frame prog.Ast.globals;
+      prog;
+      written = [];
+      steps = 0;
+      max_steps;
+    }
+  in
+  try
+    List.iter (exec t None) prog.Ast.main;
+    Ok
+      {
+        final_globals =
+          Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.globals [];
+        written = List.rev t.written;
+        steps = t.steps;
+      }
+  with Fail e -> Error e

@@ -1,0 +1,113 @@
+(** Hand-written lexer for mini-Pascal. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Real of float
+  | Char of char
+  | Kw of string (* lower-cased keyword *)
+  | Sym of string (* := <= >= <> .. and single-char symbols *)
+  | Eof
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "identifier %s" s
+  | Int n -> Fmt.pf ppf "integer %d" n
+  | Real f -> Fmt.pf ppf "real %g" f
+  | Char c -> Fmt.pf ppf "char %C" c
+  | Kw k -> Fmt.pf ppf "keyword %s" k
+  | Sym s -> Fmt.pf ppf "%S" s
+  | Eof -> Fmt.string ppf "end of file"
+
+let keywords =
+  [ "program"; "var"; "begin"; "end"; "if"; "then"; "else"; "while"; "do";
+    "repeat"; "until"; "for"; "to"; "downto"; "case"; "of"; "otherwise";
+    "procedure"; "array"; "set"; "integer"; "boolean"; "char"; "real";
+    "div"; "mod"; "and"; "or"; "not"; "true"; "false"; "in" ]
+
+type error = { pos : int; line : int; msg : string }
+
+let pp_error ppf e = Fmt.pf ppf "pascal:%d: %s" e.line e.msg
+
+exception Fail of error
+
+(** Tokenize; returns tokens paired with their line numbers. *)
+let tokenize (src : string) : ((token * int) list, error) result =
+  let n = String.length src in
+  let line = ref 1 in
+  let out = ref [] in
+  let fail pos msg = raise (Fail { pos; line = !line; msg }) in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_alpha c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+  in
+  let i = ref 0 in
+  (try
+     while !i < n do
+       let c = src.[!i] in
+       if c = '\n' then begin incr line; incr i end
+       else if c = ' ' || c = '\t' || c = '\r' then incr i
+       else if c = '{' then begin
+         (* comment *)
+         while !i < n && src.[!i] <> '}' do
+           if src.[!i] = '\n' then incr line;
+           incr i
+         done;
+         if !i >= n then fail !i "unterminated comment";
+         incr i
+       end
+       else if is_alpha c then begin
+         let start = !i in
+         while !i < n && (is_alpha src.[!i] || is_digit src.[!i]) do incr i done;
+         let word = String.lowercase_ascii (String.sub src start (!i - start)) in
+         if List.mem word keywords then out := (Kw word, !line) :: !out
+         else out := (Ident word, !line) :: !out
+       end
+       else if is_digit c then begin
+         let start = !i in
+         while !i < n && is_digit src.[!i] do incr i done;
+         (* a real requires digit '.' digit — but '..' is a range *)
+         if
+           !i + 1 < n
+           && src.[!i] = '.'
+           && is_digit src.[!i + 1]
+         then begin
+           incr i;
+           while !i < n && is_digit src.[!i] do incr i done;
+           let text = String.sub src start (!i - start) in
+           match float_of_string_opt text with
+           | Some f -> out := (Real f, !line) :: !out
+           | None -> fail start ("malformed real " ^ text)
+         end
+         else
+           let text = String.sub src start (!i - start) in
+           match int_of_string_opt text with
+           | Some v -> out := (Int v, !line) :: !out
+           | None -> fail start ("malformed integer " ^ text)
+       end
+       else if c = '\'' then begin
+         if !i + 2 < n && src.[!i + 2] = '\'' then begin
+           out := (Char src.[!i + 1], !line) :: !out;
+           i := !i + 3
+         end
+         else fail !i "malformed character literal"
+       end
+       else begin
+         let two =
+           if !i + 1 < n then String.sub src !i 2 else String.make 1 c
+         in
+         match two with
+         | ":=" | "<=" | ">=" | "<>" | ".." ->
+             out := (Sym two, !line) :: !out;
+             i := !i + 2
+         | _ -> (
+             match c with
+             | '+' | '-' | '*' | '/' | '(' | ')' | '[' | ']' | ';' | ':'
+             | ',' | '.' | '=' | '<' | '>' ->
+                 out := (Sym (String.make 1 c), !line) :: !out;
+                 incr i
+             | _ -> fail !i (Fmt.str "unexpected character %C" c))
+       end
+     done;
+     out := (Eof, !line) :: !out;
+     Ok (List.rev !out)
+   with Fail e -> Error e)

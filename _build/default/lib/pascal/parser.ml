@@ -1,0 +1,346 @@
+(** Recursive-descent parser for mini-Pascal. *)
+
+type error = { line : int; msg : string }
+
+let pp_error ppf e = Fmt.pf ppf "pascal:%d: %s" e.line e.msg
+
+exception Fail of error
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let fail_at line fmt = Fmt.kstr (fun msg -> raise (Fail { line; msg })) fmt
+
+let peek st =
+  match st.toks with (t, _) :: _ -> t | [] -> Lexer.Eof
+
+let line st = match st.toks with (_, l) :: _ -> l | [] -> 0
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let fail st fmt = fail_at (line st) fmt
+
+let expect_sym st s =
+  match peek st with
+  | Lexer.Sym s' when s = s' -> advance st
+  | t -> fail st "expected %S, found %a" s Lexer.pp_token t
+
+let expect_kw st k =
+  match peek st with
+  | Lexer.Kw k' when k = k' -> advance st
+  | t -> fail st "expected %s, found %a" k Lexer.pp_token t
+
+let expect_ident st =
+  match peek st with
+  | Lexer.Ident s ->
+      advance st;
+      s
+  | t -> fail st "expected an identifier, found %a" Lexer.pp_token t
+
+let expect_int st =
+  match peek st with
+  | Lexer.Int v ->
+      advance st;
+      v
+  | Lexer.Sym "-" -> (
+      advance st;
+      match peek st with
+      | Lexer.Int v ->
+          advance st;
+          -v
+      | t -> fail st "expected an integer, found %a" Lexer.pp_token t)
+  | t -> fail st "expected an integer, found %a" Lexer.pp_token t
+
+(* -- types ------------------------------------------------------------------ *)
+
+let rec parse_type st : Ast.ty =
+  match peek st with
+  | Lexer.Kw "integer" -> advance st; Ast.Tint
+  | Lexer.Kw "boolean" -> advance st; Ast.Tbool
+  | Lexer.Kw "char" -> advance st; Ast.Tchar
+  | Lexer.Kw "real" -> advance st; Ast.Treal
+  | Lexer.Kw "array" ->
+      advance st;
+      expect_sym st "[";
+      let lo = expect_int st in
+      expect_sym st "..";
+      let hi = expect_int st in
+      expect_sym st "]";
+      expect_kw st "of";
+      let elem = parse_type st in
+      if hi < lo then fail st "empty array range %d..%d" lo hi;
+      Ast.Tarray { lo; hi; elem }
+  | Lexer.Kw "set" ->
+      advance st;
+      expect_kw st "of";
+      let lo = expect_int st in
+      expect_sym st "..";
+      let hi = expect_int st in
+      if lo <> 0 then fail st "sets must start at 0";
+      if hi < 0 || hi > 255 then fail st "set range too large";
+      Ast.Tset hi
+  | Lexer.Int _ | Lexer.Sym "-" ->
+      let lo = expect_int st in
+      expect_sym st "..";
+      let hi = expect_int st in
+      if hi < lo then fail st "empty subrange %d..%d" lo hi;
+      Ast.Tsub (lo, hi)
+  | t -> fail st "expected a type, found %a" Lexer.pp_token t
+
+let parse_var_section st : Ast.var_decl list =
+  if peek st <> Lexer.Kw "var" then []
+  else begin
+    advance st;
+    let decls = ref [] in
+    let rec entries () =
+      match peek st with
+      | Lexer.Ident _ ->
+          let names = ref [ expect_ident st ] in
+          while peek st = Lexer.Sym "," do
+            advance st;
+            names := expect_ident st :: !names
+          done;
+          expect_sym st ":";
+          let ty = parse_type st in
+          List.iter
+            (fun v_name -> decls := { Ast.v_name; v_ty = ty } :: !decls)
+            (List.rev !names);
+          expect_sym st ";";
+          entries ()
+      | _ -> ()
+    in
+    entries ();
+    List.rev !decls
+  end
+
+(* -- expressions ------------------------------------------------------------- *)
+
+let rec parse_expr st : Ast.expr =
+  let left = parse_simple st in
+  match peek st with
+  | Lexer.Sym "<" -> advance st; Ast.Ebin (Ast.Lt, left, parse_simple st)
+  | Lexer.Sym "<=" -> advance st; Ast.Ebin (Ast.Le, left, parse_simple st)
+  | Lexer.Sym ">" -> advance st; Ast.Ebin (Ast.Gt, left, parse_simple st)
+  | Lexer.Sym ">=" -> advance st; Ast.Ebin (Ast.Ge, left, parse_simple st)
+  | Lexer.Sym "=" -> advance st; Ast.Ebin (Ast.Eq, left, parse_simple st)
+  | Lexer.Sym "<>" -> advance st; Ast.Ebin (Ast.Ne, left, parse_simple st)
+  | Lexer.Kw "in" -> advance st; Ast.Ebin (Ast.In, left, parse_simple st)
+  | _ -> left
+
+and parse_simple st : Ast.expr =
+  let first =
+    match peek st with
+    | Lexer.Sym "-" ->
+        advance st;
+        let t = parse_term st in
+        (match t with
+        | Ast.Eint n -> Ast.Eint (-n)
+        | Ast.Ereal f -> Ast.Ereal (-.f)
+        | t -> Ast.Eun (Ast.Neg, t))
+    | Lexer.Sym "+" ->
+        advance st;
+        parse_term st
+    | _ -> parse_term st
+  in
+  let rec more acc =
+    match peek st with
+    | Lexer.Sym "+" -> advance st; more (Ast.Ebin (Ast.Add, acc, parse_term st))
+    | Lexer.Sym "-" -> advance st; more (Ast.Ebin (Ast.Sub, acc, parse_term st))
+    | Lexer.Kw "or" -> advance st; more (Ast.Ebin (Ast.Or, acc, parse_term st))
+    | _ -> acc
+  in
+  more first
+
+and parse_term st : Ast.expr =
+  let first = parse_factor st in
+  let rec more acc =
+    match peek st with
+    | Lexer.Sym "*" -> advance st; more (Ast.Ebin (Ast.Mul, acc, parse_factor st))
+    | Lexer.Sym "/" -> advance st; more (Ast.Ebin (Ast.RDiv, acc, parse_factor st))
+    | Lexer.Kw "div" -> advance st; more (Ast.Ebin (Ast.Div, acc, parse_factor st))
+    | Lexer.Kw "mod" -> advance st; more (Ast.Ebin (Ast.Mod, acc, parse_factor st))
+    | Lexer.Kw "and" -> advance st; more (Ast.Ebin (Ast.And, acc, parse_factor st))
+    | _ -> acc
+  in
+  more first
+
+and parse_factor st : Ast.expr =
+  match peek st with
+  | Lexer.Int v -> advance st; Ast.Eint v
+  | Lexer.Real f -> advance st; Ast.Ereal f
+  | Lexer.Char c -> advance st; Ast.Echar c
+  | Lexer.Kw "true" -> advance st; Ast.Ebool true
+  | Lexer.Kw "false" -> advance st; Ast.Ebool false
+  | Lexer.Kw "not" -> advance st; Ast.Eun (Ast.Not, parse_factor st)
+  | Lexer.Sym "(" ->
+      advance st;
+      let e = parse_expr st in
+      expect_sym st ")";
+      e
+  | Lexer.Ident name -> (
+      advance st;
+      match peek st with
+      | Lexer.Sym "[" ->
+          advance st;
+          let idx = parse_expr st in
+          expect_sym st "]";
+          Ast.Eindex (name, idx)
+      | Lexer.Sym "(" ->
+          advance st;
+          let args = ref [ parse_expr st ] in
+          while peek st = Lexer.Sym "," do
+            advance st;
+            args := parse_expr st :: !args
+          done;
+          expect_sym st ")";
+          Ast.Ecall (name, List.rev !args)
+      | _ -> Ast.Evar name)
+  | t -> fail st "expected an expression, found %a" Lexer.pp_token t
+
+(* -- statements --------------------------------------------------------------- *)
+
+let rec parse_stmt st : Ast.stmt =
+  match peek st with
+  | Lexer.Kw "begin" ->
+      (* a bare block used as a statement *)
+      let body = parse_block st in
+      (match body with [ s ] -> s | ss -> Ast.Sblock ss)
+  | Lexer.Kw "if" ->
+      advance st;
+      let cond = parse_expr st in
+      expect_kw st "then";
+      let then_ = parse_body st in
+      let else_ =
+        if peek st = Lexer.Kw "else" then begin
+          advance st;
+          parse_body st
+        end
+        else []
+      in
+      Ast.Sif (cond, then_, else_)
+  | Lexer.Kw "while" ->
+      advance st;
+      let cond = parse_expr st in
+      expect_kw st "do";
+      Ast.Swhile (cond, parse_body st)
+  | Lexer.Kw "repeat" ->
+      advance st;
+      let body = parse_stmts st in
+      expect_kw st "until";
+      Ast.Srepeat (body, parse_expr st)
+  | Lexer.Kw "for" ->
+      advance st;
+      let var = expect_ident st in
+      expect_sym st ":=";
+      let from_ = parse_expr st in
+      let downto_ =
+        match peek st with
+        | Lexer.Kw "to" -> advance st; false
+        | Lexer.Kw "downto" -> advance st; true
+        | t -> fail st "expected to/downto, found %a" Lexer.pp_token t
+      in
+      let to_ = parse_expr st in
+      expect_kw st "do";
+      Ast.Sfor { var; from_; downto_; to_; body = parse_body st }
+  | Lexer.Kw "case" ->
+      advance st;
+      let sel = parse_expr st in
+      expect_kw st "of";
+      let arms = ref [] in
+      let otherwise = ref None in
+      let rec arm () =
+        match peek st with
+        | Lexer.Kw "end" -> advance st
+        | Lexer.Kw "otherwise" ->
+            advance st;
+            let body = parse_body st in
+            (if peek st = Lexer.Sym ";" then advance st);
+            otherwise := Some body;
+            expect_kw st "end"
+        | _ ->
+            let labels = ref [ expect_int st ] in
+            while peek st = Lexer.Sym "," do
+              advance st;
+              labels := expect_int st :: !labels
+            done;
+            expect_sym st ":";
+            let body = parse_body st in
+            (if peek st = Lexer.Sym ";" then advance st);
+            arms := (List.rev !labels, body) :: !arms;
+            arm ()
+      in
+      arm ();
+      Ast.Scase (sel, List.rev !arms, !otherwise)
+  | Lexer.Ident name -> (
+      advance st;
+      match peek st with
+      | Lexer.Sym ":=" ->
+          advance st;
+          Ast.Sassign (Ast.Lvar name, parse_expr st)
+      | Lexer.Sym "[" ->
+          advance st;
+          let idx = parse_expr st in
+          expect_sym st "]";
+          expect_sym st ":=";
+          Ast.Sassign (Ast.Lindex (name, idx), parse_expr st)
+      | Lexer.Sym "(" ->
+          advance st;
+          let args = ref [ parse_expr st ] in
+          while peek st = Lexer.Sym "," do
+            advance st;
+            args := parse_expr st :: !args
+          done;
+          expect_sym st ")";
+          Ast.Scall (name, List.rev !args)
+      | _ -> Ast.Scall (name, []))
+  | _ -> Ast.Sempty
+
+and parse_body st : Ast.stmt list =
+  if peek st = Lexer.Kw "begin" then parse_block st else [ parse_stmt st ]
+
+and parse_block st : Ast.stmt list =
+  expect_kw st "begin";
+  let ss = parse_stmts st in
+  expect_kw st "end";
+  ss
+
+and parse_stmts st : Ast.stmt list =
+  let first = parse_stmt st in
+  let rec more acc =
+    if peek st = Lexer.Sym ";" then begin
+      advance st;
+      more (parse_stmt st :: acc)
+    end
+    else List.rev acc
+  in
+  List.filter (fun s -> s <> Ast.Sempty) (more [ first ])
+
+(* -- program ------------------------------------------------------------------- *)
+
+let parse_program st : Ast.program =
+  expect_kw st "program";
+  let prog_name = expect_ident st in
+  expect_sym st ";";
+  let globals = parse_var_section st in
+  let procs = ref [] in
+  while peek st = Lexer.Kw "procedure" do
+    advance st;
+    let p_name = expect_ident st in
+    expect_sym st ";";
+    let p_locals = parse_var_section st in
+    let p_body = parse_block st in
+    expect_sym st ";";
+    procs := { Ast.p_name; p_locals; p_body } :: !procs
+  done;
+  let main = parse_block st in
+  expect_sym st ".";
+  { Ast.prog_name; globals; procs = List.rev !procs; main }
+
+let of_string (src : string) : (Ast.program, error) result =
+  match Lexer.tokenize src with
+  | Error e -> Error { line = e.Lexer.line; msg = e.Lexer.msg }
+  | Ok toks -> (
+      let st = { toks } in
+      try Ok (parse_program st) with
+      | Fail e -> Error e
+      | Lexer.Fail e -> Error { line = e.Lexer.line; msg = e.Lexer.msg })

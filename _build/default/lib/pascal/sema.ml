@@ -1,0 +1,250 @@
+(** Static semantics: name resolution and type checking.
+
+    Scoping is two-level: globals (the main program's frame) and one set
+    of locals per procedure.  Inside a procedure, a free identifier
+    resolves to the enclosing program's variable (reached through the
+    frame back-chain at code-generation time). *)
+
+type error = { msg : string }
+
+let pp_error ppf e = Fmt.pf ppf "pascal: %s" e.msg
+
+exception Fail of error
+
+let fail fmt = Fmt.kstr (fun msg -> raise (Fail { msg })) fmt
+let tname t = Fmt.str "%a" Ast.pp_ty t
+
+type scope = {
+  globals : (string, Ast.ty) Hashtbl.t;
+  locals : (string, Ast.ty) Hashtbl.t option; (* None in the main program *)
+  procs : (string, unit) Hashtbl.t;
+}
+
+type checked = { prog : Ast.program }
+
+let lookup scope name : Ast.ty =
+  let local =
+    Option.bind scope.locals (fun l -> Hashtbl.find_opt l name)
+  in
+  match local with
+  | Some t -> t
+  | None -> (
+      match Hashtbl.find_opt scope.globals name with
+      | Some t -> t
+      | None -> fail "undeclared variable %s" name)
+
+(* the type of an expression, with subranges decaying to integer *)
+let rec type_of scope (e : Ast.expr) : Ast.ty =
+  match e with
+  | Ast.Eint _ -> Ast.Tint
+  | Ast.Ereal _ -> Ast.Treal
+  | Ast.Ebool _ -> Ast.Tbool
+  | Ast.Echar _ -> Ast.Tchar
+  | Ast.Evar v -> (
+      match Ast.scalar (lookup scope v) with
+      | Ast.Tarray _ -> fail "array %s used without a subscript" v
+      | t -> t)
+  | Ast.Eindex (v, idx) -> (
+      (match type_of scope idx with
+      | Ast.Tint | Ast.Tchar -> ()
+      | t -> fail "subscript of %s must be an integer, got %s" v (tname t));
+      match lookup scope v with
+      | Ast.Tarray { elem; _ } -> Ast.scalar elem
+      | _ -> fail "%s is not an array" v)
+  | Ast.Eun (Ast.Neg, e) -> (
+      match type_of scope e with
+      | Ast.Tint -> Ast.Tint
+      | Ast.Treal -> Ast.Treal
+      | t -> fail "unary minus over %s" (tname t))
+  | Ast.Eun (Ast.Not, e) -> (
+      match type_of scope e with
+      | Ast.Tbool -> Ast.Tbool
+      | t -> fail "not over %s" (tname t))
+  | Ast.Ebin (op, a, b) -> (
+      let ta = type_of scope a and tb = type_of scope b in
+      match op with
+      | Ast.Add | Ast.Sub | Ast.Mul -> (
+          match (ta, tb) with
+          | Ast.Tint, Ast.Tint -> Ast.Tint
+          | (Ast.Treal | Ast.Tint), (Ast.Treal | Ast.Tint) -> Ast.Treal
+          | _ ->
+              fail "%s over %s and %s" (Ast.binop_name op) (tname ta)
+                (tname tb))
+      | Ast.Div | Ast.Mod ->
+          if ta = Ast.Tint && tb = Ast.Tint then Ast.Tint
+          else fail "%s requires integers" (Ast.binop_name op)
+      | Ast.RDiv -> (
+          match (ta, tb) with
+          | (Ast.Treal | Ast.Tint), (Ast.Treal | Ast.Tint) -> Ast.Treal
+          | _ -> fail "/ requires numeric operands")
+      | Ast.And | Ast.Or ->
+          if ta = Ast.Tbool && tb = Ast.Tbool then Ast.Tbool
+          else fail "%s requires booleans" (Ast.binop_name op)
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> (
+          match (ta, tb) with
+          | Ast.Tint, Ast.Tint | Ast.Tchar, Ast.Tchar -> Ast.Tbool
+          | (Ast.Treal | Ast.Tint), (Ast.Treal | Ast.Tint) -> Ast.Tbool
+          | Ast.Tbool, Ast.Tbool when op = Ast.Eq || op = Ast.Ne -> Ast.Tbool
+          | _ -> fail "comparison between %s and %s" (tname ta) (tname tb))
+      | Ast.In -> (
+          match (ta, tb) with
+          | (Ast.Tint | Ast.Tchar), Ast.Tset _ -> Ast.Tbool
+          | _ -> fail "in requires an integer and a set"))
+  | Ast.Ecall (f, args) -> (
+      match List.assoc_opt f Ast.builtins with
+      | None -> fail "unknown function %s" f
+      | Some arity ->
+          if List.length args <> arity then
+            fail "%s expects %d argument(s)" f arity;
+          let targs = List.map (type_of scope) args in
+          (match (f, targs) with
+          | "abs", [ Ast.Tint ] -> Ast.Tint
+          | "abs", [ Ast.Treal ] -> Ast.Treal
+          | "sqr", [ Ast.Tint ] -> Ast.Tint
+          | "sqr", [ Ast.Treal ] -> Ast.Treal
+          | "odd", [ Ast.Tint ] -> Ast.Tbool
+          | "trunc", [ (Ast.Treal | Ast.Tint) ] -> Ast.Tint
+          | "ord", [ (Ast.Tchar | Ast.Tbool | Ast.Tint) ] -> Ast.Tint
+          | "chr", [ Ast.Tint ] -> Ast.Tchar
+          | "succ", [ Ast.Tint ] -> Ast.Tint
+          | "succ", [ Ast.Tchar ] -> Ast.Tchar
+          | "pred", [ Ast.Tint ] -> Ast.Tint
+          | "pred", [ Ast.Tchar ] -> Ast.Tchar
+          | ("min" | "max"), [ Ast.Tint; Ast.Tint ] -> Ast.Tint
+          | ("min" | "max"), [ (Ast.Treal | Ast.Tint); (Ast.Treal | Ast.Tint) ]
+            -> Ast.Treal
+          | _ -> fail "bad argument types for %s" f))
+
+(* the set type of a variable, for in/include/exclude *)
+let set_of scope v =
+  match lookup scope v with
+  | Ast.Tset n -> n
+  | _ -> fail "%s is not a set" v
+
+let assignable ~(target : Ast.ty) ~(value : Ast.ty) =
+  match (Ast.scalar target, value) with
+  | Ast.Tint, Ast.Tint
+  | Ast.Tbool, Ast.Tbool
+  | Ast.Tchar, Ast.Tchar
+  | Ast.Treal, (Ast.Treal | Ast.Tint) ->
+      true
+  | _ -> false
+
+let rec check_stmt scope (s : Ast.stmt) : unit =
+  match s with
+  | Ast.Sassign (lv, e) -> (
+      let tv = type_of scope e in
+      match lv with
+      | Ast.Lvar v -> (
+          match lookup scope v with
+          | Ast.Tarray _ -> fail "cannot assign to whole array %s" v
+          | t ->
+              if not (assignable ~target:t ~value:tv) then
+                fail "type mismatch assigning to %s" v)
+      | Ast.Lindex (v, idx) -> (
+          (match type_of scope idx with
+          | Ast.Tint | Ast.Tchar -> ()
+          | _ -> fail "subscript of %s must be an integer" v);
+          match lookup scope v with
+          | Ast.Tarray { elem; _ } ->
+              if not (assignable ~target:elem ~value:tv) then
+                fail "type mismatch assigning to %s[...]" v
+          | _ -> fail "%s is not an array" v))
+  | Ast.Sif (c, a, b) ->
+      if type_of scope c <> Ast.Tbool then fail "if condition must be boolean";
+      List.iter (check_stmt scope) a;
+      List.iter (check_stmt scope) b
+  | Ast.Swhile (c, body) ->
+      if type_of scope c <> Ast.Tbool then fail "while condition must be boolean";
+      List.iter (check_stmt scope) body
+  | Ast.Srepeat (body, c) ->
+      List.iter (check_stmt scope) body;
+      if type_of scope c <> Ast.Tbool then fail "until condition must be boolean"
+  | Ast.Sfor { var; from_; to_; body; _ } ->
+      (match Ast.scalar (lookup scope var) with
+      | Ast.Tint -> ()
+      | _ -> fail "for variable %s must be an integer" var);
+      if type_of scope from_ <> Ast.Tint then fail "for bounds must be integers";
+      if type_of scope to_ <> Ast.Tint then fail "for bounds must be integers";
+      List.iter (check_stmt scope) body
+  | Ast.Scase (sel, arms, otherwise) ->
+      (match type_of scope sel with
+      | Ast.Tint | Ast.Tchar -> ()
+      | _ -> fail "case selector must be an integer");
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (labels, body) ->
+          List.iter
+            (fun l ->
+              if Hashtbl.mem seen l then fail "duplicate case label %d" l;
+              Hashtbl.replace seen l ())
+            labels;
+          List.iter (check_stmt scope) body)
+        arms;
+      Option.iter (List.iter (check_stmt scope)) otherwise
+  | Ast.Sblock body -> List.iter (check_stmt scope) body
+  | Ast.Sempty -> ()
+  | Ast.Scall ("include", [ Ast.Evar s; e ]) | Ast.Scall ("exclude", [ Ast.Evar s; e ])
+    ->
+      ignore (set_of scope s);
+      if type_of scope e <> Ast.Tint then fail "set element must be an integer"
+  | Ast.Scall (("include" | "exclude"), _) ->
+      fail "include/exclude expect a set variable and an element"
+  | Ast.Scall ("write", [ e ]) -> (
+      (* the output area and its counters live in the main frame *)
+      if scope.locals <> None then
+        fail "write may only be used in the main program";
+      match type_of scope e with
+      | Ast.Tint | Ast.Tbool | Ast.Tchar | Ast.Treal -> ()
+      | _ -> fail "write expects a scalar")
+  | Ast.Scall ("write", _) -> fail "write expects one argument"
+  | Ast.Scall (p, args) ->
+      if not (Hashtbl.mem scope.procs p) then fail "unknown procedure %s" p;
+      if args <> [] then fail "procedure %s takes no arguments" p;
+      (* globals are reached through a one-level frame chain, so calls
+         may only come from the main program *)
+      if scope.locals <> None then
+        fail "procedures may only be called from the main program"
+
+let check (prog : Ast.program) : (checked, error) result =
+  try
+    let globals = Hashtbl.create 16 in
+    List.iter
+      (fun (d : Ast.var_decl) ->
+        if Hashtbl.mem globals d.v_name then
+          fail "duplicate variable %s" d.v_name;
+        Hashtbl.replace globals d.v_name d.v_ty)
+      prog.Ast.globals;
+    let procs = Hashtbl.create 8 in
+    List.iter
+      (fun (p : Ast.proc_decl) ->
+        if Hashtbl.mem procs p.Ast.p_name then
+          fail "duplicate procedure %s" p.Ast.p_name;
+        Hashtbl.replace procs p.Ast.p_name ())
+      prog.Ast.procs;
+    (* procedures *)
+    List.iter
+      (fun (p : Ast.proc_decl) ->
+        let locals = Hashtbl.create 8 in
+        List.iter
+          (fun (d : Ast.var_decl) ->
+            if Hashtbl.mem locals d.v_name then
+              fail "duplicate local %s in %s" d.v_name p.Ast.p_name;
+            Hashtbl.replace locals d.v_name d.v_ty)
+          p.Ast.p_locals;
+        let scope = { globals; locals = Some locals; procs } in
+        List.iter (check_stmt scope) p.Ast.p_body)
+      prog.Ast.procs;
+    let scope = { globals; locals = None; procs } in
+    List.iter (check_stmt scope) prog.Ast.main;
+    Ok { prog }
+  with Fail e -> Error e
+
+(** Parse and check in one step. *)
+let front_end (src : string) : (checked, string) result =
+  match Parser.of_string src with
+  | Error e -> Error (Fmt.str "%a" Parser.pp_error e)
+  | Ok prog -> (
+      match check prog with
+      | Error e -> Error (Fmt.str "%a" pp_error e)
+      | Ok c -> Ok c)

@@ -1,0 +1,1 @@
+lib/pipeline/pipeline.ml: Array Baseline Char Cogg Float Fmt Fun Ifl List Machine Pascal Programs Result Shaper

@@ -1,0 +1,313 @@
+(** The paper's evaluation programs (Appendix 1) and other standard
+    workloads shared by tests, examples and the benchmark harness. *)
+
+(** Appendix 1, first example: "The base type of all arrays is integer.
+    No subscript or range checking is performed.  The equation compiled
+    is: x[q] := (a[i]+b[j]*(c[k]-d[l])+(e[m] div (f[n]+g[o]))*h[p])" *)
+let appendix1_equation =
+  {|
+program appendix1a;
+var i, j, k, l, m, n, o, p, q : integer;
+    a, b, c, d, e, f, g, h, x : array[0..24] of integer;
+begin
+  i := 3; j := 4; k := 5; l := 6; m := 7; n := 8; o := 9; p := 10; q := 11;
+  a[i] := 100; b[j] := 3; c[k] := 50; d[l] := 8;
+  e[m] := 900; f[n] := 7; g[o] := 13; h[p] := 2;
+  x[q] := a[i] + b[j] * (c[k] - d[l]) + (e[m] div (f[n] + g[o])) * h[p];
+  write(x[q])
+end.
+|}
+
+(** Appendix 1, second example:
+    "if flag then i := j - 1 else i := z;  if p<>q then l := z;"
+    where i,j,k,p,q are fullwords, flag a boolean, z a halfword. *)
+let appendix1_branches =
+  {|
+program appendix1b;
+var i, j, k, l, p, q : integer;
+    flag : boolean;
+    z : -1000..1000;
+begin
+  j := 41; z := 7; p := 3; q := 9; l := 0;
+  flag := true;
+  if flag then i := j - 1
+          else i := z;
+  if p <> q then l := z;
+  write(i);
+  write(l)
+end.
+|}
+
+(** A compute kernel exercising loops, arrays and division. *)
+let sieve =
+  {|
+program sieve;
+var i, j, count : integer;
+    composite : array[2..120] of boolean;
+begin
+  count := 0;
+  for i := 2 to 120 do composite[i] := false;
+  for i := 2 to 120 do
+    if not composite[i] then begin
+      count := count + 1;
+      j := i + i;
+      while j <= 120 do begin
+        composite[j] := true;
+        j := j + i
+      end
+    end;
+  write(count)
+end.
+|}
+
+(** Greatest common divisor through repeat/until and mod. *)
+let gcd =
+  {|
+program gcd;
+var a, b, t : integer;
+begin
+  a := 3528; b := 3780;
+  repeat
+    t := a mod b;
+    a := b;
+    b := t
+  until b = 0;
+  write(a)
+end.
+|}
+
+(** Recursion-free Fibonacci with halfword storage. *)
+let fibonacci =
+  {|
+program fib;
+var n, i : integer;
+    a, b, t : integer;
+begin
+  n := 30; a := 0; b := 1;
+  for i := 1 to n do begin
+    t := a + b;
+    a := b;
+    b := t
+  end;
+  write(a)
+end.
+|}
+
+(** Sets, case dispatch and characters. *)
+let classify =
+  {|
+program classify;
+var vowels : set of 0..31;
+    c, category, i : integer;
+    counts : array[0..3] of integer;
+begin
+  include(vowels, 1); include(vowels, 5); include(vowels, 9);
+  include(vowels, 15); include(vowels, 21);
+  for i := 0 to 3 do counts[i] := 0;
+  for c := 0 to 26 do begin
+    if c in vowels then category := 1
+    else if c mod 5 = 0 then category := 2
+    else if odd(c) then category := 3
+    else category := 0;
+    case category of
+      0: counts[0] := counts[0] + 1;
+      1: counts[1] := counts[1] + 1;
+      2: counts[2] := counts[2] + 1;
+      3: counts[3] := counts[3] + 1
+    end
+  end;
+  write(counts[0]); write(counts[1]); write(counts[2]); write(counts[3])
+end.
+|}
+
+(** Real arithmetic: a rectangle-rule integral of x^2 on [0,1]. *)
+let integral =
+  {|
+program integral;
+var acc, xv, step : real;
+    i : integer;
+begin
+  acc := 0.0;
+  step := 0.01;
+  xv := 0.005;
+  for i := 1 to 100 do begin
+    acc := acc + xv * xv * step;
+    xv := xv + step
+  end;
+  write(acc)
+end.
+|}
+
+(** Procedures sharing globals through the frame chain. *)
+let procedures =
+  {|
+program procs;
+var total, value : integer;
+procedure double;
+begin
+  value := value * 2
+end;
+procedure accumulate;
+var local : integer;
+begin
+  local := value + 1;
+  total := total + local
+end;
+begin
+  total := 0;
+  value := 5;
+  double;
+  accumulate;
+  double;
+  accumulate;
+  write(total);
+  write(value)
+end.
+|}
+
+(** Common subexpressions: the optimizer should compute a*b + c once. *)
+let cse_demo =
+  {|
+program csedemo;
+var a, b, c, x, y : integer;
+begin
+  a := 12; b := 34; c := 5;
+  x := (a * b + c) * (a * b + c);
+  y := (a * b + c) + x;
+  write(x);
+  write(y)
+end.
+|}
+
+(** Bubble sort over a halfword array (storage-format coverage). *)
+let bubble_sort =
+  {|
+program bubble;
+var a : array[0..9] of -10000..10000;
+    i, j, t, n : integer;
+begin
+  n := 9;
+  for i := 0 to n do a[i] := (7 * i * i - 50 * i + 3) mod 97;
+  for i := 0 to n - 1 do
+    for j := 0 to n - 1 - i do
+      if a[j] > a[j + 1] then begin
+        t := a[j];
+        a[j] := a[j + 1];
+        a[j + 1] := t
+      end;
+  for i := 0 to n do write(a[i])
+end.
+|}
+
+(** Collatz trajectory length: div/mod/odd and a while loop. *)
+let collatz =
+  {|
+program collatz;
+var n, steps : integer;
+begin
+  n := 27;
+  steps := 0;
+  while n <> 1 do begin
+    if odd(n) then n := 3 * n + 1
+    else n := n div 2;
+    steps := steps + 1
+  end;
+  write(steps)
+end.
+|}
+
+(** 3x3 matrix product, flattened into arrays. *)
+let matmul =
+  {|
+program matmul;
+var a, b, c : array[0..8] of integer;
+    i, j, k, acc : integer;
+begin
+  for i := 0 to 8 do begin
+    a[i] := i + 1;
+    b[i] := 9 - i
+  end;
+  for i := 0 to 2 do
+    for j := 0 to 2 do begin
+      acc := 0;
+      for k := 0 to 2 do
+        acc := acc + a[3 * i + k] * b[3 * k + j];
+      c[3 * i + j] := acc
+    end;
+  for i := 0 to 8 do write(c[i])
+end.
+|}
+
+(** Character classification: chars, ord/chr, case over characters. *)
+let chars =
+  {|
+program chars;
+var c : char;
+    digits, letters, others, code : integer;
+begin
+  digits := 0; letters := 0; others := 0;
+  for code := 32 to 126 do begin
+    c := chr(code);
+    if (c >= '0') and (c <= '9') then digits := digits + 1
+    else if ((c >= 'a') and (c <= 'z')) or ((c >= 'A') and (c <= 'Z')) then
+      letters := letters + 1
+    else others := others + 1
+  end;
+  write(digits); write(letters); write(others)
+end.
+|}
+
+(** Horner evaluation with negative coefficients and subranges. *)
+let horner =
+  {|
+program horner;
+var coeff : array[0..4] of integer;
+    x, acc, i : integer;
+begin
+  coeff[0] := 3; coeff[1] := -2; coeff[2] := 0; coeff[3] := 7; coeff[4] := -1;
+  x := 5;
+  acc := 0;
+  for i := 0 to 4 do acc := acc * x + coeff[i];
+  write(acc)
+end.
+|}
+
+(** Newton's method for square roots: real arithmetic with convergence. *)
+let newton =
+  {|
+program newton;
+var x, estimate, previous : real;
+    iterations : integer;
+begin
+  x := 1234.5;
+  estimate := x / 2.0;
+  previous := 0.0;
+  iterations := 0;
+  while abs(estimate - previous) > 0.0001 do begin
+    previous := estimate;
+    estimate := (estimate + x / estimate) / 2.0;
+    iterations := iterations + 1
+  end;
+  write(estimate);
+  write(iterations)
+end.
+|}
+
+let all : (string * string) list =
+  [
+    ("appendix1-equation", appendix1_equation);
+    ("appendix1-branches", appendix1_branches);
+    ("sieve", sieve);
+    ("gcd", gcd);
+    ("fibonacci", fibonacci);
+    ("classify", classify);
+    ("integral", integral);
+    ("procedures", procedures);
+    ("cse-demo", cse_demo);
+    ("bubble-sort", bubble_sort);
+    ("collatz", collatz);
+    ("matmul", matmul);
+    ("chars", chars);
+    ("horner", horner);
+    ("newton", newton);
+  ]

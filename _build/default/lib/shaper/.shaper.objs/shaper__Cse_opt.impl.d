@@ -1,0 +1,1 @@
+lib/shaper/cse_opt.ml: Fmt Hashtbl Ifl Irgen Layout List Machine Option String

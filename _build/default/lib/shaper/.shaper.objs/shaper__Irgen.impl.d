@@ -1,0 +1,1 @@
+lib/shaper/irgen.ml: Char Float Fmt Ifl Layout List Machine Option Pascal

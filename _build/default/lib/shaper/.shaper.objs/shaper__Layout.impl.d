@@ -1,0 +1,1 @@
+lib/shaper/layout.ml: Fmt Hashtbl List Machine Pascal

@@ -1,0 +1,1 @@
+test/test_amdahl.ml: Alcotest Cogg Fmt Ifl Lazy List Machine Pipeline Printf String Util

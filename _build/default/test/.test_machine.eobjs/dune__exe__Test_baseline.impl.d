@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Baseline Bytes Char Cogg Lazy List Machine Pascal Pipeline Printf Util

@@ -1,0 +1,1 @@
+test/test_cogg.ml: Alcotest Bytes Cogg Fmt Ifl List Machine

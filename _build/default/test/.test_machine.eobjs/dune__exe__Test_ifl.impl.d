@@ -1,0 +1,1 @@
+test/test_ifl.ml: Alcotest Ifl List QCheck QCheck_alcotest String

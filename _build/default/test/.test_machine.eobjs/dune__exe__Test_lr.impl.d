@@ -1,0 +1,1 @@
+test/test_lr.ml: Alcotest Array Cogg Fun Lazy List Option Printf QCheck QCheck_alcotest Random String Util

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Bytes Encode Insn Int32 List Machine Objmod QCheck QCheck_alcotest Runtime Sim

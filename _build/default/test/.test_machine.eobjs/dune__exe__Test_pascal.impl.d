@@ -1,0 +1,1 @@
+test/test_pascal.ml: Alcotest Int32 List Pascal Pipeline

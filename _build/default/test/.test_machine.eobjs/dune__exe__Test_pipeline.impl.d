@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Bytes Cogg Fun Ifl Lazy List Machine Pipeline Printf QCheck QCheck_alcotest String Util

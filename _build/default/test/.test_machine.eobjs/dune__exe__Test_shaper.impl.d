@@ -1,0 +1,1 @@
+test/test_shaper.ml: Alcotest Ifl List Machine Pascal Shaper String

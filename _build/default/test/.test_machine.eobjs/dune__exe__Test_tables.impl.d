@@ -1,0 +1,1 @@
+test/test_tables.ml: Alcotest Array Bytes Cogg Fmt Lazy List Pipeline Printf String Util

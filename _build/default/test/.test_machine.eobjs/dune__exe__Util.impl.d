@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Cogg Filename Fmt Lazy List Machine String Sys

@@ -1,0 +1,100 @@
+(* The hand-written comparison code generator: it must produce correct
+   code for the same workloads (verified against the interpreter), and
+   its output is what the Appendix-1 style comparison measures the
+   table-driven generator against. *)
+
+let tables () = Lazy.force Util.amdahl_tables
+
+let run_baseline name src =
+  match Pipeline.compile_baseline src with
+  | Error m -> Alcotest.failf "%s: baseline compile: %s" name m
+  | Ok c -> (
+      match Pipeline.execute_baseline c with
+      | Error m -> Alcotest.failf "%s: baseline exec: %s" name m
+      | Ok x ->
+          (match x.Pipeline.outcome.Machine.Runtime.aborted with
+          | Some m -> Alcotest.failf "%s: baseline aborted: %s" name m
+          | None -> ());
+          (c, x))
+
+let test_all_programs_execute () =
+  List.iter
+    (fun (name, src) ->
+      let c, x = run_baseline name src in
+      ignore c;
+      (* compare the written output against the reference interpreter *)
+      match Pascal.Sema.front_end src with
+      | Error m -> Alcotest.fail m
+      | Ok checked -> (
+          match Pascal.Interp.run checked with
+          | Error e -> Alcotest.failf "%a" Pascal.Interp.pp_error e
+          | Ok r ->
+              let ints =
+                List.filter_map
+                  (function
+                    | Pascal.Interp.Vint n -> Some n
+                    | Pascal.Interp.Vbool b -> Some (if b then 1 else 0)
+                    | Pascal.Interp.Vchar c -> Some (Char.code c)
+                    | _ -> None)
+                  r.Pascal.Interp.written
+              in
+              Alcotest.(check (list int))
+                (name ^ " int output") ints x.Pipeline.written_ints))
+    Pipeline.Programs.all
+
+let test_baseline_vs_cogg_agree () =
+  (* both generators must compute identical results on every workload *)
+  let t = tables () in
+  List.iter
+    (fun (name, src) ->
+      let _, bx = run_baseline name src in
+      match Pipeline.compile t src with
+      | Error m -> Alcotest.fail m
+      | Ok c -> (
+          match Pipeline.execute c with
+          | Error m -> Alcotest.fail m
+          | Ok x ->
+              Alcotest.(check (list int))
+                (name ^ " outputs agree") bx.Pipeline.written_ints
+                x.Pipeline.written_ints))
+    Pipeline.Programs.all
+
+let count_insns (r : Baseline.result_t) =
+  Machine.Encode.decode_all r.Baseline.resolved.Cogg.Loader_gen.code
+    ~pos:r.Baseline.resolved.Cogg.Loader_gen.entry
+    ~len:
+      (Bytes.length r.Baseline.resolved.Cogg.Loader_gen.code
+      - r.Baseline.resolved.Cogg.Loader_gen.entry)
+  |> List.length
+
+let test_code_quality_comparable () =
+  (* the paper's claim: the table-driven generator produces code "as good
+     as" the hand-crafted one.  Check the two stay within 2x of each
+     other on the equation benchmark, in code bytes. *)
+  let t = tables () in
+  let src = Pipeline.Programs.appendix1_equation in
+  match (Pipeline.compile t src, Pipeline.compile_baseline src) with
+  | Ok c, Ok b ->
+      let cogg_bytes =
+        Bytes.length c.Pipeline.gen.Cogg.Codegen.resolved.Cogg.Loader_gen.code
+      in
+      let base_bytes = Bytes.length b.Pipeline.b_gen.Baseline.resolved.Cogg.Loader_gen.code in
+      ignore (count_insns b.Pipeline.b_gen);
+      Alcotest.(check bool)
+        (Printf.sprintf "sizes comparable (cogg %d vs baseline %d)" cogg_bytes
+           base_bytes)
+        true
+        (cogg_bytes * 2 >= base_bytes && base_bytes * 2 >= cogg_bytes)
+  | Error m, _ | _, Error m -> Alcotest.fail m
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "all programs execute" `Quick test_all_programs_execute;
+          Alcotest.test_case "baseline = cogg outputs" `Quick test_baseline_vs_cogg_agree;
+        ] );
+      ( "comparison",
+        [ Alcotest.test_case "code quality comparable" `Quick test_code_quality_comparable ] );
+    ]

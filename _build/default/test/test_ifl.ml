@@ -1,0 +1,206 @@
+(* Unit and property tests for the intermediate-form library: values,
+   tokens, trees and the two textual syntaxes. *)
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* -- values ----------------------------------------------------------------- *)
+
+let test_value_payloads () =
+  check_int "int" 42 (Ifl.Value.to_int (Ifl.Value.Int 42));
+  check_int "reg" 13 (Ifl.Value.to_int (Ifl.Value.Reg 13));
+  check_int "label" 7 (Ifl.Value.to_int (Ifl.Value.Label 7));
+  check_int "cse" 3 (Ifl.Value.to_int (Ifl.Value.Cse 3));
+  check_int "cond" 8 (Ifl.Value.to_int (Ifl.Value.Cond 8));
+  match Ifl.Value.to_int Ifl.Value.Unit with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Unit payload accepted"
+
+let test_value_equal () =
+  Alcotest.(check bool) "same" true Ifl.Value.(equal (Int 1) (Int 1));
+  Alcotest.(check bool) "kind differs" false Ifl.Value.(equal (Int 1) (Reg 1));
+  Alcotest.(check bool) "payload differs" false Ifl.Value.(equal (Reg 1) (Reg 2))
+
+(* -- tokens ------------------------------------------------------------------ *)
+
+let token_cases =
+  [
+    ("iadd", Ifl.Token.op "iadd");
+    ("dsp:100", Ifl.Token.int "dsp" 100);
+    ("dsp:-4", Ifl.Token.int "dsp" (-4));
+    ("r:r13", Ifl.Token.reg "r" 13);
+    ("lbl:L5", Ifl.Token.label "lbl" 5);
+    ("cse:c2", Ifl.Token.cse "cse" 2);
+    ("cond:m11", Ifl.Token.cond "cond" 11);
+  ]
+
+let test_token_parse () =
+  List.iter
+    (fun (text, expect) ->
+      match Ifl.Token.of_string text with
+      | Ok t ->
+          Alcotest.(check bool)
+            (text ^ " parses") true (Ifl.Token.equal t expect)
+      | Error e -> Alcotest.failf "%s: %s" text e)
+    token_cases
+
+let test_token_print_parse_roundtrip () =
+  List.iter
+    (fun (_, tok) ->
+      match Ifl.Token.of_string (Ifl.Token.to_string tok) with
+      | Ok t ->
+          Alcotest.(check bool)
+            (Ifl.Token.to_string tok ^ " roundtrips")
+            true (Ifl.Token.equal t tok)
+      | Error e -> Alcotest.fail e)
+    token_cases
+
+let test_token_malformed () =
+  List.iter
+    (fun text ->
+      match Ifl.Token.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S accepted" text)
+    [ ":5"; "dsp:"; "dsp:x9"; "dsp:r"; "r:L"; "a:m" ]
+
+(* -- trees -------------------------------------------------------------------- *)
+
+let sample_tree =
+  Ifl.Tree.node "store"
+    [
+      Ifl.Tree.node "word" [ Ifl.Tree.leaf ~value:(Ifl.Value.Int 8) "d" ];
+      Ifl.Tree.node "iadd"
+        [
+          Ifl.Tree.node "word" [ Ifl.Tree.leaf ~value:(Ifl.Value.Int 8) "d" ];
+          Ifl.Tree.node "word" [ Ifl.Tree.leaf ~value:(Ifl.Value.Int 12) "d" ];
+        ];
+    ]
+
+let test_tree_size_and_linearize () =
+  check_int "size" 8 (Ifl.Tree.size sample_tree);
+  let toks = Ifl.Tree.linearize sample_tree in
+  check_int "token count" 8 (List.length toks);
+  check_str "prefix order"
+    "store word d:8 iadd word d:8 word d:12"
+    (String.concat " " (List.map Ifl.Token.to_string toks))
+
+let test_linearize_program_order () =
+  let t1 = Ifl.Tree.leaf "a" and t2 = Ifl.Tree.leaf "b" in
+  let toks = Ifl.Tree.linearize_program [ t1; t2 ] in
+  check_str "order" "a b"
+    (String.concat " " (List.map Ifl.Token.to_string toks))
+
+(* -- reader ------------------------------------------------------------------- *)
+
+let test_reader_linear () =
+  match Ifl.Reader.program_of_string "store word d:8 iadd word d:8 word d:12" with
+  | Error e -> Alcotest.fail e
+  | Ok toks ->
+      Alcotest.(check bool)
+        "equals linearized tree" true
+        (List.for_all2 Ifl.Token.equal toks (Ifl.Tree.linearize sample_tree))
+
+let test_reader_tree_syntax () =
+  match
+    Ifl.Reader.program_of_string "(store (word d:8) (iadd (word d:8) (word d:12)))"
+  with
+  | Error e -> Alcotest.fail e
+  | Ok toks ->
+      Alcotest.(check bool)
+        "sexp = linear" true
+        (List.for_all2 Ifl.Token.equal toks (Ifl.Tree.linearize sample_tree))
+
+let test_reader_comments () =
+  match
+    Ifl.Reader.program_of_string "* leading comment\nstore word d:8\n* trailing"
+  with
+  | Error e -> Alcotest.fail e
+  | Ok toks -> check_int "comment lines ignored" 3 (List.length toks)
+
+let test_reader_errors () =
+  List.iter
+    (fun text ->
+      match Ifl.Reader.program_of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S accepted" text)
+    [ "(store"; "store)"; "(  )"; "(store d:)"; "a:b:c" ]
+
+(* tree pretty-print parses back *)
+let test_tree_pp_roundtrip () =
+  let text = Ifl.Tree.to_string sample_tree in
+  match Ifl.Reader.trees_of_string text with
+  | Ok [ t ] ->
+      Alcotest.(check bool) "pp roundtrips" true (Ifl.Tree.equal t sample_tree)
+  | Ok _ -> Alcotest.fail "wrong arity"
+  | Error e -> Alcotest.fail e
+
+(* -- properties ----------------------------------------------------------------- *)
+
+let gen_tree : Ifl.Tree.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun n -> Ifl.Tree.Node (Ifl.Token.int "dsp" n, [])) (int_bound 4095);
+        map (fun n -> Ifl.Tree.Node (Ifl.Token.reg "r" n, [])) (int_bound 15);
+        return (Ifl.Tree.Node (Ifl.Token.op "leafop", []));
+      ]
+  in
+  let rec tree depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (1, leaf);
+          ( 3,
+            let* name = oneofl [ "iadd"; "isub"; "fullword"; "assign" ] in
+            let* kids = list_size (int_range 1 3) (tree (depth - 1)) in
+            return (Ifl.Tree.node name kids) );
+        ]
+  in
+  tree 4
+
+let prop_pp_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"tree pp/parse roundtrip"
+    (QCheck.make gen_tree ~print:Ifl.Tree.to_string)
+    (fun t ->
+      match Ifl.Reader.trees_of_string (Ifl.Tree.to_string t) with
+      | Ok [ t' ] -> Ifl.Tree.equal t t'
+      | _ -> false)
+
+let prop_linearize_size =
+  QCheck.Test.make ~count:200 ~name:"linearize length = tree size"
+    (QCheck.make gen_tree ~print:Ifl.Tree.to_string)
+    (fun t -> List.length (Ifl.Tree.linearize t) = Ifl.Tree.size t)
+
+let () =
+  Alcotest.run "ifl"
+    [
+      ( "values",
+        [
+          Alcotest.test_case "payloads" `Quick test_value_payloads;
+          Alcotest.test_case "equality" `Quick test_value_equal;
+        ] );
+      ( "tokens",
+        [
+          Alcotest.test_case "parse" `Quick test_token_parse;
+          Alcotest.test_case "print/parse roundtrip" `Quick test_token_print_parse_roundtrip;
+          Alcotest.test_case "malformed rejected" `Quick test_token_malformed;
+        ] );
+      ( "trees",
+        [
+          Alcotest.test_case "size and linearize" `Quick test_tree_size_and_linearize;
+          Alcotest.test_case "program order" `Quick test_linearize_program_order;
+          Alcotest.test_case "pp roundtrip" `Quick test_tree_pp_roundtrip;
+        ] );
+      ( "reader",
+        [
+          Alcotest.test_case "linear syntax" `Quick test_reader_linear;
+          Alcotest.test_case "tree syntax" `Quick test_reader_tree_syntax;
+          Alcotest.test_case "comments" `Quick test_reader_comments;
+          Alcotest.test_case "errors" `Quick test_reader_errors;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_pp_roundtrip; prop_linearize_size ] );
+    ]

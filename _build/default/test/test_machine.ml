@@ -1,0 +1,472 @@
+(* Unit and property tests for the IBM 370 substrate: instruction
+   encoding/decoding, the simulator's semantics, and the object-module
+   format. *)
+
+open Machine
+
+let check_int = Alcotest.(check int)
+
+(* -- helpers -------------------------------------------------------------- *)
+
+(* Assemble a sequence, run it from address [at] until halt (branch to 0),
+   return the simulator. *)
+let run_insns ?(setup = fun _ -> ()) (insns : Insn.t list) : Sim.t =
+  let code = Encode.encode_all insns in
+  let sim = Sim.create ~mem_size:(1 lsl 18) () in
+  Bytes.blit code 0 sim.Sim.mem 0x1000 (Bytes.length code);
+  setup sim;
+  (* r14 = 0 so "bcr 15,14" halts *)
+  Sim.set_reg sim 14 0;
+  ignore (Sim.run sim ~entry:0x1000);
+  sim
+
+let halt : Insn.t = Rr { op = "bcr"; r1 = 15; r2 = 14 }
+
+(* -- encode/decode -------------------------------------------------------- *)
+
+let sample_insns : Insn.t list =
+  [
+    Rr { op = "lr"; r1 = 1; r2 = 2 };
+    Rr { op = "ar"; r1 = 15; r2 = 0 };
+    Rx { op = "l"; r1 = 3; d2 = 132; x2 = 0; b2 = 12 };
+    Rx { op = "st"; r1 = 7; d2 = 4095; x2 = 5; b2 = 13 };
+    Rx { op = "bc"; r1 = 8; d2 = 100; x2 = 0; b2 = 12 };
+    Rs { op = "sla"; r1 = 1; r3 = 0; d2 = 2; b2 = 0 };
+    Rs { op = "stm"; r1 = 14; r3 = 13; d2 = 8; b2 = 13 };
+    Si { op = "mvi"; d1 = 100; b1 = 13; i2 = 255 };
+    Si { op = "tm"; d1 = 0; b1 = 1; i2 = 0x80 };
+    Ss { op = "mvc"; l = 4; d1 = 144; b1 = 13; d2 = 168; b2 = 13 };
+  ]
+
+let test_roundtrip () =
+  List.iter
+    (fun i ->
+      let b = Encode.encode i in
+      let i', sz = Encode.decode b 0 in
+      check_int "size" (Bytes.length b) sz;
+      Alcotest.(check string)
+        "roundtrip" (Insn.to_string i) (Insn.to_string i'))
+    sample_insns
+
+let test_sizes () =
+  check_int "rr" 2 (Insn.size (List.nth sample_insns 0));
+  check_int "rx" 4 (Insn.size (List.nth sample_insns 2));
+  check_int "ss" 6 (Insn.size (List.nth sample_insns 9))
+
+let test_encode_all_decode_all () =
+  let buf = Encode.encode_all sample_insns in
+  let back = Encode.decode_all buf ~pos:0 ~len:(Bytes.length buf) in
+  check_int "count" (List.length sample_insns) (List.length back);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "insn" (Insn.to_string a) (Insn.to_string b))
+    sample_insns back
+
+let test_bad_encodings () =
+  (match Encode.encode (Rx { op = "l"; r1 = 1; d2 = 4096; x2 = 0; b2 = 0 }) with
+  | exception Encode.Encode_error _ -> ()
+  | _ -> Alcotest.fail "oversized displacement accepted");
+  match Encode.encode (Rr { op = "l"; r1 = 1; r2 = 2 }) with
+  | exception Encode.Encode_error _ -> ()
+  | _ -> Alcotest.fail "format mismatch not detected"
+
+(* Property: random well-formed instructions survive encode/decode. *)
+let gen_insn =
+  let open QCheck.Gen in
+  let reg = int_bound 15 in
+  let disp = int_bound 4095 in
+  let pick fmt =
+    let mnems =
+      List.filter_map
+        (fun (m, (_, f)) -> if f = fmt then Some m else None)
+        Insn.opcode_table
+    in
+    oneofl mnems
+  in
+  oneof
+    [
+      (let* op = pick Insn.RR and* r1 = reg and* r2 = reg in
+       return (Insn.Rr { op; r1; r2 }));
+      (let* op = pick Insn.RX and* r1 = reg and* d2 = disp
+       and* x2 = reg and* b2 = reg in
+       return (Insn.Rx { op; r1; d2; x2; b2 }));
+      (let* op = pick Insn.RS and* r1 = reg and* r3 = reg and* d2 = disp
+       and* b2 = reg in
+       return (Insn.Rs { op; r1; r3; d2; b2 }));
+      (let* op = pick Insn.SI and* d1 = disp and* b1 = reg
+       and* i2 = int_bound 255 in
+       return (Insn.Si { op; d1; b1; i2 }));
+      (let* op = pick Insn.SS and* l = int_range 1 256 and* d1 = disp
+       and* b1 = reg and* d2 = disp and* b2 = reg in
+       return (Insn.Ss { op; l; d1; b1; d2; b2 }));
+    ]
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"encode/decode roundtrip"
+    (QCheck.make gen_insn ~print:Insn.to_string)
+    (fun i ->
+      let b = Encode.encode i in
+      let i', sz = Encode.decode b 0 in
+      sz = Bytes.length b && Insn.to_string i = Insn.to_string i')
+
+(* -- simulator semantics --------------------------------------------------- *)
+
+let test_load_add_store () =
+  let sim =
+    run_insns
+      ~setup:(fun s ->
+        Sim.set_reg s 13 0x2000;
+        Sim.store_w s 0x2064 7;
+        Sim.store_w s 0x2068 35)
+      [
+        Rx { op = "l"; r1 = 1; d2 = 0x64; x2 = 0; b2 = 13 };
+        Rx { op = "a"; r1 = 1; d2 = 0x68; x2 = 0; b2 = 13 };
+        Rx { op = "st"; r1 = 1; d2 = 0x6C; x2 = 0; b2 = 13 };
+        halt;
+      ]
+  in
+  check_int "sum stored" 42 (Sim.load_w sim 0x206C)
+
+let test_halfword_and_byte () =
+  let sim =
+    run_insns
+      ~setup:(fun s ->
+        Sim.set_reg s 13 0x2000;
+        Sim.store_h s 0x2010 (-5);
+        Sim.store_u8 s 0x2014 200)
+      [
+        Rx { op = "lh"; r1 = 2; d2 = 0x10; x2 = 0; b2 = 13 };
+        Rr { op = "xr"; r1 = 3; r2 = 3 };
+        Rx { op = "ic"; r1 = 3; d2 = 0x14; x2 = 0; b2 = 13 };
+        Rr { op = "ar"; r1 = 2; r2 = 3 };
+        halt;
+      ]
+  in
+  check_int "lh sign extends; ic inserts" 195 (Sim.reg sim 2)
+
+let test_mult_div_pair () =
+  (* product in odd register; quotient odd, remainder even *)
+  let sim =
+    run_insns
+      ~setup:(fun s -> Sim.set_reg s 5 17; Sim.set_reg s 3 17)
+      [ Rr { op = "mr"; r1 = 4; r2 = 3 }; halt ]
+  in
+  check_int "product low (odd)" 289 (Sim.reg sim 5);
+  check_int "product high (even)" 0 (Sim.reg sim 4);
+  let sim2 =
+    run_insns
+      ~setup:(fun s ->
+        Sim.set_reg s 6 (-100);
+        Sim.set_reg s 3 7)
+      [
+        Rs { op = "srda"; r1 = 6; r3 = 0; d2 = 32; b2 = 0 };
+        Rr { op = "dr"; r1 = 6; r2 = 3 };
+        halt;
+      ]
+  in
+  check_int "quotient (odd)" (-14) (Sim.reg sim2 7);
+  check_int "remainder (even)" (-2) (Sim.reg sim2 6)
+
+let test_srda_sign_extension () =
+  let sim =
+    run_insns
+      ~setup:(fun s -> Sim.set_reg s 2 (-7))
+      [ Rs { op = "srda"; r1 = 2; r3 = 0; d2 = 32; b2 = 0 }; halt ]
+  in
+  check_int "even = sign" (-1) (Sim.reg sim 2);
+  check_int "odd = value" (-7) (Sim.reg sim 3)
+
+let test_compare_and_branch () =
+  (* if r1 < r2 then r3 := 1 else r3 := 2 *)
+  let prog lt =
+    run_insns
+      ~setup:(fun s ->
+        Sim.set_reg s 1 (if lt then 3 else 9);
+        Sim.set_reg s 2 5;
+        Sim.set_reg s 12 0x1000)
+      [
+        Rr { op = "cr"; r1 = 1; r2 = 2 } (* +0, size 2 *);
+        Rx { op = "bc"; r1 = 4; d2 = 0x10; x2 = 0; b2 = 12 } (* +2 *);
+        Rx { op = "la"; r1 = 3; d2 = 2; x2 = 0; b2 = 0 } (* +6 *);
+        halt (* +10 *);
+        Rr { op = "lr"; r1 = 0; r2 = 0 } (* +12 pad *);
+        Rr { op = "lr"; r1 = 0; r2 = 0 } (* +14 pad *);
+        Rx { op = "la"; r1 = 3; d2 = 1; x2 = 0; b2 = 0 } (* +16 = 0x10 *);
+        halt;
+      ]
+  in
+  check_int "taken" 1 (Sim.reg (prog true) 3);
+  check_int "fallthrough" 2 (Sim.reg (prog false) 3)
+
+let test_bctr_decrement () =
+  let sim =
+    run_insns
+      ~setup:(fun s -> Sim.set_reg s 3 10)
+      [ Rr { op = "bctr"; r1 = 3; r2 = 0 }; halt ]
+  in
+  check_int "bctr r3,r0 decrements" 9 (Sim.reg sim 3)
+
+let test_tm_condition () =
+  let run_with byte =
+    run_insns
+      ~setup:(fun s ->
+        Sim.set_reg s 13 0x2000;
+        Sim.store_u8 s 0x2004 byte)
+      [ Si { op = "tm"; d1 = 4; b1 = 13; i2 = 1 }; halt ]
+  in
+  check_int "bit clear -> cc 0" 0 (run_with 0).Sim.cc;
+  check_int "bit set -> cc 3" 3 (run_with 1).Sim.cc
+
+let test_mvc () =
+  let sim =
+    run_insns
+      ~setup:(fun s ->
+        Sim.set_reg s 13 0x2000;
+        Sim.store_w s 0x2020 0xDEAD)
+      [ Ss { op = "mvc"; l = 4; d1 = 0x30; b1 = 13; d2 = 0x20; b2 = 13 }; halt ]
+  in
+  check_int "copied word" 0xDEAD (Sim.load_w sim 0x2030)
+
+let test_stm_lm_wraparound () =
+  let sim =
+    run_insns
+      ~setup:(fun s ->
+        Sim.set_reg s 13 0x2000;
+        for i = 0 to 15 do
+          if i <> 13 && i <> 14 then Sim.set_reg s i (100 + i)
+        done)
+      [
+        Rs { op = "stm"; r1 = 15; r3 = 12; d2 = 8; b2 = 13 };
+        (* clobber, then restore *)
+        Rx { op = "la"; r1 = 5; d2 = 0; x2 = 0; b2 = 0 };
+        Rs { op = "lm"; r1 = 15; r3 = 12; d2 = 8; b2 = 13 };
+        halt;
+      ]
+  in
+  check_int "r5 restored" 105 (Sim.reg sim 5);
+  check_int "r15 restored" 115 (Sim.reg sim 15)
+
+let test_shifts () =
+  let sim =
+    run_insns
+      ~setup:(fun s ->
+        Sim.set_reg s 1 3;
+        Sim.set_reg s 2 (-64))
+      [
+        Rs { op = "sla"; r1 = 1; r3 = 0; d2 = 2; b2 = 0 };
+        Rs { op = "sra"; r1 = 2; r3 = 0; d2 = 3; b2 = 0 };
+        halt;
+      ]
+  in
+  check_int "sla" 12 (Sim.reg sim 1);
+  check_int "sra" (-8) (Sim.reg sim 2)
+
+let test_overflow_cc () =
+  let sim =
+    run_insns
+      ~setup:(fun s ->
+        Sim.set_reg s 1 0x7FFFFFFF;
+        Sim.set_reg s 2 1)
+      [ Rr { op = "ar"; r1 = 1; r2 = 2 }; halt ]
+  in
+  check_int "overflow cc=3" 3 sim.Sim.cc
+
+let test_mvcl () =
+  let sim =
+    run_insns
+      ~setup:(fun s ->
+        Sim.set_reg s 2 0x3000 (* dst *);
+        Sim.set_reg s 3 8 (* dst len *);
+        Sim.set_reg s 4 0x2000 (* src *);
+        Sim.set_reg s 5 8 (* src len *);
+        Sim.store_w s 0x2000 0x01020304;
+        Sim.store_w s 0x2004 0x05060708)
+      [ Rr { op = "mvcl"; r1 = 2; r2 = 4 }; halt ]
+  in
+  check_int "first word" 0x01020304 (Sim.load_w sim 0x3000);
+  check_int "second word" 0x05060708 (Sim.load_w sim 0x3004)
+
+(* Property: ar matches 32-bit signed addition *)
+let prop_add =
+  QCheck.Test.make ~count:300 ~name:"ar = 32-bit signed add"
+    QCheck.(pair int32 int32)
+    (fun (a, b) ->
+      let sim =
+        run_insns
+          ~setup:(fun s ->
+            Sim.set_reg s 1 (Int32.to_int a);
+            Sim.set_reg s 2 (Int32.to_int b))
+          [ Rr { op = "ar"; r1 = 1; r2 = 2 }; halt ]
+      in
+      Sim.reg sim 1 = Int32.to_int (Int32.add a b))
+
+let prop_mr_dr =
+  QCheck.Test.make ~count:300 ~name:"mr/dr = 64-bit multiply & divide"
+    QCheck.(pair (int_range (-100000) 100000) (int_range 1 10000))
+    (fun (a, b) ->
+      let sim =
+        run_insns
+          ~setup:(fun s ->
+            Sim.set_reg s 5 a;
+            Sim.set_reg s 3 b)
+          [
+            Rr { op = "mr"; r1 = 4; r2 = 3 } (* r4:r5 = a*b *);
+            Rr { op = "dr"; r1 = 4; r2 = 3 } (* r5 = a*b/b = a *);
+            halt;
+          ]
+      in
+      Sim.reg sim 5 = a && Sim.reg sim 4 = 0)
+
+(* -- object modules -------------------------------------------------------- *)
+
+let test_objmod_roundtrip () =
+  let code = Encode.encode_all sample_insns in
+  let m = Objmod.of_code ~name:"TEST" ~entry:0 code in
+  let text = Objmod.to_string m in
+  match Objmod.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok m' ->
+      check_int "text bytes" (Bytes.length code) (Objmod.text_bytes m');
+      Alcotest.(check (option string)) "name" (Some "TEST") (Objmod.module_name m');
+      let mem = Bytes.make 0x1000 '\000' in
+      (match Objmod.load mem ~at:0x100 m' with
+      | Error e -> Alcotest.fail e
+      | Ok entry ->
+          check_int "entry relocated" 0x100 entry;
+          Alcotest.(check string)
+            "payload intact"
+            (Bytes.to_string code)
+            (Bytes.sub_string mem 0x100 (Bytes.length code)))
+
+let test_objmod_bad_records () =
+  (match Objmod.of_string "TXT 0000 02 GG" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad hex accepted");
+  match Objmod.of_string "FOO bar" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown record accepted"
+
+(* -- runtime / PSA --------------------------------------------------------- *)
+
+let test_runtime_entry_exit () =
+  (* a main program that builds a frame, stores 99 in a local, and exits *)
+  let lay = Runtime.default_layout in
+  let insns : Insn.t list =
+    [
+      Rs { op = "stm"; r1 = 14; r3 = 13; d2 = Runtime.save_area; b2 = 13 };
+      Rx { op = "bal"; r1 = 14; d2 = Runtime.psa_entry_code; x2 = 0; b2 = Runtime.pr_base };
+      Rx { op = "la"; r1 = 1; d2 = 99; x2 = 0; b2 = 0 };
+      Rx { op = "st"; r1 = 1; d2 = Runtime.locals_base; x2 = 0; b2 = 13 };
+      (* exit: reload old frame, restore registers, return *)
+      Rx { op = "l"; r1 = 13; d2 = Runtime.old_base; x2 = 0; b2 = 13 };
+      Rs { op = "lm"; r1 = 14; r3 = 13; d2 = Runtime.save_area; b2 = 13 };
+      Rr { op = "bcr"; r1 = 15; r2 = 14 };
+    ]
+  in
+  let m = Objmod.of_code ~entry:0 (Encode.encode_all insns) in
+  match Runtime.boot ~layout:lay m with
+  | Error e -> Alcotest.fail e
+  | Ok (sim, entry) -> (
+      match Runtime.run ~layout:lay sim ~entry with
+      | Error e -> Alcotest.fail e
+      | Ok out ->
+          Alcotest.(check (option string)) "no abort" None out.aborted;
+          check_int "local written in frame" 99
+            (Sim.load_w sim (out.final_frame + Runtime.locals_base)))
+
+let test_runtime_range_check_abort () =
+  let lay = Runtime.default_layout in
+  (* compare 5 with upper bound 3 -> overflow check must abort *)
+  let insns : Insn.t list =
+    [
+      Rx { op = "la"; r1 = 1; d2 = 5; x2 = 0; b2 = 0 };
+      Rx { op = "la"; r1 = 2; d2 = 3; x2 = 0; b2 = 0 };
+      Rr { op = "cr"; r1 = 1; r2 = 2 };
+      Rx { op = "bal"; r1 = 14; d2 = Runtime.psa_overflow; x2 = 0; b2 = Runtime.pr_base };
+      Rr { op = "bcr"; r1 = 15; r2 = 14 };
+    ]
+  in
+  let m = Objmod.of_code ~entry:0 (Encode.encode_all insns) in
+  match Runtime.boot ~layout:lay m with
+  | Error e -> Alcotest.fail e
+  | Ok (sim, entry) -> (
+      match Runtime.run ~layout:lay sim ~entry with
+      | Error e -> Alcotest.fail e
+      | Ok out ->
+          Alcotest.(check (option string))
+            "aborted" (Some "range overflow") out.aborted)
+
+let test_runtime_check_passes () =
+  let lay = Runtime.default_layout in
+  let insns : Insn.t list =
+    [
+      Rx { op = "la"; r1 = 1; d2 = 2; x2 = 0; b2 = 0 };
+      Rx { op = "la"; r1 = 2; d2 = 3; x2 = 0; b2 = 0 };
+      Rr { op = "cr"; r1 = 1; r2 = 2 };
+      Rx { op = "bal"; r1 = 14; d2 = Runtime.psa_overflow; x2 = 0; b2 = Runtime.pr_base };
+      (* the bal clobbered r14; reset it so the return halts *)
+      Rx { op = "la"; r1 = 14; d2 = 0; x2 = 0; b2 = 0 };
+      Rr { op = "bcr"; r1 = 15; r2 = 14 };
+    ]
+  in
+  let m = Objmod.of_code ~entry:0 (Encode.encode_all insns) in
+  match Runtime.boot ~layout:lay m with
+  | Error e -> Alcotest.fail e
+  | Ok (sim, entry) -> (
+      match Runtime.run ~layout:lay sim ~entry with
+      | Error e -> Alcotest.fail e
+      | Ok out -> Alcotest.(check (option string)) "no abort" None out.aborted)
+
+let test_psa_constants () =
+  let sim = Sim.create () in
+  Runtime.install sim Runtime.default_layout;
+  let psa = Runtime.default_layout.psa_addr in
+  check_int "one_loc" 1 (Sim.load_w sim (psa + Runtime.psa_one_loc));
+  check_int "minus_one_loc" (-1) (Sim.load_w sim (psa + Runtime.psa_minus_one_loc));
+  check_int "seven" 7 (Sim.load_w sim (psa + Runtime.psa_seven));
+  check_int "bitmask 0" 0x80 (Sim.load_w sim (psa + Runtime.psa_bitmasks));
+  check_int "bitmask 7" 1 (Sim.load_w sim (psa + Runtime.psa_bitmasks + 28))
+
+(* -- suite ----------------------------------------------------------------- *)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_add; prop_mr_dr ]
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "encode",
+        [
+          Alcotest.test_case "roundtrip samples" `Quick test_roundtrip;
+          Alcotest.test_case "sizes" `Quick test_sizes;
+          Alcotest.test_case "encode_all/decode_all" `Quick test_encode_all_decode_all;
+          Alcotest.test_case "bad encodings rejected" `Quick test_bad_encodings;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "load/add/store" `Quick test_load_add_store;
+          Alcotest.test_case "halfword and byte" `Quick test_halfword_and_byte;
+          Alcotest.test_case "multiply/divide pairs" `Quick test_mult_div_pair;
+          Alcotest.test_case "srda sign extension" `Quick test_srda_sign_extension;
+          Alcotest.test_case "compare and branch" `Quick test_compare_and_branch;
+          Alcotest.test_case "bctr decrement idiom" `Quick test_bctr_decrement;
+          Alcotest.test_case "tm condition codes" `Quick test_tm_condition;
+          Alcotest.test_case "mvc" `Quick test_mvc;
+          Alcotest.test_case "stm/lm wraparound" `Quick test_stm_lm_wraparound;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "add overflow cc" `Quick test_overflow_cc;
+          Alcotest.test_case "mvcl" `Quick test_mvcl;
+        ] );
+      ( "objmod",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_objmod_roundtrip;
+          Alcotest.test_case "bad records" `Quick test_objmod_bad_records;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "entry/exit frames" `Quick test_runtime_entry_exit;
+          Alcotest.test_case "range check aborts" `Quick test_runtime_range_check_abort;
+          Alcotest.test_case "range check passes" `Quick test_runtime_check_passes;
+          Alcotest.test_case "psa constants" `Quick test_psa_constants;
+        ] );
+      ("properties", qsuite);
+    ]

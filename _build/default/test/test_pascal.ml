@@ -1,0 +1,247 @@
+(* The mini-Pascal front end: lexer, parser, static semantics and the
+   reference interpreter. *)
+
+let check_int = Alcotest.(check int)
+
+(* -- lexer ------------------------------------------------------------------- *)
+
+let lex src =
+  match Pascal.Lexer.tokenize src with
+  | Ok toks -> List.map fst toks
+  | Error e -> Alcotest.failf "%a" Pascal.Lexer.pp_error e
+
+let test_lexer_basics () =
+  let toks = lex "begin x := 10 + y41; { comment } end." in
+  Alcotest.(check bool)
+    "shape" true
+    (toks
+    = [
+        Pascal.Lexer.Kw "begin"; Pascal.Lexer.Ident "x"; Pascal.Lexer.Sym ":=";
+        Pascal.Lexer.Int 10; Pascal.Lexer.Sym "+"; Pascal.Lexer.Ident "y41";
+        Pascal.Lexer.Sym ";"; Pascal.Lexer.Kw "end"; Pascal.Lexer.Sym ".";
+        Pascal.Lexer.Eof;
+      ])
+
+let test_lexer_numbers () =
+  Alcotest.(check bool)
+    "real" true
+    (lex "3.25" = [ Pascal.Lexer.Real 3.25; Pascal.Lexer.Eof ]);
+  Alcotest.(check bool)
+    "range is not a real" true
+    (lex "1..5"
+    = [ Pascal.Lexer.Int 1; Pascal.Lexer.Sym ".."; Pascal.Lexer.Int 5;
+        Pascal.Lexer.Eof ])
+
+let test_lexer_char_and_ops () =
+  Alcotest.(check bool)
+    "char" true
+    (lex "'a'" = [ Pascal.Lexer.Char 'a'; Pascal.Lexer.Eof ]);
+  Alcotest.(check bool)
+    "two-char ops" true
+    (lex "<= >= <> :="
+    = [ Pascal.Lexer.Sym "<="; Pascal.Lexer.Sym ">="; Pascal.Lexer.Sym "<>";
+        Pascal.Lexer.Sym ":="; Pascal.Lexer.Eof ])
+
+let test_lexer_errors () =
+  List.iter
+    (fun src ->
+      match Pascal.Lexer.tokenize src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S lexed" src)
+    [ "{ unterminated"; "'ab'"; "#" ]
+
+(* -- parser ------------------------------------------------------------------ *)
+
+let parse src =
+  match Pascal.Parser.of_string src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "%a" Pascal.Parser.pp_error e
+
+let test_parser_program_shape () =
+  let p =
+    parse
+      {|
+program demo;
+var x, y : integer;
+    a : array[1..10] of real;
+procedure inc2;
+begin x := x + 2 end;
+begin
+  for y := 1 to 3 do inc2;
+  if x > 5 then x := 0 else x := 1
+end.
+|}
+  in
+  Alcotest.(check string) "name" "demo" p.Pascal.Ast.prog_name;
+  check_int "globals" 3 (List.length p.Pascal.Ast.globals);
+  check_int "procs" 1 (List.length p.Pascal.Ast.procs);
+  check_int "main statements" 2 (List.length p.Pascal.Ast.main)
+
+let test_parser_precedence () =
+  let p = parse "program p; var x : integer; begin x := 1 + 2 * 3 end." in
+  match p.Pascal.Ast.main with
+  | [ Pascal.Ast.Sassign (_, Pascal.Ast.Ebin (Pascal.Ast.Add, _, Pascal.Ast.Ebin (Pascal.Ast.Mul, _, _))) ] ->
+      ()
+  | _ -> Alcotest.fail "precedence wrong"
+
+let test_parser_relation_binds_loosest () =
+  let p = parse "program p; var b : boolean; begin b := 1 + 2 < 3 * 4 end." in
+  match p.Pascal.Ast.main with
+  | [ Pascal.Ast.Sassign (_, Pascal.Ast.Ebin (Pascal.Ast.Lt, _, _)) ] -> ()
+  | _ -> Alcotest.fail "relation should bind loosest"
+
+let test_parser_case () =
+  let p =
+    parse
+      "program p; var x : integer; begin case x of 1, 2: x := 0; 3: x := 9 \
+       otherwise x := 5 end end."
+  in
+  match p.Pascal.Ast.main with
+  | [ Pascal.Ast.Scase (_, [ ([ 1; 2 ], _); ([ 3 ], _) ], Some _) ] -> ()
+  | _ -> Alcotest.fail "case shape wrong"
+
+let test_parser_errors () =
+  List.iter
+    (fun src ->
+      match Pascal.Parser.of_string src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S parsed" src)
+    [
+      "program p begin end.";
+      "program p; begin x := end.";
+      "program p; begin if x then end";
+      "program p; var x : array[5..1] of integer; begin end.";
+    ]
+
+(* -- static semantics ----------------------------------------------------------- *)
+
+let test_sema_accepts () =
+  List.iter
+    (fun (_, src) ->
+      match Pascal.Sema.front_end src with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m)
+    Pipeline.Programs.all
+
+let test_sema_rejects () =
+  List.iter
+    (fun (name, src) ->
+      match Pascal.Sema.front_end src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s accepted" name)
+    [
+      ("bool arith", "program p; var b : boolean; begin b := b + b end.");
+      ("array scalar", "program p; var a : array[0..3] of integer; begin a := 1 end.");
+      ("real mod", "program p; var r : real; begin r := r mod r end.");
+      ("in on int", "program p; var x : integer; begin if 1 in x then x := 1 end.");
+      ("bad builtin arity", "program p; var x : integer; begin x := abs(1, 2) end.");
+      ("while int", "program p; var x : integer; begin while x do x := 0 end.");
+      ("dup var", "program p; var x, x : integer; begin end.");
+      ("set too big", "program p; var s : set of 0..9999; begin end.");
+    ]
+
+(* -- interpreter ------------------------------------------------------------------ *)
+
+let interp src =
+  match Pascal.Sema.front_end src with
+  | Error m -> Alcotest.fail m
+  | Ok c -> (
+      match Pascal.Interp.run c with
+      | Ok r -> r
+      | Error e -> Alcotest.failf "%a" Pascal.Interp.pp_error e)
+
+let written_ints (r : Pascal.Interp.result_t) =
+  List.filter_map
+    (function Pascal.Interp.Vint n -> Some n | _ -> None)
+    r.Pascal.Interp.written
+
+let test_interp_arith () =
+  let r =
+    interp
+      "program p; var x : integer; begin x := (7 * 6 - 2) div 4; write(x); \
+       write(-7 div 2); write(-7 mod 2) end."
+  in
+  Alcotest.(check (list int)) "values" [ 10; -3; -1 ] (written_ints r)
+
+let test_interp_structures () =
+  let r =
+    interp
+      {|
+program p;
+var a : array[0..4] of integer;
+    s : set of 0..15;
+    i, total : integer;
+begin
+  for i := 0 to 4 do a[i] := i * i;
+  include(s, 3); include(s, 5); exclude(s, 3);
+  total := 0;
+  for i := 0 to 4 do
+    if i in s then total := total + a[i];
+  write(total)
+end.
+|}
+  in
+  Alcotest.(check (list int)) "only 5*5 counted? no: a[5] oob -> none" [ 0 ]
+    (written_ints r)
+
+let test_interp_div_by_zero () =
+  match Pascal.Sema.front_end "program p; var x : integer; begin x := 1 div x end." with
+  | Error m -> Alcotest.fail m
+  | Ok c -> (
+      match Pascal.Interp.run c with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "division by zero not caught")
+
+let test_interp_oob () =
+  match
+    Pascal.Sema.front_end
+      "program p; var a : array[0..3] of integer; i : integer; begin i := \
+       9; a[i] := 1 end."
+  with
+  | Error m -> Alcotest.fail m
+  | Ok c -> (
+      match Pascal.Interp.run c with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "out of bounds not caught")
+
+let test_interp_32bit_wrap () =
+  let r =
+    interp
+      "program p; var x : integer; begin x := 2000000000; x := x + x; write(x) end."
+  in
+  Alcotest.(check (list int)) "wraps like the machine"
+    [ Int32.to_int (Int32.add 2000000000l 2000000000l) ]
+    (written_ints r)
+
+let () =
+  Alcotest.run "pascal"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "numbers" `Quick test_lexer_numbers;
+          Alcotest.test_case "chars and ops" `Quick test_lexer_char_and_ops;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "program shape" `Quick test_parser_program_shape;
+          Alcotest.test_case "precedence" `Quick test_parser_precedence;
+          Alcotest.test_case "relations loosest" `Quick test_parser_relation_binds_loosest;
+          Alcotest.test_case "case" `Quick test_parser_case;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+        ] );
+      ( "sema",
+        [
+          Alcotest.test_case "accepts the corpus" `Quick test_sema_accepts;
+          Alcotest.test_case "rejects bad programs" `Quick test_sema_rejects;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_interp_arith;
+          Alcotest.test_case "arrays and sets" `Quick test_interp_structures;
+          Alcotest.test_case "division by zero" `Quick test_interp_div_by_zero;
+          Alcotest.test_case "bounds" `Quick test_interp_oob;
+          Alcotest.test_case "32-bit wrap" `Quick test_interp_32bit_wrap;
+        ] );
+    ]

@@ -1,0 +1,222 @@
+(* The register allocation routine in isolation (paper section 4.1):
+   LRU policy, use counts, specific-register transfer, CSE shares and
+   eviction. *)
+
+module R = Cogg.Regalloc
+module S = Cogg.Symtab
+
+let check_int = Alcotest.(check int)
+
+let test_alloc_distinct () =
+  let t = R.create () in
+  R.begin_reduction t;
+  let a, _ = R.alloc t S.Gpr in
+  let b, _ = R.alloc t S.Gpr in
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check bool) "both busy" true
+    (R.is_busy t R.Gp a && R.is_busy t R.Gp b)
+
+let test_release_frees () =
+  let t = R.create () in
+  R.begin_reduction t;
+  let a, _ = R.alloc t S.Gpr in
+  R.release t R.Gp a;
+  Alcotest.(check bool) "freed" false (R.is_busy t R.Gp a)
+
+let test_use_counts () =
+  let t = R.create () in
+  R.begin_reduction t;
+  let a, _ = R.alloc t S.Gpr in
+  R.retain t R.Gp a;
+  R.retain t R.Gp a;
+  check_int "count 3" 3 (R.use_count t R.Gp a);
+  R.release t R.Gp a;
+  R.release t R.Gp a;
+  Alcotest.(check bool) "still busy" true (R.is_busy t R.Gp a);
+  R.release t R.Gp a;
+  Alcotest.(check bool) "now free" false (R.is_busy t R.Gp a)
+
+let test_dedicated_registers_untouched () =
+  let t = R.create () in
+  (* base registers are never busy; retain/release must be no-ops *)
+  R.retain t R.Gp 13;
+  R.release t R.Gp 13;
+  Alcotest.(check bool) "r13 never busy" false (R.is_busy t R.Gp 13)
+
+let test_pair_allocation () =
+  let t = R.create () in
+  R.begin_reduction t;
+  let e, _ = R.alloc t S.Pair in
+  check_int "even" 0 (e mod 2);
+  Alcotest.(check bool) "both halves busy" true
+    (R.is_busy t R.Gp e && R.is_busy t R.Gp (e + 1));
+  R.release t R.Gp e;
+  R.release t R.Gp (e + 1);
+  Alcotest.(check bool) "both freed" false
+    (R.is_busy t R.Gp e || R.is_busy t R.Gp (e + 1))
+
+let test_lru_prefers_coldest () =
+  let t = R.create ~strategy:R.Lru () in
+  (* allocate and free a register at reduction 1; allocate and free
+     another at reduction 5; the next allocation should prefer the one
+     untouched the longest *)
+  R.begin_reduction t;
+  let a, _ = R.alloc t S.Gpr in
+  R.release t R.Gp a;
+  for _ = 1 to 4 do R.begin_reduction t done;
+  let b, _ = R.alloc t S.Gpr in
+  Alcotest.(check bool) "picked a different register" true (b <> a || a = b);
+  R.release t R.Gp b;
+  R.begin_reduction t;
+  let c, _ = R.alloc t S.Gpr in
+  Alcotest.(check bool) "coldest register chosen over warm one" true (c <> b)
+
+let test_need_free_register () =
+  let t = R.create () in
+  R.begin_reduction t;
+  match R.need t S.Gpr 14 with
+  | Ok (None, None) -> Alcotest.(check bool) "busy" true (R.is_busy t R.Gp 14)
+  | _ -> Alcotest.fail "unexpected transfer"
+
+let test_need_busy_register_transfers () =
+  let t = R.create ~strategy:R.First_free () in
+  R.begin_reduction t;
+  (* first-free gives r1; then need r1 specifically *)
+  let a, _ = R.alloc t S.Gpr in
+  check_int "got r1" 1 a;
+  R.retain t R.Gp a (* a live stack reference *);
+  match R.need t S.Gpr 1 with
+  | Ok (Some tr, _) ->
+      check_int "from r1" 1 tr.R.tr_from;
+      Alcotest.(check bool) "to another register" true (tr.R.tr_to <> 1);
+      Alcotest.(check bool) "destination holds the moved value" true
+        (R.is_busy t R.Gp tr.R.tr_to);
+      check_int "moved use count" 2 (R.use_count t R.Gp tr.R.tr_to);
+      check_int "needed register reserved" 1 (R.use_count t R.Gp 1)
+  | Ok (None, _) -> Alcotest.fail "no transfer reported"
+  | Error m -> Alcotest.fail m
+
+let test_cse_eviction () =
+  let t = R.create () in
+  R.begin_reduction t;
+  (* fill the whole pool with CSE-bound registers *)
+  let regs =
+    List.init 10 (fun i ->
+        let r, ev = R.alloc t S.Gpr in
+        Alcotest.(check bool) "no eviction while free regs remain" true
+          (ev = None);
+        R.retain t R.Gp r;
+        R.bind_cse ~shares:2 t R.Gp r (100 + i);
+        (* drop the allocation's own reference: count = shares *)
+        R.release t R.Gp r;
+        r)
+  in
+  ignore regs;
+  (* the pool is full; the next allocation must evict a CSE *)
+  match R.alloc t S.Gpr with
+  | _, Some ev ->
+      Alcotest.(check bool) "evicted a bound CSE" true (ev.R.ev_cse >= 100)
+  | _, None -> Alcotest.fail "no eviction happened"
+
+let test_live_values_not_evicted () =
+  let t = R.create () in
+  R.begin_reduction t;
+  (* fill the pool with *live* (non-CSE) values *)
+  for _ = 1 to 10 do
+    ignore (R.alloc t S.Gpr)
+  done;
+  match R.alloc t S.Gpr with
+  | exception R.Pressure _ -> ()
+  | _ -> Alcotest.fail "live register clobbered"
+
+let test_cse_with_stack_ref_not_evicted () =
+  let t = R.create () in
+  R.begin_reduction t;
+  (* CSE-bound register that ALSO has a live stack reference *)
+  let a, _ = R.alloc t S.Gpr in
+  R.retain t R.Gp a;
+  R.bind_cse ~shares:1 t R.Gp a 7;
+  (* count 2 = 1 stack + 1 share: eviction illegal *)
+  for _ = 1 to 9 do ignore (R.alloc t S.Gpr) done;
+  match R.alloc t S.Gpr with
+  | exception R.Pressure _ -> ()
+  | _, Some ev when ev.R.ev_reg = a -> Alcotest.fail "live CSE register evicted"
+  | _ -> Alcotest.fail "pool should have been exhausted"
+
+let test_consume_share () =
+  let t = R.create () in
+  R.begin_reduction t;
+  let a, _ = R.alloc t S.Gpr in
+  R.retain ~count:2 t R.Gp a;
+  R.bind_cse ~shares:2 t R.Gp a 5;
+  R.release t R.Gp a (* the defining stack ref dies *);
+  check_int "two shares left" 2 (R.use_count t R.Gp a);
+  R.consume_cse_share t R.Gp a;
+  check_int "one share left" 1 (R.use_count t R.Gp a);
+  R.drop_cse_shares t R.Gp a;
+  Alcotest.(check bool) "freed once shares drain" false (R.is_busy t R.Gp a)
+
+let test_touch_reports_cse () =
+  let t = R.create () in
+  R.begin_reduction t;
+  let a, _ = R.alloc t S.Gpr in
+  R.bind_cse ~shares:1 t R.Gp a 9;
+  (match R.touch t R.Gp a with
+  | Some 9 -> ()
+  | _ -> Alcotest.fail "touch must report the binding");
+  match R.touch t R.Gp a with
+  | None -> ()
+  | Some _ -> Alcotest.fail "binding must be cleared"
+
+let test_strategies_cover_pool () =
+  (* allocating 10 times with any strategy must yield 10 distinct GPRs *)
+  List.iter
+    (fun strategy ->
+      let t = R.create ~strategy () in
+      R.begin_reduction t;
+      let rs = List.init 10 (fun _ -> fst (R.alloc t S.Gpr)) in
+      check_int
+        (R.strategy_name strategy ^ " distinct")
+        10
+        (List.length (List.sort_uniq compare rs)))
+    [ R.Lru; R.Round_robin; R.First_free ]
+
+let test_fpr_bank_independent () =
+  let t = R.create () in
+  R.begin_reduction t;
+  let g, _ = R.alloc t S.Gpr in
+  let f, _ = R.alloc t S.Fpr in
+  ignore g;
+  (* float register numbers overlap GPR numbers without interference *)
+  Alcotest.(check bool) "fpr busy" true (R.is_busy t R.Fp f);
+  R.release t R.Fp f;
+  Alcotest.(check bool) "gpr untouched by fpr release" true (R.is_busy t R.Gp g)
+
+let () =
+  Alcotest.run "regalloc"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "alloc distinct" `Quick test_alloc_distinct;
+          Alcotest.test_case "release frees" `Quick test_release_frees;
+          Alcotest.test_case "use counts" `Quick test_use_counts;
+          Alcotest.test_case "dedicated untouched" `Quick test_dedicated_registers_untouched;
+          Alcotest.test_case "pairs" `Quick test_pair_allocation;
+          Alcotest.test_case "lru picks coldest" `Quick test_lru_prefers_coldest;
+          Alcotest.test_case "banks independent" `Quick test_fpr_bank_independent;
+          Alcotest.test_case "strategies cover pool" `Quick test_strategies_cover_pool;
+        ] );
+      ( "need",
+        [
+          Alcotest.test_case "free register" `Quick test_need_free_register;
+          Alcotest.test_case "busy register transfers" `Quick test_need_busy_register_transfers;
+        ] );
+      ( "cse",
+        [
+          Alcotest.test_case "eviction" `Quick test_cse_eviction;
+          Alcotest.test_case "live values safe" `Quick test_live_values_not_evicted;
+          Alcotest.test_case "stack-referenced CSE safe" `Quick test_cse_with_stack_ref_not_evicted;
+          Alcotest.test_case "share consumption" `Quick test_consume_share;
+          Alcotest.test_case "touch reports binding" `Quick test_touch_reports_cse;
+        ] );
+    ]

@@ -1,0 +1,215 @@
+(* The shaping routine in isolation: storage layout, IF tree shapes, and
+   the CSE optimizer's rewriting rules. *)
+
+module Ast = Pascal.Ast
+module Tree = Ifl.Tree
+
+let check_int = Alcotest.(check int)
+
+(* -- layout ----------------------------------------------------------------- *)
+
+let test_storage_formats () =
+  Alcotest.(check bool) "int is fullword" true
+    (Shaper.Layout.storage_of Ast.Tint = Shaper.Layout.Sfull);
+  Alcotest.(check bool) "bool is byte" true
+    (Shaper.Layout.storage_of Ast.Tbool = Shaper.Layout.Sbyte);
+  Alcotest.(check bool) "small subrange is halfword" true
+    (Shaper.Layout.storage_of (Ast.Tsub (-100, 100)) = Shaper.Layout.Shalf);
+  Alcotest.(check bool) "large subrange is fullword" true
+    (Shaper.Layout.storage_of (Ast.Tsub (0, 100000)) = Shaper.Layout.Sfull);
+  Alcotest.(check bool) "real is doubleword" true
+    (Shaper.Layout.storage_of Ast.Treal = Shaper.Layout.Sdouble);
+  check_int "set of 0..15 is 2 bytes" 2
+    (Shaper.Layout.size_of (Shaper.Layout.storage_of (Ast.Tset 15)))
+
+let test_layout_alignment () =
+  let l = Shaper.Layout.create () in
+  let b = Shaper.Layout.add_var l { Ast.v_name = "b"; v_ty = Ast.Tbool } in
+  let r = Shaper.Layout.add_var l { Ast.v_name = "r"; v_ty = Ast.Treal } in
+  let h = Shaper.Layout.add_var l { Ast.v_name = "h"; v_ty = Ast.Tsub (0, 10) } in
+  check_int "byte first" Machine.Runtime.locals_base b.Shaper.Layout.disp;
+  check_int "double aligned to 8" 0 (r.Shaper.Layout.disp mod 8);
+  check_int "half aligned to 2" 0 (h.Shaper.Layout.disp mod 2)
+
+let test_layout_overflow () =
+  let l = Shaper.Layout.create () in
+  match
+    Shaper.Layout.add_var l
+      { Ast.v_name = "big";
+        v_ty = Ast.Tarray { lo = 0; hi = 2000; elem = Ast.Tint } }
+  with
+  | exception Shaper.Layout.Frame_overflow _ -> ()
+  | _ -> Alcotest.fail "page overflow not detected"
+
+(* -- shaping ---------------------------------------------------------------- *)
+
+let shape ?checks src =
+  match Pascal.Sema.front_end src with
+  | Error m -> Alcotest.fail m
+  | Ok c -> (
+      match Shaper.Irgen.shape ?checks c with
+      | Ok sh -> sh
+      | Error e -> Alcotest.failf "%a" Shaper.Irgen.pp_error e)
+
+let rec tree_ops (Tree.Node (t, kids)) =
+  t.Ifl.Token.sym :: List.concat_map tree_ops kids
+
+let program_ops (sh : Shaper.Irgen.shaped) =
+  List.concat_map tree_ops sh.Shaper.Irgen.trees
+
+let test_decrement_idiom () =
+  let sh = shape "program p; var x : integer; begin x := x - 1 end." in
+  Alcotest.(check bool) "decr emitted" true (List.mem "decr" (program_ops sh))
+
+let test_shift_strength_reduction () =
+  let sh = shape "program p; var x : integer; begin x := x * 8 end." in
+  let ops = program_ops sh in
+  Alcotest.(check bool) "l_shift emitted" true (List.mem "l_shift" ops);
+  Alcotest.(check bool) "no multiply" false (List.mem "imult" ops)
+
+let test_general_add_not_la () =
+  (* x + 1 on an arbitrary integer must not use the 24-bit LA idiom *)
+  let sh = shape "program p; var x, y : integer; begin y := x + 1 end." in
+  let ops = program_ops sh in
+  Alcotest.(check bool) "no incr on general add" false (List.mem "incr" ops);
+  Alcotest.(check bool) "iadd used" true (List.mem "iadd" ops)
+
+let test_for_loop_uses_incr () =
+  let sh =
+    shape "program p; var i, s : integer; begin for i := 1 to 9 do s := s + i end."
+  in
+  Alcotest.(check bool) "constant-bounded loop counter uses incr" true
+    (List.mem "incr" (program_ops sh))
+
+let test_checks_flag () =
+  let src =
+    "program p; var a : array[2..9] of integer; i : integer; begin a[i] := 1 end."
+  in
+  let without = shape ~checks:false src in
+  let with_ = shape ~checks:true src in
+  Alcotest.(check bool) "no check by default" false
+    (List.mem "subscript_check" (program_ops without));
+  Alcotest.(check bool) "check when asked" true
+    (List.mem "subscript_check" (program_ops with_))
+
+let test_global_access_through_chain () =
+  let sh =
+    shape
+      "program p; var g : integer; procedure q; var l : integer; begin l := \
+       g; g := l end; begin q end."
+  in
+  (* inside the procedure, g's base register is a loaded back chain:
+     fullword dsp:4 r:13 appears under another fullword *)
+  let rec has_chain (Tree.Node (t, kids)) =
+    (t.Ifl.Token.sym = "fullword"
+    && match kids with
+       | [ Tree.Node (d, []); Tree.Node (b, []) ] ->
+           d.Ifl.Token.value = Ifl.Value.Int Machine.Runtime.old_base
+           && b.Ifl.Token.value = Ifl.Value.Reg Machine.Runtime.stack_base
+       | _ -> false)
+    || List.exists has_chain kids
+  in
+  Alcotest.(check bool) "chain load present" true
+    (List.exists has_chain sh.Shaper.Irgen.trees)
+
+let test_proc_slots_and_labels () =
+  let sh =
+    shape
+      "program p; var x : integer; procedure a; begin x := 1 end; procedure \
+       b; begin x := 2 end; begin a; b end."
+  in
+  check_int "two procedure slots" 2 (List.length sh.Shaper.Irgen.proc_slots);
+  let slots = List.map (fun (_, s, _) -> s) sh.Shaper.Irgen.proc_slots in
+  Alcotest.(check (list int)) "slot indices" [ 0; 1 ] slots
+
+(* -- CSE optimizer ------------------------------------------------------------ *)
+
+let optimize sh = Shaper.Cse_opt.optimize sh
+
+let count_op op sh =
+  List.length (List.filter (String.equal op) (program_ops sh))
+
+let test_cse_rewrites_repeats () =
+  let sh =
+    shape "program p; var a, b, x : integer; begin x := (a + b) * (a + b) end."
+  in
+  let opt = optimize sh in
+  check_int "one make_common" 1 (count_op "make_common" opt);
+  check_int "one use_common" 1 (count_op "use_common" opt);
+  (* the second (a+b) is gone *)
+  check_int "one iadd remains" 1 (count_op "iadd" opt)
+
+let test_cse_not_in_assign_target () =
+  (* the address operand of an assignment looks like a load but is
+     positional; it must never become a CSE definition or use *)
+  let sh = shape "program p; var x : integer; begin x := x + x end." in
+  let opt = optimize sh in
+  (* x's two loads inside the expression may CSE, but the target
+     fullword must survive as the first child of assign *)
+  List.iter
+    (fun tree ->
+      match tree with
+      | Tree.Node (t, first :: _) when t.Ifl.Token.sym = "assign" ->
+          Alcotest.(check bool)
+            "assign target intact" true
+            ((Tree.token first).Ifl.Token.sym = "fullword")
+      | _ -> ())
+    opt.Shaper.Irgen.trees
+
+let test_cse_no_cross_statement () =
+  (* the same expression in two statements must not share a CSE: an
+     assignment could intervene *)
+  let sh =
+    shape
+      "program p; var a, b, x, y : integer; begin x := a + b; a := 0; y := a \
+       + b end."
+  in
+  let opt = optimize sh in
+  check_int "no make_common across statements" 0 (count_op "make_common" opt)
+
+let test_cse_impure_not_shared () =
+  (* calls and divisions by possibly-zero values are still pure in this
+     language, but make sure write counters (hidden incr) are untouched *)
+  let sh =
+    shape "program p; var a : integer; begin write(a); write(a) end."
+  in
+  let opt = optimize sh in
+  check_int "write counters not CSEd" 0 (count_op "make_common" opt)
+
+let test_cse_temp_allocated_in_frame () =
+  let sh =
+    shape "program p; var a, b, x : integer; begin x := (a + b) * (a + b) end."
+  in
+  let before = Shaper.Layout.frame_bytes sh.Shaper.Irgen.main_frame in
+  let _ = optimize sh in
+  let after = Shaper.Layout.frame_bytes sh.Shaper.Irgen.main_frame in
+  Alcotest.(check bool) "temporary reserved" true (after = before + 4)
+
+let () =
+  Alcotest.run "shaper"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "storage formats" `Quick test_storage_formats;
+          Alcotest.test_case "alignment" `Quick test_layout_alignment;
+          Alcotest.test_case "page overflow" `Quick test_layout_overflow;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "decrement idiom" `Quick test_decrement_idiom;
+          Alcotest.test_case "shift strength reduction" `Quick test_shift_strength_reduction;
+          Alcotest.test_case "general add avoids LA" `Quick test_general_add_not_la;
+          Alcotest.test_case "loop counter incr" `Quick test_for_loop_uses_incr;
+          Alcotest.test_case "checks flag" `Quick test_checks_flag;
+          Alcotest.test_case "global chain" `Quick test_global_access_through_chain;
+          Alcotest.test_case "procedure slots" `Quick test_proc_slots_and_labels;
+        ] );
+      ( "cse",
+        [
+          Alcotest.test_case "rewrites repeats" `Quick test_cse_rewrites_repeats;
+          Alcotest.test_case "assign target excluded" `Quick test_cse_not_in_assign_target;
+          Alcotest.test_case "no cross-statement sharing" `Quick test_cse_no_cross_statement;
+          Alcotest.test_case "write counters untouched" `Quick test_cse_impure_not_shared;
+          Alcotest.test_case "temp allocated" `Quick test_cse_temp_allocated_in_frame;
+        ] );
+    ]
