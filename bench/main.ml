@@ -251,12 +251,48 @@ let ablation_regalloc () =
 (* Speed: Bechamel micro-benchmarks                                    *)
 (* ------------------------------------------------------------------ *)
 
-let speed () =
+(* Minimal JSON writer for the machine-readable perf trajectory; names
+   contain only parentheses, letters and punctuation safe in a JSON
+   string, but escape defensively anyway. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_speed_json path (rows : (string * float) list) =
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  \"%s\": %.1f%s\n" (json_escape name) ns
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc;
+  Fmt.pr "@.wrote %s@." path
+
+let speed ?(json = false) () =
   Fmt.pr "@.== Timings (Bechamel) ==@.@.";
   let open Bechamel in
   let open Toolkit in
   let t = Lazy.force tables in
   let full_spec = Lazy.force spec in
+  let spec_file = spec_path () in
+  (* warm the on-disk table cache so load-tables(cache) times the hit path *)
+  (match Cogg.Tables_cache.build_file spec_file with
+  | Ok _ -> ()
+  | Error es ->
+      Fmt.epr "%a@." (Fmt.list Cogg.Cogg_build.pp_error) es;
+      exit 1);
   let tokens =
     match Pipeline.compile t Pipeline.Programs.appendix1_equation with
     | Ok c -> c.Pipeline.tokens
@@ -268,8 +304,17 @@ let speed () =
     [
       Test.make ~name:"build-tables(full-spec)"
         (Staged.stage (fun () -> ignore (Cogg.Cogg_build.build full_spec)));
-      Test.make ~name:"codegen(appendix1-equation)"
-        (Staged.stage (fun () -> ignore (Cogg.Codegen.generate t tokens)));
+      Test.make ~name:"load-tables(cache)"
+        (Staged.stage (fun () ->
+             ignore (Cogg.Tables_cache.build_file spec_file)));
+      Test.make ~name:"codegen(comb)"
+        (Staged.stage (fun () ->
+             ignore
+               (Cogg.Codegen.generate ~dispatch:Cogg.Driver.Comb t tokens)));
+      Test.make ~name:"codegen(flat)"
+        (Staged.stage (fun () ->
+             ignore
+               (Cogg.Codegen.generate ~dispatch:Cogg.Driver.Flat t tokens)));
       Test.make ~name:"compress(defaults+comb)"
         (Staged.stage (fun () ->
              ignore (Cogg.Compress.compress t.Cogg.Tables.parse)));
@@ -282,6 +327,7 @@ let speed () =
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -294,25 +340,32 @@ let speed () =
       Hashtbl.iter
         (fun name est ->
           match Analyze.OLS.estimates est with
-          | Some [ ns ] -> Fmt.pr "%-34s %14.1f ns/run@." name ns
+          | Some [ ns ] ->
+              rows := (name, ns) :: !rows;
+              Fmt.pr "%-34s %14.1f ns/run@." name ns
           | _ -> Fmt.pr "%-34s (no estimate)@." name)
         ols)
-    tests
+    tests;
+  if json then write_speed_json "BENCH_speed.json" (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 
-let all () =
+let all ?json () =
   table1 ();
   table2 ();
   appendix1 ();
   ablation_grammar ();
   ablation_regalloc ();
-  speed ()
+  speed ?json ()
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] | [] -> all ()
-  | _ :: args ->
+  (* `--json` (anywhere on the command line) makes `speed` also write
+     BENCH_speed.json: name -> ns/run *)
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  match List.filter (fun a -> a <> "--json") args with
+  | [] -> all ~json ()
+  | args ->
       List.iter
         (function
           | "table1" -> table1 ()
@@ -320,8 +373,8 @@ let () =
           | "appendix1" -> appendix1 ()
           | "ablation-grammar" -> ablation_grammar ()
           | "ablation-regalloc" -> ablation_regalloc ()
-          | "speed" -> speed ()
-          | "all" -> all ()
+          | "speed" -> speed ~json ()
+          | "all" -> all ~json ()
           | a ->
               Fmt.epr "unknown benchmark %s@." a;
               exit 1)

@@ -17,7 +17,8 @@ let read_file path =
   s
 
 (* a .cgt file is a serialized table bundle; anything else is a
-   specification compiled on the fly *)
+   specification compiled through the content-hashed table cache (repeat
+   invocations on an unchanged spec skip LR construction) *)
 let load_tables ?(mode = Cogg.Lookahead.Slr) path =
   if Filename.check_suffix path ".cgt" then
     match Cogg.Tables_io.read (read_file path) with
@@ -25,8 +26,12 @@ let load_tables ?(mode = Cogg.Lookahead.Slr) path =
     | exception Cogg.Tables_io.Corrupt m ->
         Error (Fmt.str "%s: corrupt table bundle (%s)" path m)
   else
-    match Cogg.Cogg_build.build_file ~mode path with
-    | Ok t -> Ok t
+    match Cogg.Tables_cache.build_file ~mode path with
+    | Ok (t, origin) ->
+        if Sys.getenv_opt "COGG_CACHE_VERBOSE" <> None then
+          Fmt.epr "[tables-cache] %s: %a@." path Cogg.Tables_cache.pp_origin
+            origin;
+        Ok t
     | Error es ->
         Error (Fmt.str "%a" (Fmt.list ~sep:Fmt.cut Cogg.Cogg_build.pp_error) es)
 

@@ -29,6 +29,24 @@ let spec_arg =
     & opt file "specs/amdahl470.cgg"
     & info [ "spec" ] ~docv:"SPEC" ~doc:"Code generator specification")
 
+(* Built tables are cached on disk keyed by the spec's content digest, so
+   repeat runs skip LR construction entirely. *)
+let load_tables ~no_cache spec_path =
+  if no_cache then
+    match Cogg.Cogg_build.build_file spec_path with
+    | Ok t -> t
+    | Error es ->
+        or_die (Error (Fmt.str "%a" (Fmt.list Cogg.Cogg_build.pp_error) es))
+  else
+    match Cogg.Tables_cache.build_file spec_path with
+    | Ok (t, origin) ->
+        if Sys.getenv_opt "COGG_CACHE_VERBOSE" <> None then
+          Fmt.epr "[tables-cache] %s: %a@." spec_path Cogg.Tables_cache.pp_origin
+            origin;
+        t
+    | Error es ->
+        or_die (Error (Fmt.str "%a" (Fmt.list Cogg.Cogg_build.pp_error) es))
+
 let pp_value ppf = function
   | Pascal.Interp.Vint n -> Fmt.int ppf n
   | Pascal.Interp.Vbool b -> Fmt.bool ppf b
@@ -37,8 +55,8 @@ let pp_value ppf = function
   | _ -> Fmt.string ppf "<aggregate>"
 
 let compile_cmd =
-  let run spec_path src_path no_cse checks baseline show_if show_listing
-      run_it verify =
+  let run spec_path src_path no_cse no_cache checks baseline show_if
+      show_listing run_it verify =
     let src = read_file src_path in
     if baseline then begin
       let c = or_die (Pipeline.compile_baseline ~checks src) in
@@ -53,13 +71,7 @@ let compile_cmd =
       end
     end
     else begin
-      let tables =
-        match Cogg.Cogg_build.build_file spec_path with
-        | Ok t -> t
-        | Error es ->
-            or_die
-              (Error (Fmt.str "%a" (Fmt.list Cogg.Cogg_build.pp_error) es))
-      in
+      let tables = load_tables ~no_cache spec_path in
       let c = or_die (Pipeline.compile ~cse:(not no_cse) ~checks tables src) in
       if show_if then
         List.iter
@@ -91,6 +103,7 @@ let compile_cmd =
     Term.(
       const run $ spec_arg $ src_arg
       $ flag [ "no-cse" ] "Disable the common-subexpression optimizer"
+      $ flag [ "no-cache" ] "Rebuild the driving tables instead of using the on-disk cache"
       $ flag [ "checks" ] "Emit subscript checking code"
       $ flag [ "baseline" ] "Use the hand-written code generator"
       $ flag [ "dump-if" ] "Print the linearized intermediate form"

@@ -21,11 +21,11 @@ let pp_error ppf = function
   | Resolve_failure m -> Fmt.pf ppf "loader record generation failed: %s" m
 
 (** Generate code for a linearized IF program. *)
-let generate ?(name = "MAIN") ?(strategy = Regalloc.Lru) ?reload_dsp
+let generate ?(name = "MAIN") ?(strategy = Regalloc.Lru) ?dispatch ?reload_dsp
     ?reload_reg (tables : Tables.t) (input : Ifl.Token.t list) :
     (result_t, error) result =
   let emitter = Emit.create ~strategy ?reload_dsp ?reload_reg tables in
-  match Driver.parse tables ~reduce:(Emit.reduce emitter) input with
+  match Driver.parse ?dispatch tables ~reduce:(Emit.reduce emitter) input with
   | Error e -> Error (Parse_error e)
   | exception Emit.Emit_error m -> Error (Emit_failure m)
   | exception Regalloc.Pressure m -> Error (Emit_failure m)
@@ -44,11 +44,13 @@ let generate ?(name = "MAIN") ?(strategy = Regalloc.Lru) ?reload_dsp
             })
 
 (** Convenience: parse the textual IF syntax and generate. *)
-let generate_string ?name ?strategy ?reload_dsp ?reload_reg tables text :
-    (result_t, string) result =
+let generate_string ?name ?strategy ?dispatch ?reload_dsp ?reload_reg tables
+    text : (result_t, string) result =
   match Ifl.Reader.program_of_string text with
   | Error m -> Error m
   | Ok tokens -> (
-      match generate ?name ?strategy ?reload_dsp ?reload_reg tables tokens with
+      match
+        generate ?name ?strategy ?dispatch ?reload_dsp ?reload_reg tables tokens
+      with
       | Ok r -> Ok r
       | Error e -> Error (Fmt.str "%a" pp_error e))

@@ -21,19 +21,22 @@ val pp_error : Format.formatter -> error -> unit
 val generate :
   ?name:string ->
   ?strategy:Regalloc.strategy ->
+  ?dispatch:Driver.dispatch ->
   ?reload_dsp:string ->
   ?reload_reg:string ->
   Tables.t ->
   Ifl.Token.t list ->
   (result_t, error) result
 (** Generate code for a linearized IF program.  [strategy] selects the
-    register allocation policy (default LRU); [reload_dsp]/[reload_reg]
-    name the terminals used when a common subexpression is reloaded from
-    its temporary (defaults ["dsp"]/["r"]). *)
+    register allocation policy (default LRU); [dispatch] the parse-table
+    representation the driver probes (default comb);
+    [reload_dsp]/[reload_reg] name the terminals used when a common
+    subexpression is reloaded from its temporary (defaults ["dsp"]/["r"]). *)
 
 val generate_string :
   ?name:string ->
   ?strategy:Regalloc.strategy ->
+  ?dispatch:Driver.dispatch ->
   ?reload_dsp:string ->
   ?reload_reg:string ->
   Tables.t ->

@@ -101,6 +101,7 @@ let build ?(mode = Lookahead.Slr) (spec : Spec_ast.t) :
         Tables.grammar;
         symtab;
         parse;
+        compressed = Compress.compress ~method_:Compress.Defaults_and_comb parse;
         compiled;
         n_user_prods = n_user;
         class_of;

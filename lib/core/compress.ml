@@ -128,17 +128,22 @@ let compress ?(method_ = Defaults_and_comb) (pt : Parse_table.t) : t =
          The check array stores the *column symbol* (one byte), which is
          sound because distinct rows always take distinct offsets: a
          position p can only satisfy check[p] = sym with p = offset + sym
-         for the single row that owns it. *)
+         for the single row that owns it.
+
+         The scan is kept near-linear in the packed size: a monotone
+         [min_free] cursor (slots only ever fill, never free) lets each
+         row start probing at the first offset that could possibly place
+         its lowest column on a free slot, and both the taken-offset set
+         and the candidate probe run over plain arrays with no per-probe
+         allocation. *)
+      let row_len = Array.map List.length entries_of in
       let order = Array.init !n_rows (fun i -> i) in
-      Array.sort
-        (fun a b ->
-          compare (List.length entries_of.(b)) (List.length entries_of.(a)))
-        order;
+      Array.sort (fun a b -> compare row_len.(b) row_len.(a)) order;
       let cap = ref (max 64 (!n_rows * 4)) in
       let value = ref (Array.make !cap 0) in
       let check = ref (Array.make !cap 0) in
       let used = ref 0 in
-      let taken = Hashtbl.create 64 in
+      let taken = ref (Bytes.make !cap '\000') in
       let ensure n =
         if n > !cap then begin
           let ncap = max n (!cap * 2) in
@@ -152,34 +157,86 @@ let compress ?(method_ = Defaults_and_comb) (pt : Parse_table.t) : t =
       in
       let offsets = Array.make !n_rows 0 in
       let empties = ref [] in
+      let min_free = ref 0 in
+      (* occupancy bitset mirroring the check array: candidate probing
+         walks a few KB of bits (L1-resident) instead of re-reading the
+         much larger check array for every candidate offset.  32-bit
+         words inside native ints keep every index computation a shift
+         or mask and leave headroom for the cross-word window splice. *)
+      let bbits = 32 in
+      let bmask = (1 lsl bbits) - 1 in
+      let occ = ref (Array.make ((!cap lsr 5) + 2) 0) in
+      let occ_set p =
+        let i = p lsr 5 in
+        if i >= Array.length !occ then begin
+          let narr = Array.make (max (i + 1) (2 * Array.length !occ)) 0 in
+          Array.blit !occ 0 narr 0 (Array.length !occ);
+          occ := narr
+        end;
+        !occ.(i) <- !occ.(i) lor (1 lsl (p land 31))
+      in
       Array.iter
         (fun rid ->
-          let entries = entries_of.(rid) in
-          if entries = [] then empties := rid :: !empties
-          else begin
-            let fits off =
-              (not (Hashtbl.mem taken off))
-              && List.for_all
-                   (fun (sym, _) ->
-                     let p = off + sym in
-                     p >= 0 && (p >= !cap || !check.(p) = 0))
-                   entries
-            in
-            let off = ref 0 in
-            while not (fits !off) do
-              incr off
-            done;
-            Hashtbl.replace taken !off ();
-            offsets.(rid) <- !off;
-            List.iter
-              (fun (sym, v) ->
-                let p = !off + sym in
-                ensure (p + 1);
-                !value.(p) <- v;
-                !check.(p) <- sym + 1;
-                if p + 1 > !used then used := p + 1)
-              entries
-          end)
+          match entries_of.(rid) with
+          | [] -> empties := rid :: !empties
+          | (s0, _) :: _ as entry_list ->
+              let entries = Array.of_list entry_list in
+              let ne = Array.length entries in
+              (* the row's columns as a bit mask over [0, s_max] *)
+              let s_max = fst entries.(ne - 1) in
+              let mwords = (s_max lsr 5) + 1 in
+              let mask = Array.make mwords 0 in
+              Array.iter
+                (fun (s, _) ->
+                  mask.(s lsr 5) <- mask.(s lsr 5) lor (1 lsl (s land 31)))
+                entries;
+              (* advance past the filled prefix: every slot below
+                 [min_free] is occupied, so no offset can place the first
+                 (lowest) column there *)
+              while !min_free < !cap && !check.(!min_free) <> 0 do
+                incr min_free
+              done;
+              let occw = !occ in
+              let nocc = Array.length occw in
+              let fits off =
+                (off >= Bytes.length !taken || Bytes.get !taken off = '\000')
+                &&
+                let ok = ref true and w = ref 0 in
+                while !ok && !w < mwords do
+                  let g = off + (!w lsl 5) in
+                  let i = g lsr 5 and r = g land 31 in
+                  let w0 = if i < nocc then occw.(i) else 0 in
+                  let window =
+                    if r = 0 then w0
+                    else
+                      let w1 = if i + 1 < nocc then occw.(i + 1) else 0 in
+                      (w0 lsr r) lor ((w1 lsl (bbits - r)) land bmask)
+                  in
+                  if window land mask.(!w) <> 0 then ok := false;
+                  incr w
+                done;
+                !ok
+              in
+              let off = ref (max 0 (!min_free - s0)) in
+              while not (fits !off) do
+                incr off
+              done;
+              if !off >= Bytes.length !taken then begin
+                let nb = Bytes.make (max (!off + 1) (2 * Bytes.length !taken)) '\000' in
+                Bytes.blit !taken 0 nb 0 (Bytes.length !taken);
+                taken := nb
+              end;
+              Bytes.set !taken !off '\001';
+              offsets.(rid) <- !off;
+              Array.iter
+                (fun (sym, v) ->
+                  let p = !off + sym in
+                  ensure (p + 1);
+                  !value.(p) <- v;
+                  !check.(p) <- sym + 1;
+                  occ_set p;
+                  if p + 1 > !used then used := p + 1)
+                entries)
         order;
       (* empty rows point past the packed area: every probe misses *)
       List.iter (fun rid -> offsets.(rid) <- !used) !empties;
@@ -195,22 +252,47 @@ let compress ?(method_ = Defaults_and_comb) (pt : Parse_table.t) : t =
       { n_states; n_syms; method_; row_index; defaults; offsets; value; check;
         size_bytes }
 
-(** Table lookup through the compressed representation. *)
-let lookup (c : t) ~(state : int) ~(sym : int) : Parse_table.action =
+(** O(1) probe returning the raw encoded entry: row_index -> offset ->
+    value/check, falling back to the row default on a check miss.  This is
+    the runtime dispatch path {!Driver.parse} runs on, so it avoids
+    allocating a {!Parse_table.action} per lookup. *)
+let action_code (c : t) (state : int) (sym : int) : int =
   let rid = c.row_index.(state) in
   let p = c.offsets.(rid) + sym in
-  let v =
+  let key =
     match c.method_ with
-    | Comb_only | Defaults_and_comb ->
-        if p >= 0 && p < Array.length c.check && c.check.(p) = sym + 1 then
-          c.value.(p)
-        else c.defaults.(rid)
-    | No_compression | Defaults_only ->
-        if p >= 0 && p < Array.length c.check && c.check.(p) = state + 1 then
-          c.value.(p)
-        else c.defaults.(rid)
+    | Comb_only | Defaults_and_comb -> sym + 1
+    | No_compression | Defaults_only -> state + 1
   in
-  decode_action v
+  if p >= 0 && p < Array.length c.check && c.check.(p) = key then c.value.(p)
+  else c.defaults.(rid)
+
+(** Specialized probe for the driver's inner loop: the table's arrays and
+    the method dispatch are resolved once, outside the per-lookup path.
+    Equivalent to [action_code c]. *)
+let dispatcher (c : t) : int -> int -> int =
+  let row_index = c.row_index
+  and offsets = c.offsets
+  and value = c.value
+  and check = c.check
+  and defaults = c.defaults in
+  let ncheck = Array.length check in
+  match c.method_ with
+  | Comb_only | Defaults_and_comb ->
+      (* p >= 0 always: offsets and symbol ids are non-negative *)
+      fun state sym ->
+        let rid = row_index.(state) in
+        let p = offsets.(rid) + sym in
+        if p < ncheck && check.(p) = sym + 1 then value.(p) else defaults.(rid)
+  | No_compression | Defaults_only -> fun state sym -> action_code c state sym
+
+(** Decoded variant of {!action_code}. *)
+let action (c : t) (state : int) (sym : int) : Parse_table.action =
+  decode_action (action_code c state sym)
+
+(** Table lookup through the compressed representation. *)
+let lookup (c : t) ~(state : int) ~(sym : int) : Parse_table.action =
+  action c state sym
 
 (** Check that a compressed table reproduces the original exactly, modulo
     default reductions replacing errors (which only delay error

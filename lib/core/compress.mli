@@ -36,6 +36,19 @@ val uncompressed_bytes : Parse_table.t -> int
 
 val compress : ?method_:method_ -> Parse_table.t -> t
 
+val action_code : t -> int -> int -> int
+(** [action_code c state sym] is the O(1) runtime probe: row_index ->
+    offset -> value/check, falling back to the row default on a check
+    miss.  Returns the raw encoded entry (no allocation); this is what
+    {!Driver.parse} dispatches on. *)
+
+val dispatcher : t -> int -> int -> int
+(** [dispatcher c] is [action_code c] with the table's arrays and method
+    dispatch resolved once, for the driver's inner loop. *)
+
+val action : t -> int -> int -> Parse_table.action
+(** [action c state sym] is [action_code] decoded. *)
+
 val lookup : t -> state:int -> sym:int -> Parse_table.action
 (** Table lookup through the compressed representation. *)
 

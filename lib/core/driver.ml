@@ -11,7 +11,16 @@
     "If the specification of the code generator is correct, then the code
     generator cannot emit incorrect instruction sequences.  Instead it
     will stop and signal an error." — a [Parse_error] result carries the
-    state and offending token. *)
+    state and offending token.
+
+    The driver is generic over its action source: [`Comb] (the default)
+    probes the comb-packed table carried in {!Tables.t} via
+    {!Compress.action_code}; [`Flat] indexes the uncompressed
+    [action array array].  Both run the same skeleton; on well-formed IF
+    they take identical actions (default reductions only ever replace
+    error entries, so they can delay — never lose — error detection). *)
+
+type dispatch = Flat | Comb
 
 type error = {
   position : int;  (** index of the offending token in the input *)
@@ -40,14 +49,35 @@ type outcome = {
   max_stack : int;
 }
 
-(** [parse tables ~reduce input] runs the table-driven parse.
+(* A growable stack of (state, token) pairs kept as two parallel arrays:
+   the hot path is push/pop at the top, plus the occasional in-place
+   [remap] sweep over the live prefix.  The linked-list representation
+   this replaces paid an O(n) [List.length] on every shift just to track
+   the maximum depth, and rebuilt both lists on every remap. *)
+
+let grow arr n ~dummy =
+  let cap = Array.length arr in
+  if n <= cap then arr
+  else begin
+    let narr = Array.make (max n (2 * cap)) dummy in
+    Array.blit arr 0 narr 0 cap;
+    narr
+  end
+
+(* Delayed error detection (comb dispatch with default reductions) can
+   take a bounded run of bogus reductions before blocking; this cap turns
+   a hypothetical reduction livelock on malformed IF into a clean parse
+   error instead of a hang. *)
+let max_reductions_between_shifts = 100_000
+
+(** [parse ?dispatch tables ~reduce input] runs the table-driven parse.
 
     [reduce ~prod ~rhs ~remap] is the code emission routine: [rhs] holds
     the popped translation-stack tokens; [remap] lets the emitter rewrite
     register bindings on the live stack and pending input (needed when a
     [need] directive transfers a busy register); the returned tokens are
     prefixed to the input (first element consumed first). *)
-let parse (tables : Tables.t)
+let parse ?(dispatch = Comb) (tables : Tables.t)
     ~(reduce :
        prod:int ->
        rhs:Ifl.Token.t array ->
@@ -55,14 +85,54 @@ let parse (tables : Tables.t)
        Ifl.Token.t list) (input : Ifl.Token.t list) : (outcome, error) result =
   let g = tables.Tables.grammar in
   let pt = tables.Tables.parse in
-  (* the translation/parse stack: (state, token) *)
-  let stack = ref [ (pt.Parse_table.automaton.Lr0.start, Ifl.Token.op "%bottom") ] in
-  let pending = ref (input @ [ Ifl.Token.op Grammar.eof_name ]) in
+  (* the action source, as encoded entries (Compress encoding); the comb
+     path reads the packed int directly, the flat path encodes the variant
+     (both allocation-free) *)
+  let lookup : int -> int -> int =
+    match dispatch with
+    | Comb ->
+        let c = tables.Tables.compressed in
+        Compress.dispatcher c
+    | Flat ->
+        let actions = pt.Parse_table.actions in
+        fun state sym -> Compress.encode_action actions.(state).(sym)
+  in
+  let bottom = Ifl.Token.op "%bottom" in
+  (* the translation/parse stack: parallel state/token arrays *)
+  let states = ref (Array.make 64 0) in
+  let toks = ref (Array.make 64 bottom) in
+  let sp = ref 0 in
+  let push state tok =
+    if !sp = Array.length !states then begin
+      states := grow !states (!sp + 1) ~dummy:0;
+      toks := grow !toks (!sp + 1) ~dummy:bottom
+    end;
+    !states.(!sp) <- state;
+    !toks.(!sp) <- tok;
+    incr sp
+  in
+  push pt.Parse_table.automaton.Lr0.start bottom;
+  (* pending input as a stack with the next token on top *)
+  let pending = ref (Array.make (max 64 (List.length input + 1)) bottom) in
+  let pn = ref 0 in
+  let push_pending tok =
+    if !pn = Array.length !pending then
+      pending := grow !pending (!pn + 1) ~dummy:bottom;
+    !pending.(!pn) <- tok;
+    incr pn
+  in
+  push_pending (Ifl.Token.op Grammar.eof_name);
+  List.iter push_pending (List.rev input);
   let position = ref 0 in
   let shifts = ref 0 and reductions = ref 0 and max_stack = ref 1 in
+  let reduce_run = ref 0 in
   let remap f =
-    stack := List.map (fun (s, t) -> (s, f t)) !stack;
-    pending := List.map f !pending
+    for i = 0 to !sp - 1 do
+      !toks.(i) <- f !toks.(i)
+    done;
+    for i = 0 to !pn - 1 do
+      !pending.(i) <- f !pending.(i)
+    done
   in
   let fail state token msg =
     let expected =
@@ -76,78 +146,89 @@ let parse (tables : Tables.t)
     Error { position = !position; state; token; msg; expected }
   in
   let rec loop () =
-    let state = fst (List.hd !stack) in
-    match !pending with
-    | [] -> fail state None "input exhausted without accept"
-    | tok :: rest -> (
-        match Grammar.sym g tok.Ifl.Token.sym with
-        | None -> fail state (Some tok) "symbol is not part of the machine grammar"
-        | Some sym -> (
-            (* shaper convenience: integer-valued tokens are coerced to the
-               kind the grammar symbol declares (register binding, label,
-               CSE number, condition mask) *)
-            let tok =
-              match (Tables.class_of tables sym, tok.Ifl.Token.value) with
-              | ( Some (Symtab.Gpr | Symtab.Pair | Symtab.Fpr | Symtab.Fpair),
-                  Ifl.Value.Int n ) ->
-                  { tok with Ifl.Token.value = Ifl.Value.Reg n }
-              | _ -> (
-                  match (Tables.kind_of tables sym, tok.Ifl.Token.value) with
-                  | Some Symtab.Klabel, Ifl.Value.Int n ->
-                      { tok with Ifl.Token.value = Ifl.Value.Label n }
-                  | Some Symtab.Kcse, Ifl.Value.Int n ->
-                      { tok with Ifl.Token.value = Ifl.Value.Cse n }
-                  | Some Symtab.Kcond, Ifl.Value.Int n ->
-                      { tok with Ifl.Token.value = Ifl.Value.Cond n }
-                  | _ -> tok)
-            in
-            (* runtime type check: terminals must carry the declared value
-               kind; register non-terminals must carry a register *)
-            let kind_ok =
-              match (Tables.kind_of tables sym, tok.Ifl.Token.value) with
-              | Some Symtab.Kint, (Ifl.Value.Int _ | Ifl.Value.Unit) -> true
-              | Some Symtab.Klabel, Ifl.Value.Label _ -> true
-              | Some Symtab.Kcse, Ifl.Value.Cse _ -> true
-              | Some Symtab.Kcond, Ifl.Value.Cond _ -> true
-              | Some _, _ -> false
-              | None, _ -> true
-            in
-            let class_ok =
-              match (Tables.class_of tables sym, tok.Ifl.Token.value) with
-              | Some (Symtab.Gpr | Symtab.Pair | Symtab.Fpr | Symtab.Fpair), Ifl.Value.Reg _
-                -> true
-              | Some (Symtab.Cc | Symtab.Noclass), _ -> true
-              | Some _, _ -> false
-              | None, _ -> true
-            in
-            if not kind_ok then
-              fail state (Some tok) "token value does not match the terminal's declared kind"
-            else if not class_ok then
-              fail state (Some tok) "register non-terminal token without a register binding"
-            else
-              match Parse_table.action pt state sym with
-              | Parse_table.Shift s' ->
-                  stack := (s', tok) :: !stack;
-                  pending := rest;
-                  incr position;
-                  incr shifts;
-                  max_stack := max !max_stack (List.length !stack);
-                  loop ()
-              | Parse_table.Accept -> Ok { reductions = !reductions; shifts = !shifts; max_stack = !max_stack }
-              | Parse_table.Error ->
-                  fail state (Some tok) "no action (invalid IF for this machine grammar)"
-              | Parse_table.Reduce p ->
-                  incr reductions;
-                  let prod = Grammar.prod g p in
-                  let n = Array.length prod.Grammar.rhs in
-                  let rhs = Array.make n (Ifl.Token.op "?") in
-                  for i = n - 1 downto 0 do
-                    match !stack with
-                    | (_, t) :: tl ->
-                        rhs.(i) <- t;
-                        stack := tl
-                    | [] -> assert false
-                  done;
+    let state = !states.(!sp - 1) in
+    if !pn = 0 then fail state None "input exhausted without accept"
+    else
+      let tok = !pending.(!pn - 1) in
+      match Grammar.sym g tok.Ifl.Token.sym with
+      | None -> fail state (Some tok) "symbol is not part of the machine grammar"
+      | Some sym -> (
+          (* shaper convenience: integer-valued tokens are coerced to the
+             kind the grammar symbol declares (register binding, label,
+             CSE number, condition mask) *)
+          let tok =
+            match (Tables.class_of tables sym, tok.Ifl.Token.value) with
+            | ( Some (Symtab.Gpr | Symtab.Pair | Symtab.Fpr | Symtab.Fpair),
+                Ifl.Value.Int n ) ->
+                { tok with Ifl.Token.value = Ifl.Value.Reg n }
+            | _ -> (
+                match (Tables.kind_of tables sym, tok.Ifl.Token.value) with
+                | Some Symtab.Klabel, Ifl.Value.Int n ->
+                    { tok with Ifl.Token.value = Ifl.Value.Label n }
+                | Some Symtab.Kcse, Ifl.Value.Int n ->
+                    { tok with Ifl.Token.value = Ifl.Value.Cse n }
+                | Some Symtab.Kcond, Ifl.Value.Int n ->
+                    { tok with Ifl.Token.value = Ifl.Value.Cond n }
+                | _ -> tok)
+          in
+          (* runtime type check: terminals must carry the declared value
+             kind; register non-terminals must carry a register *)
+          let kind_ok =
+            match (Tables.kind_of tables sym, tok.Ifl.Token.value) with
+            | Some Symtab.Kint, (Ifl.Value.Int _ | Ifl.Value.Unit) -> true
+            | Some Symtab.Klabel, Ifl.Value.Label _ -> true
+            | Some Symtab.Kcse, Ifl.Value.Cse _ -> true
+            | Some Symtab.Kcond, Ifl.Value.Cond _ -> true
+            | Some _, _ -> false
+            | None, _ -> true
+          in
+          let class_ok =
+            match (Tables.class_of tables sym, tok.Ifl.Token.value) with
+            | Some (Symtab.Gpr | Symtab.Pair | Symtab.Fpr | Symtab.Fpair), Ifl.Value.Reg _
+              -> true
+            | Some (Symtab.Cc | Symtab.Noclass), _ -> true
+            | Some _, _ -> false
+            | None, _ -> true
+          in
+          if not kind_ok then
+            fail state (Some tok) "token value does not match the terminal's declared kind"
+          else if not class_ok then
+            fail state (Some tok) "register non-terminal token without a register binding"
+          else
+            (* encoded entry: 0 error, 1 accept, even shift, odd reduce *)
+            let v = lookup state sym in
+            if v = 0 then
+              fail state (Some tok) "no action (invalid IF for this machine grammar)"
+            else if v = 1 then
+              Ok { reductions = !reductions; shifts = !shifts; max_stack = !max_stack }
+            else if v land 1 = 0 then begin
+              (* shift *)
+              push ((v - 2) / 2) tok;
+              decr pn;
+              incr position;
+              incr shifts;
+              reduce_run := 0;
+              if !sp > !max_stack then max_stack := !sp;
+              loop ()
+            end
+            else begin
+              (* reduce *)
+              let p = (v - 3) / 2 in
+              incr reductions;
+              incr reduce_run;
+              if !reduce_run > max_reductions_between_shifts then
+                fail state (Some tok) "reduction livelock (invalid IF)"
+              else begin
+                let prod = Grammar.prod g p in
+                let n = Array.length prod.Grammar.rhs in
+                if n > !sp - 1 then
+                  (* only reachable through delayed error detection *)
+                  fail state (Some tok) "translation stack underflow (invalid IF)"
+                else begin
+                  let base = !sp - n in
+                  let toks_arr = !toks in
+                  let rhs = Array.init n (fun i -> toks_arr.(base + i)) in
+                  sp := base;
                   let prefixed =
                     if Tables.is_user_prod tables p then
                       reduce ~prod:p ~rhs ~remap
@@ -155,7 +236,11 @@ let parse (tables : Tables.t)
                       (* augmentation production: prefix the bare LHS *)
                       [ Ifl.Token.op (Grammar.name g prod.Grammar.lhs) ]
                   in
-                  pending := prefixed @ !pending;
-                  loop ()))
+                  (* first element of [prefixed] is consumed first *)
+                  List.iter push_pending (List.rev prefixed);
+                  loop ()
+                end
+              end
+            end)
   in
   loop ()

@@ -8,6 +8,13 @@
     Because non-terminal tokens are shifted like any others, no separate
     GOTO table exists. *)
 
+type dispatch =
+  | Flat  (** index the uncompressed [action array array] directly *)
+  | Comb
+      (** probe the comb-packed table carried in {!Tables.t}
+          ({!Compress.action_code}); the default, and the production
+          configuration of the paper's Table 2 *)
+
 type error = {
   position : int;  (** index of the offending token in the input *)
   state : int;
@@ -21,6 +28,7 @@ val pp_error : Format.formatter -> error -> unit
 type outcome = { reductions : int; shifts : int; max_stack : int }
 
 val parse :
+  ?dispatch:dispatch ->
   Tables.t ->
   reduce:
     (prod:int ->
@@ -29,7 +37,13 @@ val parse :
     Ifl.Token.t list) ->
   Ifl.Token.t list ->
   (outcome, error) result
-(** [parse tables ~reduce input] runs the table-driven parse.
+(** [parse ?dispatch tables ~reduce input] runs the table-driven parse.
+
+    [dispatch] selects the action source (default [Comb]).  Both sources
+    run the same skeleton over array-backed stacks and take identical
+    actions on well-formed IF; comb dispatch may delay (never lose) error
+    detection on malformed IF, because default reductions stand in for
+    error entries.
 
     [reduce ~prod ~rhs ~remap] is the code emission routine: [rhs] holds
     the popped translation-stack tokens; [remap] lets the emitter rewrite

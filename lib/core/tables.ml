@@ -6,6 +6,10 @@ type t = {
   grammar : Grammar.t;
   symtab : Symtab.t;
   parse : Parse_table.t;
+  compressed : Compress.t;
+      (** the comb-packed (defaults + row displacement) form of [parse],
+          built once at table-construction time; the driver's default
+          dispatch path probes this representation *)
   compiled : Template.compiled option array;
       (** per production id; [None] for the augmentation productions *)
   n_user_prods : int;

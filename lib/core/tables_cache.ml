@@ -1,0 +1,119 @@
+(** On-disk cache of built table bundles.
+
+    LR construction over the full amdahl470 specification dominates every
+    [pasc]/[coggc] invocation, yet its result depends only on the
+    specification text and the lookahead mode.  The cache keys an entry on
+    a digest of (format version, mode, spec text) and stores the
+    {!Tables_io} serialization, so a second run on an unchanged spec skips
+    {!Cogg_build.build} entirely and a modified spec simply hashes to a
+    different entry.  Corrupt or truncated entries are indistinguishable
+    from misses: the tables are rebuilt and the entry rewritten, never
+    surfaced as an error. *)
+
+(* Bumping this invalidates every existing entry; it must change whenever
+   the Tables_io bundle format does. *)
+let format_version = 2
+
+type origin = Cache_hit | Built
+
+let pp_origin ppf = function
+  | Cache_hit -> Fmt.string ppf "cache hit"
+  | Built -> Fmt.string ppf "built from spec"
+
+type stats = { mutable hits : int; mutable misses : int }
+
+let stats = { hits = 0; misses = 0 }
+
+let src = Logs.Src.create "cogg.tables-cache" ~doc:"CoGG table cache"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let default_dir () =
+  match Sys.getenv_opt "COGG_CACHE_DIR" with
+  | Some d -> d
+  | None -> (
+      match Sys.getenv_opt "XDG_CACHE_HOME" with
+      | Some d when d <> "" -> Filename.concat d "cogg"
+      | _ -> "_cache")
+
+let mode_tag : Lookahead.mode -> string = function
+  | Lookahead.Slr -> "slr"
+  | Lookahead.Lalr -> "lalr"
+
+let key ~(mode : Lookahead.mode) (spec_text : string) : string =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "cogg-tables-v%d:%s:%s" format_version (mode_tag mode)
+          spec_text))
+
+(** Cache file an unchanged spec would hit; exposed so tests (and curious
+    users) can inspect or corrupt the entry. *)
+let entry_path ?(mode = Lookahead.Slr) ?cache_dir (spec_text : string) : string
+    =
+  let dir = match cache_dir with Some d -> d | None -> default_dir () in
+  Filename.concat dir ("cogg-" ^ key ~mode spec_text ^ ".cgt")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* Best effort, atomic via rename: a half-written entry must never be
+   observable (a concurrent reader would treat it as corrupt and rebuild,
+   but there is no reason to risk it). *)
+let store path bytes =
+  try
+    mkdir_p (Filename.dirname path);
+    let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) "cogg" ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc bytes;
+    close_out oc;
+    Sys.rename tmp path
+  with Sys_error m -> Log.warn (fun f -> f "cannot store cache entry: %s" m)
+
+let load path : Tables.t option =
+  if not (Sys.file_exists path) then None
+  else
+    match Tables_io.read (read_file path) with
+    | t -> Some t
+    | exception Tables_io.Corrupt m ->
+        Log.info (fun f -> f "discarding corrupt entry %s (%s)" path m);
+        None
+    | exception Sys_error m ->
+        Log.info (fun f -> f "cannot read entry %s (%s)" path m);
+        None
+
+(** [build_text ?mode ?cache_dir text] returns the tables for a
+    specification given as text, via the cache. *)
+let build_text ?(mode = Lookahead.Slr) ?cache_dir (text : string) :
+    (Tables.t * origin, Cogg_build.error list) result =
+  let path = entry_path ~mode ?cache_dir text in
+  match load path with
+  | Some t ->
+      stats.hits <- stats.hits + 1;
+      Log.info (fun f -> f "hit %s" path);
+      Ok (t, Cache_hit)
+  | None -> (
+      stats.misses <- stats.misses + 1;
+      match Cogg_build.build_string ~mode text with
+      | Error es -> Error es
+      | Ok t ->
+          store path (Tables_io.write t);
+          Log.info (fun f -> f "miss; built and stored %s" path);
+          Ok (t, Built))
+
+(** [build_file ?mode ?cache_dir path] is {!build_text} over the file's
+    contents: the digest covers the text, so editing the spec in place is
+    a clean miss, not a stale hit. *)
+let build_file ?mode ?cache_dir (path : string) :
+    (Tables.t * origin, Cogg_build.error list) result =
+  match read_file path with
+  | text -> build_text ?mode ?cache_dir text
+  | exception Sys_error m -> Error [ { Cogg_build.line = 0; msg = m } ]

@@ -1,0 +1,39 @@
+(** On-disk cache of built table bundles, keyed by a content digest of the
+    specification (plus lookahead mode and serialization-format version).
+
+    A hit loads the {!Tables_io} bundle and skips LR construction
+    entirely; a miss builds with {!Cogg_build} and stores the result.
+    Corrupt, truncated or stale entries always fall back to a rebuild,
+    never an error.  Entries live in [$COGG_CACHE_DIR], else
+    [$XDG_CACHE_HOME/cogg], else [_cache/] under the working directory. *)
+
+type origin = Cache_hit | Built
+
+val pp_origin : Format.formatter -> origin -> unit
+
+type stats = { mutable hits : int; mutable misses : int }
+
+val stats : stats
+(** Process-wide hit/miss counters (observability for tests and CLIs). *)
+
+val key : mode:Lookahead.mode -> string -> string
+(** Digest a specification text into its cache key. *)
+
+val entry_path : ?mode:Lookahead.mode -> ?cache_dir:string -> string -> string
+(** [entry_path spec_text] is the cache file a given specification text
+    maps to (whether or not it exists yet). *)
+
+val build_text :
+  ?mode:Lookahead.mode ->
+  ?cache_dir:string ->
+  string ->
+  (Tables.t * origin, Cogg_build.error list) result
+(** Tables for a specification given as text, through the cache. *)
+
+val build_file :
+  ?mode:Lookahead.mode ->
+  ?cache_dir:string ->
+  string ->
+  (Tables.t * origin, Cogg_build.error list) result
+(** Tables for a specification file, through the cache.  The key covers
+    the file's contents, so an edited spec is a clean miss. *)

@@ -270,9 +270,8 @@ type sizes = {
 }
 
 let sizes (t : Tables.t) : sizes =
-  let compressed =
-    Compress.compress ~method_:Compress.Defaults_and_comb t.Tables.parse
-  in
+  (* the bundle already carries the comb-packed form; no need to re-pack *)
+  let compressed = t.Tables.compressed in
   {
     template_array = String.length (template_array_bytes t);
     compressed_table = compressed.Compress.size_bytes;
@@ -304,10 +303,80 @@ let kind_of_kcode = function
   | 3 -> Symtab.Kcond
   | k -> raise (Corrupt (Fmt.str "bad kind code %d" k))
 
+let method_code : Compress.method_ -> int = function
+  | Compress.No_compression -> 0
+  | Compress.Defaults_only -> 1
+  | Compress.Comb_only -> 2
+  | Compress.Defaults_and_comb -> 3
+
+let method_of_code = function
+  | 0 -> Compress.No_compression
+  | 1 -> Compress.Defaults_only
+  | 2 -> Compress.Comb_only
+  | 3 -> Compress.Defaults_and_comb
+  | k -> raise (Corrupt (Fmt.str "bad compression method %d" k))
+
+let w_int_arr b arr = w_arr b (fun b v -> w_i32 b v) arr
+let r_int_arr r = r_arr r r_i32
+
+(* The comb-packed dispatch table rides in the bundle so a cache hit
+   skips row-displacement packing as well as LR construction. *)
+let w_compress b (c : Compress.t) =
+  w_i32 b c.Compress.n_states;
+  w_i32 b c.Compress.n_syms;
+  w_i32 b (method_code c.Compress.method_);
+  w_int_arr b c.Compress.row_index;
+  w_int_arr b c.Compress.defaults;
+  w_int_arr b c.Compress.offsets;
+  w_int_arr b c.Compress.value;
+  w_int_arr b c.Compress.check;
+  w_i32 b c.Compress.size_bytes
+
+let r_compress r : Compress.t =
+  let n_states = r_i32 r in
+  let n_syms = r_i32 r in
+  let method_ = method_of_code (r_i32 r) in
+  let row_index = r_int_arr r in
+  let defaults = r_int_arr r in
+  let offsets = r_int_arr r in
+  let value = r_int_arr r in
+  let check = r_int_arr r in
+  let size_bytes = r_i32 r in
+  (* structural sanity so a corrupt entry surfaces as [Corrupt], never as
+     an out-of-bounds probe at dispatch time *)
+  let n_rows = Array.length defaults in
+  if
+    Array.length row_index <> n_states
+    || Array.length offsets <> n_rows
+    || Array.length value <> Array.length check
+    || Array.exists (fun rid -> rid < 0 || rid >= n_rows) row_index
+  then raise (Corrupt "inconsistent compressed table");
+  { Compress.n_states; n_syms; method_; row_index; defaults; offsets; value;
+    check; size_bytes }
+
+let w_conflict b (c : Parse_table.conflict) =
+  w_i32 b c.Parse_table.c_state;
+  w_i32 b c.Parse_table.c_sym;
+  w_i32 b (match c.Parse_table.c_kind with `Shift_reduce -> 0 | `Reduce_reduce -> 1);
+  w_action b c.Parse_table.c_chosen;
+  w_action b c.Parse_table.c_dropped
+
+let r_conflict r : Parse_table.conflict =
+  let c_state = r_i32 r in
+  let c_sym = r_i32 r in
+  let c_kind =
+    match r_i32 r with
+    | 0 -> `Shift_reduce
+    | 1 -> `Reduce_reduce
+    | k -> raise (Corrupt (Fmt.str "bad conflict kind %d" k))
+  in
+  let c_chosen = r_action r in
+  { Parse_table.c_state; c_sym; c_kind; c_chosen; c_dropped = r_action r }
+
 (** Serialize a complete table bundle. *)
 let write (t : Tables.t) : string =
   let b = Buffer.create (1 lsl 16) in
-  Buffer.add_string b "CGGB";
+  Buffer.add_string b "CGB2";
   (* grammar *)
   let g = t.Tables.grammar in
   w_arr b w_str g.Grammar.names;
@@ -347,6 +416,8 @@ let write (t : Tables.t) : string =
   w_i32 b (Parse_table.n_states t.Tables.parse);
   Array.iter (fun row -> w_arr b w_action row) t.Tables.parse.Parse_table.actions;
   w_i32 b t.Tables.parse.Parse_table.automaton.Lr0.start;
+  w_list b w_conflict t.Tables.parse.Parse_table.conflicts;
+  w_compress b t.Tables.compressed;
   (* templates and type info *)
   Buffer.add_string b (template_array_bytes t);
   w_i32 b t.Tables.n_user_prods;
@@ -363,7 +434,7 @@ let write (t : Tables.t) : string =
     not stored: a placeholder with only the start state is rebuilt, which
     is all the driver needs (it reads actions, never items). *)
 let read (s : string) : Tables.t =
-  if String.length s < 4 || String.sub s 0 4 <> "CGGB" then
+  if String.length s < 4 || String.sub s 0 4 <> "CGB2" then
     raise (Corrupt "bad bundle magic");
   let r = { buf = s; pos = 4 } in
   let names = r_arr r r_str in
@@ -437,6 +508,8 @@ let read (s : string) : Tables.t =
   let n_states = r_i32 r in
   let actions = Array.init n_states (fun _ -> r_arr r r_action) in
   let start = r_i32 r in
+  let conflicts = r_list r r_conflict in
+  let compressed = r_compress r in
   let automaton =
     (* a skeletal automaton: the driver only needs the start state id *)
     {
@@ -448,8 +521,7 @@ let read (s : string) : Tables.t =
     }
   in
   let parse =
-    { Parse_table.grammar; automaton; mode = Lookahead.Slr; actions;
-      conflicts = [] }
+    { Parse_table.grammar; automaton; mode = Lookahead.Slr; actions; conflicts }
   in
   (* templates and type info *)
   let compiled = r_template_array r in
@@ -460,6 +532,7 @@ let read (s : string) : Tables.t =
     Tables.grammar;
     symtab;
     parse;
+    compressed;
     compiled;
     n_user_prods;
     class_of;

@@ -19,8 +19,8 @@ type compiled = {
 let ( let* ) = Result.bind
 
 (** Compile a source program with the given generated code generator. *)
-let compile ?(cse = true) ?(checks = false) ?strategy (tables : Cogg.Tables.t)
-    (source : string) : (compiled, string) result =
+let compile ?(cse = true) ?(checks = false) ?strategy ?dispatch
+    (tables : Cogg.Tables.t) (source : string) : (compiled, string) result =
   let* checked = Pascal.Sema.front_end source in
   let* shaped =
     Result.map_error
@@ -29,7 +29,7 @@ let compile ?(cse = true) ?(checks = false) ?strategy (tables : Cogg.Tables.t)
   in
   let shaped = if cse then Shaper.Cse_opt.optimize shaped else shaped in
   let tokens = Ifl.Tree.linearize_program shaped.Shaper.Irgen.trees in
-  match Cogg.Codegen.generate ?strategy tables tokens with
+  match Cogg.Codegen.generate ?strategy ?dispatch tables tokens with
   | Error e -> Error (Fmt.str "%a" Cogg.Codegen.pp_error e)
   | Ok gen -> Ok { source; checked; shaped; tokens; gen }
 
