@@ -268,14 +268,62 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Reader for the same writer below: one "name": number pair per line.
+   Used to merge a fresh run into the existing file so the perf
+   trajectory accumulates across benchmarks that measure different row
+   sets (e.g. a speed run without the batch rows must not erase them). *)
+let read_speed_json path : (string * float) list =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rows = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if String.length line > 1 && line.[0] = '"' then
+           match String.index_opt (String.sub line 1 (String.length line - 1)) '"' with
+           | None -> ()
+           | Some i -> (
+               let name = String.sub line 1 i in
+               match String.index_opt line ':' with
+               | None -> ()
+               | Some c -> (
+                   let v =
+                     String.trim
+                       (String.sub line (c + 1) (String.length line - c - 1))
+                   in
+                   let v =
+                     if String.length v > 0 && v.[String.length v - 1] = ','
+                     then String.sub v 0 (String.length v - 1)
+                     else v
+                   in
+                   match float_of_string_opt v with
+                   | Some f -> rows := (name, f) :: !rows
+                   | None -> ()))
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !rows
+  end
+
 let write_speed_json path (rows : (string * float) list) =
+  (* merge: existing rows keep their position (values refreshed when
+     re-measured); genuinely new rows append in measurement order *)
+  let existing = read_speed_json path in
+  let merged =
+    List.map
+      (fun (name, v) ->
+        (name, Option.value (List.assoc_opt name rows) ~default:v))
+      existing
+    @ List.filter (fun (name, _) -> not (List.mem_assoc name existing)) rows
+  in
   let oc = open_out path in
   output_string oc "{\n";
   List.iteri
     (fun i (name, ns) ->
       Printf.fprintf oc "  \"%s\": %.1f%s\n" (json_escape name) ns
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
+        (if i = List.length merged - 1 then "" else ","))
+    merged;
   output_string oc "}\n";
   close_out oc;
   Fmt.pr "@.wrote %s@." path
@@ -300,6 +348,33 @@ let speed ?(json = false) () =
         Fmt.epr "%s@." m;
         exit 1
   in
+  (* batch throughput: 32 jobs cycling the example corpus, all compiled
+     against the one shared table bundle, sequentially vs on a pool of
+     recommended_domain_count domains.  The JSON key stays the literal
+     "Nx32" so the perf trajectory is comparable across machines; the
+     actual N is printed alongside. *)
+  let corpus = Pipeline.Programs.all in
+  let n_corpus = List.length corpus in
+  let batch_m = 32 in
+  let batch =
+    Array.init batch_m (fun i ->
+        let name, source = List.nth corpus (i mod n_corpus) in
+        { Pipeline.Batch.name = Printf.sprintf "%s#%d" name i; source })
+  in
+  let n_domains = Domain.recommended_domain_count () in
+  let pool = Cogg.Pool.create ~domains:n_domains () in
+  (* determinism gate: the parallel batch must be byte-identical to the
+     sequential one before its timing means anything *)
+  let seq_fp = Pipeline.Batch.fingerprint (Pipeline.Batch.compile_all t batch) in
+  let par_fp =
+    Pipeline.Batch.fingerprint (Pipeline.Batch.compile_all ~pool t batch)
+  in
+  if seq_fp <> par_fp then begin
+    Fmt.epr "batch determinism violation: parallel output != sequential@.";
+    exit 1
+  end;
+  Fmt.pr "batch-compile: N = %d domain(s), %d jobs, parallel fingerprint ok@.@."
+    n_domains batch_m;
   let tests =
     [
       Test.make ~name:"build-tables(full-spec)"
@@ -323,6 +398,12 @@ let speed ?(json = false) () =
              match Pipeline.compile t Pipeline.Programs.gcd with
              | Ok c -> ignore (Pipeline.execute c)
              | Error _ -> ()));
+      Test.make ~name:"batch-compile(1x32)"
+        (Staged.stage (fun () ->
+             ignore (Pipeline.Batch.compile_all t batch)));
+      Test.make ~name:"batch-compile(Nx32)"
+        (Staged.stage (fun () ->
+             ignore (Pipeline.Batch.compile_all ~pool t batch)));
     ]
   in
   let instances = Instance.[ monotonic_clock ] in
@@ -346,6 +427,16 @@ let speed ?(json = false) () =
           | _ -> Fmt.pr "%-34s (no estimate)@." name)
         ols)
     tests;
+  Cogg.Pool.shutdown pool;
+  (* derived throughput for the batch rows *)
+  List.iter
+    (fun key ->
+      match List.assoc_opt key !rows with
+      | Some ns when ns > 0.0 ->
+          Fmt.pr "%-34s %14.1f programs/sec@." key
+            (float_of_int batch_m /. (ns /. 1e9))
+      | _ -> ())
+    [ "batch-compile(1x32)"; "batch-compile(Nx32)" ];
   if json then write_speed_json "BENCH_speed.json" (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)

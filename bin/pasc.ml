@@ -23,6 +23,23 @@ let src_arg =
     & pos 0 (some file) None
     & info [] ~docv:"SOURCE" ~doc:"mini-Pascal source file")
 
+let srcs_arg =
+  Arg.(
+    non_empty
+    & pos_all file []
+    & info [] ~docv:"SOURCE" ~doc:"mini-Pascal source file(s)")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Compile the batch on $(docv) domains over one shared table \
+           bundle (0 = one per core).  The default, $(b,-j 1), is the \
+           fully sequential path; parallel output is byte-identical to \
+           it.")
+
 let spec_arg =
   Arg.(
     value
@@ -30,15 +47,16 @@ let spec_arg =
     & info [ "spec" ] ~docv:"SPEC" ~doc:"Code generator specification")
 
 (* Built tables are cached on disk keyed by the spec's content digest, so
-   repeat runs skip LR construction entirely. *)
-let load_tables ~no_cache spec_path =
+   repeat runs skip LR construction entirely; on a miss, the pool (if
+   any) parallelizes the build itself. *)
+let load_tables ?pool ~no_cache spec_path =
   if no_cache then
-    match Cogg.Cogg_build.build_file spec_path with
+    match Cogg.Cogg_build.build_file ?pool spec_path with
     | Ok t -> t
     | Error es ->
         or_die (Error (Fmt.str "%a" (Fmt.list Cogg.Cogg_build.pp_error) es))
   else
-    match Cogg.Tables_cache.build_file spec_path with
+    match Cogg.Tables_cache.build_file ?pool spec_path with
     | Ok (t, origin) ->
         if Sys.getenv_opt "COGG_CACHE_VERBOSE" <> None then
           Fmt.epr "[tables-cache] %s: %a@." spec_path Cogg.Tables_cache.pp_origin
@@ -54,54 +72,95 @@ let pp_value ppf = function
   | Pascal.Interp.Vreal f -> Fmt.float ppf f
   | _ -> Fmt.string ppf "<aggregate>"
 
+let run_executed (x : Pipeline.executed) =
+  List.iter (fun v -> Fmt.pr "%d@." v) x.Pipeline.written_ints;
+  List.iter (fun v -> Fmt.pr "%g@." v) x.Pipeline.written_reals;
+  match x.Pipeline.outcome.Machine.Runtime.aborted with
+  | Some m -> Fmt.epr "aborted: %s@." m
+  | None -> ()
+
 let compile_cmd =
-  let run spec_path src_path no_cse no_cache checks baseline show_if
+  let run spec_path src_paths jobs no_cse no_cache checks baseline show_if
       show_listing run_it verify =
-    let src = read_file src_path in
-    if baseline then begin
-      let c = or_die (Pipeline.compile_baseline ~checks src) in
-      if show_listing then Fmt.pr "%s@." c.Pipeline.b_gen.Baseline.listing;
-      if run_it then begin
-        let x = or_die (Pipeline.execute_baseline c) in
-        List.iter (fun v -> Fmt.pr "%d@." v) x.Pipeline.written_ints;
-        List.iter (fun v -> Fmt.pr "%g@." v) x.Pipeline.written_reals;
-        match x.Pipeline.outcome.Machine.Runtime.aborted with
-        | Some m -> Fmt.epr "aborted: %s@." m
-        | None -> ()
-      end
-    end
+    let many = List.length src_paths > 1 in
+    let header path = if many then Fmt.pr "==> %s <==@." path in
+    if baseline then
+      (* the hand-written comparator has no table bundle to share; batches
+         simply loop *)
+      List.iter
+        (fun src_path ->
+          let src = read_file src_path in
+          header src_path;
+          let c = or_die (Pipeline.compile_baseline ~checks src) in
+          if show_listing then Fmt.pr "%s@." c.Pipeline.b_gen.Baseline.listing;
+          if run_it then run_executed (or_die (Pipeline.execute_baseline c)))
+        src_paths
     else begin
-      let tables = load_tables ~no_cache spec_path in
-      let c = or_die (Pipeline.compile ~cse:(not no_cse) ~checks tables src) in
-      if show_if then
-        List.iter
-          (fun tok -> Fmt.pr "%a " Ifl.Token.pp tok)
-          c.Pipeline.tokens;
-      if show_if then Fmt.pr "@.";
-      if show_listing then Fmt.pr "%s@." c.Pipeline.gen.Cogg.Codegen.listing;
-      if verify then begin
-        let v = or_die (Pipeline.verify ~cse:(not no_cse) ~checks tables src) in
-        if v.Pipeline.agreed then Fmt.pr "verified: machine = interpreter@."
-        else begin
-          Fmt.epr "MISMATCH: %a@." Fmt.(list string) v.Pipeline.mismatches;
-          exit 1
-        end
-      end;
-      if run_it then begin
-        let x = or_die (Pipeline.execute c) in
-        List.iter (fun v -> Fmt.pr "%d@." v) x.Pipeline.written_ints;
-        List.iter (fun v -> Fmt.pr "%g@." v) x.Pipeline.written_reals;
-        match x.Pipeline.outcome.Machine.Runtime.aborted with
-        | Some m -> Fmt.epr "aborted: %s@." m
-        | None -> ()
-      end
+      (* the parallel engine: one shared table bundle, per-program work
+         fanned out over the pool; -j 1 (the default) passes no pool and
+         takes the sequential path *)
+      let domains =
+        if jobs = 0 then Domain.recommended_domain_count () else jobs
+      in
+      let with_pool f =
+        if domains <= 1 then f None
+        else Cogg.Pool.with_pool ~domains (fun p -> f (Some p))
+      in
+      with_pool @@ fun pool ->
+      let tables = load_tables ?pool ~no_cache spec_path in
+      let batch =
+        Array.of_list
+          (List.map
+             (fun p -> { Pipeline.Batch.name = p; source = read_file p })
+             src_paths)
+      in
+      let results =
+        Pipeline.Batch.compile_all ?pool ~cse:(not no_cse) ~checks tables batch
+      in
+      (* reporting stays sequential and in input order: batch output must
+         be byte-identical to compiling the files one by one *)
+      let failed = ref false in
+      Array.iteri
+        (fun i result ->
+          let path = batch.(i).Pipeline.Batch.name in
+          match result with
+          | Error m ->
+              Fmt.epr "%s%s@." (if many then path ^ ": " else "") m;
+              failed := true
+          | Ok c ->
+              header path;
+              if show_if then begin
+                List.iter
+                  (fun tok -> Fmt.pr "%a " Ifl.Token.pp tok)
+                  c.Pipeline.tokens;
+                Fmt.pr "@."
+              end;
+              if show_listing then
+                Fmt.pr "%s@." c.Pipeline.gen.Cogg.Codegen.listing;
+              if verify then begin
+                let v =
+                  or_die
+                    (Pipeline.verify ~cse:(not no_cse) ~checks tables
+                       batch.(i).Pipeline.Batch.source)
+                in
+                if v.Pipeline.agreed then
+                  Fmt.pr "verified: machine = interpreter@."
+                else begin
+                  Fmt.epr "MISMATCH: %a@." Fmt.(list string)
+                    v.Pipeline.mismatches;
+                  failed := true
+                end
+              end;
+              if run_it then run_executed (or_die (Pipeline.execute c)))
+        results;
+      if !failed then exit 1
     end
   in
   let flag names doc = Arg.(value & flag & info names ~doc) in
   Cmd.v
-    (Cmd.info "compile" ~doc:"Compile (and optionally run) a program")
+    (Cmd.info "compile" ~doc:"Compile (and optionally run) programs")
     Term.(
-      const run $ spec_arg $ src_arg
+      const run $ spec_arg $ srcs_arg $ jobs_arg
       $ flag [ "no-cse" ] "Disable the common-subexpression optimizer"
       $ flag [ "no-cache" ] "Rebuild the driving tables instead of using the on-disk cache"
       $ flag [ "checks" ] "Emit subscript checking code"

@@ -63,22 +63,30 @@ let grammar_of_spec (symtab : Symtab.t) (spec : Spec_ast.t) :
     spec.Spec_ast.productions;
   if !errs <> [] then Error (List.rev !errs) else Ok (Grammar.finish b)
 
-let build ?(mode = Lookahead.Slr) (spec : Spec_ast.t) :
+let build ?pool ?(mode = Lookahead.Slr) (spec : Spec_ast.t) :
     (Tables.t, error list) result =
   let* symtab = Result.map_error (fun e -> [ lift_symtab e ]) (Symtab.of_spec spec) in
   let* grammar = grammar_of_spec symtab spec in
   let automaton = Lr0.build grammar in
-  let parse = Parse_table.build ~mode automaton in
-  (* compile templates; production ids follow declaration order *)
+  let parse = Parse_table.build ?pool ~mode automaton in
+  (* compile templates; production ids follow declaration order.  Each
+     template compiles independently, so the list fans out over the pool;
+     results and errors are merged back in declaration order. *)
   let n_user = List.length spec.Spec_ast.productions in
   let compiled = Array.make (Grammar.n_prods grammar) None in
+  let template_results =
+    Pool.maybe pool
+      (fun (i, (p : Spec_ast.production)) ->
+        Template.compile ~grammar ~symtab ~prod_id:i p)
+      (Array.of_list (List.mapi (fun i p -> (i, p)) spec.Spec_ast.productions))
+  in
   let errs = ref [] in
-  List.iteri
-    (fun i (p : Spec_ast.production) ->
-      match Template.compile ~grammar ~symtab ~prod_id:i p with
+  Array.iteri
+    (fun i r ->
+      match r with
       | Ok c -> compiled.(i) <- Some c
       | Error e -> errs := lift_template e :: !errs)
-    spec.Spec_ast.productions;
+    template_results;
   if !errs <> [] then Error (List.rev !errs)
   else begin
     let n = Grammar.n_syms grammar in
@@ -101,7 +109,8 @@ let build ?(mode = Lookahead.Slr) (spec : Spec_ast.t) :
         Tables.grammar;
         symtab;
         parse;
-        compressed = Compress.compress ~method_:Compress.Defaults_and_comb parse;
+        compressed =
+          Compress.compress ?pool ~method_:Compress.Defaults_and_comb parse;
         compiled;
         n_user_prods = n_user;
         class_of;
@@ -109,14 +118,14 @@ let build ?(mode = Lookahead.Slr) (spec : Spec_ast.t) :
       }
   end
 
-let build_string ?mode (text : string) : (Tables.t, error list) result =
+let build_string ?pool ?mode (text : string) : (Tables.t, error list) result =
   let* spec =
     Result.map_error (fun e -> [ lift_parse e ]) (Spec_parse.of_string text)
   in
-  build ?mode spec
+  build ?pool ?mode spec
 
-let build_file ?mode (path : string) : (Tables.t, error list) result =
+let build_file ?pool ?mode (path : string) : (Tables.t, error list) result =
   let* spec =
     Result.map_error (fun e -> [ lift_parse e ]) (Spec_parse.of_file path)
   in
-  build ?mode spec
+  build ?pool ?mode spec

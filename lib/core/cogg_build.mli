@@ -13,12 +13,16 @@ val grammar_of_spec :
   Symtab.t -> Spec_ast.t -> (Grammar.t, error list) result
 (** Build the augmented machine grammar from a checked specification. *)
 
-val build : ?mode:Lookahead.mode -> Spec_ast.t -> (Tables.t, error list) result
+val build :
+  ?pool:Pool.t -> ?mode:Lookahead.mode -> Spec_ast.t -> (Tables.t, error list) result
 (** Build the complete table bundle.  [mode] selects SLR(1) (the
-    default, as in the paper) or LALR(1) lookaheads. *)
+    default, as in the paper) or LALR(1) lookaheads.  [pool] parallelizes
+    lookahead computation, the per-state action-table fill, table
+    compression prep and template compilation; the resulting bundle is
+    byte-identical at any worker count. *)
 
 val build_string :
-  ?mode:Lookahead.mode -> string -> (Tables.t, error list) result
+  ?pool:Pool.t -> ?mode:Lookahead.mode -> string -> (Tables.t, error list) result
 
 val build_file :
-  ?mode:Lookahead.mode -> string -> (Tables.t, error list) result
+  ?pool:Pool.t -> ?mode:Lookahead.mode -> string -> (Tables.t, error list) result

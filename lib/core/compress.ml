@@ -64,13 +64,17 @@ let row_default method_ (row : Parse_table.action array) : int =
         counts (0, 0)
       |> fst
 
-let compress ?(method_ = Defaults_and_comb) (pt : Parse_table.t) : t =
+let compress ?pool ?(method_ = Defaults_and_comb) (pt : Parse_table.t) : t =
   let n_states = Parse_table.n_states pt in
   let n_syms = Grammar.n_syms pt.Parse_table.grammar in
-  (* per-state (default, significant entries); identical rows share *)
+  (* per-state (default, significant entries); identical rows share.
+     This is the n_states x n_syms sweep — the bulk of the compression
+     work — and each state is independent, so it maps over the pool;
+     results land by state index, so the outcome is worker-count
+     invariant. *)
   let state_rows =
-    Array.init n_states (fun s ->
-        let row = pt.Parse_table.actions.(s) in
+    Pool.maybe pool
+      (fun row ->
         let d = row_default method_ row in
         let entries = ref [] in
         Array.iteri
@@ -79,6 +83,7 @@ let compress ?(method_ = Defaults_and_comb) (pt : Parse_table.t) : t =
             if v <> d && v <> 0 then entries := (sym, v) :: !entries)
           row;
         (d, List.rev !entries))
+      pt.Parse_table.actions
   in
   (* row sharing: map distinct (default, entries) to a row id *)
   let row_ids : ((int * (int * int) list), int) Hashtbl.t = Hashtbl.create 64 in
@@ -138,7 +143,39 @@ let compress ?(method_ = Defaults_and_comb) (pt : Parse_table.t) : t =
          allocation. *)
       let row_len = Array.map List.length entries_of in
       let order = Array.init !n_rows (fun i -> i) in
-      Array.sort (fun a b -> compare row_len.(b) row_len.(a)) order;
+      (* densest first; ties broken by row id for a strict total order,
+         so the packing sequence is fully determined by the input *)
+      Array.sort
+        (fun (a : int) b ->
+          if row_len.(a) <> row_len.(b) then Int.compare row_len.(b) row_len.(a)
+          else Int.compare a b)
+        order;
+      (* per-row packing prep — the entry array and the column bitmask the
+         first-fit probe walks — is pure per row and maps over the pool
+         (chunks of rows, merged by row id).  The placement loop below
+         stays sequential: each row's offset depends on the occupancy left
+         by every earlier row, and byte-identical tables at any worker
+         count are a hard requirement. *)
+      let prepped =
+        Pool.maybe pool
+          (fun entry_list ->
+            match entry_list with
+            | [] -> None
+            | l ->
+                let entries = Array.of_list l in
+                let ne = Array.length entries in
+                let s0 = fst entries.(0) in
+                (* the row's columns as a bit mask over [0, s_max] *)
+                let s_max = fst entries.(ne - 1) in
+                let mwords = (s_max lsr 5) + 1 in
+                let mask = Array.make mwords 0 in
+                Array.iter
+                  (fun (s, _) ->
+                    mask.(s lsr 5) <- mask.(s lsr 5) lor (1 lsl (s land 31)))
+                  entries;
+                Some (entries, s0, mwords, mask))
+          entries_of
+      in
       let cap = ref (max 64 (!n_rows * 4)) in
       let value = ref (Array.make !cap 0) in
       let check = ref (Array.make !cap 0) in
@@ -177,19 +214,9 @@ let compress ?(method_ = Defaults_and_comb) (pt : Parse_table.t) : t =
       in
       Array.iter
         (fun rid ->
-          match entries_of.(rid) with
-          | [] -> empties := rid :: !empties
-          | (s0, _) :: _ as entry_list ->
-              let entries = Array.of_list entry_list in
-              let ne = Array.length entries in
-              (* the row's columns as a bit mask over [0, s_max] *)
-              let s_max = fst entries.(ne - 1) in
-              let mwords = (s_max lsr 5) + 1 in
-              let mask = Array.make mwords 0 in
-              Array.iter
-                (fun (s, _) ->
-                  mask.(s lsr 5) <- mask.(s lsr 5) lor (1 lsl (s land 31)))
-                entries;
+          match prepped.(rid) with
+          | None -> empties := rid :: !empties
+          | Some (entries, s0, mwords, mask) ->
               (* advance past the filled prefix: every slot below
                  [min_free] is occupied, so no offset can place the first
                  (lowest) column there *)

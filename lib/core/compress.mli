@@ -34,7 +34,10 @@ type t = {
 val uncompressed_bytes : Parse_table.t -> int
 (** One 16-bit entry per (state, symbol) pair: the flat table. *)
 
-val compress : ?method_:method_ -> Parse_table.t -> t
+val compress : ?pool:Pool.t -> ?method_:method_ -> Parse_table.t -> t
+(** [?pool] parallelizes the per-state row extraction and the per-row
+    packing prep; the first-fit placement itself is sequential, so the
+    packed table is byte-identical at any worker count. *)
 
 val action_code : t -> int -> int -> int
 (** [action_code c state sym] is the O(1) runtime probe: row_index ->

@@ -2,7 +2,16 @@
 
     SLR uses FOLLOW sets.  LALR lookaheads are computed with the
     spontaneous-generation / propagation algorithm (Dragon book 4.63)
-    over the LR(0) automaton, using a sentinel lookahead [#]. *)
+    over the LR(0) automaton, using a sentinel lookahead [#].
+
+    Both modes are per-state data-parallel in their expensive phase (the
+    SLR map over states; the LALR discovery of spontaneous lookaheads and
+    propagation links), so [reductions] accepts an optional {!Pool}.  Each
+    state's computation is the same sequential code at any worker count
+    and the merge walks states in index order, so the result is
+    independent of the pool size.  Hash tables are specialized to packed
+    integer keys (items, and (state, item) pairs) — the polymorphic
+    hash/equality on tuples otherwise shows up in the LALR profile. *)
 
 module Symset = Grammar.Symset
 
@@ -10,25 +19,32 @@ type mode = Slr | Lalr
 
 let sentinel = -1
 
+(* Fibonacci-style multiplicative hash: items and packed (state, item)
+   keys are small dense ints, which the identity hash would cluster. *)
+module Int_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) (b : int) = a = b
+  let hash x = x * 0x9e3779b1 land 0x3fffffff
+end)
+
 (* LR(1) closure over (item -> lookahead set), as a fixpoint. *)
 let closure1 (g : Grammar.t) (an : Grammar.analysis)
-    (init : (Lr0.item * Symset.t) list) : (Lr0.item, Symset.t) Hashtbl.t =
-  let sets : (Lr0.item, Symset.t) Hashtbl.t = Hashtbl.create 32 in
+    (init : (Lr0.item * Symset.t) list) : Symset.t Int_tbl.t =
+  let sets : Symset.t Int_tbl.t = Int_tbl.create 32 in
   let work = Queue.create () in
   let add item la =
-    let cur =
-      Option.value (Hashtbl.find_opt sets item) ~default:Symset.empty
-    in
+    let cur = Option.value (Int_tbl.find_opt sets item) ~default:Symset.empty in
     let merged = Symset.union cur la in
     if not (Symset.equal cur merged) then begin
-      Hashtbl.replace sets item merged;
+      Int_tbl.replace sets item merged;
       Queue.add item work
     end
   in
   List.iter (fun (i, la) -> add i la) init;
   while not (Queue.is_empty work) do
     let i = Queue.pop work in
-    let la = Hashtbl.find sets i in
+    let la = Int_tbl.find sets i in
     let p = Grammar.prod g (Lr0.item_prod i) in
     let dot = Lr0.item_dot i in
     if dot < Array.length p.rhs then begin
@@ -44,58 +60,65 @@ let closure1 (g : Grammar.t) (an : Grammar.analysis)
   done;
   sets
 
-(** LALR kernel lookaheads: (state, kernel item) -> lookahead set. *)
-let lalr_kernel_lookaheads (a : Lr0.t) (an : Grammar.analysis) :
-    (int * Lr0.item, Symset.t) Hashtbl.t =
+(** LALR kernel lookaheads, keyed by [state * item_bound + item]. *)
+let lalr_kernel_lookaheads ?pool (a : Lr0.t) (an : Grammar.analysis) :
+    int * Symset.t Int_tbl.t =
   let g = a.Lr0.grammar in
-  let la : (int * Lr0.item, Symset.t) Hashtbl.t = Hashtbl.create 256 in
-  let links : (int * Lr0.item, (int * Lr0.item) list) Hashtbl.t =
-    Hashtbl.create 256
+  let item_bound = Grammar.n_prods g lsl Lr0.dot_bits in
+  let key state item = (state * item_bound) + item in
+  (* per-state discovery: for each kernel item, the spontaneous
+     lookaheads it generates and the kernel items it propagates to.
+     Pure per state, so it maps over the pool; the merge below walks the
+     per-state results in state order, making the link-table layout (and
+     hence everything downstream) independent of the worker count. *)
+  let discover (st : Lr0.state) =
+    let spont = ref [] and links = ref [] in
+    Array.iter
+      (fun k ->
+        let cl = closure1 g an [ (k, Symset.singleton sentinel) ] in
+        let my_links = ref [] in
+        Int_tbl.iter
+          (fun i iset ->
+            let p = Grammar.prod g (Lr0.item_prod i) in
+            let dot = Lr0.item_dot i in
+            if dot < Array.length p.rhs then begin
+              let x = p.rhs.(dot) in
+              match Lr0.goto st x with
+              | None -> ()
+              | Some s' ->
+                  let adv = Lr0.item ~prod:(Lr0.item_prod i) ~dot:(dot + 1) in
+                  let s = Symset.remove sentinel iset in
+                  if not (Symset.is_empty s) then
+                    spont := (key s' adv, s) :: !spont;
+                  if Symset.mem sentinel iset then
+                    my_links := key s' adv :: !my_links
+            end)
+          cl;
+        if !my_links <> [] then links := (key st.Lr0.id k, !my_links) :: !links)
+      st.Lr0.kernel;
+    (List.rev !spont, List.rev !links)
   in
-  let get key = Option.value (Hashtbl.find_opt la key) ~default:Symset.empty in
-  let spontaneous = ref [] in
-  (* discover spontaneous lookaheads and propagation links *)
-  Array.iter
-    (fun (st : Lr0.state) ->
-      Array.iter
-        (fun k ->
-          let cl =
-            closure1 g an [ (k, Symset.singleton sentinel) ]
-          in
-          Hashtbl.iter
-            (fun i iset ->
-              let p = Grammar.prod g (Lr0.item_prod i) in
-              let dot = Lr0.item_dot i in
-              if dot < Array.length p.rhs then begin
-                let x = p.rhs.(dot) in
-                match Lr0.goto st x with
-                | None -> ()
-                | Some s' ->
-                    let adv = Lr0.item ~prod:(Lr0.item_prod i) ~dot:(dot + 1) in
-                    let spont = Symset.remove sentinel iset in
-                    if not (Symset.is_empty spont) then
-                      spontaneous := ((s', adv), spont) :: !spontaneous;
-                    if Symset.mem sentinel iset then
-                      Hashtbl.replace links (st.id, k)
-                        ((s', adv)
-                        :: Option.value
-                             (Hashtbl.find_opt links (st.id, k))
-                             ~default:[])
-              end)
-            cl)
-        st.kernel)
-    a.Lr0.states;
+  let discovered = Pool.maybe pool discover a.Lr0.states in
+  let la : Symset.t Int_tbl.t = Int_tbl.create 256 in
+  let links : int list Int_tbl.t = Int_tbl.create 256 in
+  let get k = Option.value (Int_tbl.find_opt la k) ~default:Symset.empty in
   (* initial: goal item gets eof *)
-  let goal_item = a.Lr0.states.(a.Lr0.start).kernel.(0) in
-  Hashtbl.replace la (a.Lr0.start, goal_item) (Symset.singleton g.Grammar.eof);
-  List.iter
-    (fun (key, s) -> Hashtbl.replace la key (Symset.union (get key) s))
-    !spontaneous;
+  let goal_item = a.Lr0.states.(a.Lr0.start).Lr0.kernel.(0) in
+  Int_tbl.replace la (key a.Lr0.start goal_item) (Symset.singleton g.Grammar.eof);
+  Array.iter
+    (fun (spont, lks) ->
+      List.iter (fun (k, s) -> Int_tbl.replace la k (Symset.union (get k) s)) spont;
+      List.iter
+        (fun (src, dsts) ->
+          Int_tbl.replace links src
+            (dsts @ Option.value (Int_tbl.find_opt links src) ~default:[]))
+        lks)
+    discovered;
   (* propagate to fixpoint *)
   let changed = ref true in
   while !changed do
     changed := false;
-    Hashtbl.iter
+    Int_tbl.iter
       (fun src dsts ->
         let s = get src in
         if not (Symset.is_empty s) then
@@ -104,22 +127,22 @@ let lalr_kernel_lookaheads (a : Lr0.t) (an : Grammar.analysis) :
               let cur = get dst in
               let merged = Symset.union cur s in
               if not (Symset.equal cur merged) then begin
-                Hashtbl.replace la dst merged;
+                Int_tbl.replace la dst merged;
                 changed := true
               end)
             dsts)
       links
   done;
-  la
+  (item_bound, la)
 
-(** [reductions a an mode] returns, per state, the reducible productions
-    with their lookahead sets. *)
-let reductions (a : Lr0.t) (an : Grammar.analysis) (mode : mode) :
+(** [reductions ?pool a an mode] returns, per state, the reducible
+    productions with their lookahead sets. *)
+let reductions ?pool (a : Lr0.t) (an : Grammar.analysis) (mode : mode) :
     (int * Symset.t) list array =
   let g = a.Lr0.grammar in
   match mode with
   | Slr ->
-      Array.map
+      Pool.maybe pool
         (fun st ->
           Lr0.reducible g st
           |> List.map (fun i ->
@@ -128,25 +151,24 @@ let reductions (a : Lr0.t) (an : Grammar.analysis) (mode : mode) :
           |> List.sort_uniq compare)
         a.Lr0.states
   | Lalr ->
-      let kla = lalr_kernel_lookaheads a an in
-      Array.map
+      let item_bound, kla = lalr_kernel_lookaheads ?pool a an in
+      Pool.maybe pool
         (fun (st : Lr0.state) ->
           (* run the lookahead closure over the kernel with its final
              lookahead sets, then read off the final items *)
           let init =
-            Array.to_list st.kernel
+            Array.to_list st.Lr0.kernel
             |> List.map (fun k ->
                    ( k,
                      Option.value
-                       (Hashtbl.find_opt kla (st.id, k))
+                       (Int_tbl.find_opt kla ((st.Lr0.id * item_bound) + k))
                        ~default:Symset.empty ))
           in
           let cl = closure1 g an init in
-          Hashtbl.fold
+          Int_tbl.fold
             (fun i iset acc ->
               let p = Grammar.prod g (Lr0.item_prod i) in
-              if Lr0.item_dot i = Array.length p.rhs then
-                (p.id, iset) :: acc
+              if Lr0.item_dot i = Array.length p.rhs then (p.id, iset) :: acc
               else acc)
             cl []
           |> List.sort_uniq compare)

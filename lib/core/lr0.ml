@@ -1,7 +1,16 @@
 (** LR(0) automaton construction.
 
     States are canonical sets of kernel items; closures are computed on
-    demand.  Items are packed into ints: [(prod lsl DOT_BITS) lor dot]. *)
+    demand.  Items are packed into ints: [(prod lsl DOT_BITS) lor dot].
+
+    The frontier search is sequential (each new state can seed further
+    states), so construction speed lives and dies on its constant
+    factors: the kernel index is a hash table specialized to item arrays
+    (FNV-1a over the packed ints, monomorphic equality — no polymorphic
+    [compare]/[Hashtbl.hash] walks), the closure's visited set is a byte
+    table indexed by packed item, and the per-state grouping structures
+    are hoisted out of the work loop and reset between states instead of
+    reallocated. *)
 
 let dot_bits = 5
 let max_rhs = (1 lsl dot_bits) - 1
@@ -38,15 +47,43 @@ let pp_item g ppf (i : item) =
     p.rhs;
   if dot = Array.length p.rhs then Fmt.pf ppf " ."
 
+(* Kernels are small sorted int arrays; hash and compare them directly
+   rather than through the polymorphic primitives (which dominate the
+   frontier loop's profile on grammars with hundreds of states). *)
+module Kernel_tbl = Hashtbl.Make (struct
+  type t = item array
+
+  let equal (a : item array) (b : item array) =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+    go 0
+
+  let hash (a : item array) =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to Array.length a - 1 do
+      h := (!h lxor a.(i)) * 0x01000193 land 0x3fffffff
+    done;
+    !h
+end)
+
+let sort_items (a : item array) =
+  Array.sort (fun (x : int) y -> Int.compare x y) a
+
 (** Closure of an item set: a dot before non-terminal N adds N's
-    productions with the dot at the start. *)
-let closure (g : Grammar.t) (kernel : item array) : item array =
-  let seen = Hashtbl.create 32 in
+    productions with the dot at the start.  [seen] is a caller-provided
+    byte table of size [n_prods lsl dot_bits]; it is used and wiped
+    within the call. *)
+let closure_into (g : Grammar.t) ~(seen : Bytes.t) (kernel : item array) :
+    item array =
   let acc = ref [] in
+  let count = ref 0 in
   let rec add i =
-    if not (Hashtbl.mem seen i) then begin
-      Hashtbl.replace seen i ();
+    if Bytes.unsafe_get seen i = '\000' then begin
+      Bytes.unsafe_set seen i '\001';
       acc := i :: !acc;
+      incr count;
       let p = Grammar.prod g (item_prod i) in
       let dot = item_dot i in
       if dot < Array.length p.rhs then
@@ -58,9 +95,18 @@ let closure (g : Grammar.t) (kernel : item array) : item array =
     end
   in
   Array.iter add kernel;
-  let a = Array.of_list !acc in
-  Array.sort compare a;
+  let a = Array.make !count 0 in
+  List.iteri
+    (fun k i ->
+      a.(!count - 1 - k) <- i;
+      Bytes.unsafe_set seen i '\000')
+    !acc;
+  sort_items a;
   a
+
+(** Standalone closure (tests, diagnostics): allocates its own table. *)
+let closure (g : Grammar.t) (kernel : item array) : item array =
+  closure_into g ~seen:(Bytes.make (Grammar.n_prods g lsl dot_bits) '\000') kernel
 
 let build (g : Grammar.t) : t =
   if
@@ -75,54 +121,57 @@ let build (g : Grammar.t) : t =
   in
   let states = ref [] in
   let n = ref 0 in
-  let index : (item array, int) Hashtbl.t = Hashtbl.create 256 in
+  let index : int Kernel_tbl.t = Kernel_tbl.create 256 in
   let worklist = Queue.create () in
   let get_state kernel =
-    match Hashtbl.find_opt index kernel with
+    match Kernel_tbl.find_opt index kernel with
     | Some id -> id
     | None ->
         let id = !n in
         incr n;
         let st = { id; kernel; closure = [||]; transitions = [] } in
-        Hashtbl.replace index kernel id;
+        Kernel_tbl.replace index kernel id;
         states := st :: !states;
         Queue.add st worklist;
         id
   in
   let start = get_state [| item ~prod:goal_prod ~dot:0 |] in
+  (* hoisted per-state scratch: the closure's visited bytes, and the
+     grouping of advanceable items by the symbol after the dot (an array
+     indexed by symbol plus the list of symbols actually touched) *)
+  let seen = Bytes.make (Grammar.n_prods g lsl dot_bits) '\000' in
+  let n_syms = Grammar.n_syms g in
+  let by_sym : item list array = Array.make n_syms [] in
+  let touched = ref [] in
   while not (Queue.is_empty worklist) do
     let st = Queue.pop worklist in
-    let cl = closure g st.kernel in
+    let cl = closure_into g ~seen st.kernel in
     st.closure <- cl;
-    (* group advanceable items by the symbol after the dot *)
-    let by_sym : (Grammar.sym, item list ref) Hashtbl.t = Hashtbl.create 16 in
     Array.iter
       (fun i ->
         let p = Grammar.prod g (item_prod i) in
         let dot = item_dot i in
         if dot < Array.length p.rhs then begin
           let s = p.rhs.(dot) in
-          let cell =
-            match Hashtbl.find_opt by_sym s with
-            | Some c -> c
-            | None ->
-                let c = ref [] in
-                Hashtbl.replace by_sym s c;
-                c
-          in
-          cell := item ~prod:(item_prod i) ~dot:(dot + 1) :: !cell
+          if by_sym.(s) = [] then touched := s :: !touched;
+          by_sym.(s) <- item ~prod:(item_prod i) ~dot:(dot + 1) :: by_sym.(s)
         end)
       cl;
+    let syms = Array.of_list !touched in
+    Array.sort (fun (a : int) b -> Int.compare a b) syms;
     let trans =
-      Hashtbl.fold
-        (fun s cell acc ->
-          let kernel = Array.of_list !cell in
-          Array.sort compare kernel;
-          (s, get_state kernel) :: acc)
-        by_sym []
+      Array.to_list
+        (Array.map
+           (fun s ->
+             let kernel = Array.of_list by_sym.(s) in
+             by_sym.(s) <- [];
+             sort_items kernel;
+             (s, get_state kernel))
+           syms)
     in
-    (* deterministic order for reproducible tables *)
-    st.transitions <- List.sort compare trans
+    touched := [];
+    (* transitions are already in symbol order: deterministic tables *)
+    st.transitions <- trans
   done;
   let arr = Array.make !n (List.hd !states) in
   List.iter (fun st -> arr.(st.id) <- st) !states;

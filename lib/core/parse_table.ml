@@ -97,45 +97,48 @@ let resolve g state sym a b : action * conflict option =
           (Fmt.str "Parse_table.resolve: shift/shift %d/%d in state %d" s1 s2
              state)
 
-let build ?(mode = Lookahead.Slr) (a : Lr0.t) : t =
+let build ?pool ?(mode = Lookahead.Slr) (a : Lr0.t) : t =
   let g = a.Lr0.grammar in
   let an = Grammar.analyze g in
   let n_syms = Grammar.n_syms g in
-  let actions =
-    Array.init (Lr0.n_states a) (fun _ -> Array.make n_syms Error)
+  let reds = Lookahead.reductions ?pool a an mode in
+  (* Each state's row depends only on that state's transitions and
+     reductions, so the fill maps over the pool one state at a time.
+     Conflicts are collected per state and concatenated in state order
+     below, which makes both the table and the conflict report identical
+     at any worker count (and to the sequential build: within a state,
+     shifts apply before reductions, exactly as before). *)
+  let fill (st : Lr0.state) =
+    let row = Array.make n_syms Error in
+    let conflicts = ref [] in
+    let set sym act =
+      let cur = row.(sym) in
+      let winner, c = resolve g st.Lr0.id sym cur act in
+      row.(sym) <- winner;
+      match c with Some c -> conflicts := c :: !conflicts | None -> ()
+    in
+    (* shifts (including non-terminal "gotos") *)
+    List.iter
+      (fun (sym, dst) ->
+        if sym = g.Grammar.eof then
+          (* the goal item shifts eof; that is acceptance *)
+          set sym Accept
+        else set sym (Shift dst))
+      st.Lr0.transitions;
+    (* reductions *)
+    List.iter
+      (fun (p, las) ->
+        Grammar.Symset.iter
+          (fun sym ->
+            if sym >= 0 && sym <> g.Grammar.goal then set sym (Reduce p))
+          las)
+      reds.(st.Lr0.id);
+    (row, List.rev !conflicts)
   in
-  let conflicts = ref [] in
-  let set state sym act =
-    let cur = actions.(state).(sym) in
-    let winner, c = resolve g state sym cur act in
-    actions.(state).(sym) <- winner;
-    match c with Some c -> conflicts := c :: !conflicts | None -> ()
-  in
-  (* shifts (including non-terminal "gotos") *)
-  Array.iter
-    (fun (st : Lr0.state) ->
-      List.iter
-        (fun (sym, dst) ->
-          if sym = g.Grammar.eof then
-            (* the goal item shifts eof; that is acceptance *)
-            set st.id sym Accept
-          else set st.id sym (Shift dst))
-        st.transitions)
-    a.Lr0.states;
-  (* reductions *)
-  let reds = Lookahead.reductions a an mode in
-  Array.iteri
-    (fun state rs ->
-      List.iter
-        (fun (p, las) ->
-          Grammar.Symset.iter
-            (fun sym ->
-              if sym >= 0 && sym <> g.Grammar.goal then
-                set state sym (Reduce p))
-            las)
-        rs)
-    reds;
-  { grammar = g; automaton = a; mode; actions; conflicts = List.rev !conflicts }
+  let filled = Pool.maybe pool fill a.Lr0.states in
+  let actions = Array.map fst filled in
+  let conflicts = List.concat_map snd (Array.to_list filled) in
+  { grammar = g; automaton = a; mode; actions; conflicts }
 
 (** Number of non-error entries (the paper's "significant entries"),
     counted over the given symbol columns. *)

@@ -1,0 +1,153 @@
+(** Domain pool: long-lived workers, chunked atomic work claiming,
+    exception-safe join.
+
+    One parallel region runs at a time (regions are serialized by the
+    submitting domain).  A region is announced by bumping [epoch]; every
+    worker runs the region's body exactly once and reports back through
+    [active], so the submitter can wait for quiescence.  The body itself
+    distributes elements by chunked [Atomic.fetch_and_add] claiming, so
+    scheduling never influences which output slot an element lands in —
+    determinism reduces to the determinism of the mapped function.
+
+    Nested regions (calling [map] from inside a mapped function on the
+    same pool) are not supported: pass [None] further down instead, which
+    every [?pool] consumer treats as the sequential fallback. *)
+
+type t = {
+  size : int;  (** total parallelism, caller included *)
+  mutex : Mutex.t;
+  work : Condition.t;  (** signalled when a new epoch begins *)
+  idle : Condition.t;  (** signalled when the last worker finishes *)
+  mutable job : (unit -> unit) option;
+  mutable epoch : int;
+  mutable active : int;  (** workers still inside the current epoch *)
+  mutable shutdown : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.size
+
+let worker t () =
+  let my_epoch = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while (not t.shutdown) && t.epoch = !my_epoch do
+      Condition.wait t.work t.mutex
+    done;
+    if t.shutdown then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      my_epoch := t.epoch;
+      let job = Option.get t.job in
+      Mutex.unlock t.mutex;
+      (* the job never raises: [map] catches inside the chunk loop *)
+      job ();
+      Mutex.lock t.mutex;
+      t.active <- t.active - 1;
+      if t.active = 0 then Condition.broadcast t.idle;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create ?domains () =
+  let requested =
+    match domains with
+    | Some n -> n
+    | None -> Domain.recommended_domain_count ()
+  in
+  let size = max 1 (min requested 128) in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      job = None;
+      epoch = 0;
+      active = 0;
+      shutdown = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+(* Run [body] on every domain of the pool (caller included) and wait for
+   all of them.  [body] must not raise. *)
+let run t (body : unit -> unit) =
+  if t.size = 1 then body ()
+  else begin
+    Mutex.lock t.mutex;
+    t.job <- Some body;
+    t.active <- t.size - 1;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    body ();
+    Mutex.lock t.mutex;
+    while t.active > 0 do
+      Condition.wait t.idle t.mutex
+    done;
+    t.job <- None;
+    Mutex.unlock t.mutex
+  end
+
+let map (type a b) (t : t) (f : a -> b) (arr : a array) : b array =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if t.size = 1 || n = 1 then Array.map f arr
+  else begin
+    let out : b option array = Array.make n None in
+    let err : (exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    let next = Atomic.make 0 in
+    let chunk = max 1 (n / (t.size * 8)) in
+    let body () =
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n || Atomic.get err <> None then continue := false
+        else begin
+          let stop = min n (start + chunk) in
+          try
+            for i = start to stop - 1 do
+              out.(i) <- Some (f arr.(i))
+            done
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            (* keep the first failure; losers of the race are dropped *)
+            ignore (Atomic.compare_and_set err None (Some (e, bt)));
+            continue := false
+        end
+      done
+    in
+    run t body;
+    (* every worker has joined: the region is over whether it failed or
+       not, so re-raising here leaves the pool reusable *)
+    match Atomic.get err with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let maybe pool f arr =
+  match pool with None -> Array.map f arr | Some t -> map t f arr
+
+let run_parallel t (thunks : (int -> unit) array) =
+  ignore (map t (fun i -> thunks.(i) i) (Array.init (Array.length thunks) Fun.id))
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.shutdown <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

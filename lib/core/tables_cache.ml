@@ -11,8 +11,11 @@
     surfaced as an error. *)
 
 (* Bumping this invalidates every existing entry; it must change whenever
-   the Tables_io bundle format does. *)
-let format_version = 2
+   the Tables_io bundle format does, or when table construction starts
+   producing different (still correct) bytes — v3: LR(0) states are
+   numbered in symbol-sorted transition order and comb packing breaks
+   density ties by row id. *)
+let format_version = 3
 
 type origin = Cache_hit | Built
 
@@ -20,9 +23,12 @@ let pp_origin ppf = function
   | Cache_hit -> Fmt.string ppf "cache hit"
   | Built -> Fmt.string ppf "built from spec"
 
-type stats = { mutable hits : int; mutable misses : int }
+type stats = { hits : int; misses : int }
 
-let stats = { hits = 0; misses = 0 }
+(* domain-safe observability counters *)
+let hit_count = Atomic.make 0
+let miss_count = Atomic.make 0
+let stats () = { hits = Atomic.get hit_count; misses = Atomic.get miss_count }
 
 let src = Logs.Src.create "cogg.tables-cache" ~doc:"CoGG table cache"
 
@@ -67,11 +73,21 @@ let rec mkdir_p dir =
 
 (* Best effort, atomic via rename: a half-written entry must never be
    observable (a concurrent reader would treat it as corrupt and rebuild,
-   but there is no reason to risk it). *)
+   but there is no reason to risk it).  The temp name embeds the pid, the
+   domain id and a per-process counter, so two concurrent builders — two
+   processes racing on a shared cache dir, or two domains of one pool —
+   can never open the same temp file and publish each other's
+   half-written bytes through the rename. *)
+let tmp_counter = Atomic.make 0
+
 let store path bytes =
   try
     mkdir_p (Filename.dirname path);
-    let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) "cogg" ".tmp" in
+    let tmp =
+      Printf.sprintf "%s.%d.%d.%d.tmp" path (Unix.getpid ())
+        (Domain.self () :> int)
+        (Atomic.fetch_and_add tmp_counter 1)
+    in
     let oc = open_out_bin tmp in
     output_string oc bytes;
     close_out oc;
@@ -92,17 +108,17 @@ let load path : Tables.t option =
 
 (** [build_text ?mode ?cache_dir text] returns the tables for a
     specification given as text, via the cache. *)
-let build_text ?(mode = Lookahead.Slr) ?cache_dir (text : string) :
+let build_text ?pool ?(mode = Lookahead.Slr) ?cache_dir (text : string) :
     (Tables.t * origin, Cogg_build.error list) result =
   let path = entry_path ~mode ?cache_dir text in
   match load path with
   | Some t ->
-      stats.hits <- stats.hits + 1;
+      Atomic.incr hit_count;
       Log.info (fun f -> f "hit %s" path);
       Ok (t, Cache_hit)
   | None -> (
-      stats.misses <- stats.misses + 1;
-      match Cogg_build.build_string ~mode text with
+      Atomic.incr miss_count;
+      match Cogg_build.build_string ?pool ~mode text with
       | Error es -> Error es
       | Ok t ->
           store path (Tables_io.write t);
@@ -112,8 +128,8 @@ let build_text ?(mode = Lookahead.Slr) ?cache_dir (text : string) :
 (** [build_file ?mode ?cache_dir path] is {!build_text} over the file's
     contents: the digest covers the text, so editing the spec in place is
     a clean miss, not a stale hit. *)
-let build_file ?mode ?cache_dir (path : string) :
+let build_file ?pool ?mode ?cache_dir (path : string) :
     (Tables.t * origin, Cogg_build.error list) result =
   match read_file path with
-  | text -> build_text ?mode ?cache_dir text
+  | text -> build_text ?pool ?mode ?cache_dir text
   | exception Sys_error m -> Error [ { Cogg_build.line = 0; msg = m } ]

@@ -11,10 +11,12 @@ type origin = Cache_hit | Built
 
 val pp_origin : Format.formatter -> origin -> unit
 
-type stats = { mutable hits : int; mutable misses : int }
+type stats = { hits : int; misses : int }
 
-val stats : stats
-(** Process-wide hit/miss counters (observability for tests and CLIs). *)
+val stats : unit -> stats
+(** A snapshot of the process-wide hit/miss counters (observability for
+    tests and CLIs); the counters themselves are atomics, safe to bump
+    from any domain. *)
 
 val key : mode:Lookahead.mode -> string -> string
 (** Digest a specification text into its cache key. *)
@@ -24,13 +26,17 @@ val entry_path : ?mode:Lookahead.mode -> ?cache_dir:string -> string -> string
     maps to (whether or not it exists yet). *)
 
 val build_text :
+  ?pool:Pool.t ->
   ?mode:Lookahead.mode ->
   ?cache_dir:string ->
   string ->
   (Tables.t * origin, Cogg_build.error list) result
-(** Tables for a specification given as text, through the cache. *)
+(** Tables for a specification given as text, through the cache.
+    [pool] parallelizes the build on a miss; the stored bundle is
+    byte-identical at any worker count. *)
 
 val build_file :
+  ?pool:Pool.t ->
   ?mode:Lookahead.mode ->
   ?cache_dir:string ->
   string ->

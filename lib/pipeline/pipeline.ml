@@ -272,3 +272,75 @@ let execute_baseline ?(layout = Machine.Runtime.default_layout)
 
 (** Standard workloads (paper Appendix 1 and friends). *)
 module Programs = Programs
+
+(* -- batch compilation -------------------------------------------------------- *)
+
+(** Batch compilation: many mini-Pascal programs through one shared set
+    of driving tables.
+
+    Bird's economics make this the natural serving shape: table
+    construction is the expensive artifact (tens of milliseconds) and a
+    single compile through the comb-packed driver costs a fraction of a
+    millisecond, so a batch amortizes the tables once and fans the
+    per-program work across a {!Cogg.Pool} of domains.
+
+    Domain-safety audit (why sharing [Tables.t] is sound):
+
+    - [Tables.t] and everything it reaches ([Grammar.t], [Symtab.t],
+      [Parse_table.t], [Compress.t], compiled templates) is immutable
+      after [Cogg_build.build].  The only mutable fields in the bundle
+      are [Lr0.state.closure]/[transitions], written exclusively during
+      automaton construction; every post-build access is a read.
+    - All per-compile state is created inside the compile call: the
+      driver's stacks live in [Driver.parse]'s frame; [Emit.create]
+      allocates the emitter, register file ([Regalloc.t]), CSE table
+      ([Cse.t]) and code buffer per call; the front end ([Sema]), shaper
+      ([Irgen], [Cse_opt]) and loader ([Loader_gen]) likewise build
+      their state per invocation.  [test/check_globals.sh] pins this by
+      rejecting new toplevel mutable bindings in the hot modules.
+    - Results are placed by input index ({!Cogg.Pool.map}), so batch
+      output order — and, since each compile is deterministic, every
+      byte of it — is identical to the sequential run. *)
+module Batch = struct
+  type job = {
+    name : string;  (** label for reports; the source path under [pasc] *)
+    source : string;
+  }
+
+  type result_t = (compiled, string) result
+
+  (** [compile_all ?pool tables jobs] compiles every job against
+      [tables].  With a pool the jobs fan out across its domains; without
+      one (or with a pool of size 1) the batch runs sequentially on the
+      calling domain.  The result array is indexed like [jobs] either
+      way. *)
+  let compile_all ?pool ?cse ?checks ?strategy ?dispatch
+      (tables : Cogg.Tables.t) (jobs : job array) : result_t array =
+    Cogg.Pool.maybe pool
+      (fun j -> compile ?cse ?checks ?strategy ?dispatch tables j.source)
+      jobs
+
+  (** Object-code bytes of a successful compile — the determinism suite's
+      notion of "output": resolved code, exactly what the loader sees. *)
+  let code_bytes (c : compiled) : string =
+    Bytes.to_string c.gen.Cogg.Codegen.resolved.Cogg.Loader_gen.code
+
+  (** [fingerprint results] digests every job's listing and object bytes
+      (or its error message) into one hex string: two batches produced
+      the same compilations iff their fingerprints are equal. *)
+  let fingerprint (results : result_t array) : string =
+    let buf = Buffer.create 4096 in
+    Array.iter
+      (fun r ->
+        match r with
+        | Ok c ->
+            Buffer.add_string buf c.gen.Cogg.Codegen.listing;
+            Buffer.add_char buf '\000';
+            Buffer.add_string buf (code_bytes c);
+            Buffer.add_char buf '\001'
+        | Error m ->
+            Buffer.add_string buf m;
+            Buffer.add_char buf '\002')
+      results;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+end

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Guard against hidden toplevel mutable state in the core library.
+#
+# The parallel engine shares one Cogg library across domains: any
+# module-level ref/Hashtbl/Buffer/Bytes/Array binding is shared mutable
+# state that would race under Pool.map and silently break the
+# byte-identical-output guarantee.  Per-compile state belongs in the
+# per-task contexts (Driver, Regalloc, Cse, Labels, Code_buffer);
+# process-wide counters must be Atomic.t (which this check permits).
+#
+# The check is textual on purpose: it runs with no build products and
+# flags the binding the moment it is written, not when a determinism
+# test happens to catch the race.
+
+set -eu
+
+dir="${1:-lib/core}"
+
+pattern='^let [a-zA-Z_0-9]+ *(: *[^=]*)?= *(ref |Hashtbl\.create|Buffer\.create|Bytes\.create|Bytes\.make|Array\.make|Array\.create|Queue\.create|Stack\.create)'
+
+status=0
+for f in "$dir"/*.ml; do
+  hits=$(grep -nE "$pattern" "$f" || true)
+  if [ -n "$hits" ]; then
+    echo "toplevel mutable state in $f (use a per-compile context or Atomic.t):" >&2
+    echo "$hits" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_globals: no toplevel mutable bindings in $dir"
+fi
+exit "$status"

@@ -1,0 +1,192 @@
+(* Determinism of the parallel engine: for any batch and any worker
+   count, parallel compilation must be byte-identical to sequential —
+   same listings, same object bytes, same error messages in the same
+   positions — and parallel table construction must serialize to the
+   same bundle as a sequential build.
+
+   COGG_JOBS overrides the worker count exercised here: an integer, or
+   "max" for Domain.recommended_domain_count.  The default of 4 makes
+   the parallel paths run real domains even on single-core machines. *)
+
+let jobs () =
+  match Sys.getenv_opt "COGG_JOBS" with
+  | Some "max" -> max 2 (Domain.recommended_domain_count ())
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 4)
+  | None -> 4
+
+let tables () = Lazy.force Util.amdahl_tables
+
+let corpus_batch () =
+  Array.of_list
+    (List.map
+       (fun (name, source) -> { Pipeline.Batch.name; source })
+       Pipeline.Programs.all)
+
+let fingerprint ?pool batch =
+  Pipeline.Batch.fingerprint (Pipeline.Batch.compile_all ?pool (tables ()) batch)
+
+let test_corpus_parallel_equals_sequential () =
+  let batch = corpus_batch () in
+  let seq = fingerprint batch in
+  Cogg.Pool.with_pool ~domains:(jobs ()) (fun pool ->
+      Alcotest.(check string)
+        "parallel == sequential" seq
+        (fingerprint ~pool batch));
+  (* a pool of one must add nothing either *)
+  Cogg.Pool.with_pool ~domains:1 (fun pool ->
+      Alcotest.(check string)
+        "pool of one == sequential" seq
+        (fingerprint ~pool batch))
+
+let test_corpus_parallel_equals_sequential_no_cse () =
+  let batch = corpus_batch () in
+  let t = tables () in
+  let fp ?pool () =
+    Pipeline.Batch.fingerprint
+      (Pipeline.Batch.compile_all ?pool ~cse:false ~checks:true t batch)
+  in
+  let seq = fp () in
+  Cogg.Pool.with_pool ~domains:(jobs ()) (fun pool ->
+      Alcotest.(check string) "option flags thread through" seq (fp ~pool ()))
+
+let test_errors_land_in_place () =
+  (* broken sources exercise the Error arm: failures must carry the same
+     message and stay at their own index, never poison a neighbour *)
+  let good = Pipeline.Programs.gcd in
+  let batch =
+    [|
+      { Pipeline.Batch.name = "ok0"; source = good };
+      { Pipeline.Batch.name = "bad1"; source = "program x; begin y := end." };
+      { Pipeline.Batch.name = "ok2"; source = good };
+      { Pipeline.Batch.name = "bad3"; source = "not pascal at all" };
+      { Pipeline.Batch.name = "ok4"; source = good };
+    |]
+  in
+  let t = tables () in
+  let seq = Pipeline.Batch.compile_all t batch in
+  let par =
+    Cogg.Pool.with_pool ~domains:(jobs ()) (fun pool ->
+        Pipeline.Batch.compile_all ~pool t batch)
+  in
+  Array.iteri
+    (fun i r ->
+      match (r, par.(i)) with
+      | Ok a, Ok b ->
+          Alcotest.(check string)
+            (Printf.sprintf "job %d object bytes" i)
+            (Pipeline.Batch.code_bytes a)
+            (Pipeline.Batch.code_bytes b)
+      | Error a, Error b ->
+          Alcotest.(check string) (Printf.sprintf "job %d error" i) a b
+      | _ -> Alcotest.failf "job %d: Ok/Error mismatch between runs" i)
+    seq;
+  Alcotest.(check bool) "good jobs compiled" true (Result.is_ok seq.(0));
+  Alcotest.(check bool) "bad jobs failed" true (Result.is_error seq.(1))
+
+(* ------------------------------------------------------------------ *)
+(* Table construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let amdahl_spec =
+  lazy
+    (match Cogg.Spec_parse.of_file (Util.spec_path "amdahl470.cgg") with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "spec parse: %a" Cogg.Spec_parse.pp_error e)
+
+let build_bundle ?pool () =
+  match Cogg.Cogg_build.build ?pool (Lazy.force amdahl_spec) with
+  | Ok t -> Cogg.Tables_io.write t
+  | Error es ->
+      Alcotest.failf "build failed: %a" (Fmt.list Cogg.Cogg_build.pp_error) es
+
+let test_table_build_bytes_identical () =
+  let seq = build_bundle () in
+  Cogg.Pool.with_pool ~domains:(jobs ()) (fun pool ->
+      let par = build_bundle ~pool () in
+      Alcotest.(check int) "bundle length" (String.length seq)
+        (String.length par);
+      Alcotest.(check bool) "bundle bytes identical" true (String.equal seq par));
+  Cogg.Pool.with_pool ~domains:1 (fun pool ->
+      Alcotest.(check bool)
+        "pool of one identical" true
+        (String.equal seq (build_bundle ~pool ())))
+
+(* ------------------------------------------------------------------ *)
+(* Property: random batches                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Small straight-line integer programs; division only by non-zero
+   constants.  Mixed with a chance of a syntactically broken body so the
+   property also covers batches with failures. *)
+let gen_source : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = map (fun i -> Printf.sprintf "v%d" i) (int_bound 3) in
+  let lit = map string_of_int (int_range 0 99) in
+  let rec expr depth =
+    if depth = 0 then oneof [ lit; var ]
+    else
+      let sub = expr (depth - 1) in
+      oneof
+        [
+          lit;
+          var;
+          map2 (Printf.sprintf "(%s + %s)") sub sub;
+          map2 (Printf.sprintf "(%s - %s)") sub sub;
+          map2 (Printf.sprintf "(%s * %s)") (expr 0) (expr 0);
+          map2 (fun a d -> Printf.sprintf "(%s div %d)" a d) sub (int_range 1 9);
+        ]
+  in
+  let assign = map2 (fun v e -> Printf.sprintf "%s := %s" v e) var (expr 2) in
+  let body = map (String.concat "; ") (list_size (int_range 1 5) assign) in
+  frequency
+    [
+      ( 9,
+        map
+          (Printf.sprintf
+             "program rand; var v0, v1, v2, v3 : integer; begin %s end.")
+          body );
+      (1, map (Printf.sprintf "program rand; begin %s := ; end.") var);
+    ]
+
+let gen_batch : Pipeline.Batch.job array QCheck.Gen.t =
+  let open QCheck.Gen in
+  map
+    (fun sources ->
+      Array.of_list
+        (List.mapi
+           (fun i source ->
+             { Pipeline.Batch.name = Printf.sprintf "rand%d" i; source })
+           sources))
+    (list_size (int_range 1 12) gen_source)
+
+let prop_random_batches =
+  QCheck.Test.make ~count:25 ~name:"random batches: parallel == sequential"
+    (QCheck.make gen_batch ~print:(fun b ->
+         String.concat "\n---\n"
+           (Array.to_list (Array.map (fun j -> j.Pipeline.Batch.source) b))))
+    (fun batch ->
+      let seq = fingerprint batch in
+      let par =
+        Cogg.Pool.with_pool ~domains:(jobs ()) (fun pool ->
+            fingerprint ~pool batch)
+      in
+      if seq <> par then
+        QCheck.Test.fail_reportf "fingerprints differ: %s vs %s" seq par;
+      true)
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "corpus: parallel == sequential" `Quick
+            test_corpus_parallel_equals_sequential;
+          Alcotest.test_case "corpus: options thread through" `Quick
+            test_corpus_parallel_equals_sequential_no_cse;
+          Alcotest.test_case "errors land in place" `Quick
+            test_errors_land_in_place;
+          Alcotest.test_case "table build bytes identical" `Quick
+            test_table_build_bytes_identical;
+          QCheck_alcotest.to_alcotest prop_random_batches;
+        ] );
+    ]

@@ -1,0 +1,113 @@
+(* The Domain worker pool: results land in input order regardless of
+   scheduling, exceptions propagate to the caller and leave the pool
+   reusable, and the degenerate shapes (empty input, size-1 pool) run
+   inline on the calling domain. *)
+
+let test_map_preserves_order () =
+  Cogg.Pool.with_pool ~domains:4 (fun pool ->
+      let n = 5000 in
+      let input = Array.init n (fun i -> i) in
+      let out = Cogg.Pool.map pool (fun x -> x * x) input in
+      Alcotest.(check int) "length" n (Array.length out);
+      Array.iteri
+        (fun i y ->
+          if y <> i * i then Alcotest.failf "out.(%d) = %d, want %d" i y (i * i))
+        out)
+
+let test_map_order_with_skewed_work () =
+  (* uneven per-element cost shuffles completion order across domains;
+     placement by input index must hide that entirely *)
+  Cogg.Pool.with_pool ~domains:4 (fun pool ->
+      let input = Array.init 257 (fun i -> i) in
+      let out =
+        Cogg.Pool.map pool
+          (fun x ->
+            let spin = if x mod 7 = 0 then 20_000 else 10 in
+            let acc = ref x in
+            for _ = 1 to spin do
+              acc := (!acc * 31) land 0xffff
+            done;
+            (x, !acc land 0))
+          input
+      in
+      Array.iteri
+        (fun i (x, z) ->
+          if x <> i || z <> 0 then Alcotest.failf "out.(%d) carries %d" i x)
+        out)
+
+exception Boom of int
+
+let test_exception_propagates_and_pool_survives () =
+  Cogg.Pool.with_pool ~domains:3 (fun pool ->
+      let input = Array.init 200 (fun i -> i) in
+      (match
+         Cogg.Pool.map pool (fun x -> if x = 37 then raise (Boom x) else x) input
+       with
+      | _ -> Alcotest.fail "expected Boom to reach the caller"
+      | exception Boom 37 -> ());
+      (* the failed region joined cleanly: the same pool keeps working *)
+      let out = Cogg.Pool.map pool (fun x -> x + 1) input in
+      Alcotest.(check int) "reused pool" 200 out.(199))
+
+let test_empty_input () =
+  Cogg.Pool.with_pool ~domains:4 (fun pool ->
+      let out = Cogg.Pool.map pool (fun _ -> Alcotest.fail "called") [||] in
+      Alcotest.(check int) "empty in, empty out" 0 (Array.length out))
+
+let test_size_one_runs_inline () =
+  Cogg.Pool.with_pool ~domains:1 (fun pool ->
+      Alcotest.(check int) "size" 1 (Cogg.Pool.size pool);
+      let me = (Domain.self () :> int) in
+      let out =
+        Cogg.Pool.map pool
+          (fun () -> (Domain.self () :> int))
+          (Array.make 8 ())
+      in
+      Array.iter
+        (fun d ->
+          Alcotest.(check int) "every element ran on the calling domain" me d)
+        out)
+
+let test_maybe_without_pool_is_sequential () =
+  let out = Cogg.Pool.maybe None (fun x -> x * 2) [| 1; 2; 3 |] in
+  Alcotest.(check (list int)) "fallback" [ 2; 4; 6 ] (Array.to_list out)
+
+let test_run_parallel_runs_every_thunk () =
+  Cogg.Pool.with_pool ~domains:4 (fun pool ->
+      let hits = Array.make 16 0 in
+      Cogg.Pool.run_parallel pool
+        (Array.init 16 (fun i _slot -> hits.(i) <- hits.(i) + 1));
+      Array.iteri
+        (fun i h ->
+          Alcotest.(check int) (Printf.sprintf "thunk %d ran once" i) 1 h)
+        hits)
+
+let test_create_clamps () =
+  let p = Cogg.Pool.create ~domains:0 () in
+  Alcotest.(check int) "clamped up to 1" 1 (Cogg.Pool.size p);
+  Cogg.Pool.shutdown p;
+  (* shutdown is idempotent *)
+  Cogg.Pool.shutdown p
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves input order" `Quick
+            test_map_preserves_order;
+          Alcotest.test_case "order survives skewed work" `Quick
+            test_map_order_with_skewed_work;
+          Alcotest.test_case "exception propagates, pool survives" `Quick
+            test_exception_propagates_and_pool_survives;
+          Alcotest.test_case "empty input" `Quick test_empty_input;
+          Alcotest.test_case "size-1 pool runs inline" `Quick
+            test_size_one_runs_inline;
+          Alcotest.test_case "maybe None is sequential" `Quick
+            test_maybe_without_pool_is_sequential;
+          Alcotest.test_case "run_parallel covers every thunk" `Quick
+            test_run_parallel_runs_every_thunk;
+          Alcotest.test_case "create clamps, shutdown idempotent" `Quick
+            test_create_clamps;
+        ] );
+    ]

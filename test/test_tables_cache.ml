@@ -61,12 +61,12 @@ let test_miss_then_hit () =
   check_origin "second build is a hit" "hit" (origin_str o2);
   (* a hit never enters LR construction: the origin is decided before
      Cogg_build would run, which is what makes repeat invocations fast *)
-  let hits_before = Cogg.Tables_cache.stats.Cogg.Tables_cache.hits in
+  let hits_before = (Cogg.Tables_cache.stats ()).Cogg.Tables_cache.hits in
   let _, o3 = build dir in
   check_origin "still a hit" "hit" (origin_str o3);
   Alcotest.(check int)
     "hit counter advanced" (hits_before + 1)
-    Cogg.Tables_cache.stats.Cogg.Tables_cache.hits
+    (Cogg.Tables_cache.stats ()).Cogg.Tables_cache.hits
 
 let generate t =
   match Cogg.Codegen.generate_string t intro_if with
@@ -125,6 +125,52 @@ let test_modified_spec_misses () =
   let _, o2 = build dir in
   check_origin "original entry untouched" "hit" (origin_str o2)
 
+let test_concurrent_store_same_entry () =
+  (* several domains race to build and store the same spec into one
+     fresh cache directory.  Unique temp names + atomic rename mean no
+     interleaving can corrupt the entry: every racer must succeed, and
+     the surviving entry must be valid (next build is a hit that drives
+     codegen identically to a fresh build). *)
+  let dir = fresh_cache_dir () in
+  let racers = 4 in
+  let results = Array.make racers None in
+  Cogg.Pool.with_pool ~domains:racers (fun pool ->
+      Cogg.Pool.run_parallel pool
+        (Array.init racers (fun i _slot ->
+             results.(i) <- Some (Cogg.Tables_cache.build_text ~cache_dir:dir intro_spec))));
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some (Ok _) -> ()
+      | Some (Error es) ->
+          Alcotest.failf "racer %d failed: %a" i
+            (Fmt.list Cogg.Cogg_build.pp_error)
+            es
+      | None -> Alcotest.failf "racer %d never ran" i)
+    results;
+  let path = Cogg.Tables_cache.entry_path ~cache_dir:dir intro_spec in
+  Alcotest.(check bool) "entry exists" true (Sys.file_exists path);
+  (* no orphaned temp files survive the race *)
+  let leftovers =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+  in
+  Alcotest.(check (list string)) "no temp litter" [] leftovers;
+  let cached, o = build dir in
+  check_origin "entry left by the race hits" "hit" (origin_str o);
+  let fresh =
+    match Cogg.Cogg_build.build_string intro_spec with
+    | Ok t -> t
+    | Error es ->
+        Alcotest.failf "fresh build failed: %a"
+          (Fmt.list Cogg.Cogg_build.pp_error)
+          es
+  in
+  let a = generate fresh and b = generate cached in
+  Alcotest.(check string)
+    "raced entry drives codegen identically" a.Cogg.Codegen.listing
+    b.Cogg.Codegen.listing
+
 let test_mode_is_part_of_key () =
   let dir = fresh_cache_dir () in
   let _, _ = build dir in
@@ -149,6 +195,8 @@ let () =
             test_corrupt_entry_rebuilds;
           Alcotest.test_case "modified spec misses" `Quick
             test_modified_spec_misses;
+          Alcotest.test_case "concurrent stores race safely" `Quick
+            test_concurrent_store_same_entry;
           Alcotest.test_case "mode is part of the key" `Quick
             test_mode_is_part_of_key;
         ] );
