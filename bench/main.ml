@@ -332,6 +332,9 @@ let speed ?(json = false) () =
   Fmt.pr "@.== Timings (Bechamel) ==@.@.";
   let open Bechamel in
   let open Toolkit in
+  (* previous trajectory, read before measuring: the observability gate
+     below compares fresh batch rows against it *)
+  let prev = read_speed_json "BENCH_speed.json" in
   let t = Lazy.force tables in
   let full_spec = Lazy.force spec in
   let spec_file = spec_path () in
@@ -437,6 +440,48 @@ let speed ?(json = false) () =
             (float_of_int batch_m /. (ns /. 1e9))
       | _ -> ())
     [ "batch-compile(1x32)"; "batch-compile(Nx32)" ];
+  (* observability overhead gate: the Trace/Metrics hooks sit disabled on
+     the hot paths above, so the batch rows must stay within 2% of the
+     recorded trajectory.  COGG_BENCH_NO_GATE=1 bypasses (noisy CI,
+     different machine). *)
+  let no_gate = Sys.getenv_opt "COGG_BENCH_NO_GATE" <> None in
+  let violated = ref false in
+  List.iter
+    (fun key ->
+      match (List.assoc_opt key !rows, List.assoc_opt key prev) with
+      | Some fresh, Some old when old > 0.0 ->
+          let ratio = fresh /. old in
+          Fmt.pr "%-34s %14.3f x recorded%s@." (key ^ " [gate]") ratio
+            (if ratio > 1.02 then "  ** >2% overhead **" else "");
+          if ratio > 1.02 then violated := true
+      | _ -> ())
+    [ "batch-compile(1x32)"; "batch-compile(Nx32)" ];
+  if !violated && not no_gate then begin
+    Fmt.epr
+      "observability gate: batch-compile regressed more than 2%% against \
+       BENCH_speed.json (rerun on a quiet machine, or set \
+       COGG_BENCH_NO_GATE=1 to bypass)@.";
+    exit 1
+  end;
+  (* counter aggregates: one metrics-enabled sequential pass over the
+     same batch, folded into the trajectory as counter.* rows so code
+     shape drift (shifts, evictions, long branches, ...) is tracked
+     alongside timings *)
+  Cogg.Metrics.reset ();
+  Cogg.Metrics.set_enabled true;
+  ignore (Pipeline.Batch.compile_all t batch);
+  let counters = Cogg.Metrics.snapshot () in
+  Cogg.Metrics.set_enabled false;
+  Cogg.Metrics.reset ();
+  Fmt.pr "@.counter aggregates over batch(32):@.";
+  List.iter
+    (fun (name, v) ->
+      if v <> 0 && not (String.length name > 6 && String.sub name 0 6 = "phase.")
+      then begin
+        Fmt.pr "  %-32s %14d@." name v;
+        rows := ("counter." ^ name, float_of_int v) :: !rows
+      end)
+    counters;
   if json then write_speed_json "BENCH_speed.json" (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)

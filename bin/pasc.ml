@@ -81,12 +81,32 @@ let run_executed (x : Pipeline.executed) =
 
 let compile_cmd =
   let run spec_path src_paths jobs no_cse no_cache checks baseline show_if
-      show_listing run_it verify =
+      show_listing run_it verify stats trace explain =
     let many = List.length src_paths > 1 in
     let header path = if many then Fmt.pr "==> %s <==@." path in
-    if baseline then
+    (* observability: enable before the tables load so cache hits/misses
+       and the table-build phase are captured too *)
+    if stats || trace <> None then Cogg.Metrics.set_enabled true;
+    if trace <> None then Cogg.Trace.set_enabled true;
+    let report_observability () =
+      if stats then begin
+        Fmt.pr "@.== observability counters ==@.";
+        Fmt.pr "%a" Cogg.Metrics.pp_table (Cogg.Metrics.snapshot ())
+      end;
+      match trace with
+      | None -> ()
+      | Some path ->
+          Cogg.Trace.write_json path;
+          Fmt.epr "wrote %s (%d trace events)@." path
+            (Cogg.Trace.event_count ())
+    in
+    if baseline then begin
       (* the hand-written comparator has no table bundle to share; batches
          simply loop *)
+      if explain then
+        Fmt.epr
+          "--explain requires the table-driven generator (no productions to \
+           attribute in the baseline); ignoring@.";
       List.iter
         (fun src_path ->
           let src = read_file src_path in
@@ -94,7 +114,9 @@ let compile_cmd =
           let c = or_die (Pipeline.compile_baseline ~checks src) in
           if show_listing then Fmt.pr "%s@." c.Pipeline.b_gen.Baseline.listing;
           if run_it then run_executed (or_die (Pipeline.execute_baseline c)))
-        src_paths
+        src_paths;
+      report_observability ()
+    end
     else begin
       (* the parallel engine: one shared table bundle, per-program work
          fanned out over the pool; -j 1 (the default) passes no pool and
@@ -115,7 +137,9 @@ let compile_cmd =
              src_paths)
       in
       let results =
-        Pipeline.Batch.compile_all ?pool ~cse:(not no_cse) ~checks tables batch
+        Cogg.Trace.with_span ~cat:"batch" "batch" (fun () ->
+            Pipeline.Batch.compile_all ?pool ~cse:(not no_cse) ~checks ~explain
+              tables batch)
       in
       (* reporting stays sequential and in input order: batch output must
          be byte-identical to compiling the files one by one *)
@@ -137,6 +161,9 @@ let compile_cmd =
               end;
               if show_listing then
                 Fmt.pr "%s@." c.Pipeline.gen.Cogg.Codegen.listing;
+              if explain then
+                Option.iter (Fmt.pr "%s@.")
+                  c.Pipeline.gen.Cogg.Codegen.explanation;
               if verify then begin
                 let v =
                   or_die
@@ -153,10 +180,21 @@ let compile_cmd =
               end;
               if run_it then run_executed (or_die (Pipeline.execute c)))
         results;
+      report_observability ();
       if !failed then exit 1
     end
   in
   let flag names doc = Arg.(value & flag & info names ~doc) in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON file covering the whole batch \
+             (per-phase spans per program, all domains), loadable in \
+             about:tracing or Perfetto.")
+  in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile (and optionally run) programs")
     Term.(
@@ -168,7 +206,15 @@ let compile_cmd =
       $ flag [ "dump-if" ] "Print the linearized intermediate form"
       $ flag [ "listing"; "S" ] "Print the generated assembly listing"
       $ flag [ "run" ] "Execute on the simulator and print write output"
-      $ flag [ "verify" ] "Check the machine against the reference interpreter")
+      $ flag [ "verify" ] "Check the machine against the reference interpreter"
+      $ flag [ "stats" ]
+          "Print the aggregate observability counters (driver, register \
+           allocator, CSE, loader, table cache, per-phase times) after the \
+           batch"
+      $ trace_arg
+      $ flag [ "explain" ]
+          "Annotate every emitted instruction with the production and \
+           directives responsible for it (table-driven generators only)")
 
 let interp_cmd =
   let run src_path =

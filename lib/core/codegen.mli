@@ -8,6 +8,9 @@ type result_t = {
   outcome : Driver.outcome;  (** parse statistics *)
   alloc_stats : Regalloc.stats;  (** register allocation statistics *)
   n_items : int;  (** code-buffer entries before resolution *)
+  explanation : string option;
+      (** with [~explain:true]: the listing annotated per instruction
+          with the production and directives that emitted it *)
 }
 
 type error =
@@ -24,6 +27,7 @@ val generate :
   ?dispatch:Driver.dispatch ->
   ?reload_dsp:string ->
   ?reload_reg:string ->
+  ?explain:bool ->
   Tables.t ->
   Ifl.Token.t list ->
   (result_t, error) result
@@ -31,7 +35,9 @@ val generate :
     register allocation policy (default LRU); [dispatch] the parse-table
     representation the driver probes (default comb);
     [reload_dsp]/[reload_reg] name the terminals used when a common
-    subexpression is reloaded from its temporary (defaults ["dsp"]/["r"]). *)
+    subexpression is reloaded from its temporary (defaults ["dsp"]/["r"]);
+    [explain] (default false) additionally records, per emitted item, the
+    production and directives responsible, surfaced as [explanation]. *)
 
 val generate_string :
   ?name:string ->
@@ -39,6 +45,7 @@ val generate_string :
   ?dispatch:Driver.dispatch ->
   ?reload_dsp:string ->
   ?reload_reg:string ->
+  ?explain:bool ->
   Tables.t ->
   string ->
   (result_t, string) result

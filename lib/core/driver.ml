@@ -23,18 +23,31 @@
 type dispatch = Flat | Comb
 
 type error = {
-  position : int;  (** index of the offending token in the input *)
+  position : int;
+      (** index into the {e original} input of the offending token (the
+          next original token still unconsumed when the parse blocked).
+          Reduction-prefixed tokens do not advance it, so Flat and Comb
+          dispatch agree on it even when default reductions delay the
+          detection. *)
   state : int;
   token : Ifl.Token.t option;  (** [None] at end of input *)
   msg : string;
   expected : string list;  (** symbols with an action in the blocked state *)
+  bogus_reductions : int;
+      (** reductions taken since the last {e original} input token was
+          consumed: under Comb dispatch, how far default reductions
+          (and the synthetic shifts they interleave) ran past the point
+          where Flat dispatch would have stopped *)
 }
 
 let pp_error ppf e =
-  Fmt.pf ppf "code generation blocked at token %d%a in state %d: %s"
+  Fmt.pf ppf "code generation blocked at input token %d%a in state %d: %s"
     e.position
     (Fmt.option (fun ppf t -> Fmt.pf ppf " (%a)" Ifl.Token.pp t))
     e.token e.state e.msg;
+  if e.bogus_reductions > 0 then
+    Fmt.pf ppf " (after %d speculative reduction%s)" e.bogus_reductions
+      (if e.bogus_reductions = 1 then "" else "s");
   match e.expected with
   | [] -> ()
   | xs ->
@@ -48,6 +61,15 @@ type outcome = {
   shifts : int;
   max_stack : int;
 }
+
+(* observability counters, flushed once per parse from the local
+   statistics the hot loop already keeps (never bumped per token) *)
+let m_parses = Metrics.sum "driver.parses"
+let m_shifts = Metrics.sum "driver.shifts"
+let m_reductions = Metrics.sum "driver.reductions"
+let m_errors = Metrics.sum "driver.errors"
+let m_delayed = Metrics.sum "driver.delayed_error_runs"
+let m_max_stack = Metrics.high_water "driver.max_stack"
 
 (* A growable stack of (state, token) pairs kept as two parallel arrays:
    the hot path is push/pop at the top, plus the occasional in-place
@@ -123,9 +145,29 @@ let parse ?(dispatch = Comb) (tables : Tables.t)
   in
   push_pending (Ifl.Token.op Grammar.eof_name);
   List.iter push_pending (List.rev input);
+  (* Original-stream bookkeeping for error positions.  Reductions prefix
+     fresh tokens on top of the pending stack, so the original tokens are
+     exactly the entries below [orig_level]: a shift consumes an original
+     iff nothing synthetic sits above it, and only then does [position]
+     (the index into the caller's input) advance.  Counting every shift —
+     synthetic LHS tokens included — made the reported position index the
+     mutated stream, drifting further with every reduction. *)
+  let orig_level = ref !pn in
   let position = ref 0 in
   let shifts = ref 0 and reductions = ref 0 and max_stack = ref 1 in
   let reduce_run = ref 0 in
+  let flush_metrics ~failed =
+    if Metrics.enabled () then begin
+      Metrics.add m_parses 1;
+      Metrics.add m_shifts !shifts;
+      Metrics.add m_reductions !reductions;
+      Metrics.peak m_max_stack !max_stack;
+      if failed then begin
+        Metrics.add m_errors 1;
+        if !reduce_run > 0 then Metrics.add m_delayed 1
+      end
+    end
+  in
   let remap f =
     for i = 0 to !sp - 1 do
       !toks.(i) <- f !toks.(i)
@@ -143,7 +185,18 @@ let parse ?(dispatch = Comb) (tables : Tables.t)
         (List.init (Grammar.n_syms g) Fun.id)
       |> List.map (Grammar.name g)
     in
-    Error { position = !position; state; token; msg; expected }
+    flush_metrics ~failed:true;
+    Trace.instant "driver.error"
+      ~args:[ ("state", string_of_int state); ("position", string_of_int !position) ];
+    Error
+      {
+        position = !position;
+        state;
+        token;
+        msg;
+        expected;
+        bogus_reductions = !reduce_run;
+      }
   in
   let rec loop () =
     let state = !states.(!sp - 1) in
@@ -199,15 +252,25 @@ let parse ?(dispatch = Comb) (tables : Tables.t)
             let v = lookup state sym in
             if v = 0 then
               fail state (Some tok) "no action (invalid IF for this machine grammar)"
-            else if v = 1 then
+            else if v = 1 then begin
+              flush_metrics ~failed:false;
               Ok { reductions = !reductions; shifts = !shifts; max_stack = !max_stack }
+            end
             else if v land 1 = 0 then begin
               (* shift *)
               push ((v - 2) / 2) tok;
+              if !pn <= !orig_level then begin
+                (* an original input token, not a reduction-prefixed one;
+                   consuming it also ends any speculative reduction run
+                   (synthetic LHS shifts interleave default-reduction
+                   runs, so resetting on every shift would undercount
+                   the speculation) *)
+                orig_level := !pn - 1;
+                incr position;
+                reduce_run := 0
+              end;
               decr pn;
-              incr position;
               incr shifts;
-              reduce_run := 0;
               if !sp > !max_stack then max_stack := !sp;
               loop ()
             end

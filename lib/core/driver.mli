@@ -16,11 +16,21 @@ type dispatch =
           configuration of the paper's Table 2 *)
 
 type error = {
-  position : int;  (** index of the offending token in the input *)
+  position : int;
+      (** index into the {e original} input of the offending token (the
+          next original token still unconsumed when the parse blocked).
+          Reduction-prefixed tokens do not advance it, so Flat and Comb
+          dispatch agree on it even when default reductions delay the
+          detection. *)
   state : int;
   token : Ifl.Token.t option;  (** [None] at end of input *)
   msg : string;
   expected : string list;  (** symbols with an action in the blocked state *)
+  bogus_reductions : int;
+      (** reductions taken since the last {e original} input token was
+          consumed: under Comb dispatch, how far default reductions
+          (and the synthetic shifts they interleave) ran past the point
+          where Flat dispatch would have stopped *)
 }
 
 val pp_error : Format.formatter -> error -> unit

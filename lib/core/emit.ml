@@ -18,6 +18,18 @@ exception Emit_error of string
 
 let err fmt = Fmt.kstr (fun s -> raise (Emit_error s)) fmt
 
+(* observability counters (flushed once per compile by Codegen from the
+   per-compile statistics; never bumped per emitted instruction) *)
+let m_pressure_failures = Metrics.sum "regalloc.pressure_failures"
+let m_allocs = Metrics.sum "regalloc.allocs"
+let m_evictions = Metrics.sum "regalloc.evictions"
+let m_transfers = Metrics.sum "regalloc.transfers"
+let m_gp_peak = Metrics.high_water "regalloc.busy_peak.gp"
+let m_fp_peak = Metrics.high_water "regalloc.busy_peak.fp"
+let m_cse_hits = Metrics.sum "cse.residence_hits"
+let m_cse_reloads = Metrics.sum "cse.reloads"
+let m_cse_invalidations = Metrics.sum "cse.invalidations"
+
 type t = {
   tables : Tables.t;
   regs : Regalloc.t;
@@ -30,10 +42,19 @@ type t = {
   mutable open_skips : (int ref * Code_buffer.label) list;
   mutable stmt_records : (int * int) list;  (** stmt number -> insn index *)
   mutable list_requests : int list;
+  explain : bool;
+      (** record, per code-buffer item, the production (and directives)
+          responsible for it — the [--explain] sink *)
+  mutable cur_origin : string;  (** annotation for the reduction in progress *)
+  mutable origins : string list;  (** one entry per buffer item, reversed *)
+  (* per-compile CSE residence counters, flushed to Metrics by Codegen *)
+  mutable cse_hits : int;
+  mutable cse_reloads : int;
+  mutable cse_invalidations : int;
 }
 
 let create ?(strategy = Regalloc.Lru) ?(reload_dsp = "dsp") ?(reload_reg = "r")
-    (tables : Tables.t) : t =
+    ?(explain = false) (tables : Tables.t) : t =
   {
     tables;
     regs = Regalloc.create ~strategy ();
@@ -45,25 +66,60 @@ let create ?(strategy = Regalloc.Lru) ?(reload_dsp = "dsp") ?(reload_reg = "r")
     open_skips = [];
     stmt_records = [];
     list_requests = [];
+    explain;
+    cur_origin = "(no production)";
+    origins = [];
+    cse_hits = 0;
+    cse_reloads = 0;
+    cse_invalidations = 0;
   }
 
 let items t = Code_buffer.items t.buf
 let stats t = t.regs.Regalloc.stats
 
+(* flush the per-compile statistics into the process-wide counters; one
+   enabled check per compile, nothing on the per-instruction path *)
+let flush_metrics t =
+  if Metrics.enabled () then begin
+    let s = t.regs.Regalloc.stats in
+    Metrics.add m_allocs s.Regalloc.n_allocs;
+    Metrics.add m_evictions s.Regalloc.n_evictions;
+    Metrics.add m_transfers s.Regalloc.n_transfers;
+    Metrics.peak m_gp_peak s.Regalloc.gp_peak;
+    Metrics.peak m_fp_peak s.Regalloc.fp_peak;
+    Metrics.add m_cse_hits t.cse_hits;
+    Metrics.add m_cse_reloads t.cse_reloads;
+    Metrics.add m_cse_invalidations t.cse_invalidations
+  end
+
 (* -- appending with skip bookkeeping -------------------------------------- *)
 
-let append_instruction t item =
+let record_origin t note =
+  if t.explain then
+    t.origins <-
+      (match note with
+      | None -> t.cur_origin
+      | Some n -> t.cur_origin ^ " — " ^ n)
+      :: t.origins
+
+let append_instruction ?note t item =
   Code_buffer.add t.buf item;
+  record_origin t note;
   let still_open = ref [] in
   List.iter
     (fun (count, lbl) ->
       decr count;
-      if !count <= 0 then Code_buffer.add t.buf (Code_buffer.Label_def lbl)
+      if !count <= 0 then begin
+        Code_buffer.add t.buf (Code_buffer.Label_def lbl);
+        record_origin t (Some "skip target")
+      end
       else still_open := (count, lbl) :: !still_open)
     t.open_skips;
   t.open_skips <- List.rev !still_open
 
-let append_data t item = Code_buffer.add t.buf item
+let append_data ?note t item =
+  Code_buffer.add t.buf item;
+  record_origin t note
 
 (* -- banks and classes ----------------------------------------------------- *)
 
@@ -102,6 +158,7 @@ let save_cse t (ev : Regalloc.evicted) =
   | None -> err "evicted register bound to unknown CSE %d" ev.Regalloc.ev_cse
   | Some entry ->
       append_instruction t
+        ~note:(Fmt.str "spill: save CSE %d to its temporary" entry.Cse.id)
         (Code_buffer.Fixed
            (Machine.Insn.Rx
               {
@@ -181,12 +238,54 @@ let reduce (t : t) ~(prod : int) ~(rhs : Ifl.Token.t array)
     | Some c -> c
     | None -> err "no compiled templates for production %d" prod
   in
+  (* the production responsible for everything this reduction emits; also
+     the context attached to any register-pressure failure below *)
+  let prod_desc =
+    lazy (Fmt.str "production %d (%s)" prod (Grammar.prod_to_string g p))
+  in
+  if t.explain then begin
+    let dirs =
+      Array.to_list
+        (Array.map
+           (fun (r : Template.alloc_req) ->
+             Fmt.str "using %a" Symtab.pp_reg_class r.Template.a_class)
+           c.Template.c_allocs)
+      @ Array.to_list
+          (Array.map
+             (fun (r : Template.need_req) -> Fmt.str "need r%d" r.Template.n_reg)
+             c.Template.c_needs)
+    in
+    t.cur_origin <-
+      Fmt.str "p%d %s%s" prod (Grammar.prod_to_string g p)
+        (match dirs with
+        | [] -> ""
+        | ds -> "  [" ^ String.concat "; " ds ^ "]")
+  end;
+  (* allocation with diagnosable failure: re-raise Pressure enriched with
+     the directive and production that triggered the exhaustion *)
+  let alloc_for ~directive cls =
+    match Regalloc.alloc t.regs cls with
+    | res -> res
+    | exception Regalloc.Pressure m ->
+        let m =
+          Fmt.str "%s — while serving '%s' of %s" m directive
+            (Lazy.force prod_desc)
+        in
+        Trace.instant "regalloc.pressure" ~args:[ ("detail", m) ];
+        Metrics.add m_pressure_failures 1;
+        raise (Regalloc.Pressure m)
+  in
   Regalloc.begin_reduction t.regs;
   (* 1. allocate all requested registers *)
   let allocs =
     Array.map
       (fun (req : Template.alloc_req) ->
-        let reg, evicted = Regalloc.alloc t.regs req.Template.a_class in
+        let reg, evicted =
+          alloc_for
+            ~directive:
+              (Fmt.str "using %a" Symtab.pp_reg_class req.Template.a_class)
+            req.Template.a_class
+        in
         Option.iter (save_cse t) evicted;
         reg)
       c.Template.c_allocs
@@ -194,13 +293,24 @@ let reduce (t : t) ~(prod : int) ~(rhs : Ifl.Token.t array)
   Array.iter
     (fun (req : Template.need_req) ->
       match Regalloc.need t.regs req.Template.n_class req.Template.n_reg with
-      | Error m -> err "need r%d: %s" req.Template.n_reg m
+      | Error m ->
+          let m =
+            Fmt.str "%s — while serving 'need r%d' (%a) of %s" m
+              req.Template.n_reg Symtab.pp_reg_class req.Template.n_class
+              (Lazy.force prod_desc)
+          in
+          Trace.instant "regalloc.pressure" ~args:[ ("detail", m) ];
+          Metrics.add m_pressure_failures 1;
+          err "%s" m
       | Ok (transfer, evicted) ->
           Option.iter (save_cse t) evicted;
           Option.iter
             (fun (tr : Regalloc.transfer) ->
               (* move the old contents and rebind the translation stack *)
               append_instruction t
+                ~note:
+                  (Fmt.str "need r%d: transfer old contents to r%d"
+                     tr.Regalloc.tr_from tr.Regalloc.tr_to)
                 (Code_buffer.Fixed
                    (Machine.Insn.Rr
                       { op = "lr"; r1 = tr.Regalloc.tr_to; r2 = tr.Regalloc.tr_from }));
@@ -277,9 +387,11 @@ let reduce (t : t) ~(prod : int) ~(rhs : Ifl.Token.t array)
                 Regalloc.is_busy t.regs bank r
                 && Regalloc.use_count t.regs bank r > !claims
               then begin
-                let fresh, evicted = Regalloc.alloc t.regs cls in
+                let fresh, evicted =
+                  alloc_for ~directive:"modifies (copy-on-write)" cls
+                in
                 Option.iter (save_cse t) evicted;
-                append_instruction t
+                append_instruction t ~note:"modifies: copy-on-write of a shared register"
                   (Code_buffer.Fixed
                      (Machine.Insn.Rr
                         { op = (if bank = Regalloc.Fp then "ldr" else "lr");
@@ -297,7 +409,9 @@ let reduce (t : t) ~(prod : int) ~(rhs : Ifl.Token.t array)
                   (* save the CSE before the register is clobbered; its
                      remaining uses will reload from the temporary, so
                      their share of the use count is dropped *)
+                  t.cse_invalidations <- t.cse_invalidations + 1;
                   append_instruction t
+                    ~note:(Fmt.str "modifies: save CSE %d before clobber" cse_id)
                     (Code_buffer.Fixed
                        (Machine.Insn.Rx
                           {
@@ -309,7 +423,9 @@ let reduce (t : t) ~(prod : int) ~(rhs : Ifl.Token.t array)
                           }));
                   Cse.to_memory t.cse cse_id;
                   Regalloc.drop_cse_shares t.regs bank r
-              | Some _ -> Cse.to_memory t.cse cse_id
+              | Some _ ->
+                  t.cse_invalidations <- t.cse_invalidations + 1;
+                  Cse.to_memory t.cse cse_id
               | None -> ())
             (Regalloc.touch t.regs bank r)
       | Template.Ignore_lhs -> ()
@@ -388,11 +504,13 @@ let reduce (t : t) ~(prod : int) ~(rhs : Ifl.Token.t array)
               | Cse.In_reg r ->
                   (* the reserved share becomes the stack reference the
                      push below retains *)
+                  t.cse_hits <- t.cse_hits + 1;
                   Regalloc.consume_cse_share t.regs
                     (if entry.Cse.fp then Regalloc.Fp else Regalloc.Gp)
                     r;
                   push_token push_sym r
               | Cse.In_mem -> (
+                  t.cse_reloads <- t.cse_reloads + 1;
                   match entry.Cse.ty with
                   | None ->
                       err "find_common: CSE %d has no reload type operator" id
@@ -449,3 +567,28 @@ let finish ?(name = "MAIN") (t : t) :
   else Loader_gen.to_objmod ~name (Code_buffer.items t.buf)
 
 let listing (t : t) = Code_buffer.to_listing t.buf
+
+(** The listing with every item annotated with the production (and its
+    [using]/[need] directives) whose reduction emitted it — the paper's
+    syntax-directed translation made visible.  Meaningful only on an
+    emitter created with [~explain:true]. *)
+let explanation (t : t) : string =
+  let items = Code_buffer.items t.buf in
+  let origins = List.rev t.origins in
+  let b = Buffer.create 4096 in
+  let rec go items origins =
+    match (items, origins) with
+    | [], _ -> ()
+    | item :: items, origin :: origins ->
+        Buffer.add_string b
+          (Fmt.str "%-44s ; %s" (Fmt.str "%a" Code_buffer.pp_item item) origin);
+        Buffer.add_char b '\n';
+        go items origins
+    | item :: items, [] ->
+        (* unreachable when explain was on from creation; stay total *)
+        Buffer.add_string b (Fmt.str "%a" Code_buffer.pp_item item);
+        Buffer.add_char b '\n';
+        go items []
+  in
+  go items origins;
+  Buffer.contents b

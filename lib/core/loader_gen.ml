@@ -41,6 +41,14 @@ exception Resolve_error of string
 
 let err fmt = Fmt.kstr (fun s -> raise (Resolve_error s)) fmt
 
+(* observability counters, flushed once per successful resolution *)
+let m_resolutions = Metrics.sum "loader.resolutions"
+let m_passes = Metrics.sum "loader.sizing_passes"
+let m_sites = Metrics.sum "loader.branch_sites"
+let m_long = Metrics.sum "loader.long_branches"
+let m_short = Metrics.sum "loader.short_branches"
+let m_pool_words = Metrics.sum "loader.pool_words"
+
 let short_size = function
   | Code_buffer.Branch_site _ -> 4
   | Code_buffer.Case_site _ -> 4
@@ -197,6 +205,14 @@ let resolve ?(code_base = Machine.Runtime.code_base) (items : Code_buffer.item l
         | _ -> a)
       0 items
   in
+  if Metrics.enabled () then begin
+    Metrics.add m_resolutions 1;
+    Metrics.add m_passes !iterations;
+    Metrics.add m_sites n_sites;
+    Metrics.add m_long !next_slot;
+    Metrics.add m_short (n_sites - !next_slot);
+    Metrics.add m_pool_words !next_slot
+  end;
   {
     code;
     entry = pool_bytes;

@@ -1,0 +1,121 @@
+(** Monotonic observability counters (the aggregate side of the
+    observability layer; {!Trace} holds the event side).
+
+    Counters are registered once, at module-initialization time, with
+    [sum] (additive across domains) or [high_water] (merged by maximum).
+    Recording is a plain array store into a per-domain buffer obtained
+    through [Domain.DLS]: no locks, no atomics on the hot path, and a
+    single [Atomic.get] when disabled — which is why instrumented modules
+    can afford to flush their already-accumulated local statistics once
+    per compile.
+
+    Domain-merge semantics: each domain's buffer is registered (under a
+    mutex) the first time that domain records anything, and the buffer
+    outlives the domain, so a [snapshot] taken after a {!Pool} region has
+    joined sees every worker's contribution.  [snapshot] itself merges by
+    counter kind — [Sum] adds, [Max] takes the maximum — giving one
+    aggregate row per counter regardless of how many domains ran.
+
+    Reads race benignly with a domain that is still recording (int stores
+    are atomic in OCaml); deterministic snapshots are obtained by
+    snapshotting only at quiescence, which every sink in this repository
+    does (after the batch, after the parallel region joined). *)
+
+type kind = Sum | Max
+
+type counter = int
+(* an index into every per-domain buffer *)
+
+type def = { d_name : string; d_kind : kind }
+
+type registry = {
+  mutable defs : def array;
+  mutable n : int;
+  mutable buffers : int array ref list;
+      (** one cell per domain that ever recorded; grown in place *)
+}
+
+let mu = Mutex.create ()
+let registry = { defs = [||]; n = 0; buffers = [] }
+let enabled_flag = Atomic.make false
+
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let register kind name : counter =
+  locked (fun () ->
+      (* idempotent: re-registering a name returns the existing id *)
+      let existing = ref None in
+      Array.iteri
+        (fun i d -> if d.d_name = name then existing := Some i)
+        registry.defs;
+      match !existing with
+      | Some i -> i
+      | None ->
+          let id = registry.n in
+          let defs = Array.make (id + 1) { d_name = name; d_kind = kind } in
+          Array.blit registry.defs 0 defs 0 id;
+          registry.defs <- defs;
+          registry.n <- id + 1;
+          id)
+
+let sum name = register Sum name
+let high_water name = register Max name
+let name (c : counter) = registry.defs.(c).d_name
+
+(* per-domain buffer, registered on first use and grown on demand (a
+   counter can be registered after a domain's buffer was sized) *)
+let dls : int array ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [||])
+
+let buffer_for (c : counter) : int array =
+  let cell = Domain.DLS.get dls in
+  if Array.length !cell <= c then
+    locked (fun () ->
+        let n = max registry.n (c + 1) in
+        let narr = Array.make n 0 in
+        Array.blit !cell 0 narr 0 (Array.length !cell);
+        if Array.length !cell = 0 then registry.buffers <- cell :: registry.buffers;
+        cell := narr);
+  !cell
+
+let add (c : counter) (n : int) =
+  if Atomic.get enabled_flag && n <> 0 then begin
+    let b = buffer_for c in
+    b.(c) <- b.(c) + n
+  end
+
+let peak (c : counter) (v : int) =
+  if Atomic.get enabled_flag then begin
+    let b = buffer_for c in
+    if v > b.(c) then b.(c) <- v
+  end
+
+let snapshot () : (string * int) list =
+  locked (fun () ->
+      let acc = Array.make registry.n 0 in
+      List.iter
+        (fun cell ->
+          Array.iteri
+            (fun i v ->
+              if i < registry.n then
+                match registry.defs.(i).d_kind with
+                | Sum -> acc.(i) <- acc.(i) + v
+                | Max -> if v > acc.(i) then acc.(i) <- v)
+            !cell)
+        registry.buffers;
+      Array.to_list (Array.mapi (fun i v -> (registry.defs.(i).d_name, v)) acc)
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+
+let reset () =
+  locked (fun () ->
+      List.iter (fun cell -> Array.fill !cell 0 (Array.length !cell) 0)
+        registry.buffers)
+
+let pp_table ppf (rows : (string * int) list) =
+  List.iter
+    (fun (n, v) -> if v <> 0 then Fmt.pf ppf "%-34s %14d@." n v)
+    rows

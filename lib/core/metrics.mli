@@ -1,0 +1,41 @@
+(** Monotonic observability counters.
+
+    Counters are registered once at module-initialization time and
+    recorded into per-domain buffers ([Domain.DLS]); buffers outlive
+    their domains, so a {!snapshot} taken after a {!Pool} region has
+    joined aggregates every worker's contribution.  Recording is a no-op
+    (one relaxed [Atomic.get]) when the subsystem is disabled, which is
+    the default. *)
+
+type counter
+
+val sum : string -> counter
+(** Register (idempotently) an additive counter: domains' values are
+    summed at snapshot time. *)
+
+val high_water : string -> counter
+(** Register (idempotently) a high-water mark: domains' values are
+    merged by maximum at snapshot time. *)
+
+val name : counter -> string
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val add : counter -> int -> unit
+(** Add to the calling domain's buffer.  No-op when disabled. *)
+
+val peak : counter -> int -> unit
+(** Raise the calling domain's high-water mark to at least [v].  No-op
+    when disabled. *)
+
+val snapshot : unit -> (string * int) list
+(** Merged view over every domain that ever recorded, one row per
+    registered counter, sorted by name.  Deterministic when taken at
+    quiescence (no parallel region in flight). *)
+
+val reset : unit -> unit
+(** Zero every domain's buffer. *)
+
+val pp_table : Format.formatter -> (string * int) list -> unit
+(** Render a snapshot as the [--stats] table (zero rows suppressed). *)

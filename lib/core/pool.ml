@@ -27,6 +27,18 @@ type t = {
 
 let size t = t.size
 
+exception Worker_failed of int
+
+let () =
+  Printexc.register_printer (function
+    | Worker_failed i ->
+        Some
+          (Printf.sprintf
+             "Cogg.Pool.Worker_failed: a worker exited without placing a \
+              result for input index %d"
+             i)
+    | _ -> None)
+
 let worker t () =
   let my_epoch = ref 0 in
   let running = ref true in
@@ -131,7 +143,13 @@ let map (type a b) (t : t) (f : a -> b) (arr : a array) : b array =
     match Atomic.get err with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None ->
-        Array.map (function Some v -> v | None -> assert false) out
+        (* a hole here means a worker died without reporting an exception
+           (e.g. the domain was killed abnormally): name the input it
+           abandoned instead of tripping an anonymous assertion *)
+        Array.mapi
+          (fun i v ->
+            match v with Some v -> v | None -> raise (Worker_failed i))
+          out
   end
 
 let maybe pool f arr =

@@ -12,6 +12,12 @@
 
 type t
 
+exception Worker_failed of int
+(** A worker finished a parallel region without placing a result and
+    without reporting an exception (an abnormally terminated domain);
+    carries the index of the abandoned input.  A registered
+    [Printexc] printer renders it descriptively. *)
+
 val create : ?domains:int -> unit -> t
 (** [create ~domains ()] spawns a pool of [domains] total workers
     (including the calling domain); defaults to

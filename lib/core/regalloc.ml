@@ -61,6 +61,8 @@ type stats = {
   mutable n_transfers : int;
   mutable reuse_distances : int list;
       (** usage-index distance at allocation: the pipeline-contention proxy *)
+  mutable gp_peak : int;  (** most general registers ever busy at once *)
+  mutable fp_peak : int;  (** most floating registers ever busy at once *)
 }
 
 type t = {
@@ -88,7 +90,14 @@ let create ?(config = default_config) ?(strategy = Lru) () =
     global_index = 0;
     cursor = 0;
     stats =
-      { n_allocs = 0; n_evictions = 0; n_transfers = 0; reuse_distances = [] };
+      {
+        n_allocs = 0;
+        n_evictions = 0;
+        n_transfers = 0;
+        reuse_distances = [];
+        gp_peak = 0;
+        fp_peak = 0;
+      };
   }
 
 let regs t = function Gp -> t.gprs | Fp -> t.fprs
@@ -154,6 +163,14 @@ let pick t cls candidates =
                None cs
             |> Option.get |> fst))
 
+(* raise the bank's pressure high-water mark to the current busy count *)
+let note_peak t bank =
+  let n = ref 0 in
+  Array.iter (fun st -> if st.busy then incr n) (regs t bank);
+  match bank with
+  | Gp -> if !n > t.stats.gp_peak then t.stats.gp_peak <- !n
+  | Fp -> if !n > t.stats.fp_peak then t.stats.fp_peak <- !n
+
 let mark_allocated t cls r =
   let bank = bank_of_class cls in
   List.iter
@@ -167,7 +184,8 @@ let mark_allocated t cls r =
       st.cse <- None;
       st.cse_shares <- 0)
     (covered cls r);
-  t.stats.n_allocs <- t.stats.n_allocs + 1
+  t.stats.n_allocs <- t.stats.n_allocs + 1;
+  note_peak t bank
 
 type evicted = { ev_cse : int; ev_reg : int }
 
@@ -224,10 +242,34 @@ let alloc t (cls : Symtab.reg_class) : int * evicted option =
           in
           match pick t cls (List.filter evictable (pool t cls)) with
           | None ->
+              (* diagnosable exhaustion: name the class, its pool, and
+                 what each member is holding (use counts, CSE bindings) *)
+              let members =
+                List.sort_uniq compare
+                  (List.concat_map (covered cls) (pool t cls))
+              in
+              let holding =
+                List.filter_map
+                  (fun i ->
+                    let st = (regs t bank).(i) in
+                    if not st.busy then None
+                    else
+                      Some
+                        (Fmt.str "r%d:uses=%d%s" i st.use_count
+                           (match st.cse with
+                           | Some c -> Fmt.str "[cse %d]" c
+                           | None -> "")))
+                  members
+              in
               raise
                 (Pressure
-                   (Fmt.str "no %s register available (all hold live values)"
-                      (Fmt.str "%a" Symtab.pp_reg_class cls)))
+                   (Fmt.str
+                      "no %a register available: pool {%s} holds only live \
+                       values (%s)"
+                      Symtab.pp_reg_class cls
+                      (String.concat " "
+                         (List.map (fun r -> "r" ^ string_of_int r) (pool t cls)))
+                      (String.concat ", " holding)))
           | Some r ->
               let ev =
                 List.find_map
@@ -264,6 +306,7 @@ let need t (cls : Symtab.reg_class) (r : int) :
     st.usage_index <- t.global_index;
     st.cse <- None;
     st.cse_shares <- 0;
+    note_peak t bank;
     Ok (None, None)
   end
   else

@@ -42,6 +42,8 @@ type stats = {
   mutable reuse_distances : int list;
       (** usage-index distance at allocation: the pipeline-contention
           proxy of the ablation benchmark *)
+  mutable gp_peak : int;  (** most general registers ever busy at once *)
+  mutable fp_peak : int;  (** most floating registers ever busy at once *)
 }
 
 type t = private {

@@ -25,10 +25,14 @@ let pp_origin ppf = function
 
 type stats = { hits : int; misses : int }
 
-(* domain-safe observability counters *)
+(* domain-safe observability counters; the process-lifetime Atomics feed
+   [stats] unconditionally, and the same increments are folded into the
+   Metrics aggregate when that subsystem is enabled *)
 let hit_count = Atomic.make 0
 let miss_count = Atomic.make 0
 let stats () = { hits = Atomic.get hit_count; misses = Atomic.get miss_count }
+let m_hits = Metrics.sum "tables_cache.hits"
+let m_misses = Metrics.sum "tables_cache.misses"
 
 let src = Logs.Src.create "cogg.tables-cache" ~doc:"CoGG table cache"
 
@@ -114,10 +118,12 @@ let build_text ?pool ?(mode = Lookahead.Slr) ?cache_dir (text : string) :
   match load path with
   | Some t ->
       Atomic.incr hit_count;
+      Metrics.add m_hits 1;
       Log.info (fun f -> f "hit %s" path);
       Ok (t, Cache_hit)
   | None -> (
       Atomic.incr miss_count;
+      Metrics.add m_misses 1;
       match Cogg_build.build_string ?pool ~mode text with
       | Error es -> Error es
       | Ok t ->

@@ -98,6 +98,29 @@ let rec eval t locals (e : Ast.expr) : value =
       | _ -> fail "bad operand to unary minus")
   | Ast.Eun (Ast.Not, e) -> Vbool (not (as_bool (eval t locals e)))
   | Ast.Ebin (op, a, b) -> (
+      (* One complete match over the operator: the boolean connectives
+         short-circuit (so [b] must stay unevaluated until needed) and the
+         arithmetic/comparison operators evaluate both sides through the
+         shared helpers.  No operator falls through to a catch-all. *)
+      let arith fi fr =
+        let va = eval t locals a in
+        let vb = eval t locals b in
+        match (va, vb) with
+        | Vint x, Vint y -> Vint (norm32 (fi x y))
+        | (Vreal _ | Vint _), (Vreal _ | Vint _) ->
+            Vreal (fr (as_real va) (as_real vb))
+        | _ -> fail "bad arithmetic operands"
+      in
+      let compare_vals () =
+        let va = eval t locals a in
+        let vb = eval t locals b in
+        match (va, vb) with
+        | Vchar x, Vchar y -> compare x y
+        | Vbool x, Vbool y -> compare x y
+        | (Vreal _ | Vint _), (Vreal _ | Vint _) ->
+            compare (as_real va) (as_real vb)
+        | _ -> fail "bad comparison operands"
+      in
       match op with
       | Ast.And -> Vbool (as_bool (eval t locals a) && as_bool (eval t locals b))
       | Ast.Or -> Vbool (as_bool (eval t locals a) || as_bool (eval t locals b))
@@ -106,46 +129,30 @@ let rec eval t locals (e : Ast.expr) : value =
           match eval t locals b with
           | Vset bits -> Vbool (x >= 0 && x < Array.length bits && bits.(x))
           | _ -> fail "in over a non-set")
-      | _ -> (
-          let va = eval t locals a and vb = eval t locals b in
-          let arith fi fr =
-            match (va, vb) with
-            | Vint x, Vint y -> Vint (norm32 (fi x y))
-            | (Vreal _ | Vint _), (Vreal _ | Vint _) ->
-                Vreal (fr (as_real va) (as_real vb))
-            | _ -> fail "bad arithmetic operands"
-          in
-          let compare_vals () =
-            match (va, vb) with
-            | Vchar x, Vchar y -> compare x y
-            | Vbool x, Vbool y -> compare x y
-            | (Vreal _ | Vint _), (Vreal _ | Vint _) ->
-                compare (as_real va) (as_real vb)
-            | _ -> fail "bad comparison operands"
-          in
-          match op with
-          | Ast.Add -> arith ( + ) ( +. )
-          | Ast.Sub -> arith ( - ) ( -. )
-          | Ast.Mul -> arith ( * ) ( *. )
-          | Ast.Div ->
-              let d = as_int vb in
-              if d = 0 then fail "division by zero"
-              else Vint (norm32 (as_int va / d))
-          | Ast.Mod ->
-              let d = as_int vb in
-              if d = 0 then fail "modulo by zero"
-              else Vint (norm32 (as_int va mod d))
-          | Ast.RDiv ->
-              let d = as_real vb in
-              if d = 0.0 then fail "division by zero"
-              else Vreal (as_real va /. d)
-          | Ast.Lt -> Vbool (compare_vals () < 0)
-          | Ast.Le -> Vbool (compare_vals () <= 0)
-          | Ast.Gt -> Vbool (compare_vals () > 0)
-          | Ast.Ge -> Vbool (compare_vals () >= 0)
-          | Ast.Eq -> Vbool (compare_vals () = 0)
-          | Ast.Ne -> Vbool (compare_vals () <> 0)
-          | Ast.And | Ast.Or | Ast.In -> assert false))
+      | Ast.Add -> arith ( + ) ( +. )
+      | Ast.Sub -> arith ( - ) ( -. )
+      | Ast.Mul -> arith ( * ) ( *. )
+      | Ast.Div ->
+          let va = eval t locals a in
+          let d = as_int (eval t locals b) in
+          if d = 0 then fail "division by zero"
+          else Vint (norm32 (as_int va / d))
+      | Ast.Mod ->
+          let va = eval t locals a in
+          let d = as_int (eval t locals b) in
+          if d = 0 then fail "modulo by zero"
+          else Vint (norm32 (as_int va mod d))
+      | Ast.RDiv ->
+          let va = eval t locals a in
+          let d = as_real (eval t locals b) in
+          if d = 0.0 then fail "division by zero"
+          else Vreal (as_real va /. d)
+      | Ast.Lt -> Vbool (compare_vals () < 0)
+      | Ast.Le -> Vbool (compare_vals () <= 0)
+      | Ast.Gt -> Vbool (compare_vals () > 0)
+      | Ast.Ge -> Vbool (compare_vals () >= 0)
+      | Ast.Eq -> Vbool (compare_vals () = 0)
+      | Ast.Ne -> Vbool (compare_vals () <> 0))
   | Ast.Ecall (f, args) -> (
       let vs = List.map (eval t locals) args in
       match (f, vs) with

@@ -18,18 +18,32 @@ type compiled = {
 
 let ( let* ) = Result.bind
 
-(** Compile a source program with the given generated code generator. *)
-let compile ?(cse = true) ?(checks = false) ?strategy ?dispatch
+(** Compile a source program with the given generated code generator.
+    Every phase runs under a {!Cogg.Trace} span (a no-op unless tracing
+    or metrics are enabled), so [--trace]/[--stats] report per-phase wall
+    times. *)
+let compile ?(cse = true) ?(checks = false) ?strategy ?dispatch ?explain
     (tables : Cogg.Tables.t) (source : string) : (compiled, string) result =
-  let* checked = Pascal.Sema.front_end source in
+  let span name f = Cogg.Trace.with_span ~cat:"pipeline" name f in
+  let* checked = span "front_end" (fun () -> Pascal.Sema.front_end source) in
   let* shaped =
-    Result.map_error
-      (fun e -> Fmt.str "%a" Shaper.Irgen.pp_error e)
-      (Shaper.Irgen.shape ~checks checked)
+    span "shape" (fun () ->
+        Result.map_error
+          (fun e -> Fmt.str "%a" Shaper.Irgen.pp_error e)
+          (Shaper.Irgen.shape ~checks checked))
   in
-  let shaped = if cse then Shaper.Cse_opt.optimize shaped else shaped in
-  let tokens = Ifl.Tree.linearize_program shaped.Shaper.Irgen.trees in
-  match Cogg.Codegen.generate ?strategy ?dispatch tables tokens with
+  let shaped =
+    if cse then span "cse_opt" (fun () -> Shaper.Cse_opt.optimize shaped)
+    else shaped
+  in
+  let tokens =
+    span "linearize" (fun () ->
+        Ifl.Tree.linearize_program shaped.Shaper.Irgen.trees)
+  in
+  match
+    span "codegen" (fun () ->
+        Cogg.Codegen.generate ?strategy ?dispatch ?explain tables tokens)
+  with
   | Error e -> Error (Fmt.str "%a" Cogg.Codegen.pp_error e)
   | Ok gen -> Ok { source; checked; shaped; tokens; gen }
 
@@ -314,10 +328,16 @@ module Batch = struct
       one (or with a pool of size 1) the batch runs sequentially on the
       calling domain.  The result array is indexed like [jobs] either
       way. *)
-  let compile_all ?pool ?cse ?checks ?strategy ?dispatch
+  let compile_all ?pool ?cse ?checks ?strategy ?dispatch ?explain
       (tables : Cogg.Tables.t) (jobs : job array) : result_t array =
     Cogg.Pool.maybe pool
-      (fun j -> compile ?cse ?checks ?strategy ?dispatch tables j.source)
+      (fun j ->
+        (* the per-program span: events land in the compiling domain's
+           buffer and are merged at serialization time, after the pool
+           region has joined *)
+        Cogg.Trace.with_span ~cat:"batch" ~args:[ ("program", j.name) ]
+          "compile" (fun () ->
+            compile ?cse ?checks ?strategy ?dispatch ?explain tables j.source))
       jobs
 
   (** Object-code bytes of a successful compile — the determinism suite's

@@ -11,6 +11,18 @@
 # The check is textual on purpose: it runs with no build products and
 # flags the binding the moment it is written, not when a determinism
 # test happens to catch the race.
+#
+# Sanctioned domain-safe toplevel state (NOT matched by the forbidden
+# pattern, listed here so the whitelist is explicit):
+#   - Atomic.make          lock-free counters/flags (tables_cache hits,
+#                          Metrics/Trace enabled flags)
+#   - Mutex.create         guards for registry mutation (Metrics/Trace
+#                          per-domain buffer registries)
+#   - Domain.DLS.new_key   per-domain buffers; never shared between
+#                          domains, merged only at quiescence
+#   - Metrics.sum / Metrics.high_water   counter registration: the
+#                          returned handle is an immutable index into
+#                          the DLS-buffered registry
 
 set -eu
 

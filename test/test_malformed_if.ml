@@ -1,0 +1,201 @@
+(* Error reporting on malformed IF.
+
+   Both dispatch paths must reject exactly the same inputs — comb
+   dispatch may delay detection behind default reductions but never
+   accepts what flat rejects — and the reported [position] must index
+   the ORIGINAL token stream (the caller's input), identically under
+   Flat and Comb, no matter how many synthetic reduction-prefixed
+   tokens were shifted before the parse blocked. *)
+
+let amdahl () = Lazy.force Util.amdahl_tables
+
+(* The artificial machine of paper section 1 (as in
+   test_compress_driver.ml): small enough to pin error positions
+   exactly. *)
+let intro_spec =
+  {|
+* The artificial machine of paper section 1.
+$Non-terminals
+ r = gpr
+$Terminals
+ d = displacement
+$Operators
+ word, iadd, store, ret
+$Opcodes
+ l, ar, st, bcr
+$Constants
+ fifteen = 15
+$Productions
+r.2 ::= word d.1
+ using r.2
+ l     r.2,d.1
+r.1 ::= iadd r.1 r.2
+ modifies r.1
+ ar    r.1,r.2
+lambda ::= store word d.1 r.2
+ st    r.2,d.1
+lambda ::= ret
+ need r.14
+ bcr   fifteen,r.14
+|}
+
+let intro =
+  lazy
+    (match Cogg.Cogg_build.build_string intro_spec with
+    | Ok t -> t
+    | Error es ->
+        Alcotest.failf "intro spec failed to build: %a"
+          (Fmt.list Cogg.Cogg_build.pp_error)
+          es)
+
+let tokens_of if_text =
+  match Ifl.Reader.tokens_of_string if_text with
+  | Ok ts -> ts
+  | Error m -> Alcotest.failf "bad IF syntax %S: %s" if_text m
+
+(* structured generate: [Some e] on a parse error, [None] on success *)
+let gen_err dispatch t if_text =
+  match Cogg.Codegen.generate ~dispatch t (tokens_of if_text) with
+  | Ok _ -> None
+  | Error (Cogg.Codegen.Parse_error e) -> Some e
+  | Error e ->
+      Alcotest.failf "%S: non-parse failure: %a" if_text Cogg.Codegen.pp_error
+        e
+
+let expect_err dispatch t if_text =
+  match gen_err dispatch t if_text with
+  | Some e -> e
+  | None -> Alcotest.failf "%S unexpectedly accepted" if_text
+
+let malformed_amdahl =
+  [
+    (* symbols outside the machine grammar *)
+    "store word dsp:0 ret";
+    (* truncated statement: assign needs two r operands *)
+    "assign fullword dsp:0 r:1";
+    (* an expression where a statement is required *)
+    "fullword dsp:0 r:13 procedure_exit";
+    (* bare operand list, no operator *)
+    "dsp:0 dsp:4";
+  ]
+
+let test_verdicts_agree_amdahl () =
+  let t = amdahl () in
+  List.iter
+    (fun if_text ->
+      match (gen_err Cogg.Driver.Flat t if_text, gen_err Cogg.Driver.Comb t if_text) with
+      | Some _, Some _ -> ()
+      | None, None -> Alcotest.failf "%S unexpectedly accepted" if_text
+      | None, Some _ ->
+          Alcotest.failf "%S: flat accepted what comb rejected" if_text
+      | Some _, None ->
+          Alcotest.failf "%S: comb accepted what flat rejected" if_text)
+    malformed_amdahl
+
+let test_positions_agree_amdahl () =
+  let t = amdahl () in
+  List.iter
+    (fun if_text ->
+      let flat = expect_err Cogg.Driver.Flat t if_text in
+      let comb = expect_err Cogg.Driver.Comb t if_text in
+      Alcotest.(check int)
+        (if_text ^ ": flat and comb report the same original-stream index")
+        flat.Cogg.Driver.position comb.Cogg.Driver.position)
+    malformed_amdahl
+
+let test_speculation_bounded_below_amdahl () =
+  (* comb's speculative run can only extend past flat's stopping point,
+     never fall short of it *)
+  let t = amdahl () in
+  List.iter
+    (fun if_text ->
+      let flat = expect_err Cogg.Driver.Flat t if_text in
+      let comb = expect_err Cogg.Driver.Comb t if_text in
+      Alcotest.(check bool)
+        (if_text ^ ": comb speculates at least as far as flat reduces")
+        true
+        (comb.Cogg.Driver.bogus_reductions >= flat.Cogg.Driver.bogus_reductions))
+    malformed_amdahl
+
+(* Pinned positions on the intro machine.  [position] indexes the
+   caller's token list (store=0, word=1, d=2, ...); before this PR the
+   driver counted every shift — synthetic reduction-prefixed tokens
+   included — so the reported index drifted into the mutated stream and
+   Flat/Comb disagreed whenever default reductions delayed detection. *)
+let intro_cases =
+  [
+    (* an expression where a statement is required: blocked immediately *)
+    ("word d:0", 0);
+    (* ret takes no operand: blocked on the displacement *)
+    ("ret d:0", 1);
+    (* store requires a word address, not an operator *)
+    ("store iadd ret", 1);
+    (* iadd missing both operands: blocked on ret *)
+    ("store word d:0 iadd ret", 4);
+    (* stray displacement after a complete statement *)
+    ("store word d:0 word d:4 d:8 ret", 5);
+    (* infix-looking operator in a prefix language *)
+    ("store word d:0 word d:4 iadd ret", 5);
+  ]
+
+let test_position_indexes_original_stream () =
+  let t = Lazy.force intro in
+  List.iter
+    (fun (if_text, expected) ->
+      let flat = expect_err Cogg.Driver.Flat t if_text in
+      let comb = expect_err Cogg.Driver.Comb t if_text in
+      Alcotest.(check int)
+        (if_text ^ ": flat position") expected flat.Cogg.Driver.position;
+      Alcotest.(check int)
+        (if_text ^ ": comb position") expected comb.Cogg.Driver.position;
+      Alcotest.(check bool)
+        (if_text ^ ": comb speculation bounded below by flat") true
+        (comb.Cogg.Driver.bogus_reductions >= flat.Cogg.Driver.bogus_reductions))
+    intro_cases
+
+let test_comb_counts_speculative_reductions () =
+  (* default reductions stand in for error entries: on these inputs comb
+     provably ran past flat's stopping point, and the error must say so *)
+  let t = Lazy.force intro in
+  List.iter
+    (fun if_text ->
+      let flat = expect_err Cogg.Driver.Flat t if_text in
+      let comb = expect_err Cogg.Driver.Comb t if_text in
+      Alcotest.(check int) (if_text ^ ": flat stops without speculating") 0
+        flat.Cogg.Driver.bogus_reductions;
+      Alcotest.(check bool)
+        (if_text ^ ": comb records its speculative run")
+        true
+        (comb.Cogg.Driver.bogus_reductions > 0))
+    [ "word d:0"; "ret d:0"; "store word d:0 word d:4 d:8 ret" ]
+
+let test_pp_error_reports_position_and_speculation () =
+  let t = Lazy.force intro in
+  let e = expect_err Cogg.Driver.Comb t "store word d:0 word d:4 d:8 ret" in
+  let msg = Fmt.str "%a" Cogg.Driver.pp_error e in
+  Alcotest.(check bool) "points at the original token index" true
+    (Util.contains msg "blocked at input token 5");
+  Alcotest.(check bool) "reports the speculative run" true
+    (Util.contains msg "speculative reduction")
+
+let () =
+  Alcotest.run "malformed_if"
+    [
+      ( "amdahl",
+        [
+          Alcotest.test_case "verdicts agree" `Quick test_verdicts_agree_amdahl;
+          Alcotest.test_case "positions agree" `Quick
+            test_positions_agree_amdahl;
+          Alcotest.test_case "speculation bounded below" `Quick
+            test_speculation_bounded_below_amdahl;
+        ] );
+      ( "positions",
+        [
+          Alcotest.test_case "index the original stream" `Quick
+            test_position_indexes_original_stream;
+          Alcotest.test_case "comb counts speculation" `Quick
+            test_comb_counts_speculative_reductions;
+          Alcotest.test_case "pp_error renders both" `Quick
+            test_pp_error_reports_position_and_speculation;
+        ] );
+    ]

@@ -204,6 +204,35 @@ let test_interp_oob () =
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "out of bounds not caught")
 
+let test_interp_boolean_connectives () =
+  (* regression: [and]/[or]/[in] previously fell through the binary-
+     operator evaluator to an [assert false]; nested connectives over
+     set membership must evaluate (and short-circuit) properly *)
+  let r =
+    interp
+      {|
+program p;
+var s : set of 0..15;
+    a, b : boolean;
+    x, n : integer;
+begin
+  include(s, 3); include(s, 7);
+  x := 3;
+  a := (x in s) and ((x + 4) in s);
+  b := (x in s) or (99 div x > 0);
+  if a and (b or not (x in s)) then n := 1 else n := 2;
+  write(n);
+  if (x in s) and not ((x + 1) in s) then write(10) else write(20);
+  x := 0;
+  a := false;
+  if a and (1 div x > 0) then write(30) else write(40)
+end.
+|}
+  in
+  (* the last test also proves [and] short-circuits: evaluating its
+     right operand would trap on the division by zero *)
+  Alcotest.(check (list int)) "values" [ 1; 10; 40 ] (written_ints r)
+
 let test_interp_32bit_wrap () =
   let r =
     interp
@@ -240,6 +269,8 @@ let () =
         [
           Alcotest.test_case "arithmetic" `Quick test_interp_arith;
           Alcotest.test_case "arrays and sets" `Quick test_interp_structures;
+          Alcotest.test_case "boolean connectives and in" `Quick
+            test_interp_boolean_connectives;
           Alcotest.test_case "division by zero" `Quick test_interp_div_by_zero;
           Alcotest.test_case "bounds" `Quick test_interp_oob;
           Alcotest.test_case "32-bit wrap" `Quick test_interp_32bit_wrap;

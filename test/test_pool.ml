@@ -82,6 +82,16 @@ let test_run_parallel_runs_every_thunk () =
           Alcotest.(check int) (Printf.sprintf "thunk %d ran once" i) 1 h)
         hits)
 
+let test_worker_failed_is_descriptive () =
+  (* the defensive guard for an abnormally terminated domain: the
+     rendered exception must name the abandoned input index instead of
+     the bare assert-false it replaced *)
+  let s = Printexc.to_string (Cogg.Pool.Worker_failed 3) in
+  Alcotest.(check bool) "names the failing component" true
+    (Util.contains s "worker");
+  Alcotest.(check bool) "names the abandoned input index" true
+    (Util.contains s "input index 3")
+
 let test_create_clamps () =
   let p = Cogg.Pool.create ~domains:0 () in
   Alcotest.(check int) "clamped up to 1" 1 (Cogg.Pool.size p);
@@ -107,6 +117,8 @@ let () =
             test_maybe_without_pool_is_sequential;
           Alcotest.test_case "run_parallel covers every thunk" `Quick
             test_run_parallel_runs_every_thunk;
+          Alcotest.test_case "Worker_failed is descriptive" `Quick
+            test_worker_failed_is_descriptive;
           Alcotest.test_case "create clamps, shutdown idempotent" `Quick
             test_create_clamps;
         ] );

@@ -129,6 +129,31 @@ let test_live_values_not_evicted () =
   | exception R.Pressure _ -> ()
   | _ -> Alcotest.fail "live register clobbered"
 
+let test_pressure_message_names_class_and_holders () =
+  let t = R.create () in
+  R.begin_reduction t;
+  for _ = 1 to 10 do
+    ignore (R.alloc t S.Gpr)
+  done;
+  match R.alloc t S.Gpr with
+  | exception R.Pressure m ->
+      Alcotest.(check bool) "names the register class" true
+        (Util.contains m "gpr");
+      Alcotest.(check bool) "lists the pool members" true
+        (Util.contains m "pool {");
+      Alcotest.(check bool) "lists the busy holders with use counts" true
+        (Util.contains m "uses=")
+  | _ -> Alcotest.fail "pool should have been exhausted"
+
+let test_pressure_tracks_peak_occupancy () =
+  let t = R.create () in
+  R.begin_reduction t;
+  let held = List.init 6 (fun _ -> fst (R.alloc t S.Gpr)) in
+  List.iter (fun r -> R.release t R.Gp r) held;
+  (* the high-water mark survives the releases *)
+  Alcotest.(check int) "gp peak" 6 t.R.stats.R.gp_peak;
+  Alcotest.(check int) "fp bank untouched" 0 t.R.stats.R.fp_peak
+
 let test_cse_with_stack_ref_not_evicted () =
   let t = R.create () in
   R.begin_reduction t;
@@ -142,6 +167,64 @@ let test_cse_with_stack_ref_not_evicted () =
   | exception R.Pressure _ -> ()
   | _, Some ev when ev.R.ev_reg = a -> Alcotest.fail "live CSE register evicted"
   | _ -> Alcotest.fail "pool should have been exhausted"
+
+(* The paper-section-1 machine: [r ::= word d] always allocates, so a
+   deeply right-nested [iadd] chain keeps every left operand live and
+   exhausts the pool — the Emit-level failure must attribute the
+   exhaustion to the directive and production being served. *)
+let intro_spec =
+  {|
+$Non-terminals
+ r = gpr
+$Terminals
+ d = displacement
+$Operators
+ word, iadd, store, ret
+$Opcodes
+ l, ar, st, bcr
+$Constants
+ fifteen = 15
+$Productions
+r.2 ::= word d.1
+ using r.2
+ l     r.2,d.1
+r.1 ::= iadd r.1 r.2
+ modifies r.1
+ ar    r.1,r.2
+lambda ::= store word d.1 r.2
+ st    r.2,d.1
+lambda ::= ret
+ need r.14
+ bcr   fifteen,r.14
+|}
+
+let intro =
+  lazy
+    (match Cogg.Cogg_build.build_string intro_spec with
+    | Ok t -> t
+    | Error es ->
+        Alcotest.failf "intro spec failed to build: %a"
+          (Fmt.list Cogg.Cogg_build.pp_error)
+          es)
+
+let test_emit_pressure_names_production () =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "store word d:0 ";
+  for i = 1 to 12 do
+    Buffer.add_string b (Printf.sprintf "iadd word d:%d " (4 * i))
+  done;
+  Buffer.add_string b "word d:52";
+  match Cogg.Codegen.generate_string (Lazy.force intro) (Buffer.contents b) with
+  | Ok _ -> Alcotest.fail "expected register pressure"
+  | Error m ->
+      Alcotest.(check bool) "names the directive being served" true
+        (Util.contains m "using gpr");
+      Alcotest.(check bool) "names the production" true
+        (Util.contains m "production");
+      Alcotest.(check bool) "quotes the production text" true
+        (Util.contains m "::=");
+      Alcotest.(check bool) "keeps the allocator's pool detail" true
+        (Util.contains m "pool {")
 
 let test_consume_share () =
   let t = R.create () in
@@ -215,6 +298,12 @@ let () =
         [
           Alcotest.test_case "eviction" `Quick test_cse_eviction;
           Alcotest.test_case "live values safe" `Quick test_live_values_not_evicted;
+          Alcotest.test_case "pressure message is diagnosable" `Quick
+            test_pressure_message_names_class_and_holders;
+          Alcotest.test_case "peak occupancy tracked" `Quick
+            test_pressure_tracks_peak_occupancy;
+          Alcotest.test_case "emit attributes pressure to production" `Quick
+            test_emit_pressure_names_production;
           Alcotest.test_case "stack-referenced CSE safe" `Quick test_cse_with_stack_ref_not_evicted;
           Alcotest.test_case "share consumption" `Quick test_consume_share;
           Alcotest.test_case "touch reports binding" `Quick test_touch_reports_cse;
