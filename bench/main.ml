@@ -328,6 +328,21 @@ let write_speed_json path (rows : (string * float) list) =
   close_out oc;
   Fmt.pr "@.wrote %s@." path
 
+(* The 32-job batch the speed benchmark times; also the subject of the
+   `fingerprint` subcommand, which digests every listing and object byte
+   so refactors of the codegen core can prove byte-identical output. *)
+let bench_batch () =
+  let corpus = Pipeline.Programs.all in
+  let n_corpus = List.length corpus in
+  Array.init 32 (fun i ->
+      let name, source = List.nth corpus (i mod n_corpus) in
+      { Pipeline.Batch.name = Printf.sprintf "%s#%d" name i; source })
+
+let fingerprint () =
+  let t = Lazy.force tables in
+  let fp = Pipeline.Batch.fingerprint (Pipeline.Batch.compile_all t (bench_batch ())) in
+  Fmt.pr "batch fingerprint: %s@." fp
+
 let speed ?(json = false) () =
   Fmt.pr "@.== Timings (Bechamel) ==@.@.";
   let open Bechamel in
@@ -356,14 +371,8 @@ let speed ?(json = false) () =
      recommended_domain_count domains.  The JSON key stays the literal
      "Nx32" so the perf trajectory is comparable across machines; the
      actual N is printed alongside. *)
-  let corpus = Pipeline.Programs.all in
-  let n_corpus = List.length corpus in
   let batch_m = 32 in
-  let batch =
-    Array.init batch_m (fun i ->
-        let name, source = List.nth corpus (i mod n_corpus) in
-        { Pipeline.Batch.name = Printf.sprintf "%s#%d" name i; source })
-  in
+  let batch = bench_batch () in
   let n_domains = Domain.recommended_domain_count () in
   let pool = Cogg.Pool.create ~domains:n_domains () in
   (* determinism gate: the parallel batch must be byte-identical to the
@@ -440,10 +449,35 @@ let speed ?(json = false) () =
             (float_of_int batch_m /. (ns /. 1e9))
       | _ -> ())
     [ "batch-compile(1x32)"; "batch-compile(Nx32)" ];
-  (* observability overhead gate: the Trace/Metrics hooks sit disabled on
-     the hot paths above, so the batch rows must stay within 2% of the
-     recorded trajectory.  COGG_BENCH_NO_GATE=1 bypasses (noisy CI,
-     different machine). *)
+  (* derived rows: per-token codegen cost (the appendix-1 equation IF is
+     the unit of work the comb row times) and the minor-heap allocation
+     per warm compile, the budget @perf-smoke enforces *)
+  let n_tokens = List.length tokens in
+  (match List.assoc_opt "codegen(comb)" !rows with
+  | Some ns when n_tokens > 0 ->
+      let per = ns /. float_of_int n_tokens in
+      Fmt.pr "%-34s %14.1f ns/token (%d tokens)@." "codegen.ns_per_token" per
+        n_tokens;
+      rows := ("codegen.ns_per_token", per) :: !rows
+  | _ -> ());
+  let minor_words_per_compile =
+    for _ = 1 to 10 do
+      ignore (Cogg.Codegen.generate t tokens)
+    done;
+    let w0 = Gc.minor_words () in
+    for _ = 1 to 50 do
+      ignore (Cogg.Codegen.generate t tokens)
+    done;
+    (Gc.minor_words () -. w0) /. 50.
+  in
+  Fmt.pr "%-34s %14.1f minor words/compile@." "gc.minor_words_per_compile"
+    minor_words_per_compile;
+  rows := ("gc.minor_words_per_compile", minor_words_per_compile) :: !rows;
+  (* regression gate: the Trace/Metrics hooks sit disabled on the hot
+     paths above, so the batch rows must stay within 2% of the recorded
+     trajectory; the codegen core rows (time, per-token cost, allocation)
+     are held to the same bar so hot-path regressions fail loudly.
+     COGG_BENCH_NO_GATE=1 bypasses (noisy CI, different machine). *)
   let no_gate = Sys.getenv_opt "COGG_BENCH_NO_GATE" <> None in
   let violated = ref false in
   List.iter
@@ -455,10 +489,16 @@ let speed ?(json = false) () =
             (if ratio > 1.02 then "  ** >2% overhead **" else "");
           if ratio > 1.02 then violated := true
       | _ -> ())
-    [ "batch-compile(1x32)"; "batch-compile(Nx32)" ];
+    [
+      "batch-compile(1x32)";
+      "batch-compile(Nx32)";
+      "codegen(comb)";
+      "codegen.ns_per_token";
+      "gc.minor_words_per_compile";
+    ];
   if !violated && not no_gate then begin
     Fmt.epr
-      "observability gate: batch-compile regressed more than 2%% against \
+      "observability gate: a gated row regressed more than 2%% against \
        BENCH_speed.json (rerun on a quiet machine, or set \
        COGG_BENCH_NO_GATE=1 to bypass)@.";
     exit 1
@@ -510,6 +550,7 @@ let () =
           | "ablation-grammar" -> ablation_grammar ()
           | "ablation-regalloc" -> ablation_regalloc ()
           | "speed" -> speed ~json ()
+          | "fingerprint" -> fingerprint ()
           | "all" -> all ~json ()
           | a ->
               Fmt.epr "unknown benchmark %s@." a;

@@ -681,7 +681,7 @@ let generate ?(name = "BASE") (trees : Tree.t list) : (result_t, string) result
      Code_buffer keeps them in distinct namespaces already *)
   match List.iter (gen_stmt t) trees with
   | () -> (
-      match Cogg.Loader_gen.to_objmod ~name (CB.items t.buf) with
+      match Cogg.Loader_gen.to_objmod ~name t.buf with
       | Ok (objmod, resolved) ->
           Ok
             {

@@ -3,7 +3,11 @@
     Most entries are finished machine instructions; branch and case-table
     sites stay symbolic ("while parsing the IF, label locations and
     branch instructions are kept in a dictionary", paper section 3)
-    until the Loader Record Generator resolves them. *)
+    until the Loader Record Generator resolves them.
+
+    Backed by a growable array with a cached instruction count: appends
+    are O(1), [n_instructions] is O(1), and consumers read items in
+    place. *)
 
 (** Labels: [User] labels come from the IF ([label_def lbl.n]);
     [Internal] labels are invented by the code emitter for [skip]
@@ -27,11 +31,24 @@ type t
 
 val create : unit -> t
 val add : t -> item -> unit
-val items : t -> item list
 val length : t -> int
 
+val get : t -> int -> item
+(** [get t i] is the [i]th appended item; raises [Invalid_argument]
+    outside [0..length-1]. *)
+
+val contents : t -> item array
+(** The appended items in order, as a fresh array. *)
+
+val items : t -> item list
+(** The appended items in order, as a list (prefer {!contents} or
+    {!iter} on hot paths). *)
+
+val iter : (item -> unit) -> t -> unit
+
 val n_instructions : t -> int
-(** Count of machine instructions (sites count as one). *)
+(** Count of machine instructions (sites count as one); O(1), cached on
+    append. *)
 
 val pp_item : Format.formatter -> item -> unit
 

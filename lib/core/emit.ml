@@ -35,8 +35,11 @@ type t = {
   regs : Regalloc.t;
   cse : Cse.t;
   buf : Code_buffer.t;
-  reload_dsp : string;  (** terminal name used when reloading a CSE *)
-  reload_reg : string;  (** register non-terminal name for CSE reloads *)
+  reload_dsp : Grammar.sym;
+      (** terminal used when reloading a CSE, interned at creation
+          ([-1] when the configured name is not in the grammar — pushing
+          it then fails at the driver, like any uninterned symbol) *)
+  reload_reg : Grammar.sym;  (** register non-terminal for CSE reloads *)
   mutable next_internal : int;
   (* open [skip]s: remaining instruction count until the internal label *)
   mutable open_skips : (int ref * Code_buffer.label) list;
@@ -55,13 +58,16 @@ type t = {
 
 let create ?(strategy = Regalloc.Lru) ?(reload_dsp = "dsp") ?(reload_reg = "r")
     ?(explain = false) (tables : Tables.t) : t =
+  let intern n =
+    match Grammar.sym tables.Tables.grammar n with Some s -> s | None -> -1
+  in
   {
     tables;
     regs = Regalloc.create ~strategy ();
     cse = Cse.create ();
     buf = Code_buffer.create ();
-    reload_dsp;
-    reload_reg;
+    reload_dsp = intern reload_dsp;
+    reload_reg = intern reload_reg;
     next_internal = 0;
     open_skips = [];
     stmt_records = [];
@@ -220,19 +226,14 @@ let build_insn (mnem : string) (vals : (int * int list) list) : Machine.Insn.t =
 (* -- the reduction --------------------------------------------------------- *)
 
 (** Code emission for one reduction.  Matches {!Driver.parse}'s [reduce]
-    callback signature. *)
-let reduce (t : t) ~(prod : int) ~(rhs : Ifl.Token.t array)
-    ~(remap : (Ifl.Token.t -> Ifl.Token.t) -> unit) : Ifl.Token.t list =
+    callback signature: the popped tokens arrive already interned, and
+    every token pushed back carries its grammar id directly — the
+    emission path never touches a symbol name. *)
+let reduce (t : t) ~(prod : int) ~(rhs : Driver.ptoken array)
+    ~(remap : (Driver.ptoken -> Driver.ptoken) -> unit) : Driver.ptoken list =
   let g = t.tables.Tables.grammar in
   let p = Grammar.prod g prod in
-  let rhs_syms =
-    Array.map
-      (fun (tok : Ifl.Token.t) ->
-        match Grammar.sym g tok.Ifl.Token.sym with
-        | Some s -> s
-        | None -> err "unknown symbol %s on the stack" tok.Ifl.Token.sym)
-      rhs
-  in
+  let rhs_syms = Array.map (fun (tok : Driver.ptoken) -> tok.Driver.psym) rhs in
   let c =
     match Tables.compiled t.tables prod with
     | Some c -> c
@@ -315,13 +316,13 @@ let reduce (t : t) ~(prod : int) ~(rhs : Ifl.Token.t array)
                    (Machine.Insn.Rr
                       { op = "lr"; r1 = tr.Regalloc.tr_to; r2 = tr.Regalloc.tr_from }));
               let bank = Regalloc.bank_of_class req.Template.n_class in
-              remap (fun (tok : Ifl.Token.t) ->
-                  match
-                    (Grammar.sym g tok.Ifl.Token.sym, tok.Ifl.Token.value)
-                  with
-                  | Some s, Ifl.Value.Reg r
-                    when r = tr.Regalloc.tr_from && bank_of_sym t s = bank ->
-                      { tok with Ifl.Token.value = Ifl.Value.Reg tr.Regalloc.tr_to }
+              remap (fun (tok : Driver.ptoken) ->
+                  match tok.Driver.pvalue with
+                  | Ifl.Value.Reg r
+                    when r = tr.Regalloc.tr_from
+                         && tok.Driver.psym >= 0
+                         && bank_of_sym t tok.Driver.psym = bank ->
+                      { tok with Driver.pvalue = Ifl.Value.Reg tr.Regalloc.tr_to }
                   | _ -> tok);
               Hashtbl.iter
                 (fun _ (e : Cse.entry) ->
@@ -336,7 +337,7 @@ let reduce (t : t) ~(prod : int) ~(rhs : Ifl.Token.t array)
   let rec eval (s : Template.src) : int =
     match s with
     | Template.Stack k -> (
-        match rhs.(k).Ifl.Token.value with
+        match rhs.(k).Driver.pvalue with
         | Ifl.Value.Unit -> err "template references valueless RHS slot %d" k
         | v -> Ifl.Value.to_int v)
     | Template.Alloc i -> allocs.(i)
@@ -346,7 +347,7 @@ let reduce (t : t) ~(prod : int) ~(rhs : Ifl.Token.t array)
   in
   let pushed = ref [] (* tokens to prefix, reversed *) in
   let push_token sym reg =
-    pushed := Ifl.Token.reg (Grammar.name g sym) reg :: !pushed
+    pushed := Driver.ptok ~value:(Ifl.Value.Reg reg) sym :: !pushed
   in
   (* 3. interpret the template sequence *)
   Array.iter
@@ -373,8 +374,8 @@ let reduce (t : t) ~(prod : int) ~(rhs : Ifl.Token.t array)
               let r = eval src in
               let claims = ref 0 in
               Array.iteri
-                (fun i (tok : Ifl.Token.t) ->
-                  match tok.Ifl.Token.value with
+                (fun i (tok : Driver.ptoken) ->
+                  match tok.Driver.pvalue with
                   | Ifl.Value.Reg r'
                     when r' = r
                          && Option.map Regalloc.bank_of_class
@@ -397,7 +398,7 @@ let reduce (t : t) ~(prod : int) ~(rhs : Ifl.Token.t array)
                         { op = (if bank = Regalloc.Fp then "ldr" else "lr");
                           r1 = fresh; r2 = r }));
                 rhs.(k) <-
-                  { rhs.(k) with Ifl.Token.value = Ifl.Value.Reg fresh };
+                  { rhs.(k) with Driver.pvalue = Ifl.Value.Reg fresh };
                 Regalloc.release t.regs bank r
               end
           | _ -> ());
@@ -518,9 +519,11 @@ let reduce (t : t) ~(prod : int) ~(rhs : Ifl.Token.t array)
                       (* prefix the address of the temporary; the ordinary
                          load productions bring it back *)
                       pushed :=
-                        Ifl.Token.reg t.reload_reg entry.Cse.temp_base
-                        :: Ifl.Token.int t.reload_dsp entry.Cse.temp_dsp
-                        :: Ifl.Token.op (Grammar.name g ty)
+                        Driver.ptok ~value:(Ifl.Value.Reg entry.Cse.temp_base)
+                          t.reload_reg
+                        :: Driver.ptok ~value:(Ifl.Value.Int entry.Cse.temp_dsp)
+                             t.reload_dsp
+                        :: Driver.ptok ty
                         :: !pushed))))
     c.Template.c_steps;
   (* 4. prefix LHS to input stream *)
@@ -528,19 +531,20 @@ let reduce (t : t) ~(prod : int) ~(rhs : Ifl.Token.t array)
   | Some { push_sym; push_src } -> push_token push_sym (eval push_src)
   | None ->
       if p.Grammar.lhs = g.Grammar.lambda then
-        pushed := Ifl.Token.op Grammar.lambda_name :: !pushed);
+        pushed := Driver.ptok g.Grammar.lambda :: !pushed);
   let result = List.rev !pushed in
   (* 5. liveness: retain pushed registers, then release consumed RHS
      occurrences and the scratch allocations *)
   List.iter
-    (fun (tok : Ifl.Token.t) ->
-      match (Grammar.sym g tok.Ifl.Token.sym, tok.Ifl.Token.value) with
-      | Some s, Ifl.Value.Reg r -> Regalloc.retain t.regs (bank_of_sym t s) r
+    (fun (tok : Driver.ptoken) ->
+      match tok.Driver.pvalue with
+      | Ifl.Value.Reg r when tok.Driver.psym >= 0 ->
+          Regalloc.retain t.regs (bank_of_sym t tok.Driver.psym) r
       | _ -> ())
     result;
   Array.iteri
-    (fun k (tok : Ifl.Token.t) ->
-      match tok.Ifl.Token.value with
+    (fun k (tok : Driver.ptoken) ->
+      match tok.Driver.pvalue with
       | Ifl.Value.Reg r -> Regalloc.release t.regs (bank_of_sym t rhs_syms.(k)) r
       | _ -> ())
     rhs;
@@ -564,7 +568,7 @@ let reduce (t : t) ~(prod : int) ~(rhs : Ifl.Token.t array)
 let finish ?(name = "MAIN") (t : t) :
     (Machine.Objmod.t * Loader_gen.resolved, string) result =
   if t.open_skips <> [] then Error "unterminated skip at end of module"
-  else Loader_gen.to_objmod ~name (Code_buffer.items t.buf)
+  else Loader_gen.to_objmod ~name t.buf
 
 let listing (t : t) = Code_buffer.to_listing t.buf
 

@@ -25,7 +25,15 @@
     Since lengthening a branch can push other targets across the page
     boundary (and grow the pool), sizing iterates to a fixpoint — the
     classical span-dependent-instruction algorithm the paper cites
-    (Robertson; Leverett & Szymanski). *)
+    (Robertson; Leverett & Szymanski).
+
+    The fixpoint is incremental: labels are interned to dense ids and
+    sites resolved to those ids {e once}, so each sizing pass is two
+    array sweeps (placement, widening) over precomputed size tables; the
+    long-site count is bumped at widening instead of rescanned; and the
+    final emission encodes every instruction directly into the result
+    buffer ({!Machine.Encode.encode_into}) — no dictionary rebuilds, no
+    per-instruction byte-buffer allocation. *)
 
 type resolved = {
   code : Bytes.t;
@@ -61,87 +69,108 @@ let long_size = function
   | Code_buffer.Case_site _ -> 10
   | it -> short_size it
 
-let resolve ?(code_base = Machine.Runtime.code_base) (items : Code_buffer.item list)
-    : resolved =
-  let items = Array.of_list items in
+let resolve ?(code_base = Machine.Runtime.code_base) (buf : Code_buffer.t) :
+    resolved =
+  let items = Code_buffer.contents buf in
   let n = Array.length items in
-  let is_long = Array.make n false in
-  (* site index -> pool slot, assigned in item order for determinism *)
-  let iterations = ref 0 in
-  let labels : (Code_buffer.label, int) Hashtbl.t = Hashtbl.create 64 in
-  let offsets = Array.make n 0 in
+  (* -- one-time analysis: label interning and site resolution ------------ *)
+  (* labels get dense ids in definition order; [lid_of] is built once and
+     only the offset array is refreshed per sizing pass *)
+  let lid_of : (Code_buffer.label, int) Hashtbl.t = Hashtbl.create 64 in
+  let n_labels = ref 0 in
+  Array.iter
+    (fun it ->
+      match it with
+      | Code_buffer.Label_def l ->
+          if Hashtbl.mem lid_of l then
+            err "label %s defined twice" (Fmt.str "%a" Code_buffer.pp_label l);
+          Hashtbl.replace lid_of l !n_labels;
+          incr n_labels
+      | _ -> ())
+    items;
+  let lbl_offset = Array.make (max 1 !n_labels) 0 in
+  (* per item: its own label id (Label_def) or its target's (sites and
+     label words); -1 otherwise.  Undefined targets are diagnosed here,
+     before any sizing. *)
+  let lid = Array.make (max 1 n) (-1) in
+  let n_sites = ref 0 in
+  let find_lid l =
+    match Hashtbl.find_opt lid_of l with
+    | Some i -> i
+    | None -> err "undefined label %s" (Fmt.str "%a" Code_buffer.pp_label l)
+  in
+  Array.iteri
+    (fun i it ->
+      match it with
+      | Code_buffer.Label_def l -> lid.(i) <- find_lid l
+      | Code_buffer.Branch_site { lbl; _ } | Code_buffer.Case_site { lbl; _ } ->
+          lid.(i) <- find_lid lbl;
+          incr n_sites
+      | Code_buffer.Word_label l -> lid.(i) <- find_lid l
+      | Code_buffer.Fixed _ | Code_buffer.Word_lit _ -> ())
+    items;
+  let sites = Array.make (max 1 !n_sites) 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i it ->
+      match it with
+      | Code_buffer.Branch_site _ | Code_buffer.Case_site _ ->
+          sites.(!k) <- i;
+          incr k
+      | _ -> ())
+    items;
+  let short_sizes = Array.map short_size items in
+  let long_sizes = Array.map long_size items in
+  (* -- sizing fixpoint --------------------------------------------------- *)
+  let is_long = Array.make (max 1 n) false in
   let n_long = ref 0 in
+  let offsets = Array.make (max 1 n) 0 in
+  let total = ref 0 in
+  let iterations = ref 0 in
   let changed = ref true in
   while !changed do
     incr iterations;
     if !iterations > n + 8 then err "span-dependent sizing did not converge";
     changed := false;
-    n_long := 0;
-    Array.iteri (fun i it ->
-        if is_long.(i) then
-          match it with
-          | Code_buffer.Branch_site _ | Code_buffer.Case_site _ -> incr n_long
-          | _ -> ()) items;
     let pool_bytes = 4 * !n_long in
     if pool_bytes > 4096 - 4 then
       err "literal pool overflow: %d long branch sites" !n_long;
     (* place items *)
-    Hashtbl.reset labels;
     let pos = ref pool_bytes in
-    Array.iteri
-      (fun i it ->
-        offsets.(i) <- !pos;
-        (match it with
-        | Code_buffer.Label_def l ->
-            if Hashtbl.mem labels l then
-              err "label %s defined twice" (Fmt.str "%a" Code_buffer.pp_label l);
-            Hashtbl.replace labels l !pos
-        | _ -> ());
-        pos := !pos + (if is_long.(i) then long_size it else short_size it))
-      items;
-    (* widen sites whose target is out of short range *)
-    Array.iteri
-      (fun i it ->
-        match it with
-        | Code_buffer.Branch_site { lbl; _ } | Code_buffer.Case_site { lbl; _ }
-          -> (
-            match Hashtbl.find_opt labels lbl with
-            | None ->
-                err "undefined label %s" (Fmt.str "%a" Code_buffer.pp_label lbl)
-            | Some target ->
-                if target > 4095 && not is_long.(i) then begin
-                  is_long.(i) <- true;
-                  changed := true
-                end)
-        | _ -> ())
-      items
+    for i = 0 to n - 1 do
+      offsets.(i) <- !pos;
+      (match items.(i) with
+      | Code_buffer.Label_def _ -> lbl_offset.(lid.(i)) <- !pos
+      | _ -> ());
+      pos := !pos + (if is_long.(i) then long_sizes.(i) else short_sizes.(i))
+    done;
+    total := !pos;
+    (* widen sites whose target is out of short range; widening is
+       monotone, so the long count only ever grows *)
+    for s = 0 to !n_sites - 1 do
+      let i = sites.(s) in
+      if (not is_long.(i)) && lbl_offset.(lid.(i)) > 4095 then begin
+        is_long.(i) <- true;
+        incr n_long;
+        changed := true
+      end
+    done
   done;
-  (* pool slot assignment *)
-  let pool_slot = Array.make n (-1) in
+  (* -- pool slot assignment (site order, for determinism) ---------------- *)
+  let pool_slot = Array.make (max 1 n) (-1) in
   let next_slot = ref 0 in
-  Array.iteri
-    (fun i it ->
-      match it with
-      | (Code_buffer.Branch_site _ | Code_buffer.Case_site _) when is_long.(i)
-        ->
-          pool_slot.(i) <- !next_slot;
-          incr next_slot
-      | _ -> ())
-    items;
+  for s = 0 to !n_sites - 1 do
+    let i = sites.(s) in
+    if is_long.(i) then begin
+      pool_slot.(i) <- !next_slot;
+      incr next_slot
+    end
+  done;
   let pool_bytes = 4 * !next_slot in
-  let total =
-    Array.fold_left ( + ) pool_bytes
-      (Array.mapi
-         (fun i it -> if is_long.(i) then long_size it else short_size it)
-         items)
-  in
-  let code = Bytes.make total '\000' in
-  let put_insn pos i =
-    let b = Machine.Encode.encode i in
-    Bytes.blit b 0 code pos (Bytes.length b);
-    pos + Bytes.length b
-  in
-  let target lbl = Hashtbl.find labels lbl in
+  (* -- emission: encode straight into the result image ------------------- *)
+  let code = Bytes.make !total '\000' in
+  let put_insn pos i = Machine.Encode.encode_into i code pos in
+  let target i = lbl_offset.(lid.(i)) in
   Array.iteri
     (fun i it ->
       let pos = offsets.(i) in
@@ -149,10 +178,10 @@ let resolve ?(code_base = Machine.Runtime.code_base) (items : Code_buffer.item l
       | Code_buffer.Fixed ins -> ignore (put_insn pos ins)
       | Code_buffer.Label_def _ -> ()
       | Code_buffer.Word_lit v -> Bytes.set_int32_be code pos (Int32.of_int v)
-      | Code_buffer.Word_label l ->
-          Bytes.set_int32_be code pos (Int32.of_int (target l))
-      | Code_buffer.Branch_site { mask; lbl; idx; x } ->
-          let t = target lbl in
+      | Code_buffer.Word_label _ ->
+          Bytes.set_int32_be code pos (Int32.of_int (target i))
+      | Code_buffer.Branch_site { mask; lbl = _; idx; x } ->
+          let t = target i in
           if not is_long.(i) then
             ignore
               (put_insn pos
@@ -174,8 +203,8 @@ let resolve ?(code_base = Machine.Runtime.code_base) (items : Code_buffer.item l
                  (Machine.Insn.Rx
                     { op = "bc"; r1 = mask; d2 = 0; x2 = idx; b2 = code_base }))
           end
-      | Code_buffer.Case_site { reg; lbl; idx } ->
-          let t = target lbl in
+      | Code_buffer.Case_site { reg; lbl = _; idx } ->
+          let t = target i in
           if not is_long.(i) then
             ignore
               (put_insn pos
@@ -197,36 +226,28 @@ let resolve ?(code_base = Machine.Runtime.code_base) (items : Code_buffer.item l
                     { op = "l"; r1 = reg; d2 = 0; x2 = idx; b2 = code_base }))
           end)
     items;
-  let n_sites =
-    Array.fold_left
-      (fun a it ->
-        match it with
-        | Code_buffer.Branch_site _ | Code_buffer.Case_site _ -> a + 1
-        | _ -> a)
-      0 items
-  in
   if Metrics.enabled () then begin
     Metrics.add m_resolutions 1;
     Metrics.add m_passes !iterations;
-    Metrics.add m_sites n_sites;
+    Metrics.add m_sites !n_sites;
     Metrics.add m_long !next_slot;
-    Metrics.add m_short (n_sites - !next_slot);
+    Metrics.add m_short (!n_sites - !next_slot);
     Metrics.add m_pool_words !next_slot
   end;
   {
     code;
     entry = pool_bytes;
-    labels = Hashtbl.fold (fun l o acc -> (l, o) :: acc) labels [];
-    n_sites;
+    labels = Hashtbl.fold (fun l i acc -> (l, lbl_offset.(i)) :: acc) lid_of [];
+    n_sites = !n_sites;
     n_long = !next_slot;
     pool_words = !next_slot;
     iterations = !iterations;
   }
 
 (** Resolve and wrap into an object module. *)
-let to_objmod ?(name = "MAIN") ?code_base (items : Code_buffer.item list) :
+let to_objmod ?(name = "MAIN") ?code_base (buf : Code_buffer.t) :
     (Machine.Objmod.t * resolved, string) result =
-  match resolve ?code_base items with
+  match resolve ?code_base buf with
   | r -> Ok (Machine.Objmod.of_code ~name ~entry:r.entry r.code, r)
   | exception Resolve_error m -> Error m
   | exception Machine.Encode.Encode_error m -> Error m

@@ -12,7 +12,12 @@
     lengthening a branch can push other targets across the page boundary
     (and grow the pool), sizing iterates to a fixpoint — the classical
     span-dependent-instruction algorithm the paper cites (Robertson;
-    Leverett & Szymanski). *)
+    Leverett & Szymanski).
+
+    The fixpoint is incremental: labels are interned to dense ids once,
+    each pass is two array sweeps, the long-site count is maintained at
+    widening, and emission encodes instructions directly into the result
+    image. *)
 
 type resolved = {
   code : Bytes.t;
@@ -25,13 +30,15 @@ type resolved = {
 }
 
 exception Resolve_error of string
-(** Undefined/duplicate label, literal pool overflow, or divergence. *)
+(** Undefined/duplicate label, literal pool overflow, or divergence.
+    (A [Word_label] naming an undefined label is also diagnosed this
+    way, where it previously escaped as [Not_found].) *)
 
-val resolve : ?code_base:int -> Code_buffer.item list -> resolved
+val resolve : ?code_base:int -> Code_buffer.t -> resolved
 
 val to_objmod :
   ?name:string ->
   ?code_base:int ->
-  Code_buffer.item list ->
+  Code_buffer.t ->
   (Machine.Objmod.t * resolved, string) result
 (** Resolve and wrap into an object module. *)

@@ -26,20 +26,22 @@ let opcode_of m =
   | Some (op, f) -> (op, f)
   | None -> err "unknown mnemonic %S" m
 
-(** [encode insn] returns the architected byte encoding. Raises
-    [Encode_error] if any field is out of range or the mnemonic's declared
-    format does not match the operand shape. *)
-let encode (i : Insn.t) : Bytes.t =
+(** [encode_into insn dst pos] writes the architected byte encoding of
+    [insn] at [dst.[pos..]] and returns the position just past it.  All
+    field validation happens before the first write.  Raises
+    [Encode_error] if any field is out of range or the mnemonic's
+    declared format does not match the operand shape.  The caller is
+    responsible for [dst] having [Insn.size insn] bytes of room. *)
+let encode_into (i : Insn.t) (dst : Bytes.t) (pos : int) : int =
   match i with
   | Rr { op; r1; r2 } ->
       let code, f = opcode_of op in
       if f <> RR then err "%s is not an RR instruction" op;
       check_nibble "r1" r1;
       check_nibble "r2" r2;
-      let b = Bytes.create 2 in
-      Bytes.set_uint8 b 0 code;
-      Bytes.set_uint8 b 1 ((r1 lsl 4) lor r2);
-      b
+      Bytes.set_uint8 dst pos code;
+      Bytes.set_uint8 dst (pos + 1) ((r1 lsl 4) lor r2);
+      pos + 2
   | Rx { op; r1; d2; x2; b2 } ->
       let code, f = opcode_of op in
       if f <> RX then err "%s is not an RX instruction" op;
@@ -47,12 +49,11 @@ let encode (i : Insn.t) : Bytes.t =
       check_nibble "x2" x2;
       check_nibble "b2" b2;
       check_disp "d2" d2;
-      let b = Bytes.create 4 in
-      Bytes.set_uint8 b 0 code;
-      Bytes.set_uint8 b 1 ((r1 lsl 4) lor x2);
-      Bytes.set_uint8 b 2 ((b2 lsl 4) lor (d2 lsr 8));
-      Bytes.set_uint8 b 3 (d2 land 0xFF);
-      b
+      Bytes.set_uint8 dst pos code;
+      Bytes.set_uint8 dst (pos + 1) ((r1 lsl 4) lor x2);
+      Bytes.set_uint8 dst (pos + 2) ((b2 lsl 4) lor (d2 lsr 8));
+      Bytes.set_uint8 dst (pos + 3) (d2 land 0xFF);
+      pos + 4
   | Rs { op; r1; r3; d2; b2 } ->
       let code, f = opcode_of op in
       if f <> RS then err "%s is not an RS instruction" op;
@@ -60,24 +61,22 @@ let encode (i : Insn.t) : Bytes.t =
       check_nibble "r3" r3;
       check_nibble "b2" b2;
       check_disp "d2" d2;
-      let b = Bytes.create 4 in
-      Bytes.set_uint8 b 0 code;
-      Bytes.set_uint8 b 1 ((r1 lsl 4) lor r3);
-      Bytes.set_uint8 b 2 ((b2 lsl 4) lor (d2 lsr 8));
-      Bytes.set_uint8 b 3 (d2 land 0xFF);
-      b
+      Bytes.set_uint8 dst pos code;
+      Bytes.set_uint8 dst (pos + 1) ((r1 lsl 4) lor r3);
+      Bytes.set_uint8 dst (pos + 2) ((b2 lsl 4) lor (d2 lsr 8));
+      Bytes.set_uint8 dst (pos + 3) (d2 land 0xFF);
+      pos + 4
   | Si { op; d1; b1; i2 } ->
       let code, f = opcode_of op in
       if f <> SI then err "%s is not an SI instruction" op;
       check_byte "i2" i2;
       check_nibble "b1" b1;
       check_disp "d1" d1;
-      let b = Bytes.create 4 in
-      Bytes.set_uint8 b 0 code;
-      Bytes.set_uint8 b 1 i2;
-      Bytes.set_uint8 b 2 ((b1 lsl 4) lor (d1 lsr 8));
-      Bytes.set_uint8 b 3 (d1 land 0xFF);
-      b
+      Bytes.set_uint8 dst pos code;
+      Bytes.set_uint8 dst (pos + 1) i2;
+      Bytes.set_uint8 dst (pos + 2) ((b1 lsl 4) lor (d1 lsr 8));
+      Bytes.set_uint8 dst (pos + 3) (d1 land 0xFF);
+      pos + 4
   | Ss { op; l; d1; b1; d2; b2 } ->
       let code, f = opcode_of op in
       if f <> SS then err "%s is not an SS instruction" op;
@@ -88,14 +87,20 @@ let encode (i : Insn.t) : Bytes.t =
       check_nibble "b2" b2;
       check_disp "d1" d1;
       check_disp "d2" d2;
-      let b = Bytes.create 6 in
-      Bytes.set_uint8 b 0 code;
-      Bytes.set_uint8 b 1 (l - 1);
-      Bytes.set_uint8 b 2 ((b1 lsl 4) lor (d1 lsr 8));
-      Bytes.set_uint8 b 3 (d1 land 0xFF);
-      Bytes.set_uint8 b 4 ((b2 lsl 4) lor (d2 lsr 8));
-      Bytes.set_uint8 b 5 (d2 land 0xFF);
-      b
+      Bytes.set_uint8 dst pos code;
+      Bytes.set_uint8 dst (pos + 1) (l - 1);
+      Bytes.set_uint8 dst (pos + 2) ((b1 lsl 4) lor (d1 lsr 8));
+      Bytes.set_uint8 dst (pos + 3) (d1 land 0xFF);
+      Bytes.set_uint8 dst (pos + 4) ((b2 lsl 4) lor (d2 lsr 8));
+      Bytes.set_uint8 dst (pos + 5) (d2 land 0xFF);
+      pos + 6
+
+(** [encode insn] returns the architected byte encoding in a fresh
+    buffer. *)
+let encode (i : Insn.t) : Bytes.t =
+  let b = Bytes.create (Insn.size i) in
+  let _ = encode_into i b 0 in
+  b
 
 (** [decode mem pos] disassembles the instruction at [pos].  Returns the
     symbolic instruction and its size.  Raises [Encode_error] on an

@@ -176,28 +176,103 @@ let size = function
   | Ss _ -> 6
 
 (** Assembly-listing rendering, in the style of the paper's Appendix 1
-    ([l r1,132(r12)], [sla r1,2], [mvc 144(4,13),168(13)], ...). *)
-let pp ppf t =
-  let reg r = Fmt.str "r%d" r in
+    ([l r1,132(r12)], [sla r1,2], [mvc 144(4,13),168(13)], ...).
+
+    [render] appends straight to a [Buffer]: listings are produced once
+    per compile and sit on the hot path (they feed the determinism
+    fingerprint), so the rendering avoids the [Format] machinery
+    entirely.  [pp] wraps it for embedding in formatted output. *)
+let render (b : Buffer.t) (t : t) : unit =
+  let str = Buffer.add_string b in
+  let ch = Buffer.add_char b in
+  let int n = str (string_of_int n) in
+  let mnem op =
+    str op;
+    (* the listing pads mnemonics to 5 columns *)
+    for _ = String.length op to 4 do
+      ch ' '
+    done;
+    ch ' '
+  in
+  let reg r =
+    ch 'r';
+    int r
+  in
   match t with
-  | Rr { op; r1; r2 } -> Fmt.pf ppf "%-5s %s,%s" op (reg r1) (reg r2)
+  | Rr { op; r1; r2 } ->
+      mnem op;
+      reg r1;
+      ch ',';
+      reg r2
   | Rx { op; r1; d2; x2; b2 } ->
-      if x2 = 0 && b2 = 0 then Fmt.pf ppf "%-5s %s,%d" op (reg r1) d2
-      else if x2 = 0 then Fmt.pf ppf "%-5s %s,%d(%s)" op (reg r1) d2 (reg b2)
-      else Fmt.pf ppf "%-5s %s,%d(%s,%s)" op (reg r1) d2 (reg x2) (reg b2)
+      mnem op;
+      reg r1;
+      ch ',';
+      int d2;
+      if x2 = 0 && b2 = 0 then ()
+      else if x2 = 0 then begin
+        ch '(';
+        reg b2;
+        ch ')'
+      end
+      else begin
+        ch '(';
+        reg x2;
+        ch ',';
+        reg b2;
+        ch ')'
+      end
   | Rs { op; r1; r3; d2; b2 } -> (
       match op with
       | "sla" | "sra" | "sll" | "srl" | "slda" | "srda" | "sldl" | "srdl" ->
-          if b2 = 0 then Fmt.pf ppf "%-5s %s,%d" op (reg r1) d2
-          else Fmt.pf ppf "%-5s %s,%d(%s)" op (reg r1) d2 (reg b2)
+          mnem op;
+          reg r1;
+          ch ',';
+          int d2;
+          if b2 <> 0 then begin
+            ch '(';
+            reg b2;
+            ch ')'
+          end
       | _ ->
-          if b2 = 0 then Fmt.pf ppf "%-5s %s,%s,%d" op (reg r1) (reg r3) d2
-          else
-            Fmt.pf ppf "%-5s %s,%s,%d(%s)" op (reg r1) (reg r3) d2 (reg b2))
+          mnem op;
+          reg r1;
+          ch ',';
+          reg r3;
+          ch ',';
+          int d2;
+          if b2 <> 0 then begin
+            ch '(';
+            reg b2;
+            ch ')'
+          end)
   | Si { op; d1; b1; i2 } ->
-      if b1 = 0 then Fmt.pf ppf "%-5s %d,%d" op d1 i2
-      else Fmt.pf ppf "%-5s %d(%s),%d" op d1 (reg b1) i2
+      mnem op;
+      int d1;
+      if b1 <> 0 then begin
+        ch '(';
+        reg b1;
+        ch ')'
+      end;
+      ch ',';
+      int i2
   | Ss { op; l; d1; b1; d2; b2 } ->
-      Fmt.pf ppf "%-5s %d(%d,%s),%d(%s)" op d1 l (reg b1) d2 (reg b2)
+      mnem op;
+      int d1;
+      ch '(';
+      int l;
+      ch ',';
+      reg b1;
+      ch ')';
+      ch ',';
+      int d2;
+      ch '(';
+      reg b2;
+      ch ')'
 
-let to_string t = Fmt.str "%a" pp t
+let to_string t =
+  let b = Buffer.create 24 in
+  render b t;
+  Buffer.contents b
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -22,7 +22,12 @@
 #                          domains, merged only at quiescence
 #   - Metrics.sum / Metrics.high_water   counter registration: the
 #                          returned handle is an immutable index into
-#                          the DLS-buffered registry
+#                          the DLS-buffered registry (covers the codegen
+#                          counters: driver.*, including
+#                          driver.prepared_tokens, loader.*, emit.*)
+#   - immutable sentinel records/constructors (Driver.bottom,
+#                          Code_buffer.dummy_item): never mutated, used
+#                          only to pre-fill growable arrays
 
 set -eu
 

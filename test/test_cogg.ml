@@ -114,6 +114,57 @@ let test_value_kind_checked () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "mistyped token accepted"
 
+(* -- loader fixpoint ------------------------------------------------------- *)
+
+(* Widening one branch site must be able to push another site's target
+   across the 4096-byte page boundary, forcing a further sizing pass:
+   the classical span-dependent cascade.  Layout (short sizes, no pool):
+
+     S1 @ 0     bc -> L1        L1 @ 4096  (just past the page)
+     S2 @ 4     bc -> L2        L2 @ 4092  (just inside)
+     1021 literal words of padding, L2, one more word, L1
+
+   Pass 1 widens S1 (L1 > 4095); the pool word and long form shift L2 to
+   4100, so pass 2 widens S2; pass 3 is stable — 3 iterations. *)
+let test_loader_widening_cascade () =
+  let open Cogg.Code_buffer in
+  let buf = create () in
+  add buf (Branch_site { mask = 15; lbl = User 1; idx = 1; x = 0 });
+  add buf (Branch_site { mask = 15; lbl = User 2; idx = 1; x = 0 });
+  for _ = 1 to 1021 do
+    add buf (Word_lit 0)
+  done;
+  add buf (Label_def (User 2));
+  add buf (Word_lit 0);
+  add buf (Label_def (User 1));
+  let r = Cogg.Loader_gen.resolve buf in
+  check_int "both sites widened" 2 r.Cogg.Loader_gen.n_long;
+  check_int "pool words" 2 r.Cogg.Loader_gen.pool_words;
+  check_int "entry skips the pool" 8 r.Cogg.Loader_gen.entry;
+  Alcotest.(check bool)
+    "cascade took more than two sizing passes" true
+    (r.Cogg.Loader_gen.iterations > 2);
+  (* both labels resolved past the boundary, shifted by the 8-byte pool
+     and the 4 extra bytes of each widened site before them *)
+  check_int "L2 offset" (4092 + 8 + 8) (List.assoc (User 2) r.Cogg.Loader_gen.labels);
+  check_int "L1 offset" (4096 + 8 + 8) (List.assoc (User 1) r.Cogg.Loader_gen.labels)
+
+(* 1024 branch sites all forced long need 4096 pool bytes — past the
+   4092-byte pool limit (the pool itself must stay inside page 0). *)
+let test_loader_pool_overflow () =
+  let open Cogg.Code_buffer in
+  let buf = create () in
+  for _ = 1 to 1024 do
+    add buf (Branch_site { mask = 15; lbl = User 1; idx = 1; x = 0 })
+  done;
+  add buf (Label_def (User 1));
+  match Cogg.Loader_gen.resolve buf with
+  | _ -> Alcotest.fail "pool overflow not detected"
+  | exception Cogg.Loader_gen.Resolve_error m ->
+      Alcotest.(check bool)
+        "mentions the literal pool" true
+        (String.length m >= 21 && String.sub m 0 21 = "literal pool overflow")
+
 (* -- typechecking of specs ------------------------------------------------- *)
 
 let expect_build_error name spec =
@@ -258,6 +309,13 @@ let () =
           Alcotest.test_case "invalid IF rejected" `Quick test_invalid_if_rejected;
           Alcotest.test_case "unknown symbol rejected" `Quick test_unknown_symbol_rejected;
           Alcotest.test_case "value kinds checked" `Quick test_value_kind_checked;
+        ] );
+      ( "loader",
+        [
+          Alcotest.test_case "widening cascade re-iterates" `Quick
+            test_loader_widening_cascade;
+          Alcotest.test_case "literal pool overflow rejected" `Quick
+            test_loader_pool_overflow;
         ] );
       ( "tables",
         [

@@ -160,6 +160,37 @@ let gen_tree : Ifl.Tree.t QCheck.Gen.t =
   in
   tree 4
 
+(* arbitrary tokens over every value tag, including negative ints; symbol
+   names draw from the characters the textual syntax admits (no ':', no
+   whitespace) *)
+let gen_token : Ifl.Token.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* sym =
+    string_size
+      ~gen:(oneofl [ 'a'; 'k'; 'z'; 'A'; 'Z'; '0'; '9'; '_'; '.' ])
+      (int_range 1 8)
+  in
+  let* value =
+    oneof
+      [
+        return Ifl.Value.Unit;
+        map (fun n -> Ifl.Value.Int n) (int_range (-5000) 5000);
+        map (fun n -> Ifl.Value.Reg n) (int_bound 15);
+        map (fun n -> Ifl.Value.Label n) (int_bound 500);
+        map (fun n -> Ifl.Value.Cse n) (int_bound 50);
+        map (fun n -> Ifl.Value.Cond n) (int_bound 15);
+      ]
+  in
+  return (Ifl.Token.make ~value sym)
+
+let prop_token_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"token to_string/of_string roundtrip"
+    (QCheck.make gen_token ~print:Ifl.Token.to_string)
+    (fun tok ->
+      match Ifl.Token.of_string (Ifl.Token.to_string tok) with
+      | Ok t -> Ifl.Token.equal t tok
+      | Error _ -> false)
+
 let prop_pp_roundtrip =
   QCheck.Test.make ~count:200 ~name:"tree pp/parse roundtrip"
     (QCheck.make gen_tree ~print:Ifl.Tree.to_string)
@@ -202,5 +233,5 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_pp_roundtrip; prop_linearize_size ] );
+          [ prop_token_roundtrip; prop_pp_roundtrip; prop_linearize_size ] );
     ]
