@@ -216,6 +216,93 @@ let compile_cmd =
           "Annotate every emitted instruction with the production and \
            directives responsible for it (table-driven generators only)")
 
+let fuzz_cmd =
+  let run spec_path seed count start profile minimize malformed jobs corpus =
+    let profile =
+      Option.map (fun s -> or_die (Fuzz.Profile.of_string s)) profile
+    in
+    let tables = load_tables ~no_cache:false spec_path in
+    let cfg =
+      {
+        Fuzz.Runner.seed;
+        count;
+        start;
+        profile;
+        minimize;
+        malformed;
+        jobs = (if jobs = 0 then Domain.recommended_domain_count () else jobs);
+        spec = Some spec_path;
+        cache_dir =
+          Some (Filename.concat (Filename.get_temp_dir_name ()) "pasc-fuzz-cache");
+        log = (fun m -> Fmt.epr "%s@." m);
+      }
+    in
+    let report = Fuzz.Runner.run tables cfg in
+    Fmt.pr "%a@." Fuzz.Runner.pp_report report;
+    List.iter
+      (fun (f : Fuzz.Runner.finding) ->
+        Fmt.pr "finding: case %d oracle %s: %a@.  %s:@.%s@.  replay: pasc fuzz --spec %s --seed %d --start %d --count 1%s%s@."
+          f.Fuzz.Runner.f_index f.Fuzz.Runner.f_oracle Fuzz.Oracle.pp_status
+          f.Fuzz.Runner.f_status
+          (if f.Fuzz.Runner.f_minimized then "minimized input" else "input")
+          f.Fuzz.Runner.f_repro spec_path seed f.Fuzz.Runner.f_index
+          (if malformed then " --malformed" else "")
+          (match profile with
+          | Some p -> " --profile " ^ Fuzz.Profile.to_string p
+          | None -> ""))
+      report.Fuzz.Runner.r_findings;
+    (match corpus with
+    | None -> ()
+    | Some dir ->
+        List.iter (Fmt.epr "wrote %s@.") (Fuzz.Runner.write_corpus dir report));
+    if report.Fuzz.Runner.r_findings <> [] then exit 1
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Master seed")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "count" ] ~docv:"N" ~doc:"Number of cases to run")
+  in
+  let start_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "start" ] ~docv:"I"
+          ~doc:
+            "First case index (a finding replays with $(b,--start) set to \
+             its case index and $(b,--count 1))")
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"P"
+          ~doc:
+            "Pin the generation profile (ints|bools|arrays|branches|mixed); \
+             default rotates through all of them")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Write a reproducer file per finding into $(docv)")
+  in
+  let flag names doc = Arg.(value & flag & info names ~doc) in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the pipeline: random programs through the \
+          interpreter-vs-machine, comb-vs-flat and determinism oracles")
+    Term.(
+      const run $ spec_arg $ seed_arg $ count_arg $ start_arg $ profile_arg
+      $ flag [ "minimize" ] "Shrink failing inputs before reporting"
+      $ flag [ "malformed" ]
+          "Mutate IF streams and check that every failure is a structured \
+           error (totality sweep)"
+      $ jobs_arg $ corpus_arg)
+
 let interp_cmd =
   let run src_path =
     let src = read_file src_path in
@@ -233,4 +320,4 @@ let () =
     Cmd.info "pasc" ~version:"1.0"
       ~doc:"mini-Pascal compiler over the CoGG table-driven code generator"
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; interp_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; interp_cmd; fuzz_cmd ]))

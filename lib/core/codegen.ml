@@ -27,11 +27,19 @@ let pp_error ppf = function
 
 (** Generate code for a linearized IF program. *)
 let generate ?(name = "MAIN") ?(strategy = Regalloc.Lru) ?dispatch ?reload_dsp
-    ?reload_reg ?(explain = false) (tables : Tables.t)
+    ?reload_reg ?(explain = false) ?on_reduce (tables : Tables.t)
     (input : Ifl.Token.t list) : (result_t, error) result =
   let emitter = Emit.create ~strategy ?reload_dsp ?reload_reg ~explain tables in
+  let reduce =
+    match on_reduce with
+    | None -> Emit.reduce emitter
+    | Some f ->
+        fun ~prod ~rhs ~remap ->
+          f prod;
+          Emit.reduce emitter ~prod ~rhs ~remap
+  in
   let result =
-    match Driver.parse ?dispatch tables ~reduce:(Emit.reduce emitter) input with
+    match Driver.parse ?dispatch tables ~reduce input with
     | Error e -> Error (Parse_error e)
     | exception Emit.Emit_error m -> Error (Emit_failure m)
     | exception Regalloc.Pressure m -> Error (Emit_failure m)

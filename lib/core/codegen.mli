@@ -28,6 +28,7 @@ val generate :
   ?reload_dsp:string ->
   ?reload_reg:string ->
   ?explain:bool ->
+  ?on_reduce:(int -> unit) ->
   Tables.t ->
   Ifl.Token.t list ->
   (result_t, error) result
@@ -37,7 +38,9 @@ val generate :
     [reload_dsp]/[reload_reg] name the terminals used when a common
     subexpression is reloaded from its temporary (defaults ["dsp"]/["r"]);
     [explain] (default false) additionally records, per emitted item, the
-    production and directives responsible, surfaced as [explanation]. *)
+    production and directives responsible, surfaced as [explanation];
+    [on_reduce] is called with each production id as it fires, before
+    emission (the production-coverage hook). *)
 
 val generate_string :
   ?name:string ->

@@ -187,9 +187,19 @@ let parse ?(dispatch = Comb) (tables : Tables.t)
       | None, _ -> true
     in
     let class_ok =
+      (* the binding must also name a real machine register of the
+         class: the allocator's banks are 16 general and 8 floating
+         registers, and pair classes cover a partner register too *)
       match (Tables.class_of tables sym, value) with
-      | Some (Symtab.Gpr | Symtab.Pair | Symtab.Fpr | Symtab.Fpair), Ifl.Value.Reg _
-        -> true
+      | Some Symtab.Gpr, Ifl.Value.Reg r -> r >= 0 && r <= 15
+      | Some Symtab.Pair, Ifl.Value.Reg r -> r >= 0 && r <= 14
+      | Some Symtab.Fpr, Ifl.Value.Reg r -> r >= 0 && r <= 7
+      | Some Symtab.Fpair, Ifl.Value.Reg r -> r >= 0 && r <= 5
+      (* a register payload on a class-less symbol is still released
+         into the general bank at reduction time, so it must be a real
+         register number *)
+      | (Some (Symtab.Cc | Symtab.Noclass) | None), Ifl.Value.Reg r ->
+          r >= 0 && r <= 15
       | Some (Symtab.Cc | Symtab.Noclass), _ -> true
       | Some _, _ -> false
       | None, _ -> true
@@ -197,7 +207,11 @@ let parse ?(dispatch = Comb) (tables : Tables.t)
     if not kind_ok then
       (value, Some "token value does not match the terminal's declared kind")
     else if not class_ok then
-      (value, Some "register non-terminal token without a register binding")
+      ( value,
+        Some
+          (match value with
+          | Ifl.Value.Reg _ -> "register binding out of machine range"
+          | _ -> "register non-terminal token without a register binding") )
     else (value, None)
   in
   let prepare (tok : Ifl.Token.t) : ptoken =

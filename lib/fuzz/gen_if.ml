@@ -1,0 +1,214 @@
+(** Grammar-directed generation of linearized IF token streams, plus the
+    mutator that turns them into malformed inputs.
+
+    Streams are built directly against the shapes of the
+    [specs/amdahl470.cgg] productions (prefix-linearized trees), so a
+    generated stream always parses on the flat driver.  Every referenced
+    label is defined exactly once, downstream of all its references, so
+    the loader's span-dependent sizing always converges.  The
+    branch-heavy size class pads enough statements between a branch and
+    its label to push the displacement past the 4096-byte page and force
+    long-form branches plus literal-pool traffic. *)
+
+module T = Ifl.Token
+
+(* The base register the shaper uses for globals; displacements are
+   word-aligned and stay well under the 4095 encoding limit so that the
+   {e well-formed} generator never trips an encode range check. *)
+let mem_base = 13
+
+let dsp (r : Rng.t) : int = 80 + (4 * Rng.int r 980)
+
+(* -- integer expressions ----------------------------------------------------- *)
+
+let rec expr (r : Rng.t) (fuel : int) : T.t list =
+  let leaf () =
+    match Rng.weighted r [ (3, `Full); (1, `Half); (2, `Pos); (1, `Neg) ] with
+    | `Full -> [ T.op "fullword"; T.int "dsp" (dsp r); T.reg "r" mem_base ]
+    | `Half -> [ T.op "hlfword"; T.int "dsp" (dsp r); T.reg "r" mem_base ]
+    | `Pos -> [ T.op "pos_constant"; T.int "v" (Rng.int r 4096) ]
+    | `Neg -> [ T.op "neg_constant"; T.int "v" (Rng.int r 4096) ]
+  in
+  if fuel <= 0 then leaf ()
+  else
+    match
+      Rng.weighted r
+        [ (2, `Leaf); (4, `Binary); (2, `Unary); (1, `Shift) ]
+    with
+    | `Leaf -> leaf ()
+    | `Binary ->
+        let op =
+          Rng.choose r
+            [| "iadd"; "isub"; "imult"; "idiv"; "imod"; "imax"; "imin" |]
+        in
+        (T.op op :: expr r (fuel - 1)) @ expr r (fuel - 1)
+    | `Unary ->
+        let op = Rng.choose r [| "iabs"; "ineg"; "incr"; "decr" |] in
+        T.op op :: expr r (fuel - 1)
+    | `Shift ->
+        let op = if Rng.bool r then "l_shift" else "r_shift" in
+        (T.op op :: expr r (fuel - 1)) @ [ T.int "v" (Rng.int r 31) ]
+
+(* -- statements -------------------------------------------------------------- *)
+
+type st = {
+  rng : Rng.t;
+  defer : bool;
+      (** branch-heavy mode: hold every label definition back to the end
+          of the stream, so branch spans cover the whole body *)
+  mutable next_label : int;
+  mutable pending : int list;  (** labels referenced but not yet defined *)
+  mutable stmt_no : int;
+}
+
+let fresh_label (st : st) : int =
+  let l = st.next_label in
+  st.next_label <- l + 1;
+  st.pending <- l :: st.pending;
+  l
+
+let define_label (st : st) (l : int) : T.t list =
+  st.pending <- List.filter (fun x -> x <> l) st.pending;
+  [ T.op "label_def"; T.label "lbl" l ]
+
+(* IBM 370 BC masks for <, <=, =, <>, >, >= *)
+let cond_masks = [| 4; 12; 8; 7; 2; 10 |]
+
+let statement_marker (st : st) : T.t list =
+  st.stmt_no <- st.stmt_no + 1;
+  [ T.op "statement"; T.int "stmt" st.stmt_no ]
+
+let stmt (st : st) : T.t list =
+  let r = st.rng in
+  let e n = expr r (Rng.int r (n + 1)) in
+  let cands =
+    [ (6, `Assign); (1, `AssignHalf); (1, `Clear); (2, `CondBranch) ]
+    @ (if st.pending <> [] && not st.defer then [ (2, `Define) ] else [])
+    @ [ (1, `Goto) ]
+  in
+  statement_marker st
+  @
+  match Rng.weighted r cands with
+  | `Assign ->
+      [ T.op "assign"; T.op "fullword"; T.int "dsp" (dsp r); T.reg "r" mem_base ]
+      @ e 3
+  | `AssignHalf ->
+      [ T.op "assign"; T.op "hlfword"; T.int "dsp" (dsp r); T.reg "r" mem_base ]
+      @ e 2
+  | `Clear ->
+      [ T.op "clear"; T.op "fullword"; T.int "dsp" (dsp r); T.reg "r" mem_base ]
+  | `CondBranch ->
+      (* forward conditional branch on an integer compare *)
+      let l = fresh_label st in
+      [ T.op "branch_op"; T.label "lbl" l; T.cond "cond" (Rng.choose r cond_masks) ]
+      @ (T.op "icompare" :: e 2)
+      @ e 2
+  | `Goto ->
+      let l = fresh_label st in
+      [ T.op "branch_op"; T.label "lbl" l ]
+  | `Define -> define_label st (Rng.choose_list r st.pending)
+
+(** Generate one well-formed linearized program.  [branch_heavy] streams
+    are long enough that forward branches routinely span more than 4096
+    bytes of emitted code, exercising long-form branch widening and the
+    literal pool. *)
+let program ?(branch_heavy = false) ?size (rng : Rng.t) : T.t list =
+  let size =
+    match size with
+    | Some s -> s
+    | None -> if branch_heavy then Rng.range rng 150 400 else Rng.range rng 3 20
+  in
+  let st =
+    { rng; defer = branch_heavy; next_label = 1; pending = []; stmt_no = 0 }
+  in
+  let body = List.concat (List.init size (fun _ -> stmt st)) in
+  (* define whatever is still pending, so every reference resolves *)
+  let tail = List.concat_map (define_label st) st.pending in
+  (T.op "procedure_entry" :: body) @ tail @ [ T.op "procedure_exit" ]
+
+(* -- textual round-trip ------------------------------------------------------ *)
+
+let to_text (toks : T.t list) : string =
+  String.concat " " (List.map T.to_string toks)
+
+(* -- mutation ---------------------------------------------------------------- *)
+
+(* symbol pool for replacement/insertion: real grammar symbols plus one
+   that no production mentions *)
+let sym_pool =
+  [|
+    "assign"; "fullword"; "hlfword"; "byteword"; "clear"; "iadd"; "isub";
+    "imult"; "idiv"; "imod"; "iabs"; "ineg"; "incr"; "decr"; "imax"; "imin";
+    "l_shift"; "r_shift"; "icompare"; "branch_op"; "label_def"; "statement";
+    "procedure_entry"; "procedure_exit"; "pos_constant"; "neg_constant";
+    "dsp"; "v"; "r"; "lbl"; "cond"; "stmt"; "frobnicate";
+  |]
+
+let random_token (r : Rng.t) : T.t =
+  let sym = Rng.choose r sym_pool in
+  match Rng.int r 6 with
+  | 0 -> T.op sym
+  | 1 -> T.int sym (Rng.range r (-2) 5000)
+  | 2 -> T.reg sym (Rng.range r 0 17)
+  | 3 -> T.label sym (Rng.range r 0 99)
+  | 4 -> T.cse sym (Rng.range r 0 9)
+  | _ -> T.cond sym (Rng.range r 0 16)
+
+let corrupt_payload (r : Rng.t) (t : T.t) : T.t =
+  let bad_int = Rng.choose r [| 4096; -1; 123456; 1 lsl 30; 0 |] in
+  match t.T.value with
+  | Ifl.Value.Unit -> T.int t.T.sym bad_int
+  | Ifl.Value.Int _ -> T.int t.T.sym bad_int
+  | Ifl.Value.Reg _ -> T.reg t.T.sym (Rng.choose r [| 16; 99; -1; 255 |])
+  | Ifl.Value.Label n ->
+      if Rng.bool r then T.label t.T.sym (n + 50) else T.int t.T.sym n
+  | Ifl.Value.Cse _ -> T.cse t.T.sym (Rng.range r 50 500)
+  | Ifl.Value.Cond _ -> T.cond t.T.sym (Rng.choose r [| 16; -1; 255 |])
+
+(** Apply 1–3 random structural mutations to a (typically well-formed)
+    stream.  The result is usually malformed; the pipeline must answer
+    with a structured [Error], never an escaping exception. *)
+let mutate (r : Rng.t) (toks : T.t list) : T.t list =
+  let arr = ref (Array.of_list toks) in
+  let ops = Rng.range r 1 3 in
+  for _ = 1 to ops do
+    let a = !arr in
+    let n = Array.length a in
+    if n = 0 then arr := [| random_token r |]
+    else
+      match Rng.int r 7 with
+      | 0 ->
+          (* drop *)
+          let i = Rng.int r n in
+          arr := Array.append (Array.sub a 0 i) (Array.sub a (i + 1) (n - i - 1))
+      | 1 ->
+          (* duplicate *)
+          let i = Rng.int r n in
+          arr :=
+            Array.concat [ Array.sub a 0 i; [| a.(i) |]; Array.sub a i (n - i) ]
+      | 2 ->
+          (* swap *)
+          let i = Rng.int r n and j = Rng.int r n in
+          let t = a.(i) in
+          a.(i) <- a.(j);
+          a.(j) <- t
+      | 3 ->
+          (* replace symbol, keep payload *)
+          let i = Rng.int r n in
+          a.(i) <- { a.(i) with T.sym = Rng.choose r sym_pool }
+      | 4 ->
+          (* corrupt payload *)
+          let i = Rng.int r n in
+          a.(i) <- corrupt_payload r a.(i)
+      | 5 ->
+          (* insert *)
+          let i = Rng.int r (n + 1) in
+          arr :=
+            Array.concat
+              [ Array.sub a 0 i; [| random_token r |]; Array.sub a i (n - i) ]
+      | _ ->
+          (* truncate *)
+          let i = Rng.int r n in
+          arr := Array.sub a 0 i
+  done;
+  Array.to_list !arr

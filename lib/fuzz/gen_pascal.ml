@@ -1,0 +1,576 @@
+(** Grammar-directed generation of well-formed mini-Pascal programs.
+
+    Programs are built at the AST level and rendered to concrete syntax,
+    so every output parses and type-checks by construction.  The
+    generator additionally maintains the invariants that make the
+    interp-vs-execution oracle sound — a divergence between the
+    reference interpreter and the compiled program is a compiler bug,
+    never an artifact of the input:
+
+    - divisors and modulus operands are provably non-zero
+      ([1 + abs(e mod 9)] or a non-zero literal);
+    - array subscripts are folded into range ([lo + abs(e mod n)]);
+    - assignments to subrange variables are folded into the subrange;
+    - set elements are folded into the set's element range;
+    - every loop terminates via a reserved counter variable ([k0..k2],
+      one per loop-nesting level) that no generated assignment targets;
+    - case selectors are folded onto the arm labels exactly;
+    - real arithmetic keeps magnitudes bounded (no overflow to
+      infinity, where relative-tolerance comparison breaks down);
+    - [write] appears only in the main program's straight-line tail,
+      within the runtime's 64-int/32-real capture windows.
+
+    Integer overflow is deliberately {e not} avoided: both the
+    interpreter and the machine wrap at 32 bits, and wrapping is part of
+    what the oracle checks. *)
+
+module A = Pascal.Ast
+
+(* Reserved loop counters, indexed by loop-nesting depth.  Generated
+   assignments never target them, so a loop's own decrement/increment is
+   the only writer while it runs. *)
+let counters = [| "k0"; "k1"; "k2" |]
+
+let max_loop_depth = Array.length counters
+
+type decls = {
+  ints : string list;
+  subs : (string * int * int) list;
+  bools : string list;
+  chars : string list;
+  reals : string list;
+  arrays : (string * int * int * A.ty) list;  (** name, lo, hi, elem *)
+  sets : (string * int) list;
+  procs : string list;
+}
+
+let no_decls =
+  {
+    ints = [];
+    subs = [];
+    bools = [];
+    chars = [];
+    reals = [];
+    arrays = [];
+    sets = [];
+    procs = [];
+  }
+
+let decls_of_profile (p : Profile.t) : decls =
+  match p with
+  | Profile.Ints ->
+      {
+        no_decls with
+        ints = [ "i0"; "i1"; "i2"; "i3" ];
+        subs = [ ("z0", -1000, 1000) ];
+      }
+  | Profile.Bools ->
+      {
+        no_decls with
+        ints = [ "i0"; "i1" ];
+        bools = [ "p0"; "p1"; "p2" ];
+        sets = [ ("s0", 31) ];
+      }
+  | Profile.Arrays ->
+      {
+        no_decls with
+        ints = [ "i0"; "i1"; "i2" ];
+        subs = [ ("z0", 0, 255) ];
+        arrays =
+          [
+            ("a0", 0, 7, A.Tint);
+            ("a1", 1, 6, A.Tsub (-100, 100));
+            ("a2", 0, 4, A.Tbool);
+          ];
+      }
+  | Profile.Branches ->
+      { no_decls with ints = [ "i0"; "i1"; "i2"; "i3" ]; bools = [ "p0" ] }
+  | Profile.Mixed ->
+      {
+        ints = [ "i0"; "i1"; "i2" ];
+        subs = [ ("z0", 0, 500) ];
+        bools = [ "p0"; "p1" ];
+        chars = [ "c0"; "c1" ];
+        reals = [ "r0"; "r1" ];
+        arrays = [ ("a0", 0, 7, A.Tint) ];
+        sets = [ ("s0", 15) ];
+        procs = [ "q0"; "q1" ];
+      }
+
+type ctx = { rng : Rng.t; d : decls; in_proc : bool }
+
+(* -- expressions ------------------------------------------------------------ *)
+
+(* abs(e mod n): always in 0..n-1, on both the interpreter and the
+   machine (both truncate division toward zero and wrap at 32 bits) *)
+let abs_mod (e : A.expr) (n : int) : A.expr =
+  A.Ecall ("abs", [ A.Ebin (A.Mod, e, A.Eint n) ])
+
+let rec int_expr (c : ctx) (fuel : int) : A.expr =
+  let r = c.rng in
+  let leaf () =
+    let vars =
+      c.d.ints
+      @ List.map (fun (n, _, _) -> n) c.d.subs
+      @ Array.to_list counters
+    in
+    let cands =
+      [ (3, `Lit); (4, `Var) ]
+      @ (if c.d.arrays <> [] then [ (2, `Arr) ] else [])
+      @ if c.d.chars <> [] then [ (1, `Ord) ] else []
+    in
+    match Rng.weighted r cands with
+    | `Lit -> A.Eint (Rng.range r (-999) 999)
+    | `Var -> A.Evar (Rng.choose_list r vars)
+    | `Arr ->
+        let name, lo, hi, elem = Rng.choose_list r c.d.arrays in
+        if elem = A.Tbool then A.Eint (Rng.range r 0 99)
+        else A.Eindex (name, safe_index c (lo, hi) 0)
+    | `Ord -> A.Ecall ("ord", [ A.Evar (Rng.choose_list r c.d.chars) ])
+  in
+  if fuel <= 0 then leaf ()
+  else
+    match
+      Rng.weighted r
+        [
+          (2, `Leaf); (3, `Arith); (2, `DivMod); (1, `Neg); (1, `Abs);
+          (1, `MinMax); (1, `SuccPred); (1, `Sqr);
+        ]
+    with
+    | `Leaf -> leaf ()
+    | `Arith ->
+        let op = Rng.choose r [| A.Add; A.Sub; A.Mul |] in
+        A.Ebin (op, int_expr c (fuel - 1), int_expr c (fuel - 1))
+    | `DivMod ->
+        let op = Rng.choose r [| A.Div; A.Mod |] in
+        A.Ebin (op, int_expr c (fuel - 1), safe_denom c (fuel - 1))
+    | `Neg -> A.Eun (A.Neg, int_expr c (fuel - 1))
+    | `Abs -> A.Ecall ("abs", [ int_expr c (fuel - 1) ])
+    | `MinMax ->
+        let f = if Rng.bool r then "min" else "max" in
+        A.Ecall (f, [ int_expr c (fuel - 1); int_expr c (fuel - 1) ])
+    | `SuccPred ->
+        let f = if Rng.bool r then "succ" else "pred" in
+        A.Ecall (f, [ int_expr c (fuel - 1) ])
+    | `Sqr -> A.Ecall ("sqr", [ int_expr c (fuel - 1) ])
+
+(* a provably non-zero integer expression *)
+and safe_denom (c : ctx) (fuel : int) : A.expr =
+  if Rng.bool c.rng then
+    let n = Rng.range c.rng 1 9 in
+    A.Eint (if Rng.chance c.rng 1 4 then -n else n)
+  else A.Ebin (A.Add, A.Eint 1, abs_mod (int_expr c (min fuel 2)) 9)
+
+(* a subscript provably within lo..hi *)
+and safe_index (c : ctx) ((lo, hi) : int * int) (fuel : int) : A.expr =
+  if fuel <= 0 || Rng.chance c.rng 1 3 then A.Eint (Rng.range c.rng lo hi)
+  else A.Ebin (A.Add, A.Eint lo, abs_mod (int_expr c fuel) (hi - lo + 1))
+
+(* a value provably within the subrange lo..hi *)
+let safe_sub_value (c : ctx) ((lo, hi) : int * int) (fuel : int) : A.expr =
+  if lo >= 0 then safe_index c (lo, hi) fuel
+  else
+    (* e mod m lies in -(m-1)..m-1 which is inside lo..hi *)
+    let m = 1 + min hi (-lo) in
+    A.Ebin (A.Mod, int_expr c fuel, A.Eint m)
+
+let char_expr (c : ctx) (fuel : int) : A.expr =
+  let r = c.rng in
+  let leaf () =
+    if c.d.chars <> [] && Rng.bool r then A.Evar (Rng.choose_list r c.d.chars)
+    else A.Echar (Char.chr (Rng.range r (Char.code 'a') (Char.code 'z')))
+  in
+  (* chr of an out-of-range ordinal is a runtime error in the reference
+     interpreter, so pin the argument into 32..121 — leaving headroom
+     for a succ/pred step on top *)
+  let pinned_chr fuel =
+    A.Ecall
+      ( "chr",
+        [
+          A.Ebin
+            ( A.Add,
+              A.Ecall ("abs", [ A.Ebin (A.Mod, int_expr c fuel, A.Eint 90) ]),
+              A.Eint 32 );
+        ] )
+  in
+  if fuel <= 0 then leaf ()
+  else
+    match Rng.weighted r [ (2, `Leaf); (1, `Chr); (1, `SuccPred) ] with
+    | `Leaf -> leaf ()
+    | `Chr -> pinned_chr (fuel - 1)
+    | `SuccPred ->
+        (* never step a char *variable*: uninitialized chars sit at
+           chr(0), and c := pred(c) in a loop walks past the range check
+           one iteration at a time.  A literal or pinned-chr argument
+           keeps every step inside 31..122. *)
+        let f = if Rng.bool r then "succ" else "pred" in
+        let arg =
+          if fuel > 1 && Rng.bool r then pinned_chr (fuel - 2)
+          else A.Echar (Char.chr (Rng.range r (Char.code 'a') (Char.code 'z')))
+        in
+        A.Ecall (f, [ arg ])
+
+(* Bounded real expressions: literals stay under 100, multiplication
+   only by literals, division only by non-zero literals — magnitudes
+   cannot run away to infinity inside the loop iteration bounds. *)
+let rec real_expr (c : ctx) (fuel : int) : A.expr =
+  let r = c.rng in
+  let lit () = A.Ereal (float_of_int (Rng.range r 0 9999) /. 100.) in
+  let leaf () =
+    if c.d.reals <> [] && Rng.bool r then A.Evar (Rng.choose_list r c.d.reals)
+    else lit ()
+  in
+  if fuel <= 0 then leaf ()
+  else
+    match
+      Rng.weighted r [ (2, `Leaf); (2, `AddSub); (1, `MulLit); (1, `DivLit); (1, `Neg) ]
+    with
+    | `Leaf -> leaf ()
+    | `AddSub ->
+        let op = if Rng.bool r then A.Add else A.Sub in
+        A.Ebin (op, real_expr c (fuel - 1), real_expr c (fuel - 1))
+    | `MulLit -> A.Ebin (A.Mul, real_expr c (fuel - 1), lit ())
+    | `DivLit ->
+        let d = float_of_int (Rng.range r 25 999) /. 100. in
+        A.Ebin (A.RDiv, real_expr c (fuel - 1), A.Ereal d)
+    | `Neg -> A.Eun (A.Neg, real_expr c (fuel - 1))
+
+let rec bool_expr (c : ctx) (fuel : int) : A.expr =
+  let r = c.rng in
+  let leaf () =
+    if c.d.bools <> [] && Rng.bool r then A.Evar (Rng.choose_list r c.d.bools)
+    else A.Ebool (Rng.bool r)
+  in
+  if fuel <= 0 then leaf ()
+  else
+    let cands =
+      [ (2, `Leaf); (3, `IntCmp); (2, `Conn); (1, `Not); (1, `Odd) ]
+      @ (if c.d.chars <> [] then [ (1, `CharCmp) ] else [])
+      @ (if c.d.reals <> [] then [ (1, `RealCmp) ] else [])
+      @ (if c.d.sets <> [] then [ (1, `In) ] else [])
+      @ if c.d.bools <> [] then [ (1, `BoolEq) ] else []
+    in
+    match Rng.weighted r cands with
+    | `Leaf -> leaf ()
+    | `IntCmp ->
+        let op = Rng.choose r [| A.Lt; A.Le; A.Gt; A.Ge; A.Eq; A.Ne |] in
+        A.Ebin (op, int_expr c (fuel - 1), int_expr c (fuel - 1))
+    | `CharCmp ->
+        let op = Rng.choose r [| A.Lt; A.Le; A.Gt; A.Ge; A.Eq; A.Ne |] in
+        A.Ebin (op, char_expr c (fuel - 1), char_expr c (fuel - 1))
+    | `RealCmp ->
+        let op = Rng.choose r [| A.Lt; A.Le; A.Gt; A.Ge |] in
+        A.Ebin (op, real_expr c (fuel - 1), real_expr c (fuel - 1))
+    | `Conn ->
+        let op = if Rng.bool r then A.And else A.Or in
+        A.Ebin (op, bool_expr c (fuel - 1), bool_expr c (fuel - 1))
+    | `Not -> A.Eun (A.Not, bool_expr c (fuel - 1))
+    | `Odd -> A.Ecall ("odd", [ int_expr c (fuel - 1) ])
+    | `In ->
+        let s, n = Rng.choose_list r c.d.sets in
+        A.Ebin (A.In, abs_mod (int_expr c (fuel - 1)) (n + 1), A.Evar s)
+    | `BoolEq ->
+        let op = if Rng.bool r then A.Eq else A.Ne in
+        A.Ebin (op, bool_expr c (fuel - 1), bool_expr c (fuel - 1))
+
+(* -- statements ------------------------------------------------------------- *)
+
+let expr_fuel (c : ctx) = Rng.range c.rng 0 4
+
+(* one generated assignment; never targets a loop counter *)
+let assign (c : ctx) : A.stmt =
+  let r = c.rng in
+  let cands =
+    (if c.d.ints <> [] then [ (4, `Int) ] else [])
+    @ (if c.d.subs <> [] then [ (2, `Sub) ] else [])
+    @ (if c.d.bools <> [] then [ (2, `Bool) ] else [])
+    @ (if c.d.chars <> [] then [ (1, `Char) ] else [])
+    @ (if c.d.reals <> [] then [ (2, `Real) ] else [])
+    @ if c.d.arrays <> [] then [ (3, `Arr) ] else []
+  in
+  if cands = [] then A.Sempty
+  else
+    match Rng.weighted r cands with
+    | `Int ->
+        A.Sassign (A.Lvar (Rng.choose_list r c.d.ints), int_expr c (expr_fuel c))
+    | `Sub ->
+        let n, lo, hi = Rng.choose_list r c.d.subs in
+        A.Sassign (A.Lvar n, safe_sub_value c (lo, hi) (expr_fuel c))
+    | `Bool ->
+        A.Sassign (A.Lvar (Rng.choose_list r c.d.bools), bool_expr c (expr_fuel c))
+    | `Char ->
+        A.Sassign (A.Lvar (Rng.choose_list r c.d.chars), char_expr c (expr_fuel c))
+    | `Real ->
+        A.Sassign (A.Lvar (Rng.choose_list r c.d.reals), real_expr c (expr_fuel c))
+    | `Arr ->
+        let name, lo, hi, elem = Rng.choose_list r c.d.arrays in
+        let idx = safe_index c (lo, hi) (expr_fuel c) in
+        let value =
+          match elem with
+          | A.Tbool -> bool_expr c (expr_fuel c)
+          | A.Tsub (l, h) -> safe_sub_value c (l, h) (expr_fuel c)
+          | _ -> int_expr c (expr_fuel c)
+        in
+        A.Sassign (A.Lindex (name, idx), value)
+
+(* [stmt] returns a statement {e list} because loop constructs carry
+   their counter initialization with them. *)
+let rec stmt (c : ctx) ~(depth : int) ~(ldepth : int) : A.stmt list =
+  let r = c.rng in
+  let loops_ok = ldepth < max_loop_depth && not c.in_proc && depth < 3 in
+  let cands =
+    [ (8, `Assign) ]
+    @ (if depth < 4 then [ (3, `If) ] else [])
+    @ (if loops_ok then [ (2, `While); (1, `Repeat); (2, `For) ] else [])
+    @ (if depth < 3 then [ (1, `Case) ] else [])
+    @ (if c.d.sets <> [] then [ (1, `SetOp) ] else [])
+    @
+    if c.d.procs <> [] && not c.in_proc && depth < 2 then [ (1, `Call) ]
+    else []
+  in
+  let body n = stmts c ~depth:(depth + 1) ~ldepth ~fuel:n in
+  let loop_body n = stmts c ~depth:(depth + 1) ~ldepth:(ldepth + 1) ~fuel:n in
+  let k = counters.(min ldepth (max_loop_depth - 1)) in
+  match Rng.weighted r cands with
+  | `Assign -> [ assign c ]
+  | `If ->
+      let cond = bool_expr c (expr_fuel c) in
+      let then_ = body (Rng.range r 1 3) in
+      let else_ = if Rng.bool r then body (Rng.range r 1 2) else [] in
+      [ A.Sif (cond, then_, else_) ]
+  | `While ->
+      let n = Rng.range r 1 8 in
+      let count_down = A.Ebin (A.Gt, A.Evar k, A.Eint 0) in
+      let cond =
+        if Rng.chance r 1 3 then
+          (* conjoining an arbitrary (pure, total) condition can only
+             end the loop earlier *)
+          A.Ebin (A.And, count_down, bool_expr c 2)
+        else count_down
+      in
+      [
+        A.Sassign (A.Lvar k, A.Eint n);
+        A.Swhile
+          ( cond,
+            loop_body (Rng.range r 1 3)
+            @ [ A.Sassign (A.Lvar k, A.Ebin (A.Sub, A.Evar k, A.Eint 1)) ] );
+      ]
+  | `Repeat ->
+      let n = Rng.range r 1 6 in
+      [
+        A.Sassign (A.Lvar k, A.Eint 0);
+        A.Srepeat
+          ( loop_body (Rng.range r 1 3)
+            @ [ A.Sassign (A.Lvar k, A.Ebin (A.Add, A.Evar k, A.Eint 1)) ],
+            A.Ebin (A.Ge, A.Evar k, A.Eint n) );
+      ]
+  | `For ->
+      let a = Rng.range r (-6) 12 in
+      let span = Rng.range r 0 9 in
+      let downto_ = Rng.bool r in
+      let b = if downto_ then a - span else a + span in
+      [
+        A.Sfor
+          {
+            var = k;
+            from_ = A.Eint a;
+            downto_;
+            to_ = A.Eint b;
+            body = loop_body (Rng.range r 1 3);
+          };
+      ]
+  | `Case ->
+      let n_arms = Rng.range r 2 4 in
+      let sel = abs_mod (int_expr c (expr_fuel c)) n_arms in
+      let with_otherwise = Rng.bool r in
+      let n_listed = if with_otherwise then n_arms - 1 else n_arms in
+      let arms =
+        List.init n_listed (fun i -> ([ i ], body (Rng.range r 1 2)))
+      in
+      let otherwise = if with_otherwise then Some (body 1) else None in
+      [ A.Scase (sel, arms, otherwise) ]
+  | `SetOp ->
+      let s, n = Rng.choose_list r c.d.sets in
+      let p = if Rng.bool r then "include" else "exclude" in
+      [ A.Scall (p, [ A.Evar s; abs_mod (int_expr c 2) (n + 1) ]) ]
+  | `Call -> [ A.Scall (Rng.choose_list r c.d.procs, []) ]
+
+and stmts (c : ctx) ~depth ~ldepth ~fuel : A.stmt list =
+  List.concat (List.init (max 1 fuel) (fun _ -> stmt c ~depth ~ldepth))
+
+(* -- whole programs ---------------------------------------------------------- *)
+
+let declared (d : decls) : A.var_decl list =
+  List.map (fun n -> { A.v_name = n; v_ty = A.Tint }) d.ints
+  @ List.map (fun (n, lo, hi) -> { A.v_name = n; v_ty = A.Tsub (lo, hi) }) d.subs
+  @ List.map (fun n -> { A.v_name = n; v_ty = A.Tbool }) d.bools
+  @ List.map (fun n -> { A.v_name = n; v_ty = A.Tchar }) d.chars
+  @ List.map (fun n -> { A.v_name = n; v_ty = A.Treal }) d.reals
+  @ List.map
+      (fun (n, lo, hi, elem) -> { A.v_name = n; v_ty = A.Tarray { lo; hi; elem } })
+      d.arrays
+  @ List.map (fun (n, hi) -> { A.v_name = n; v_ty = A.Tset hi }) d.sets
+  @ List.map (fun n -> { A.v_name = n; v_ty = A.Tint }) (Array.to_list counters)
+
+(** Generate one program.  [size] is the top-level statement budget;
+    defaults to a profile-appropriate random size ([Branches] programs
+    run long to push code past the 4096-byte page). *)
+let program ?size (rng : Rng.t) (profile : Profile.t) : A.program =
+  let d = decls_of_profile profile in
+  let size =
+    match size with
+    | Some s -> s
+    | None -> (
+        match profile with
+        | Profile.Branches -> Rng.range rng 12 40
+        | _ -> Rng.range rng 4 12)
+  in
+  let c = { rng; d; in_proc = false } in
+  let procs =
+    if d.procs = [] then []
+    else
+      let n = Rng.range rng 0 (List.length d.procs) in
+      List.filteri (fun i _ -> i < n) d.procs
+      |> List.map (fun p_name ->
+             {
+               A.p_name;
+               p_locals = [];
+               p_body =
+                 stmts { c with in_proc = true } ~depth:0 ~ldepth:0
+                   ~fuel:(Rng.range rng 1 4);
+             })
+  in
+  let d = { d with procs = List.map (fun p -> p.A.p_name) procs } in
+  let c = { c with d } in
+  let main = stmts c ~depth:0 ~ldepth:0 ~fuel:size in
+  (* observable tail: write the scalar state out (main program only) *)
+  let writes =
+    List.map (fun v -> A.Scall ("write", [ A.Evar v ])) c.d.ints
+    @ List.map (fun v -> A.Scall ("write", [ A.Evar v ])) c.d.reals
+  in
+  {
+    A.prog_name = "fuzz";
+    globals = declared c.d;
+    procs;
+    main = main @ writes;
+  }
+
+(* -- rendering to concrete syntax -------------------------------------------- *)
+
+let render_ty (t : A.ty) : string = Fmt.str "%a" A.pp_ty t
+
+let rec render_expr (e : A.expr) : string =
+  match e with
+  | A.Eint n -> if n < 0 then Fmt.str "(-%d)" (-n) else string_of_int n
+  | A.Ereal f -> if f < 0.0 then Fmt.str "(-%.2f)" (-.f) else Fmt.str "%.2f" f
+  | A.Ebool b -> if b then "true" else "false"
+  | A.Echar ch -> Fmt.str "'%c'" ch
+  | A.Evar v -> v
+  | A.Eindex (v, i) -> Fmt.str "%s[%s]" v (render_expr i)
+  | A.Ebin (op, a, b) ->
+      Fmt.str "(%s %s %s)" (render_expr a) (A.binop_name op) (render_expr b)
+  | A.Eun (A.Neg, a) -> Fmt.str "(-%s)" (render_expr a)
+  | A.Eun (A.Not, a) -> Fmt.str "(not %s)" (render_expr a)
+  | A.Ecall (f, args) ->
+      Fmt.str "%s(%s)" f (String.concat ", " (List.map render_expr args))
+
+let render_lvalue = function
+  | A.Lvar v -> v
+  | A.Lindex (v, i) -> Fmt.str "%s[%s]" v (render_expr i)
+
+let rec render_stmt (b : Buffer.t) (ind : string) (s : A.stmt) : unit =
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string b (ind ^ s)) fmt in
+  match s with
+  | A.Sempty -> line "begin end"
+  | A.Sassign (lv, e) -> line "%s := %s" (render_lvalue lv) (render_expr e)
+  | A.Scall (p, []) -> line "%s" p
+  | A.Scall (p, args) ->
+      line "%s(%s)" p (String.concat ", " (List.map render_expr args))
+  | A.Sblock body ->
+      line "";
+      render_body b ind body
+  | A.Sif (cond, then_, else_) ->
+      line "if %s then\n" (render_expr cond);
+      render_body b (ind ^ "  ") then_;
+      if else_ <> [] then begin
+        Buffer.add_string b ("\n" ^ ind ^ "else\n");
+        render_body b (ind ^ "  ") else_
+      end
+  | A.Swhile (cond, body) ->
+      line "while %s do\n" (render_expr cond);
+      render_body b (ind ^ "  ") body
+  | A.Srepeat (body, cond) ->
+      line "repeat\n";
+      render_stmts b (ind ^ "  ") body;
+      Buffer.add_string b ("\n" ^ ind ^ "until " ^ render_expr cond)
+  | A.Sfor { var; from_; downto_; to_; body } ->
+      line "for %s := %s %s %s do\n" var (render_expr from_)
+        (if downto_ then "downto" else "to")
+        (render_expr to_);
+      render_body b (ind ^ "  ") body
+  | A.Scase (sel, arms, otherwise) ->
+      line "case %s of\n" (render_expr sel);
+      List.iter
+        (fun (labels, body) ->
+          Buffer.add_string b
+            (ind ^ "  "
+            ^ String.concat ", " (List.map string_of_int labels)
+            ^ ":\n");
+          render_body b (ind ^ "    ") body;
+          Buffer.add_string b ";\n")
+        arms;
+      (match otherwise with
+      | None -> ()
+      | Some body ->
+          Buffer.add_string b (ind ^ "  otherwise\n");
+          render_body b (ind ^ "    ") body;
+          Buffer.add_string b "\n");
+      Buffer.add_string b (ind ^ "end")
+
+and render_stmts b ind (ss : A.stmt list) : unit =
+  let rec go = function
+    | [] -> ()
+    | [ s ] -> render_stmt b ind s
+    | s :: rest ->
+        render_stmt b ind s;
+        Buffer.add_string b ";\n";
+        go rest
+  in
+  go ss
+
+(* a statement list in statement position: wrapped in begin/end *)
+and render_body b ind (ss : A.stmt list) : unit =
+  Buffer.add_string b (ind ^ "begin\n");
+  render_stmts b (ind ^ "  ") ss;
+  Buffer.add_string b ("\n" ^ ind ^ "end")
+
+let render (p : A.program) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Fmt.str "program %s;\n" p.A.prog_name);
+  if p.A.globals <> [] then begin
+    Buffer.add_string b "var\n";
+    List.iter
+      (fun { A.v_name; v_ty } ->
+        Buffer.add_string b (Fmt.str "  %s : %s;\n" v_name (render_ty v_ty)))
+      p.A.globals
+  end;
+  List.iter
+    (fun { A.p_name; p_locals; p_body } ->
+      Buffer.add_string b (Fmt.str "procedure %s;\n" p_name);
+      if p_locals <> [] then begin
+        Buffer.add_string b "var\n";
+        List.iter
+          (fun { A.v_name; v_ty } ->
+            Buffer.add_string b (Fmt.str "  %s : %s;\n" v_name (render_ty v_ty)))
+          p_locals
+      end;
+      render_body b "" p_body;
+      Buffer.add_string b ";\n")
+    p.A.procs;
+  render_body b "" p.A.main;
+  Buffer.add_string b ".\n";
+  Buffer.contents b
+
+(** Generate and render in one step. *)
+let source ?size (rng : Rng.t) (profile : Profile.t) : string =
+  render (program ?size rng profile)

@@ -1,0 +1,40 @@
+(** Generation profiles: which part of the pipeline a case leans on.
+
+    - [Ints]: integer arithmetic with deep expressions (register
+      pressure, LRU spills).
+    - [Bools]: boolean connectives, sets and comparisons (condition-code
+      templates, bit operations).
+    - [Arrays]: subscripted loads/stores and halfword subranges
+      (addressing templates, range shapes).
+    - [Branches]: statement-heavy control flow (span-dependent branch
+      sizing, literal pool, page boundary).
+    - [Mixed]: everything at once, including reals, chars and procedure
+      calls. *)
+
+type t = Ints | Bools | Arrays | Branches | Mixed
+
+let all = [| Ints; Bools; Arrays; Branches; Mixed |]
+
+let to_string = function
+  | Ints -> "ints"
+  | Bools -> "bools"
+  | Arrays -> "arrays"
+  | Branches -> "branches"
+  | Mixed -> "mixed"
+
+let of_string = function
+  | "ints" | "int" -> Ok Ints
+  | "bools" | "bool" -> Ok Bools
+  | "arrays" | "array" -> Ok Arrays
+  | "branches" | "branch" -> Ok Branches
+  | "mixed" -> Ok Mixed
+  | s ->
+      Error
+        (Fmt.str "unknown profile %S (expected ints|bools|arrays|branches|mixed)"
+           s)
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+(** The profile for case [index] when none was pinned: rotate through
+    all of them so every smoke run covers every profile. *)
+let rotate (index : int) : t = all.(index mod Array.length all)

@@ -1,0 +1,58 @@
+(** Deterministic pseudo-random numbers for the fuzzer (splitmix64).
+
+    The fuzzer's contract is replayability: a (seed, case index) pair
+    names one input forever, independent of OCaml's [Random] state, the
+    platform, or how many cases ran before it.  splitmix64 gives us that
+    with a 64-bit mutable state and no global tables. *)
+
+type t = { mutable s : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next (t : t) : int64 =
+  t.s <- Int64.add t.s golden;
+  let z = t.s in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create (seed : int) : t = { s = Int64.of_int seed }
+
+(** An independent stream for case [index] of master [seed]: mixing the
+    index through the generator itself decorrelates neighbouring cases. *)
+let derive ~(seed : int) ~(index : int) : t =
+  let r = create seed in
+  let z = next r in
+  { s = Int64.logxor z (Int64.mul (Int64.of_int (index + 1)) golden) }
+
+(** [int t bound] is uniform-ish in [0, bound); 0 when [bound <= 0]. *)
+let int (t : t) (bound : int) : int =
+  if bound <= 0 then 0
+  else
+    Int64.to_int
+      (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let range (t : t) (lo : int) (hi : int) : int = lo + int t (hi - lo + 1)
+let bool (t : t) : bool = Int64.logand (next t) 1L = 1L
+
+(** [chance t p q] is true with probability [p/q]. *)
+let chance (t : t) (p : int) (q : int) : bool = int t q < p
+
+let choose (t : t) (arr : 'a array) : 'a = arr.(int t (Array.length arr))
+
+let choose_list (t : t) (xs : 'a list) : 'a =
+  List.nth xs (int t (List.length xs))
+
+(** Pick by integer weight from [(weight, value)] pairs. *)
+let weighted (t : t) (xs : (int * 'a) list) : 'a =
+  let total = List.fold_left (fun a (w, _) -> a + max 0 w) 0 xs in
+  let n = int t total in
+  let rec go acc = function
+    | [] -> snd (List.hd xs)
+    | (w, v) :: rest -> if n < acc + max 0 w then v else go (acc + max 0 w) rest
+  in
+  go 0 xs

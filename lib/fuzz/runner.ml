@@ -1,0 +1,305 @@
+(** The fuzzing loop: generate, cross-check, shrink, report.
+
+    Every case is named forever by its (seed, index) pair — the RNG
+    stream for case [i] is [Rng.derive ~seed ~index:i], independent of
+    how many cases ran before it — so any finding replays with
+    [--seed S --start I --count 1]. *)
+
+type input = Pascal_src of Pascal.Ast.program | If_stream of Ifl.Token.t list
+
+type finding = {
+  f_index : int;  (** case index (combine with the seed to replay) *)
+  f_oracle : string;
+  f_status : Oracle.status;
+  f_repro : string;  (** replayable input text, minimized if requested *)
+  f_kind : string;  (** ["pascal"] or ["if"]: how to replay [f_repro] *)
+  f_minimized : bool;
+}
+
+type report = {
+  r_seed : int;
+  r_count : int;
+  r_cases : int;
+  r_passes : int;  (** individual oracle passes *)
+  r_skips : int;
+  r_findings : finding list;
+  r_batch : (string, string) result option;
+      (** fingerprint at [-j 1] vs [-j N] (and cache cold vs warm when a
+          spec was supplied): [Ok fp] or [Error what_diverged] *)
+}
+
+type config = {
+  seed : int;
+  count : int;
+  start : int;
+  profile : Profile.t option;  (** [None]: rotate through all profiles *)
+  minimize : bool;
+  malformed : bool;  (** mutate streams and check totality instead *)
+  jobs : int;  (** domains for the parallel half of the batch check *)
+  spec : string option;  (** spec path, enables the cache cold/warm check *)
+  cache_dir : string option;  (** scratch cache for the cold/warm check *)
+  log : string -> unit;  (** per-finding progress line *)
+}
+
+let default_config =
+  {
+    seed = 1;
+    count = 64;
+    start = 0;
+    profile = None;
+    minimize = false;
+    malformed = false;
+    jobs = 4;
+    spec = None;
+    cache_dir = None;
+    log = ignore;
+  }
+
+let render_input = function
+  | Pascal_src p -> Gen_pascal.render p
+  | If_stream toks -> Gen_if.to_text toks
+
+(* -- one case ----------------------------------------------------------------- *)
+
+let gen_input (cfg : config) (index : int) (rng : Rng.t) : input =
+  let profile =
+    match cfg.profile with Some p -> p | None -> Profile.rotate index
+  in
+  (* one case in four exercises the raw IF surface; the rest go through
+     the full Pascal front end *)
+  if Rng.chance rng 1 4 then
+    If_stream
+      (Gen_if.program ~branch_heavy:(profile = Profile.Branches) rng)
+  else Pascal_src (Gen_pascal.program rng profile)
+
+let oracles_for (tables : Cogg.Tables.t) (cfg : config) (input : input) :
+    (string * (input -> Oracle.status)) list =
+  let on_src f = function
+    | Pascal_src p -> f (Gen_pascal.render p)
+    | If_stream _ -> Oracle.Skip "source oracle on IF input"
+  and on_toks f = function
+    | If_stream toks -> f toks
+    | Pascal_src p -> (
+        (* the dispatch/determinism oracles run on the linearized IF the
+           front end produces for this program *)
+        match Pipeline.compile tables (Gen_pascal.render p) with
+        | Error _ -> Oracle.Skip "front end rejected (exec oracle reports it)"
+        | Ok c -> f c.Pipeline.tokens)
+  in
+  if cfg.malformed then
+    [
+      ("total", on_toks (Oracle.total tables));
+      ("total-text", on_toks (fun t -> Oracle.total_text tables (Gen_if.to_text t)));
+      ("dispatch", on_toks (Oracle.dispatch tables));
+    ]
+  else
+    match input with
+    | Pascal_src _ ->
+        [
+          ("exec", on_src (Oracle.exec tables));
+          ("dispatch", on_toks (Oracle.dispatch tables));
+          ("determinism", on_src (Oracle.determinism tables));
+        ]
+    | If_stream _ ->
+        [
+          ("dispatch", on_toks (Oracle.dispatch tables));
+          ("determinism", on_toks (Oracle.determinism_tokens tables));
+        ]
+
+let shrink_budget = 400
+
+let minimize_finding (tables : Cogg.Tables.t) (name : string)
+    (check : input -> Oracle.status) (key : string) (input : input) : input =
+  ignore tables;
+  let same_failure (i : input) =
+    Oracle.failure_key name (check i) = Some key
+  in
+  match input with
+  | Pascal_src p ->
+      Pascal_src
+        (Shrink.minimize ~budget:shrink_budget
+           ~candidates:Shrink.program_candidates
+           ~test:(fun p -> same_failure (Pascal_src p))
+           p)
+  | If_stream toks ->
+      If_stream
+        (Shrink.minimize_tokens ~budget:shrink_budget
+           ~test:(fun t -> same_failure (If_stream t))
+           toks)
+
+let run_case (tables : Cogg.Tables.t) (cfg : config) (index : int) :
+    int * int * finding list =
+  let rng = Rng.derive ~seed:cfg.seed ~index in
+  let input =
+    let base = gen_input cfg index rng in
+    if cfg.malformed then
+      let toks =
+        match base with
+        | If_stream toks -> toks
+        | Pascal_src _ -> Gen_if.program ~size:8 rng
+      in
+      If_stream (Gen_if.mutate rng toks)
+    else base
+  in
+  let passes = ref 0 and skips = ref 0 and findings = ref [] in
+  List.iter
+    (fun (name, check) ->
+      match check input with
+      | Oracle.Pass -> incr passes
+      | Oracle.Skip _ -> incr skips
+      | (Oracle.Fail _ | Oracle.Crash _) as st ->
+          let key = Option.get (Oracle.failure_key name st) in
+          let minimized =
+            if cfg.minimize then minimize_finding tables name check key input
+            else input
+          in
+          let f =
+            {
+              f_index = index;
+              f_oracle = name;
+              f_status = (if cfg.minimize then check minimized else st);
+              f_repro = render_input minimized;
+              f_kind =
+                (match minimized with
+                | Pascal_src _ -> "pascal"
+                | If_stream _ -> "if");
+              f_minimized = cfg.minimize;
+            }
+          in
+          cfg.log
+            (Fmt.str "case %d [%s]: %a" index name Oracle.pp_status f.f_status);
+          findings := f :: !findings)
+    (oracles_for tables cfg input);
+  (!passes, !skips, List.rev !findings)
+
+(* -- batch-level determinism --------------------------------------------------- *)
+
+(** Compile the same corpus sequentially and across [jobs] domains (and,
+    when a spec path is at hand, against freshly-built vs cache-loaded
+    tables) and demand one fingerprint. *)
+let batch_check (tables : Cogg.Tables.t) (cfg : config)
+    (sources : string list) : (string, string) result =
+  let jobs_arr =
+    Array.of_list
+      (List.mapi
+         (fun i s -> { Pipeline.Batch.name = Fmt.str "fuzz%04d" i; source = s })
+         sources)
+  in
+  let fp ?pool tables =
+    Pipeline.Batch.fingerprint (Pipeline.Batch.compile_all ?pool tables jobs_arr)
+  in
+  let seq = fp tables in
+  let par =
+    if cfg.jobs <= 1 then seq
+    else Cogg.Pool.with_pool ~domains:cfg.jobs (fun pool -> fp ~pool tables)
+  in
+  if seq <> par then
+    Error (Fmt.str "fingerprint diverges: -j1 %s vs -j%d %s" seq cfg.jobs par)
+  else
+    match (cfg.spec, cfg.cache_dir) with
+    | Some spec, Some cache_dir -> (
+        let build () = Cogg.Tables_cache.build_file ~cache_dir spec in
+        match (build (), build ()) with
+        | Ok (cold, _), Ok (warm, origin) ->
+            let fc = fp cold and fw = fp warm in
+            if fc <> fw then
+              Error
+                (Fmt.str "fingerprint diverges: cache cold %s vs %s (%a)" fc fw
+                   Cogg.Tables_cache.pp_origin origin)
+            else if fc <> seq then
+              Error
+                (Fmt.str "fingerprint diverges: cached tables %s vs session %s"
+                   fc seq)
+            else Ok seq
+        | Error _, _ | _, Error _ ->
+            Error "cache check: spec failed to build through the cache")
+    | _ -> Ok seq
+
+(* -- the loop ------------------------------------------------------------------ *)
+
+let run (tables : Cogg.Tables.t) (cfg : config) : report =
+  let passes = ref 0 and skips = ref 0 and findings = ref [] in
+  let sources = ref [] in
+  for index = cfg.start to cfg.start + cfg.count - 1 do
+    let p, s, fs = run_case tables cfg index in
+    passes := !passes + p;
+    skips := !skips + s;
+    findings := !findings @ fs;
+    (* remember a slice of the corpus for the batch-level check *)
+    if (not cfg.malformed) && List.length !sources < 24 then begin
+      let rng = Rng.derive ~seed:cfg.seed ~index in
+      match gen_input cfg index rng with
+      | Pascal_src p -> sources := Gen_pascal.render p :: !sources
+      | If_stream _ -> ()
+    end
+  done;
+  let batch =
+    if cfg.malformed || !sources = [] then None
+    else Some (batch_check tables cfg (List.rev !sources))
+  in
+  (match batch with
+  | Some (Error m) -> cfg.log ("batch: " ^ m)
+  | _ -> ());
+  {
+    r_seed = cfg.seed;
+    r_count = cfg.count;
+    r_cases = cfg.count;
+    r_passes = !passes;
+    r_skips = !skips;
+    r_findings =
+      !findings
+      @ (match batch with
+        | Some (Error m) ->
+            [
+              {
+                f_index = -1;
+                f_oracle = "batch";
+                f_status = Oracle.Fail ("batch: " ^ m);
+                f_repro = "";
+                f_kind = "batch";
+                f_minimized = false;
+              };
+            ]
+        | _ -> []);
+    r_batch = batch;
+  }
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "fuzz: seed %d, %d cases: %d oracle passes, %d skips, %d findings"
+    r.r_seed r.r_cases r.r_passes r.r_skips
+    (List.length r.r_findings);
+  match r.r_batch with
+  | Some (Ok fp) -> Fmt.pf ppf "; batch fingerprint %s" fp
+  | Some (Error _) -> Fmt.pf ppf "; batch check FAILED"
+  | None -> ()
+
+(** Write each finding's reproducer under [dir]; returns the paths. *)
+let write_corpus (dir : string) (r : report) : string list =
+  match
+    List.filter (fun f -> f.f_repro <> "") r.r_findings
+  with
+  | [] -> []
+  | fs ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.map
+        (fun f ->
+          let ext = if f.f_kind = "pascal" then "pas" else "ifl" in
+          let path =
+            Filename.concat dir
+              (Fmt.str "seed%d-case%d-%s.%s" r.r_seed f.f_index f.f_oracle ext)
+          in
+          let oc = open_out path in
+          let header =
+            Fmt.str
+              "fuzz reproducer: seed=%d index=%d oracle=%s (%a) — replay: pasc fuzz --seed %d --start %d --count 1"
+              r.r_seed f.f_index f.f_oracle Oracle.pp_status f.f_status
+              r.r_seed f.f_index
+          in
+          output_string oc
+            (if f.f_kind = "pascal" then "{ " ^ header ^ " }\n"
+             else "* " ^ header ^ "\n");
+          output_string oc f.f_repro;
+          output_string oc "\n";
+          close_out oc;
+          path)
+        fs

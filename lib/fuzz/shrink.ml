@@ -1,0 +1,180 @@
+(** Greedy shrinking of failing inputs.
+
+    [minimize] is a generic first-success greedy descent: propose
+    candidates in order, re-run the failing test on each, and restart
+    from the first candidate that still fails; stop at a fixpoint or
+    when the candidate budget runs out.  The caller's [test] must encode
+    "fails {e the same way}" (see {!Oracle.failure_key}), otherwise the
+    shrinker can wander onto a different, trivially-broken input. *)
+
+let minimize ?(budget = 500) ~(candidates : 'a -> 'a Seq.t)
+    ~(test : 'a -> bool) (x : 'a) : 'a =
+  let budget = ref budget in
+  let rec go x =
+    let rec scan s =
+      if !budget <= 0 then x
+      else
+        match s () with
+        | Seq.Nil -> x
+        | Seq.Cons (c, rest) ->
+            decr budget;
+            if test c then go c else scan rest
+    in
+    scan (candidates x)
+  in
+  go x
+
+(* -- list helpers ------------------------------------------------------------ *)
+
+let remove_nth i xs = List.filteri (fun j _ -> j <> i) xs
+
+(* drop contiguous chunks first (ddmin-style), then single elements *)
+let list_candidates (xs : 'a list) : 'a list Seq.t =
+  let n = List.length xs in
+  let drop_chunk i len =
+    List.filteri (fun j _ -> j < i || j >= i + len) xs
+  in
+  let chunks len =
+    if len < 2 || len >= n then Seq.empty
+    else
+      Seq.init ((n + len - 1) / len) (fun k -> drop_chunk (k * len) len)
+  in
+  Seq.append (chunks (n / 2))
+    (Seq.append (chunks (n / 4)) (Seq.init n (fun i -> remove_nth i xs)))
+
+(* -- Pascal programs --------------------------------------------------------- *)
+
+module A = Pascal.Ast
+
+let rec expr_candidates (e : A.expr) : A.expr Seq.t =
+  match e with
+  (* type-preserving operand hoists *)
+  | A.Ebin ((A.Add | A.Sub | A.Mul | A.Div | A.Mod | A.RDiv | A.And | A.Or), a, b)
+    ->
+      Seq.cons a (Seq.cons b Seq.empty)
+  | A.Ebin (op, a, b) ->
+      Seq.append
+        (Seq.map (fun a' -> A.Ebin (op, a', b)) (expr_candidates a))
+        (Seq.map (fun b' -> A.Ebin (op, a, b')) (expr_candidates b))
+  | A.Eun (_, a) -> Seq.cons a Seq.empty
+  | A.Ecall (f, [ a ]) ->
+      Seq.cons a (Seq.map (fun a' -> A.Ecall (f, [ a' ])) (expr_candidates a))
+  | A.Ecall (f, [ a; b ]) ->
+      Seq.cons a
+        (Seq.cons b
+           (Seq.map (fun a' -> A.Ecall (f, [ a'; b ])) (expr_candidates a)))
+  | A.Eint n when n <> 0 -> Seq.cons (A.Eint 0) Seq.empty
+  | A.Ereal f when f <> 0.0 -> Seq.cons (A.Ereal 0.0) Seq.empty
+  | A.Eindex (v, i) ->
+      Seq.map (fun i' -> A.Eindex (v, i')) (expr_candidates i)
+  | _ -> Seq.empty
+
+let rec stmt_candidates (s : A.stmt) : A.stmt Seq.t =
+  match s with
+  | A.Sassign (lv, e) ->
+      Seq.map (fun e' -> A.Sassign (lv, e')) (expr_candidates e)
+  | A.Sif (c, t, e) ->
+      List.to_seq
+        ((if t <> [] then [ A.Sblock t ] else [])
+        @ (if e <> [] then [ A.Sblock e; A.Sif (c, t, []) ] else []))
+      |> Seq.append (Seq.map (fun t' -> A.Sif (c, t', e)) (stmts_candidates t))
+      |> Seq.append (Seq.map (fun e' -> A.Sif (c, t, e')) (stmts_candidates e))
+  | A.Swhile (c, b) ->
+      Seq.cons (A.Sblock b)
+        (Seq.map (fun b' -> A.Swhile (c, b')) (stmts_candidates b))
+  | A.Srepeat (b, c) ->
+      Seq.cons (A.Sblock b)
+        (Seq.map (fun b' -> A.Srepeat (b', c)) (stmts_candidates b))
+  | A.Sfor ({ body; _ } as f) ->
+      Seq.cons (A.Sblock body)
+        (Seq.map (fun b' -> A.Sfor { f with body = b' })
+           (stmts_candidates body))
+  | A.Scase (sel, arms, ow) ->
+      let fewer =
+        Seq.init (List.length arms) (fun i ->
+            A.Scase (sel, remove_nth i arms, ow))
+      in
+      let bodies = List.to_seq (List.map (fun (_, b) -> A.Sblock b) arms) in
+      let no_ow =
+        if ow = None then Seq.empty
+        else Seq.cons (A.Scase (sel, arms, None)) Seq.empty
+      in
+      Seq.append no_ow (Seq.append fewer bodies)
+  | A.Sblock b -> Seq.map (fun b' -> A.Sblock b') (stmts_candidates b)
+  | _ -> Seq.empty
+
+and stmts_candidates (ss : A.stmt list) : A.stmt list Seq.t =
+  Seq.append (list_candidates ss)
+    (Seq.concat
+       (Seq.init (List.length ss) (fun i ->
+            Seq.map
+              (fun s' -> List.mapi (fun j s -> if j = i then s' else s) ss)
+              (stmt_candidates (List.nth ss i)))))
+
+let remove_proc_calls (name : string) : A.stmt list -> A.stmt list =
+  let rec strip ss = List.filter_map strip1 ss
+  and strip1 s =
+    match s with
+    | A.Scall (p, []) when p = name -> None
+    | A.Sif (c, t, e) -> Some (A.Sif (c, strip t, strip e))
+    | A.Swhile (c, b) -> Some (A.Swhile (c, strip b))
+    | A.Srepeat (b, c) -> Some (A.Srepeat (strip b, c))
+    | A.Sfor ({ body; _ } as f) -> Some (A.Sfor { f with body = strip body })
+    | A.Scase (sel, arms, ow) ->
+        Some
+          (A.Scase
+             ( sel,
+               List.map (fun (l, b) -> (l, strip b)) arms,
+               Option.map strip ow ))
+    | A.Sblock b -> Some (A.Sblock (strip b))
+    | _ -> Some s
+  in
+  strip
+
+(** One-step shrink candidates for a whole program: drop or simplify
+    main statements, drop whole procedures (with their call sites). *)
+let program_candidates (p : A.program) : A.program Seq.t =
+  let drop_procs =
+    Seq.init (List.length p.A.procs) (fun i ->
+        let dead = (List.nth p.A.procs i).A.p_name in
+        {
+          p with
+          A.procs = remove_nth i p.A.procs;
+          main = remove_proc_calls dead p.A.main;
+        })
+  in
+  let proc_bodies =
+    Seq.concat
+      (Seq.init (List.length p.A.procs) (fun i ->
+           Seq.map
+             (fun b' ->
+               {
+                 p with
+                 A.procs =
+                   List.mapi
+                     (fun j pr ->
+                       if j = i then { pr with A.p_body = b' } else pr)
+                     p.A.procs;
+               })
+             (stmts_candidates (List.nth p.A.procs i).A.p_body)))
+  in
+  Seq.append drop_procs
+    (Seq.append
+       (Seq.map (fun m -> { p with A.main = m }) (stmts_candidates p.A.main))
+       proc_bodies)
+
+(** Minimize a failing program.  [test] receives rendered source. *)
+let minimize_program ?budget ~(test : string -> bool) (p : A.program) :
+    A.program =
+  minimize ?budget ~candidates:program_candidates
+    ~test:(fun p -> test (Gen_pascal.render p))
+    p
+
+(* -- IF token streams -------------------------------------------------------- *)
+
+let tokens_candidates (toks : Ifl.Token.t list) : Ifl.Token.t list Seq.t =
+  list_candidates toks
+
+let minimize_tokens ?budget ~(test : Ifl.Token.t list -> bool)
+    (toks : Ifl.Token.t list) : Ifl.Token.t list =
+  minimize ?budget ~candidates:tokens_candidates ~test toks

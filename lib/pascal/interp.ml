@@ -164,11 +164,20 @@ let rec eval t locals (e : Ast.expr) : value =
       | "trunc", [ Vreal f ] -> Vint (norm32 (int_of_float (Float.trunc f)))
       | "trunc", [ Vint n ] -> Vint n
       | "ord", [ v ] -> Vint (as_int v)
-      | "chr", [ Vint n ] -> Vchar (Char.chr (n land 0xFF))
+      | "chr", [ Vint n ] ->
+          (* out-of-range chr is a runtime error, not a silent mask: the
+             compiled code keeps the full ordinal in a register, so any
+             masking here would diverge from execution *)
+          if n < 0 || n > 255 then fail "chr argument %d out of range" n
+          else Vchar (Char.chr n)
       | "succ", [ Vint n ] -> Vint (norm32 (n + 1))
-      | "succ", [ Vchar c ] -> Vchar (Char.chr ((Char.code c + 1) land 0xFF))
+      | "succ", [ Vchar c ] ->
+          if Char.code c = 255 then fail "succ: chr(255) has no successor"
+          else Vchar (Char.chr (Char.code c + 1))
       | "pred", [ Vint n ] -> Vint (norm32 (n - 1))
-      | "pred", [ Vchar c ] -> Vchar (Char.chr ((Char.code c - 1) land 0xFF))
+      | "pred", [ Vchar c ] ->
+          if Char.code c = 0 then fail "pred: chr(0) has no predecessor"
+          else Vchar (Char.chr (Char.code c - 1))
       | "min", [ a; b ] -> (
           match (a, b) with
           | Vint x, Vint y -> Vint (min x y)

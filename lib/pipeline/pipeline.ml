@@ -23,7 +23,8 @@ let ( let* ) = Result.bind
     or metrics are enabled), so [--trace]/[--stats] report per-phase wall
     times. *)
 let compile ?(cse = true) ?(checks = false) ?strategy ?dispatch ?explain
-    (tables : Cogg.Tables.t) (source : string) : (compiled, string) result =
+    ?on_reduce (tables : Cogg.Tables.t) (source : string) :
+    (compiled, string) result =
   let span name f = Cogg.Trace.with_span ~cat:"pipeline" name f in
   let* checked = span "front_end" (fun () -> Pascal.Sema.front_end source) in
   let* shaped =
@@ -42,7 +43,8 @@ let compile ?(cse = true) ?(checks = false) ?strategy ?dispatch ?explain
   in
   match
     span "codegen" (fun () ->
-        Cogg.Codegen.generate ?strategy ?dispatch ?explain tables tokens)
+        Cogg.Codegen.generate ?strategy ?dispatch ?explain ?on_reduce tables
+          tokens)
   with
   | Error e -> Error (Fmt.str "%a" Cogg.Codegen.pp_error e)
   | Ok gen -> Ok { source; checked; shaped; tokens; gen }

@@ -115,56 +115,55 @@ let test_table_build_bytes_identical () =
 (* Property: random batches                                            *)
 (* ------------------------------------------------------------------ *)
 
-(* Small straight-line integer programs; division only by non-zero
-   constants.  Mixed with a chance of a syntactically broken body so the
-   property also covers batches with failures. *)
-let gen_source : string QCheck.Gen.t =
+(* Random batches of programs from the fuzz generators (lib/fuzz): each
+   batch is a deterministic (seed, index) slice across every generation
+   profile, so the property covers arrays, sets, reals, branches and
+   procedure calls — not just straight-line integer code — and failures
+   (register-pressure capacity errors) exercise the Error arm naturally.
+   QCheck shrinking delegates to the fuzz shrinker, so a counterexample
+   prints as a minimized batch instead of pages of programs. *)
+let gen_programs : Pascal.Ast.program list QCheck.Gen.t =
   let open QCheck.Gen in
-  let var = map (fun i -> Printf.sprintf "v%d" i) (int_bound 3) in
-  let lit = map string_of_int (int_range 0 99) in
-  let rec expr depth =
-    if depth = 0 then oneof [ lit; var ]
-    else
-      let sub = expr (depth - 1) in
-      oneof
-        [
-          lit;
-          var;
-          map2 (Printf.sprintf "(%s + %s)") sub sub;
-          map2 (Printf.sprintf "(%s - %s)") sub sub;
-          map2 (Printf.sprintf "(%s * %s)") (expr 0) (expr 0);
-          map2 (fun a d -> Printf.sprintf "(%s div %d)" a d) sub (int_range 1 9);
-        ]
-  in
-  let assign = map2 (fun v e -> Printf.sprintf "%s := %s" v e) var (expr 2) in
-  let body = map (String.concat "; ") (list_size (int_range 1 5) assign) in
-  frequency
-    [
-      ( 9,
-        map
-          (Printf.sprintf
-             "program rand; var v0, v1, v2, v3 : integer; begin %s end.")
-          body );
-      (1, map (Printf.sprintf "program rand; begin %s := ; end.") var);
-    ]
+  map2
+    (fun seed n ->
+      List.init n (fun i ->
+          let rng = Fuzz.Rng.derive ~seed ~index:i in
+          Fuzz.Gen_pascal.program rng (Fuzz.Profile.rotate i)))
+    (int_bound 1_000_000) (int_range 1 10)
 
-let gen_batch : Pipeline.Batch.job array QCheck.Gen.t =
-  let open QCheck.Gen in
-  map
-    (fun sources ->
-      Array.of_list
-        (List.mapi
-           (fun i source ->
-             { Pipeline.Batch.name = Printf.sprintf "rand%d" i; source })
-           sources))
-    (list_size (int_range 1 12) gen_source)
+let shrink_programs (ps : Pascal.Ast.program list) :
+    Pascal.Ast.program list QCheck.Iter.t =
+ fun yield ->
+  (* drop one program, or shrink one program one step *)
+  List.iteri
+    (fun i _ ->
+      let shorter = List.filteri (fun j _ -> j <> i) ps in
+      if shorter <> [] then yield shorter)
+    ps;
+  List.iteri
+    (fun i p ->
+      Seq.iter
+        (fun p' -> yield (List.mapi (fun j q -> if j = i then p' else q) ps))
+        (Fuzz.Shrink.program_candidates p))
+    ps
+
+let batch_of_programs (ps : Pascal.Ast.program list) :
+    Pipeline.Batch.job array =
+  Array.of_list
+    (List.mapi
+       (fun i p ->
+         {
+           Pipeline.Batch.name = Printf.sprintf "rand%d" i;
+           source = Fuzz.Gen_pascal.render p;
+         })
+       ps)
 
 let prop_random_batches =
   QCheck.Test.make ~count:25 ~name:"random batches: parallel == sequential"
-    (QCheck.make gen_batch ~print:(fun b ->
-         String.concat "\n---\n"
-           (Array.to_list (Array.map (fun j -> j.Pipeline.Batch.source) b))))
-    (fun batch ->
+    (QCheck.make gen_programs ~shrink:shrink_programs ~print:(fun ps ->
+         String.concat "\n---\n" (List.map Fuzz.Gen_pascal.render ps)))
+    (fun ps ->
+      let batch = batch_of_programs ps in
       let seq = fingerprint batch in
       let par =
         Cogg.Pool.with_pool ~domains:(jobs ()) (fun pool ->

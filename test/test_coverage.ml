@@ -1,0 +1,138 @@
+(* Production-coverage report for specs/amdahl470.cgg.
+
+   Compiles the standard workload corpus (Pipeline.Programs) plus a
+   fixed-seed fuzz corpus (Pascal programs across every profile, and raw
+   IF streams including branch-heavy ones) with the Codegen [on_reduce]
+   hook recording every user production that fires.  The set of fired
+   productions must cover everything in the checked-in baseline
+   (test/coverage_baseline.txt): a drop means a template lost its
+   exercise and the suite would no longer notice it breaking.
+
+   Newly-covered productions are reported but do not fail the test; add
+   them to the baseline to lock them in.
+
+   Regenerate the baseline with:
+     COGG_COVERAGE_WRITE=$PWD/test/coverage_baseline.txt \
+       dune exec test/test_coverage.exe *)
+
+let tables () = Lazy.force Util.amdahl_tables
+
+(* the corpus: every standard program + a fixed-seed fuzz slice *)
+let fuzz_seed = 5
+let fuzz_pascal_count = 72
+let fuzz_if_count = 24
+
+(* Deterministic pins for productions the seeded fuzz slice is not
+   guaranteed to keep hitting as the generators evolve (RNG drift).
+   These are coverage-only programs — deliberately NOT part of
+   Pipeline.Programs, whose batch fingerprint is pinned elsewhere. *)
+let pinned_programs =
+  [
+    ( "pin_real_memops",
+      (* register-resident left operand, plain-variable right operand:
+         forces the RX-form real productions over dblrealword memory *)
+      "program pin; var r0, r1, r2 : real; begin r0 := 1.5; r1 := 2.25; r2 \
+       := (r0 + 1.0) - r1; r2 := (r2 * 2.0) + r1; r2 := (r2 / 2.0) * r1; \
+       r2 := (r0 - 1.0) / r1; write(r2) end." );
+  ]
+
+let record_corpus (t : Cogg.Tables.t) : (int, unit) Hashtbl.t =
+  let fired = Hashtbl.create 256 in
+  let on_reduce p =
+    if Cogg.Tables.is_user_prod t p then Hashtbl.replace fired p ()
+  in
+  List.iter
+    (fun (name, source) ->
+      match Pipeline.compile ~on_reduce t source with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "corpus program %s failed to compile: %s" name m)
+    (Pipeline.Programs.all @ pinned_programs);
+  for i = 0 to fuzz_pascal_count - 1 do
+    let rng = Fuzz.Rng.derive ~seed:fuzz_seed ~index:i in
+    let source =
+      Fuzz.Gen_pascal.source rng (Fuzz.Profile.rotate i)
+    in
+    (* capacity limits (register pressure on deep expressions) are fine
+       here: the productions that fired before the limit still count *)
+    match Pipeline.compile ~on_reduce t source with
+    | Ok _ | Error _ -> ()
+  done;
+  for i = 0 to fuzz_if_count - 1 do
+    let rng = Fuzz.Rng.derive ~seed:fuzz_seed ~index:(1000 + i) in
+    let toks = Fuzz.Gen_if.program ~branch_heavy:(i mod 3 = 0) rng in
+    match Cogg.Codegen.generate ~on_reduce t toks with
+    | Ok _ | Error _ -> ()
+  done;
+  fired
+
+let fired_names (t : Cogg.Tables.t) (fired : (int, unit) Hashtbl.t) :
+    string list =
+  let g = t.Cogg.Tables.grammar in
+  Hashtbl.fold
+    (fun p () acc -> Cogg.Grammar.prod_to_string g (Cogg.Grammar.prod g p) :: acc)
+    fired []
+  |> List.sort_uniq String.compare
+
+let baseline_path () =
+  match Util.find_up (Sys.getcwd ()) "test/coverage_baseline.txt" with
+  | Some p -> p
+  | None -> Alcotest.fail "cannot locate test/coverage_baseline.txt"
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (if String.trim line = "" then acc else String.trim line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let test_coverage_no_drop () =
+  let t = tables () in
+  let names = fired_names t (record_corpus t) in
+  (match Sys.getenv_opt "COGG_COVERAGE_WRITE" with
+  | Some path ->
+      let oc = open_out path in
+      List.iter (fun n -> output_string oc (n ^ "\n")) names;
+      close_out oc;
+      Fmt.epr "wrote %d covered productions to %s@." (List.length names) path
+  | None -> ());
+  let baseline = read_lines (baseline_path ()) in
+  let missing = List.filter (fun b -> not (List.mem b names)) baseline in
+  let fresh = List.filter (fun n -> not (List.mem n baseline)) names in
+  if fresh <> [] then
+    Fmt.epr "note: %d newly-covered productions not in the baseline:@.%a@."
+      (List.length fresh)
+      Fmt.(list ~sep:Fmt.cut (fmt "  %s"))
+      fresh;
+  if missing <> [] then
+    Alcotest.failf
+      "production coverage dropped: %d baseline productions no longer fire:@.%a"
+      (List.length missing)
+      Fmt.(list ~sep:Fmt.cut (fmt "  %s"))
+      missing
+
+let test_coverage_fraction () =
+  (* the corpus must keep exercising a healthy majority of the spec *)
+  let t = tables () in
+  let covered = Hashtbl.length (record_corpus t) in
+  let total = t.Cogg.Tables.n_user_prods in
+  Fmt.epr "coverage: %d of %d user productions fire across the corpus@." covered
+    total;
+  Alcotest.(check bool)
+    (Fmt.str "at least half the productions fire (%d/%d)" covered total)
+    true
+    (2 * covered >= total)
+
+let () =
+  Alcotest.run "coverage"
+    [
+      ( "productions",
+        [
+          Alcotest.test_case "no drop against baseline" `Quick
+            test_coverage_no_drop;
+          Alcotest.test_case "overall fraction" `Quick test_coverage_fraction;
+        ] );
+    ]

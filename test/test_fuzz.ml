@@ -1,0 +1,239 @@
+(* The fuzzing subsystem's own suite, and the fixed-seed smoke batch
+   behind the @fuzz-smoke alias.
+
+   COGG_FUZZ_SEED / COGG_FUZZ_COUNT override the smoke batch for longer
+   local runs:
+     COGG_FUZZ_SEED=99 COGG_FUZZ_COUNT=2000 dune build @fuzz-smoke *)
+
+let env_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> default
+
+let smoke_seed () = env_int "COGG_FUZZ_SEED" 11
+let smoke_count () = env_int "COGG_FUZZ_COUNT" 64
+let tables () = Lazy.force Util.amdahl_tables
+
+(* -- the deterministic RNG --------------------------------------------------- *)
+
+let test_rng_replayable () =
+  (* same (seed, index) -> same stream, forever: pin a few draws *)
+  let draws seed index =
+    let r = Fuzz.Rng.derive ~seed ~index in
+    List.init 5 (fun _ -> Fuzz.Rng.int r 1000)
+  in
+  Alcotest.(check (list int)) "derive is stable" (draws 42 7) (draws 42 7);
+  Alcotest.(check bool)
+    "neighbouring cases decorrelate" true
+    (draws 42 7 <> draws 42 8);
+  Alcotest.(check bool) "seeds decorrelate" true (draws 42 7 <> draws 43 7)
+
+let test_rng_bounds () =
+  let r = Fuzz.Rng.create 5 in
+  for _ = 1 to 1000 do
+    let n = Fuzz.Rng.int r 7 in
+    if n < 0 || n >= 7 then Alcotest.failf "int out of bound: %d" n;
+    let m = Fuzz.Rng.range r (-3) 3 in
+    if m < -3 || m > 3 then Alcotest.failf "range out of bound: %d" m
+  done
+
+(* -- generators produce valid inputs ----------------------------------------- *)
+
+let test_pascal_generator_wellformed () =
+  (* every generated program must lex, parse, type-check and terminate
+     in the reference interpreter: the exec oracle's soundness rests on
+     this *)
+  for i = 0 to 49 do
+    let rng = Fuzz.Rng.derive ~seed:1234 ~index:i in
+    let src = Fuzz.Gen_pascal.source rng (Fuzz.Profile.rotate i) in
+    match Pascal.Sema.front_end src with
+    | Error m -> Alcotest.failf "seed 1234 case %d ill-formed: %s\n%s" i m src
+    | Ok checked -> (
+        match Pascal.Interp.run checked with
+        | Ok _ -> ()
+        | Error e ->
+            Alcotest.failf "seed 1234 case %d does not terminate: %a\n%s" i
+              Pascal.Interp.pp_error e src)
+  done
+
+let test_if_generator_parses () =
+  (* well-formed streams are in the machine grammar's language; the only
+     tolerated rejection is the allocator's documented capacity limit *)
+  let t = tables () in
+  let ok = ref 0 in
+  for i = 0 to 29 do
+    let rng = Fuzz.Rng.derive ~seed:77 ~index:i in
+    let toks = Fuzz.Gen_if.program rng in
+    match Cogg.Codegen.generate t toks with
+    | Ok _ -> incr ok
+    | Error (Cogg.Codegen.Emit_failure m)
+      when Fuzz.Oracle.is_capacity_limit m ->
+        ()
+    | Error e ->
+        Alcotest.failf "seed 77 case %d rejected: %a\n%s" i
+          Cogg.Codegen.pp_error e
+          (Fuzz.Gen_if.to_text toks)
+  done;
+  Alcotest.(check bool)
+    (Fmt.str "most streams compile (%d/30)" !ok)
+    true (!ok >= 20)
+
+let test_if_text_roundtrip () =
+  for i = 0 to 19 do
+    let rng = Fuzz.Rng.derive ~seed:31 ~index:i in
+    let toks = Fuzz.Gen_if.program rng in
+    match Ifl.Reader.program_of_string (Fuzz.Gen_if.to_text toks) with
+    | Error m -> Alcotest.failf "case %d does not re-read: %s" i m
+    | Ok back ->
+        Alcotest.(check bool)
+          (Fmt.str "case %d round-trips" i)
+          true
+          (List.equal Ifl.Token.equal toks back)
+  done
+
+let test_branch_heavy_reaches_long_branches () =
+  (* the Branches size class must actually cross the 4096-byte page so
+     span-dependent sizing and the literal pool are on the fuzzed path *)
+  let t = tables () in
+  let hit = ref false in
+  let i = ref 0 in
+  while (not !hit) && !i < 10 do
+    let rng = Fuzz.Rng.derive ~seed:13 ~index:!i in
+    let toks = Fuzz.Gen_if.program ~branch_heavy:true rng in
+    (match Cogg.Codegen.generate t toks with
+    | Ok r ->
+        if r.Cogg.Codegen.resolved.Cogg.Loader_gen.n_long > 0 then hit := true
+    | Error _ -> ());
+    incr i
+  done;
+  Alcotest.(check bool) "some branch-heavy stream forces long form" true !hit
+
+(* -- the shrinker ------------------------------------------------------------- *)
+
+let test_shrinker_greedy_minimum () =
+  (* generic descent: minimizing "contains an element >= 100" over a
+     list must land on a single offending element *)
+  let test xs = List.exists (fun x -> x >= 100) xs in
+  let min_list =
+    Fuzz.Shrink.minimize ~candidates:Fuzz.Shrink.list_candidates ~test
+      [ 1; 2; 300; 4; 5; 600; 7; 8 ]
+  in
+  Alcotest.(check bool) "still failing" true (test min_list);
+  Alcotest.(check int) "one element" 1 (List.length min_list)
+
+let test_shrinker_preserves_failure () =
+  (* shrunken programs stay well-formed enough to re-run the oracle:
+     minimize under a synthetic "mentions while" failure *)
+  let rng = Fuzz.Rng.derive ~seed:2024 ~index:3 in
+  let p = Fuzz.Gen_pascal.program ~size:14 rng Fuzz.Profile.Branches in
+  let test src = Util.contains src "while" in
+  if test (Fuzz.Gen_pascal.render p) then begin
+    let small = Fuzz.Shrink.minimize_program ~test p in
+    let src = Fuzz.Gen_pascal.render small in
+    Alcotest.(check bool) "minimized still fails" true (test src);
+    Alcotest.(check bool)
+      "minimized is no larger" true
+      (String.length src <= String.length (Fuzz.Gen_pascal.render p))
+  end
+
+let test_exec_oracle_chr_regression () =
+  (* fuzzer-minimized finding (seed 19, case 4): interp masked chr to
+     the low byte, compiled code compared the raw ordinal — "global r1
+     differs".  With range-checked chr the program is erroneous, so the
+     exec oracle must Skip it (reference rejection), never Fail. *)
+  let src =
+    "program p; var r1 : real; begin if chr(sqr(-563)) >= 'q' then begin \
+     end else r1 := 6.63 end."
+  in
+  match Fuzz.Oracle.exec (tables ()) src with
+  | Fuzz.Oracle.Skip _ -> ()
+  | st ->
+      Alcotest.failf "expected skip, got %a" Fuzz.Oracle.pp_status st
+
+(* -- the smoke batch: N cases x 3 oracles ------------------------------------- *)
+
+let smoke_config () =
+  {
+    Fuzz.Runner.default_config with
+    Fuzz.Runner.seed = smoke_seed ();
+    count = smoke_count ();
+    jobs = 4;
+    spec = Some (Util.spec_path "amdahl470.cgg");
+    cache_dir = Some "_fuzz_cache";
+  }
+
+let test_smoke () =
+  let report = Fuzz.Runner.run (tables ()) (smoke_config ()) in
+  List.iter
+    (fun (f : Fuzz.Runner.finding) ->
+      Fmt.epr "finding: seed %d case %d oracle %s: %a@.%s@."
+        (smoke_seed ()) f.Fuzz.Runner.f_index f.Fuzz.Runner.f_oracle
+        Fuzz.Oracle.pp_status f.Fuzz.Runner.f_status f.Fuzz.Runner.f_repro)
+    report.Fuzz.Runner.r_findings;
+  Alcotest.(check int)
+    (Fmt.str "zero findings across %d cases (seed %d)" (smoke_count ())
+       (smoke_seed ()))
+    0
+    (List.length report.Fuzz.Runner.r_findings);
+  (* the batch-level determinism check ran and agreed *)
+  match report.Fuzz.Runner.r_batch with
+  | Some (Ok _) -> ()
+  | Some (Error m) -> Alcotest.failf "batch check failed: %s" m
+  | None -> Alcotest.fail "batch check did not run"
+
+let test_malformed_sweep () =
+  (* >= 1000 mutated IF streams: every pipeline answer must be a
+     structured Error, never an escaping exception *)
+  let count = max 1000 (smoke_count ()) in
+  let report =
+    Fuzz.Runner.run (tables ())
+      {
+        Fuzz.Runner.default_config with
+        Fuzz.Runner.seed = smoke_seed () + 1;
+        count;
+        malformed = true;
+      }
+  in
+  List.iter
+    (fun (f : Fuzz.Runner.finding) ->
+      Fmt.epr "finding: case %d oracle %s: %a@.%s@." f.Fuzz.Runner.f_index
+        f.Fuzz.Runner.f_oracle Fuzz.Oracle.pp_status f.Fuzz.Runner.f_status
+        f.Fuzz.Runner.f_repro)
+    report.Fuzz.Runner.r_findings;
+  Alcotest.(check int)
+    (Fmt.str "only structured errors across %d mutants" count)
+    0
+    (List.length report.Fuzz.Runner.r_findings)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "replayable" `Quick test_rng_replayable;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "pascal programs are well-formed" `Quick
+            test_pascal_generator_wellformed;
+          Alcotest.test_case "IF streams parse" `Quick test_if_generator_parses;
+          Alcotest.test_case "IF text round-trips" `Quick test_if_text_roundtrip;
+          Alcotest.test_case "branch-heavy forces long branches" `Quick
+            test_branch_heavy_reaches_long_branches;
+        ] );
+      ( "shrinker",
+        [
+          Alcotest.test_case "greedy minimum" `Quick test_shrinker_greedy_minimum;
+          Alcotest.test_case "preserves the failure" `Quick
+            test_shrinker_preserves_failure;
+        ] );
+      ( "smoke",
+        [
+          Alcotest.test_case "chr finding stays fixed" `Quick
+            test_exec_oracle_chr_regression;
+          Alcotest.test_case "fixed-seed batch, three oracles" `Quick test_smoke;
+          Alcotest.test_case "malformed sweep is total" `Quick
+            test_malformed_sweep;
+        ] );
+    ]

@@ -178,6 +178,54 @@ let test_pp_error_reports_position_and_speculation () =
   Alcotest.(check bool) "reports the speculative run" true
     (Util.contains msg "speculative reduction")
 
+(* Fuzzer-found crashes (PR 5), minimized by the shrinker.  A register
+   payload larger than the machine's banks used to escape the driver's
+   value discipline and blow up the allocator's bank arrays
+   ([Invalid_argument]) at reduction time.  Both shapes must now be
+   structured parse errors, at the same position under both dispatch
+   paths. *)
+let fuzz_found_register_range =
+  [
+    (* seed 7 case 665: register binding beyond the general bank *)
+    "assign fullword dsp:2324 r:r255";
+    (* seed 7 case 137: register payload smuggled onto a class-less
+       symbol — still released into the general bank at reduction *)
+    "branch_op lbl:L1 cond:m7 icompare fullword:r17 dsp:1936 r:r13";
+    (* boundary probes around the bank sizes *)
+    "assign fullword dsp:0 r:r16 fullword dsp:4 r:r13";
+    "assign fullword dsp:0 r:r-1 fullword dsp:4 r:r13";
+  ]
+
+let test_register_range_is_structured () =
+  let t = amdahl () in
+  List.iter
+    (fun if_text ->
+      let flat = expect_err Cogg.Driver.Flat t if_text in
+      let comb = expect_err Cogg.Driver.Comb t if_text in
+      Alcotest.(check int)
+        (if_text ^ ": positions agree")
+        flat.Cogg.Driver.position comb.Cogg.Driver.position)
+    fuzz_found_register_range
+
+let test_register_range_message () =
+  let t = amdahl () in
+  let e = expect_err Cogg.Driver.Comb t "assign fullword dsp:0 r:r255" in
+  Alcotest.(check bool) "names the out-of-range binding" true
+    (Util.contains
+       (Fmt.str "%a" Cogg.Driver.pp_error e)
+       "register binding out of machine range")
+
+let test_valid_register_boundaries_still_parse () =
+  (* the discipline must not over-reject: r15 is a real register *)
+  let t = amdahl () in
+  match
+    Cogg.Codegen.generate t (tokens_of "assign fullword dsp:0 r:r15")
+  with
+  | Ok _ | Error (Cogg.Codegen.Parse_error _) -> ()
+  | Error e ->
+      Alcotest.failf "r15 tripped a non-parse failure: %a" Cogg.Codegen.pp_error
+        e
+
 let () =
   Alcotest.run "malformed_if"
     [
@@ -197,5 +245,14 @@ let () =
             test_comb_counts_speculative_reductions;
           Alcotest.test_case "pp_error renders both" `Quick
             test_pp_error_reports_position_and_speculation;
+        ] );
+      ( "fuzz-found",
+        [
+          Alcotest.test_case "register range is a structured error" `Quick
+            test_register_range_is_structured;
+          Alcotest.test_case "register range message" `Quick
+            test_register_range_message;
+          Alcotest.test_case "valid boundary registers still parse" `Quick
+            test_valid_register_boundaries_still_parse;
         ] );
     ]

@@ -233,6 +233,30 @@ end.
      right operand would trap on the division by zero *)
   Alcotest.(check (list int)) "values" [ 1; 10; 40 ] (written_ints r)
 
+let test_interp_chr_range_checked () =
+  (* fuzzer-minimized (pasc fuzz --seed 19, case 4): the interpreter
+     used to mask chr's argument to the low byte while compiled code
+     kept the full ordinal in a register, so the two sides took
+     different arms of the comparison.  Out-of-range chr is a runtime
+     error now, on the model of div-by-zero — the in-range case below
+     must still agree with the machine end to end. *)
+  (match
+     Pascal.Sema.front_end
+       "program p; var r1 : real; begin if chr(sqr(-563)) >= 'q' then begin \
+        end else r1 := 6.63 end."
+   with
+  | Error m -> Alcotest.fail m
+  | Ok c -> (
+      match Pascal.Interp.run c with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "out-of-range chr not caught"));
+  let r =
+    interp
+      "program p; var c : char; n : integer; begin c := chr(113); if c >= \
+       'q' then n := 1 else n := 2; write(n) end."
+  in
+  Alcotest.(check (list int)) "in-range chr still works" [ 1 ] (written_ints r)
+
 let test_interp_32bit_wrap () =
   let r =
     interp
@@ -273,6 +297,8 @@ let () =
             test_interp_boolean_connectives;
           Alcotest.test_case "division by zero" `Quick test_interp_div_by_zero;
           Alcotest.test_case "bounds" `Quick test_interp_oob;
+          Alcotest.test_case "chr range checked" `Quick
+            test_interp_chr_range_checked;
           Alcotest.test_case "32-bit wrap" `Quick test_interp_32bit_wrap;
         ] );
     ]
