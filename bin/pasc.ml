@@ -46,17 +46,18 @@ let spec_arg =
     & opt file "specs/amdahl470.cgg"
     & info [ "spec" ] ~docv:"SPEC" ~doc:"Code generator specification")
 
-(* Built tables are cached on disk keyed by the spec's content digest, so
-   repeat runs skip LR construction entirely; on a miss, the pool (if
-   any) parallelizes the build itself. *)
-let load_tables ?pool ~no_cache spec_path =
+(* Built tables are cached on disk keyed by the spec's content digest
+   (plus the profile digest for specialized builds), so repeat runs skip
+   LR construction entirely; on a miss, the pool (if any) parallelizes
+   the build itself. *)
+let load_tables ?pool ?profile ~no_cache spec_path =
   if no_cache then
-    match Cogg.Cogg_build.build_file ?pool spec_path with
+    match Cogg.Cogg_build.build_file ?pool ?profile spec_path with
     | Ok t -> t
     | Error es ->
         or_die (Error (Fmt.str "%a" (Fmt.list Cogg.Cogg_build.pp_error) es))
   else
-    match Cogg.Tables_cache.build_file ?pool spec_path with
+    match Cogg.Tables_cache.build_file ?pool ?profile spec_path with
     | Ok (t, origin) ->
         if Sys.getenv_opt "COGG_CACHE_VERBOSE" <> None then
           Fmt.epr "[tables-cache] %s: %a@." spec_path Cogg.Tables_cache.pp_origin
@@ -64,6 +65,29 @@ let load_tables ?pool ~no_cache spec_path =
         t
     | Error es ->
         or_die (Error (Fmt.str "%a" (Fmt.list Cogg.Cogg_build.pp_error) es))
+
+(* Write a captured profile, merging into an existing same-shape profile
+   at the path (repeated capture runs accumulate); a mismatched or
+   unreadable existing file is overwritten with the fresh capture. *)
+let write_profile path (pr : Cogg.Cogprof.t) =
+  let merged =
+    match Cogg.Cogprof.load path with
+    | Ok old -> (
+        match Cogg.Cogprof.merge old pr with
+        | Ok m -> m
+        | Error m ->
+            Fmt.epr "%s: %s; overwriting@." path m;
+            pr)
+    | Error _ -> pr
+  in
+  match Cogg.Cogprof.save path merged with
+  | Ok () -> Fmt.epr "wrote %s (%a)@." path Cogg.Cogprof.pp merged
+  | Error m -> or_die (Error (Fmt.str "cannot write profile %s: %s" path m))
+
+let new_collector (tables : Cogg.Tables.t) =
+  Cogg.Cogprof.create
+    ~n_states:(Cogg.Parse_table.n_states tables.Cogg.Tables.parse)
+    ~n_prods:(Cogg.Grammar.n_prods tables.Cogg.Tables.grammar)
 
 let pp_value ppf = function
   | Pascal.Interp.Vint n -> Fmt.int ppf n
@@ -81,7 +105,8 @@ let run_executed (x : Pipeline.executed) =
 
 let compile_cmd =
   let run spec_path src_paths jobs no_cse no_cache checks baseline show_if
-      show_listing run_it verify stats trace explain =
+      show_listing run_it verify stats trace explain profile_out specialize
+      dispatch_opt =
     let many = List.length src_paths > 1 in
     let header path = if many then Fmt.pr "==> %s <==@." path in
     (* observability: enable before the tables load so cache hits/misses
@@ -129,18 +154,57 @@ let compile_cmd =
         else Cogg.Pool.with_pool ~domains (fun p -> f (Some p))
       in
       with_pool @@ fun pool ->
-      let tables = load_tables ?pool ~no_cache spec_path in
+      let spec_profile =
+        Option.map (fun p -> or_die (Cogg.Cogprof.load p)) specialize
+      in
+      let tables = load_tables ?pool ?profile:spec_profile ~no_cache spec_path in
+      (match spec_profile with
+      | Some p
+        when not
+               (Cogg.Cogprof.compatible p
+                  ~n_states:(Cogg.Parse_table.n_states tables.Cogg.Tables.parse)
+                  ~n_prods:(Cogg.Grammar.n_prods tables.Cogg.Tables.grammar)) ->
+          Fmt.epr
+            "warning: profile %s was captured against different tables (%d \
+             states/%d prods); specialization will be ineffective@."
+            (Option.get specialize) (Cogg.Cogprof.n_states p)
+            (Cogg.Cogprof.n_prods p)
+      | _ -> ());
+      (* dispatch defaults to hybrid for a specialized bundle, comb
+         otherwise *)
+      let dispatch =
+        match dispatch_opt with
+        | Some d -> d
+        | None ->
+            if tables.Cogg.Tables.hybrid <> None then Cogg.Driver.Hybrid
+            else Cogg.Driver.Comb
+      in
       let batch =
         Array.of_list
           (List.map
              (fun p -> { Pipeline.Batch.name = p; source = read_file p })
              src_paths)
       in
+      let collector = Option.map (fun _ -> new_collector tables) profile_out in
       let results =
         Cogg.Trace.with_span ~cat:"batch" "batch" (fun () ->
-            Pipeline.Batch.compile_all ?pool ~cse:(not no_cse) ~checks ~explain
-              tables batch)
+            match collector with
+            | Some pr ->
+                (* profile capture runs the batch sequentially: the
+                   collector is plain mutable state, one per run, never
+                   shared with pool domains *)
+                Array.map
+                  (fun j ->
+                    Pipeline.compile ~cse:(not no_cse) ~checks ~dispatch
+                      ~profile:pr ~explain tables j.Pipeline.Batch.source)
+                  batch
+            | None ->
+                Pipeline.Batch.compile_all ?pool ~cse:(not no_cse) ~checks
+                  ~dispatch ~explain tables batch)
       in
+      (match (profile_out, collector) with
+      | Some path, Some pr -> write_profile path pr
+      | _ -> ());
       (* reporting stays sequential and in input order: batch output must
          be byte-identical to compiling the files one by one *)
       let failed = ref false in
@@ -214,14 +278,54 @@ let compile_cmd =
       $ trace_arg
       $ flag [ "explain" ]
           "Annotate every emitted instruction with the production and \
-           directives responsible for it (table-driven generators only)")
+           directives responsible for it (table-driven generators only)"
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "profile-out" ] ~docv:"FILE"
+              ~doc:
+                "Capture an execution profile (per-state dispatch counts, \
+                 per-production reduction counts) over the batch and write \
+                 it to $(docv), merging into an existing same-shape \
+                 profile; the batch runs sequentially while capturing.  \
+                 Feed the file back with $(b,--specialize).")
+      $ Arg.(
+          value
+          & opt ~vopt:(Some "bench/default.cogprof") (some string) None
+          & info [ "specialize" ] ~docv:"FILE"
+              ~doc:
+                "Build profile-specialized tables from the $(b,.cogprof) \
+                 profile in $(docv) (default $(b,bench/default.cogprof)): \
+                 the hottest states get flat O(1) dispatch rows, the cold \
+                 tail stays comb-packed, and default reductions follow \
+                 measured frequency.  Implies $(b,--dispatch hybrid) \
+                 unless overridden.")
+      $ Arg.(
+          value
+          & opt
+              (some
+                 (enum
+                    [
+                      ("flat", Cogg.Driver.Flat);
+                      ("comb", Cogg.Driver.Comb);
+                      ("hybrid", Cogg.Driver.Hybrid);
+                    ]))
+              None
+          & info [ "dispatch" ] ~docv:"D"
+              ~doc:
+                "Parse-table dispatch the driver probes: $(b,comb) \
+                 (packed, the default), $(b,flat) (uncompressed), or \
+                 $(b,hybrid) (profile-specialized; needs \
+                 $(b,--specialize), otherwise identical to comb)."))
 
 let fuzz_cmd =
-  let run spec_path seed count start profile minimize malformed jobs corpus =
+  let run spec_path seed count start profile minimize malformed jobs corpus
+      profile_out =
     let profile =
       Option.map (fun s -> or_die (Fuzz.Profile.of_string s)) profile
     in
     let tables = load_tables ~no_cache:false spec_path in
+    let collector = Option.map (fun _ -> new_collector tables) profile_out in
     let cfg =
       {
         Fuzz.Runner.seed;
@@ -235,9 +339,13 @@ let fuzz_cmd =
         cache_dir =
           Some (Filename.concat (Filename.get_temp_dir_name ()) "pasc-fuzz-cache");
         log = (fun m -> Fmt.epr "%s@." m);
+        collect = collector;
       }
     in
     let report = Fuzz.Runner.run tables cfg in
+    (match (profile_out, collector) with
+    | Some path, Some pr -> write_profile path pr
+    | _ -> ());
     Fmt.pr "%a@." Fuzz.Runner.pp_report report;
     List.iter
       (fun (f : Fuzz.Runner.finding) ->
@@ -301,7 +409,17 @@ let fuzz_cmd =
       $ flag [ "malformed" ]
           "Mutate IF streams and check that every failure is a structured \
            error (totality sweep)"
-      $ jobs_arg $ corpus_arg)
+      $ jobs_arg $ corpus_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "profile-out" ] ~docv:"FILE"
+              ~doc:
+                "Additionally compile every case's (pre-mutation) input \
+                 with profile capture on and write the accumulated \
+                 $(b,.cogprof) to $(docv) (merging into an existing \
+                 same-shape profile) — the fuzz-corpus half of the \
+                 default specialization profile."))
 
 let interp_cmd =
   let run src_path =

@@ -63,8 +63,8 @@ let grammar_of_spec (symtab : Symtab.t) (spec : Spec_ast.t) :
     spec.Spec_ast.productions;
   if !errs <> [] then Error (List.rev !errs) else Ok (Grammar.finish b)
 
-let build ?pool ?(mode = Lookahead.Slr) (spec : Spec_ast.t) :
-    (Tables.t, error list) result =
+let build ?pool ?(mode = Lookahead.Slr) ?(profile : Cogprof.t option)
+    (spec : Spec_ast.t) : (Tables.t, error list) result =
   let* symtab = Result.map_error (fun e -> [ lift_symtab e ]) (Symtab.of_spec spec) in
   let* grammar = grammar_of_spec symtab spec in
   let automaton = Lr0.build grammar in
@@ -111,6 +111,13 @@ let build ?pool ?(mode = Lookahead.Slr) (spec : Spec_ast.t) :
         parse;
         compressed =
           Compress.compress ?pool ~method_:Compress.Defaults_and_comb parse;
+        hybrid =
+          (* the profile-specialized layout rides alongside the comb
+             table; profile access in [specialize] is bounds-guarded, so
+             a profile captured against other tables degrades to an
+             unhelpful (never unsound) specialization *)
+          Option.map (fun p -> Compress.specialize ?pool ~profile:p parse)
+            profile;
         compiled;
         n_user_prods = n_user;
         class_of;
@@ -118,14 +125,16 @@ let build ?pool ?(mode = Lookahead.Slr) (spec : Spec_ast.t) :
       }
   end
 
-let build_string ?pool ?mode (text : string) : (Tables.t, error list) result =
+let build_string ?pool ?mode ?profile (text : string) :
+    (Tables.t, error list) result =
   let* spec =
     Result.map_error (fun e -> [ lift_parse e ]) (Spec_parse.of_string text)
   in
-  build ?pool ?mode spec
+  build ?pool ?mode ?profile spec
 
-let build_file ?pool ?mode (path : string) : (Tables.t, error list) result =
+let build_file ?pool ?mode ?profile (path : string) :
+    (Tables.t, error list) result =
   let* spec =
     Result.map_error (fun e -> [ lift_parse e ]) (Spec_parse.of_file path)
   in
-  build ?pool ?mode spec
+  build ?pool ?mode ?profile spec

@@ -14,15 +14,29 @@ val grammar_of_spec :
 (** Build the augmented machine grammar from a checked specification. *)
 
 val build :
-  ?pool:Pool.t -> ?mode:Lookahead.mode -> Spec_ast.t -> (Tables.t, error list) result
+  ?pool:Pool.t ->
+  ?mode:Lookahead.mode ->
+  ?profile:Cogprof.t ->
+  Spec_ast.t ->
+  (Tables.t, error list) result
 (** Build the complete table bundle.  [mode] selects SLR(1) (the
     default, as in the paper) or LALR(1) lookaheads.  [pool] parallelizes
     lookahead computation, the per-state action-table fill, table
     compression prep and template compilation; the resulting bundle is
-    byte-identical at any worker count. *)
+    byte-identical at any worker count.  [profile] additionally builds
+    the profile-specialized hybrid table ({!Compress.specialize}) into
+    [Tables.hybrid]; without it the bundle carries none. *)
 
 val build_string :
-  ?pool:Pool.t -> ?mode:Lookahead.mode -> string -> (Tables.t, error list) result
+  ?pool:Pool.t ->
+  ?mode:Lookahead.mode ->
+  ?profile:Cogprof.t ->
+  string ->
+  (Tables.t, error list) result
 
 val build_file :
-  ?pool:Pool.t -> ?mode:Lookahead.mode -> string -> (Tables.t, error list) result
+  ?pool:Pool.t ->
+  ?mode:Lookahead.mode ->
+  ?profile:Cogprof.t ->
+  string ->
+  (Tables.t, error list) result

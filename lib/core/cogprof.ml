@@ -1,0 +1,195 @@
+(** Execution profiles of the generated code generator.
+
+    A profile records, for one table bundle, how often the skeletal
+    parser dispatched from each LR state ([state_visits]) and how often
+    each production fired ([prod_fires]).  {!Driver.parse} fills one in
+    when handed a collector; {!Compress.specialize} consumes one to lay
+    the tables out hottest-first (Samuelsson's example-based table
+    optimization, applied to Bird's code-generator tables).
+
+    Profiles are plain mutable arrays: a collector is allocated per
+    capture run by the caller and never shared between domains, so there
+    is no toplevel accumulation state (see test/check_globals.sh).  The
+    on-disk form is a versioned line-oriented text file — mergeable,
+    diffable, and stable enough to check a default profile into the
+    repository. *)
+
+type t = {
+  state_visits : int array;  (** per LR state: action lookups taken *)
+  prod_fires : int array;  (** per production: reductions taken *)
+}
+
+(* Bump when the on-disk format changes incompatibly; [of_string]
+   rejects any other version outright (a stale profile must never be
+   half-read into a fresh layout). *)
+let version = 1
+
+let create ~n_states ~n_prods =
+  { state_visits = Array.make n_states 0; prod_fires = Array.make n_prods 0 }
+
+(** A profile that weights every state and production equally:
+    specializing with it is dispatch-equivalent to not specializing
+    (the property test's baseline). *)
+let uniform ~n_states ~n_prods =
+  { state_visits = Array.make n_states 1; prod_fires = Array.make n_prods 1 }
+
+let n_states t = Array.length t.state_visits
+let n_prods t = Array.length t.prod_fires
+
+(** Does this profile fit a table bundle of the given dimensions?  A
+    mismatch means the profile was captured against a different
+    specification (or grammar revision) and must not drive its
+    specialization. *)
+let compatible t ~n_states:ns ~n_prods:np = n_states t = ns && n_prods t = np
+
+(* The capture hot path: bounds-guarded so a profile captured against
+   slightly different tables degrades to dropped samples, never a
+   crash.  Plain (non-atomic) increments: a collector belongs to one
+   capture run on one domain. *)
+let visit t state =
+  if state >= 0 && state < Array.length t.state_visits then
+    t.state_visits.(state) <- t.state_visits.(state) + 1
+
+let fire t prod =
+  if prod >= 0 && prod < Array.length t.prod_fires then
+    t.prod_fires.(prod) <- t.prod_fires.(prod) + 1
+
+let total_visits t = Array.fold_left ( + ) 0 t.state_visits
+let total_fires t = Array.fold_left ( + ) 0 t.prod_fires
+let is_empty t = total_visits t = 0 && total_fires t = 0
+
+(** [merge a b] sums two profiles of the same shape into a new one;
+    profiles captured against different table dimensions do not merge. *)
+let merge (a : t) (b : t) : (t, string) result =
+  if n_states a <> n_states b || n_prods a <> n_prods b then
+    Error
+      (Fmt.str
+         "profile shapes differ: %d states/%d prods vs %d states/%d prods"
+         (n_states a) (n_prods a) (n_states b) (n_prods b))
+  else
+    Ok
+      {
+        state_visits =
+          Array.init (n_states a) (fun i ->
+              a.state_visits.(i) + b.state_visits.(i));
+        prod_fires =
+          Array.init (n_prods a) (fun i -> a.prod_fires.(i) + b.prod_fires.(i));
+      }
+
+(* -- the on-disk form ---------------------------------------------------------
+
+   cogprof 1
+   states <n>
+   prods <n>
+   v <state> <count>     (sparse: only non-zero rows, ascending index)
+   f <prod> <count>
+   end
+
+   Canonical (sorted, zero-suppressed), so [digest] is a stable content
+   hash of the counts, independent of capture order. *)
+
+let to_string (t : t) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "cogprof %d\n" version);
+  Buffer.add_string b (Printf.sprintf "states %d\n" (n_states t));
+  Buffer.add_string b (Printf.sprintf "prods %d\n" (n_prods t));
+  Array.iteri
+    (fun i c -> if c <> 0 then Buffer.add_string b (Printf.sprintf "v %d %d\n" i c))
+    t.state_visits;
+  Array.iteri
+    (fun i c -> if c <> 0 then Buffer.add_string b (Printf.sprintf "f %d %d\n" i c))
+    t.prod_fires;
+  Buffer.add_string b "end\n";
+  Buffer.contents b
+
+(** Content digest of the canonical serialization; {!Tables_cache} mixes
+    it into the bundle key so a changed profile can never load a stale
+    specialization. *)
+let digest (t : t) : string = Digest.to_hex (Digest.string (to_string t))
+
+let of_string (s : string) : (t, string) result =
+  let err fmt = Fmt.kstr (fun m -> Error ("cogprof: " ^ m)) fmt in
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let int_of what v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> Ok n
+    | _ -> err "bad %s %S" what v
+  in
+  let ( let* ) = Result.bind in
+  match lines with
+  | header :: rest -> (
+      let* ver =
+        match String.split_on_char ' ' header with
+        | [ "cogprof"; v ] -> int_of "version" v
+        | _ -> err "bad header %S" header
+      in
+      if ver <> version then
+        err "unsupported version %d (this build reads version %d)" ver version
+      else
+        match rest with
+        | states_l :: prods_l :: body ->
+            let* ns =
+              match String.split_on_char ' ' states_l with
+              | [ "states"; v ] -> int_of "state count" v
+              | _ -> err "expected 'states <n>', got %S" states_l
+            in
+            let* np =
+              match String.split_on_char ' ' prods_l with
+              | [ "prods"; v ] -> int_of "production count" v
+              | _ -> err "expected 'prods <n>', got %S" prods_l
+            in
+            let t = create ~n_states:ns ~n_prods:np in
+            let rec fill = function
+              | [] -> err "missing 'end' line"
+              | [ "end" ] -> Ok t
+              | line :: tl -> (
+                  match String.split_on_char ' ' line with
+                  | [ "v"; i; c ] ->
+                      let* i = int_of "state index" i in
+                      let* c = int_of "count" c in
+                      if i >= ns then err "state index %d out of range" i
+                      else begin
+                        t.state_visits.(i) <- c;
+                        fill tl
+                      end
+                  | [ "f"; i; c ] ->
+                      let* i = int_of "production index" i in
+                      let* c = int_of "count" c in
+                      if i >= np then err "production index %d out of range" i
+                      else begin
+                        t.prod_fires.(i) <- c;
+                        fill tl
+                      end
+                  | _ -> err "bad line %S" line)
+            in
+            fill body
+        | _ -> err "truncated file")
+  | [] -> err "empty file"
+
+let save (path : string) (t : t) : (unit, string) result =
+  try
+    let oc = open_out_bin path in
+    output_string oc (to_string t);
+    close_out oc;
+    Ok ()
+  with Sys_error m -> Error m
+
+let load (path : string) : (t, string) result =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> of_string s
+  | exception Sys_error m -> Error m
+
+let pp ppf (t : t) =
+  let nz a = Array.fold_left (fun n c -> if c <> 0 then n + 1 else n) 0 a in
+  Fmt.pf ppf "profile: %d visits over %d/%d states, %d fires over %d/%d prods"
+    (total_visits t) (nz t.state_visits) (n_states t) (total_fires t)
+    (nz t.prod_fires) (n_prods t)

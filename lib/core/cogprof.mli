@@ -1,0 +1,60 @@
+(** Execution profiles of the generated code generator: per-LR-state
+    dispatch counts and per-production reduction counts, captured by
+    {!Driver.parse} and consumed by {!Compress.specialize}.
+
+    A collector is allocated per capture run by the caller (no toplevel
+    accumulation state; never shared between domains).  The on-disk
+    form is a versioned, canonical, line-oriented text file — mergeable
+    across runs and stable enough to check into the repository. *)
+
+type t = {
+  state_visits : int array;  (** per LR state: action lookups taken *)
+  prod_fires : int array;  (** per production: reductions taken *)
+}
+
+val version : int
+(** On-disk format version; {!of_string} rejects any other. *)
+
+val create : n_states:int -> n_prods:int -> t
+(** A zeroed collector for a bundle of the given dimensions. *)
+
+val uniform : n_states:int -> n_prods:int -> t
+(** Every state and production weighted 1: specializing with it is
+    dispatch-equivalent to not specializing. *)
+
+val n_states : t -> int
+val n_prods : t -> int
+
+val compatible : t -> n_states:int -> n_prods:int -> bool
+(** Whether the profile's dimensions match a table bundle's; a mismatch
+    means it was captured against a different specification. *)
+
+val visit : t -> int -> unit
+(** Record one action lookup from a state (bounds-guarded no-op when out
+    of range). *)
+
+val fire : t -> int -> unit
+(** Record one reduction of a production (bounds-guarded). *)
+
+val total_visits : t -> int
+val total_fires : t -> int
+val is_empty : t -> bool
+
+val merge : t -> t -> (t, string) result
+(** Sum two same-shape profiles into a new one; profiles of different
+    dimensions do not merge. *)
+
+val to_string : t -> string
+(** Canonical serialization (sorted, zero-suppressed). *)
+
+val of_string : string -> (t, string) result
+(** Parse {!to_string} output; rejects version mismatches, malformed
+    lines and out-of-range indices. *)
+
+val digest : t -> string
+(** Content digest of the canonical serialization; {!Tables_cache} mixes
+    it into the bundle key so stale specializations never load. *)
+
+val save : string -> t -> (unit, string) result
+val load : string -> (t, string) result
+val pp : Format.formatter -> t -> unit

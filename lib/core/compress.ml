@@ -9,10 +9,24 @@
     - row-displacement ("comb") packing: the remaining sparse rows are
       overlaid into a single value array with a check array.
 
+    Plus one profile-guided layout ({!specialize}): the hottest states by
+    measured visit count get dense flat rows ([hot_value], probed in O(1)
+    with no check), the cold tail stays comb-packed, and default
+    reductions are chosen by measured production frequency instead of
+    static cell counts — Samuelsson's example-based table specialization
+    applied to Bird's code-generator tables.
+
     Entry encoding (16-bit): 0 = error, 1 = accept, 2+2k = shift k,
     3+2k = reduce k. *)
 
-type method_ = No_compression | Defaults_only | Comb_only | Defaults_and_comb
+type method_ =
+  | No_compression
+  | Defaults_only
+  | Comb_only
+  | Defaults_and_comb
+  | Hybrid
+      (** profile-specialized: hot states dense in [hot_value], cold
+          states comb-packed with frequency-chosen defaults *)
 
 let encode_action : Parse_table.action -> int = function
   | Error -> 0
@@ -34,7 +48,11 @@ type t = {
   defaults : int array; (* per-row default entry (encoded) *)
   offsets : int array; (* per-row displacement into value/check *)
   value : int array;
-  check : int array; (* owning row id + 1, 0 = free *)
+  check : int array; (* owning column symbol + 1, 0 = free *)
+  hot_index : int array;
+      (* state -> offset of its dense row in hot_value, or -1; empty
+         unless method_ = Hybrid *)
+  hot_value : int array; (* dense rows, n_syms entries each, hottest first *)
   size_bytes : int;
 }
 
@@ -43,12 +61,19 @@ type t = {
 let uncompressed_bytes (pt : Parse_table.t) =
   Parse_table.n_states pt * Grammar.n_syms pt.Parse_table.grammar * 2
 
-let row_default method_ (row : Parse_table.action array) : int =
+(* Default selection.  The candidates are the reduce actions present in
+   the row (shifts and errors are never defaulted: a defaulted shift
+   would consume input wrongly).  [weight] ranks candidates first — by
+   measured production frequency under {!specialize}, constant 0
+   otherwise — then the static cell count, then the smaller encoding.
+   The tie chain is a strict total order, so the choice is independent
+   of hash iteration order, and a uniform profile (all weights equal)
+   picks exactly what the unprofiled path picks. *)
+let row_default ?(weight = fun _ -> 0) method_ (row : Parse_table.action array)
+    : int =
   match method_ with
   | No_compression | Comb_only -> 0
-  | Defaults_only | Defaults_and_comb ->
-      (* most common reduce action in the row; shifts and errors are never
-         defaulted (a defaulted shift would consume input wrongly) *)
+  | Defaults_only | Defaults_and_comb | Hybrid ->
       let counts = Hashtbl.create 8 in
       Array.iter
         (fun a ->
@@ -59,35 +84,42 @@ let row_default method_ (row : Parse_table.action array) : int =
                 (1 + Option.value (Hashtbl.find_opt counts v) ~default:0)
           | _ -> ())
         row;
-      Hashtbl.fold
-        (fun v c (bv, bc) -> if c > bc then (v, c) else (bv, bc))
-        counts (0, 0)
-      |> fst
+      let best = ref 0 and best_key = ref (min_int, min_int, min_int) in
+      Hashtbl.iter
+        (fun v c ->
+          let key = (weight ((v - 3) / 2), c, -v) in
+          if key > !best_key then begin
+            best_key := key;
+            best := v
+          end)
+        counts;
+      !best
 
-let compress ?pool ?(method_ = Defaults_and_comb) (pt : Parse_table.t) : t =
-  let n_states = Parse_table.n_states pt in
-  let n_syms = Grammar.n_syms pt.Parse_table.grammar in
-  (* per-state (default, significant entries); identical rows share.
-     This is the n_states x n_syms sweep — the bulk of the compression
-     work — and each state is independent, so it maps over the pool;
-     results land by state index, so the outcome is worker-count
-     invariant. *)
-  let state_rows =
-    Pool.maybe pool
-      (fun row ->
-        let d = row_default method_ row in
-        let entries = ref [] in
-        Array.iteri
-          (fun sym a ->
-            let v = encode_action a in
-            if v <> d && v <> 0 then entries := (sym, v) :: !entries)
-          row;
-        (d, List.rev !entries))
-      pt.Parse_table.actions
-  in
-  (* row sharing: map distinct (default, entries) to a row id *)
-  let row_ids : ((int * (int * int) list), int) Hashtbl.t = Hashtbl.create 64 in
-  let row_index = Array.make n_states 0 in
+(* Per-state (default, significant entries) extraction — the
+   n_states x n_syms sweep, each state independent, mapped over the
+   pool; results land by state index, so the outcome is worker-count
+   invariant. *)
+let extract_rows ?pool ?weight method_ (pt : Parse_table.t) :
+    (int * (int * int) list) array =
+  Pool.maybe pool
+    (fun row ->
+      let d = row_default ?weight method_ row in
+      let entries = ref [] in
+      Array.iteri
+        (fun sym a ->
+          let v = encode_action a in
+          if v <> d && v <> 0 then entries := (sym, v) :: !entries)
+        row;
+      (d, List.rev !entries))
+    pt.Parse_table.actions
+
+(* Row sharing: map distinct (default, entries) values to row ids;
+   returns the state->row map and the distinct rows in first-seen
+   order. *)
+let share_rows (state_rows : (int * (int * int) list) array) :
+    int array * (int * (int * int) list) array =
+  let row_ids : (int * (int * int) list, int) Hashtbl.t = Hashtbl.create 64 in
+  let row_index = Array.make (Array.length state_rows) 0 in
   let distinct = ref [] in
   let n_rows = ref 0 in
   Array.iteri
@@ -101,10 +133,152 @@ let compress ?pool ?(method_ = Defaults_and_comb) (pt : Parse_table.t) : t =
           distinct := row :: !distinct;
           row_index.(s) <- id)
     state_rows;
-  let rows = Array.of_list (List.rev !distinct) in
-  let defaults = Array.map fst rows in
-  let entries_of = Array.map snd rows in
+  (row_index, Array.of_list (List.rev !distinct))
+
+(* First-fit row displacement over the rows named by [order] (every
+   other row gets the past-the-end offset: all probes miss into the
+   default).  The check array stores the *column symbol* (one byte),
+   which is sound because packed rows always take distinct offsets: a
+   position p can only satisfy check[p] = sym with p = offset + sym for
+   the single row that owns it.
+
+   The scan is kept near-linear in the packed size: a monotone
+   [min_free] cursor (slots only ever fill, never free) lets each row
+   start probing at the first offset that could possibly place its
+   lowest column on a free slot, and both the taken-offset set and the
+   candidate probe run over plain arrays with no per-probe allocation.
+
+   Per-row packing prep — the entry array and the column bitmask the
+   first-fit probe walks — is pure per row and maps over the pool
+   (chunks of rows, merged by row id).  The placement loop itself stays
+   sequential: each row's offset depends on the occupancy left by every
+   earlier row, and byte-identical tables at any worker count are a
+   hard requirement. *)
+let pack_rows ?pool ~(n_rows : int)
+    ~(entries_of : (int * int) list array) ~(order : int array) () :
+    int array * int array * int array =
+  let prepped =
+    Pool.maybe pool
+      (fun entry_list ->
+        match entry_list with
+        | [] -> None
+        | l ->
+            let entries = Array.of_list l in
+            let ne = Array.length entries in
+            let s0 = fst entries.(0) in
+            (* the row's columns as a bit mask over [0, s_max] *)
+            let s_max = fst entries.(ne - 1) in
+            let mwords = (s_max lsr 5) + 1 in
+            let mask = Array.make mwords 0 in
+            Array.iter
+              (fun (s, _) ->
+                mask.(s lsr 5) <- mask.(s lsr 5) lor (1 lsl (s land 31)))
+              entries;
+            Some (entries, s0, mwords, mask))
+      entries_of
+  in
+  let cap = ref (max 64 (n_rows * 4)) in
+  let value = ref (Array.make !cap 0) in
+  let check = ref (Array.make !cap 0) in
+  let used = ref 0 in
+  let taken = ref (Bytes.make !cap '\000') in
+  let ensure n =
+    if n > !cap then begin
+      let ncap = max n (!cap * 2) in
+      let nv = Array.make ncap 0 and nc = Array.make ncap 0 in
+      Array.blit !value 0 nv 0 !cap;
+      Array.blit !check 0 nc 0 !cap;
+      value := nv;
+      check := nc;
+      cap := ncap
+    end
+  in
+  let offsets = Array.make n_rows (-1) in
+  let min_free = ref 0 in
+  (* occupancy bitset mirroring the check array: candidate probing
+     walks a few KB of bits (L1-resident) instead of re-reading the
+     much larger check array for every candidate offset.  32-bit
+     words inside native ints keep every index computation a shift
+     or mask and leave headroom for the cross-word window splice. *)
+  let bbits = 32 in
+  let bmask = (1 lsl bbits) - 1 in
+  let occ = ref (Array.make ((!cap lsr 5) + 2) 0) in
+  let occ_set p =
+    let i = p lsr 5 in
+    if i >= Array.length !occ then begin
+      let narr = Array.make (max (i + 1) (2 * Array.length !occ)) 0 in
+      Array.blit !occ 0 narr 0 (Array.length !occ);
+      occ := narr
+    end;
+    !occ.(i) <- !occ.(i) lor (1 lsl (p land 31))
+  in
+  Array.iter
+    (fun rid ->
+      match prepped.(rid) with
+      | None -> ()
+      | Some (entries, s0, mwords, mask) ->
+          (* advance past the filled prefix: every slot below
+             [min_free] is occupied, so no offset can place the first
+             (lowest) column there *)
+          while !min_free < !cap && !check.(!min_free) <> 0 do
+            incr min_free
+          done;
+          let occw = !occ in
+          let nocc = Array.length occw in
+          let fits off =
+            (off >= Bytes.length !taken || Bytes.get !taken off = '\000')
+            &&
+            let ok = ref true and w = ref 0 in
+            while !ok && !w < mwords do
+              let g = off + (!w lsl 5) in
+              let i = g lsr 5 and r = g land 31 in
+              let w0 = if i < nocc then occw.(i) else 0 in
+              let window =
+                if r = 0 then w0
+                else
+                  let w1 = if i + 1 < nocc then occw.(i + 1) else 0 in
+                  (w0 lsr r) lor ((w1 lsl (bbits - r)) land bmask)
+              in
+              if window land mask.(!w) <> 0 then ok := false;
+              incr w
+            done;
+            !ok
+          in
+          let off = ref (max 0 (!min_free - s0)) in
+          while not (fits !off) do
+            incr off
+          done;
+          if !off >= Bytes.length !taken then begin
+            let nb =
+              Bytes.make (max (!off + 1) (2 * Bytes.length !taken)) '\000'
+            in
+            Bytes.blit !taken 0 nb 0 (Bytes.length !taken);
+            taken := nb
+          end;
+          Bytes.set !taken !off '\001';
+          offsets.(rid) <- !off;
+          Array.iter
+            (fun (sym, v) ->
+              let p = !off + sym in
+              ensure (p + 1);
+              !value.(p) <- v;
+              !check.(p) <- sym + 1;
+              occ_set p;
+              if p + 1 > !used then used := p + 1)
+            entries)
+    order;
+  (* unpacked rows (empty, or excluded from [order]) point past the
+     packed area: every probe misses *)
+  Array.iteri (fun rid off -> if off < 0 then offsets.(rid) <- !used) offsets;
+  (offsets, Array.sub !value 0 !used, Array.sub !check 0 !used)
+
+let compress ?pool ?(method_ = Defaults_and_comb) (pt : Parse_table.t) : t =
+  let n_states = Parse_table.n_states pt in
+  let n_syms = Grammar.n_syms pt.Parse_table.grammar in
+  let state_rows = extract_rows ?pool method_ pt in
   match method_ with
+  | Hybrid ->
+      invalid_arg "Compress.compress: Hybrid requires a profile (specialize)"
   | No_compression | Defaults_only ->
       (* dense layout, one row per state (no sharing: the point of this
          method is the flat table the paper calls "uncompressed") *)
@@ -127,22 +301,14 @@ let compress ?pool ?(method_ = Defaults_and_comb) (pt : Parse_table.t) : t =
         + match method_ with Defaults_only -> n_states * 2 | _ -> 0
       in
       { n_states; n_syms; method_; row_index; defaults; offsets; value; check;
-        size_bytes }
+        hot_index = [||]; hot_value = [||]; size_bytes }
   | Comb_only | Defaults_and_comb ->
-      (* First-fit row displacement over the distinct rows, densest first.
-         The check array stores the *column symbol* (one byte), which is
-         sound because distinct rows always take distinct offsets: a
-         position p can only satisfy check[p] = sym with p = offset + sym
-         for the single row that owns it.
-
-         The scan is kept near-linear in the packed size: a monotone
-         [min_free] cursor (slots only ever fill, never free) lets each
-         row start probing at the first offset that could possibly place
-         its lowest column on a free slot, and both the taken-offset set
-         and the candidate probe run over plain arrays with no per-probe
-         allocation. *)
+      let row_index, rows = share_rows state_rows in
+      let n_rows = Array.length rows in
+      let defaults = Array.map fst rows in
+      let entries_of = Array.map snd rows in
       let row_len = Array.map List.length entries_of in
-      let order = Array.init !n_rows (fun i -> i) in
+      let order = Array.init n_rows (fun i -> i) in
       (* densest first; ties broken by row id for a strict total order,
          so the packing sequence is fully determined by the input *)
       Array.sort
@@ -150,149 +316,140 @@ let compress ?pool ?(method_ = Defaults_and_comb) (pt : Parse_table.t) : t =
           if row_len.(a) <> row_len.(b) then Int.compare row_len.(b) row_len.(a)
           else Int.compare a b)
         order;
-      (* per-row packing prep — the entry array and the column bitmask the
-         first-fit probe walks — is pure per row and maps over the pool
-         (chunks of rows, merged by row id).  The placement loop below
-         stays sequential: each row's offset depends on the occupancy left
-         by every earlier row, and byte-identical tables at any worker
-         count are a hard requirement. *)
-      let prepped =
-        Pool.maybe pool
-          (fun entry_list ->
-            match entry_list with
-            | [] -> None
-            | l ->
-                let entries = Array.of_list l in
-                let ne = Array.length entries in
-                let s0 = fst entries.(0) in
-                (* the row's columns as a bit mask over [0, s_max] *)
-                let s_max = fst entries.(ne - 1) in
-                let mwords = (s_max lsr 5) + 1 in
-                let mask = Array.make mwords 0 in
-                Array.iter
-                  (fun (s, _) ->
-                    mask.(s lsr 5) <- mask.(s lsr 5) lor (1 lsl (s land 31)))
-                  entries;
-                Some (entries, s0, mwords, mask))
-          entries_of
+      let offsets, value, check =
+        pack_rows ?pool ~n_rows ~entries_of ~order ()
       in
-      let cap = ref (max 64 (!n_rows * 4)) in
-      let value = ref (Array.make !cap 0) in
-      let check = ref (Array.make !cap 0) in
-      let used = ref 0 in
-      let taken = ref (Bytes.make !cap '\000') in
-      let ensure n =
-        if n > !cap then begin
-          let ncap = max n (!cap * 2) in
-          let nv = Array.make ncap 0 and nc = Array.make ncap 0 in
-          Array.blit !value 0 nv 0 !cap;
-          Array.blit !check 0 nc 0 !cap;
-          value := nv;
-          check := nc;
-          cap := ncap
-        end
-      in
-      let offsets = Array.make !n_rows 0 in
-      let empties = ref [] in
-      let min_free = ref 0 in
-      (* occupancy bitset mirroring the check array: candidate probing
-         walks a few KB of bits (L1-resident) instead of re-reading the
-         much larger check array for every candidate offset.  32-bit
-         words inside native ints keep every index computation a shift
-         or mask and leave headroom for the cross-word window splice. *)
-      let bbits = 32 in
-      let bmask = (1 lsl bbits) - 1 in
-      let occ = ref (Array.make ((!cap lsr 5) + 2) 0) in
-      let occ_set p =
-        let i = p lsr 5 in
-        if i >= Array.length !occ then begin
-          let narr = Array.make (max (i + 1) (2 * Array.length !occ)) 0 in
-          Array.blit !occ 0 narr 0 (Array.length !occ);
-          occ := narr
-        end;
-        !occ.(i) <- !occ.(i) lor (1 lsl (p land 31))
-      in
-      Array.iter
-        (fun rid ->
-          match prepped.(rid) with
-          | None -> empties := rid :: !empties
-          | Some (entries, s0, mwords, mask) ->
-              (* advance past the filled prefix: every slot below
-                 [min_free] is occupied, so no offset can place the first
-                 (lowest) column there *)
-              while !min_free < !cap && !check.(!min_free) <> 0 do
-                incr min_free
-              done;
-              let occw = !occ in
-              let nocc = Array.length occw in
-              let fits off =
-                (off >= Bytes.length !taken || Bytes.get !taken off = '\000')
-                &&
-                let ok = ref true and w = ref 0 in
-                while !ok && !w < mwords do
-                  let g = off + (!w lsl 5) in
-                  let i = g lsr 5 and r = g land 31 in
-                  let w0 = if i < nocc then occw.(i) else 0 in
-                  let window =
-                    if r = 0 then w0
-                    else
-                      let w1 = if i + 1 < nocc then occw.(i + 1) else 0 in
-                      (w0 lsr r) lor ((w1 lsl (bbits - r)) land bmask)
-                  in
-                  if window land mask.(!w) <> 0 then ok := false;
-                  incr w
-                done;
-                !ok
-              in
-              let off = ref (max 0 (!min_free - s0)) in
-              while not (fits !off) do
-                incr off
-              done;
-              if !off >= Bytes.length !taken then begin
-                let nb = Bytes.make (max (!off + 1) (2 * Bytes.length !taken)) '\000' in
-                Bytes.blit !taken 0 nb 0 (Bytes.length !taken);
-                taken := nb
-              end;
-              Bytes.set !taken !off '\001';
-              offsets.(rid) <- !off;
-              Array.iter
-                (fun (sym, v) ->
-                  let p = !off + sym in
-                  ensure (p + 1);
-                  !value.(p) <- v;
-                  !check.(p) <- sym + 1;
-                  occ_set p;
-                  if p + 1 > !used then used := p + 1)
-                entries)
-        order;
-      (* empty rows point past the packed area: every probe misses *)
-      List.iter (fun rid -> offsets.(rid) <- !used) !empties;
-      let value = Array.sub !value 0 !used in
-      let check = Array.sub !check 0 !used in
+      let used = Array.length value in
       let size_bytes =
-        (!used * 2) (* value: 16-bit actions *)
-        + !used (* check: 8-bit symbol ids *)
-        + (!n_rows * 2) (* offsets *)
+        (used * 2) (* value: 16-bit actions *)
+        + used (* check: 8-bit symbol ids *)
+        + (n_rows * 2) (* offsets *)
         + (n_states * 2) (* state -> row mapping *)
-        + match method_ with Defaults_and_comb -> !n_rows * 2 | _ -> 0
+        + match method_ with Defaults_and_comb -> n_rows * 2 | _ -> 0
       in
       { n_states; n_syms; method_; row_index; defaults; offsets; value; check;
-        size_bytes }
+        hot_index = [||]; hot_value = [||]; size_bytes }
+
+(* -- profile-guided specialization -------------------------------------------- *)
+
+(** Hot set size: how many of the most-visited states get dense flat
+    rows.  48 rows of ~2·n_syms bytes keeps the hybrid table within
+    ~1.2x of the comb-packed size on the amdahl470 grammar while
+    covering the overwhelming share of dispatches on measured
+    workloads; override per call with [?hot_k]. *)
+let default_hot_k = 48
+
+let specialize ?pool ?(hot_k = default_hot_k) ~(profile : Cogprof.t)
+    (pt : Parse_table.t) : t =
+  let n_states = Parse_table.n_states pt in
+  let n_syms = Grammar.n_syms pt.Parse_table.grammar in
+  let visits s =
+    if s < Array.length profile.Cogprof.state_visits then
+      profile.Cogprof.state_visits.(s)
+    else 0
+  in
+  let fires p =
+    if p < Array.length profile.Cogprof.prod_fires then
+      profile.Cogprof.prod_fires.(p)
+    else 0
+  in
+  (* defaults by measured production frequency; a uniform profile makes
+     every weight equal, so the choice degrades to the static one *)
+  let state_rows = extract_rows ?pool ~weight:fires Hybrid pt in
+  let row_index, rows = share_rows state_rows in
+  let n_rows = Array.length rows in
+  let defaults = Array.map fst rows in
+  let entries_of = Array.map snd rows in
+  (* the hot set: top-k states by visit count (visited states only);
+     ties broken by state id so the layout is fully determined *)
+  let by_heat = Array.init n_states Fun.id in
+  Array.sort
+    (fun a b ->
+      if visits a <> visits b then Int.compare (visits b) (visits a)
+      else Int.compare a b)
+    by_heat;
+  let k =
+    let k = min hot_k n_states in
+    let rec live i = if i < k && visits by_heat.(i) > 0 then live (i + 1) else i in
+    live 0
+  in
+  let hot_index = Array.make n_states (-1) in
+  let hot_value = Array.make (k * n_syms) 0 in
+  for slot = 0 to k - 1 do
+    let s = by_heat.(slot) in
+    let d, entries = state_rows.(s) in
+    (* the dense row materializes exactly what the comb probe answers:
+       significant entries explicit, everything else the row default *)
+    let base = slot * n_syms in
+    Array.fill hot_value base n_syms d;
+    List.iter (fun (sym, v) -> hot_value.(base + sym) <- v) entries;
+    hot_index.(s) <- base
+  done;
+  (* comb-pack only the rows some cold state still probes; rows owned
+     exclusively by hot states are served from hot_value and take no
+     comb space.  Row heat = summed visits of the cold states probing
+     it; packing order is densest-and-hottest-first. *)
+  let cold_heat = Array.make n_rows (-1) in
+  Array.iteri
+    (fun s rid ->
+      if hot_index.(s) < 0 then
+        cold_heat.(rid) <- max 0 cold_heat.(rid) + visits s)
+    row_index;
+  let row_len = Array.map List.length entries_of in
+  let packable =
+    Array.init n_rows Fun.id
+    |> Array.to_list
+    |> List.filter (fun rid -> cold_heat.(rid) >= 0 && row_len.(rid) > 0)
+    |> Array.of_list
+  in
+  Array.sort
+    (fun (a : int) b ->
+      if row_len.(a) <> row_len.(b) then Int.compare row_len.(b) row_len.(a)
+      else if cold_heat.(a) <> cold_heat.(b) then
+        Int.compare cold_heat.(b) cold_heat.(a)
+      else Int.compare a b)
+    packable;
+  let offsets, value, check =
+    pack_rows ?pool ~n_rows ~entries_of ~order:packable ()
+  in
+  let used = Array.length value in
+  let size_bytes =
+    (used * 2) (* value: 16-bit actions *)
+    + used (* check: 8-bit symbol ids *)
+    + (n_rows * 2) (* offsets *)
+    + (n_states * 2) (* state -> row mapping *)
+    + (n_rows * 2) (* defaults *)
+    + (n_states * 2) (* hot_index *)
+    + (k * n_syms * 2) (* dense hot rows *)
+  in
+  { n_states; n_syms; method_ = Hybrid; row_index; defaults; offsets; value;
+    check; hot_index; hot_value; size_bytes }
 
 (** O(1) probe returning the raw encoded entry: row_index -> offset ->
-    value/check, falling back to the row default on a check miss.  This is
-    the runtime dispatch path {!Driver.parse} runs on, so it avoids
-    allocating a {!Parse_table.action} per lookup. *)
+    value/check, falling back to the row default on a check miss; hot
+    states of a hybrid table are served from their dense row in one
+    indexed read.  This is the runtime dispatch path {!Driver.parse}
+    runs on, so it avoids allocating a {!Parse_table.action} per
+    lookup. *)
 let action_code (c : t) (state : int) (sym : int) : int =
-  let rid = c.row_index.(state) in
-  let p = c.offsets.(rid) + sym in
-  let key =
-    match c.method_ with
-    | Comb_only | Defaults_and_comb -> sym + 1
-    | No_compression | Defaults_only -> state + 1
+  let comb_probe () =
+    let rid = c.row_index.(state) in
+    let p = c.offsets.(rid) + sym in
+    if p >= 0 && p < Array.length c.check && c.check.(p) = sym + 1 then
+      c.value.(p)
+    else c.defaults.(rid)
   in
-  if p >= 0 && p < Array.length c.check && c.check.(p) = key then c.value.(p)
-  else c.defaults.(rid)
+  match c.method_ with
+  | Comb_only | Defaults_and_comb -> comb_probe ()
+  | Hybrid ->
+      let h = c.hot_index.(state) in
+      if h >= 0 then c.hot_value.(h + sym) else comb_probe ()
+  | No_compression | Defaults_only ->
+      let rid = c.row_index.(state) in
+      let p = c.offsets.(rid) + sym in
+      if p >= 0 && p < Array.length c.check && c.check.(p) = state + 1 then
+        c.value.(p)
+      else c.defaults.(rid)
 
 (** Specialized probe for the driver's inner loop: the table's arrays and
     the method dispatch are resolved once, outside the per-lookup path.
@@ -311,6 +468,16 @@ let dispatcher (c : t) : int -> int -> int =
         let rid = row_index.(state) in
         let p = offsets.(rid) + sym in
         if p < ncheck && check.(p) = sym + 1 then value.(p) else defaults.(rid)
+  | Hybrid ->
+      let hot_index = c.hot_index and hot_value = c.hot_value in
+      fun state sym ->
+        let h = hot_index.(state) in
+        if h >= 0 then hot_value.(h + sym)
+        else
+          let rid = row_index.(state) in
+          let p = offsets.(rid) + sym in
+          if p < ncheck && check.(p) = sym + 1 then value.(p)
+          else defaults.(rid)
   | No_compression | Defaults_only -> fun state sym -> action_code c state sym
 
 (** Decoded variant of {!action_code}. *)

@@ -10,6 +10,11 @@ type t = {
       (** the comb-packed (defaults + row displacement) form of [parse],
           built once at table-construction time; the driver's default
           dispatch path probes this representation *)
+  hybrid : Compress.t option;
+      (** the profile-specialized hybrid (hot-flat / cold-comb) form,
+          present only when the bundle was built with a profile
+          ({!Compress.specialize}); [Driver.parse ~dispatch:Hybrid]
+          probes it and falls back to [compressed] when absent *)
   compiled : Template.compiled option array;
       (** per production id; [None] for the augmentation productions *)
   n_user_prods : int;

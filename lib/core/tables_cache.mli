@@ -18,26 +18,36 @@ val stats : unit -> stats
     tests and CLIs); the counters themselves are atomics, safe to bump
     from any domain. *)
 
-val key : mode:Lookahead.mode -> string -> string
-(** Digest a specification text into its cache key. *)
+val key : ?profile:Cogprof.t -> mode:Lookahead.mode -> string -> string
+(** Digest a specification text into its cache key.  When [profile] is
+    given (a profile-specialized build), its {!Cogprof.digest} is mixed
+    in, so a stale specialization can never hit. *)
 
-val entry_path : ?mode:Lookahead.mode -> ?cache_dir:string -> string -> string
+val entry_path :
+  ?mode:Lookahead.mode ->
+  ?profile:Cogprof.t ->
+  ?cache_dir:string ->
+  string ->
+  string
 (** [entry_path spec_text] is the cache file a given specification text
     maps to (whether or not it exists yet). *)
 
 val build_text :
   ?pool:Pool.t ->
   ?mode:Lookahead.mode ->
+  ?profile:Cogprof.t ->
   ?cache_dir:string ->
   string ->
   (Tables.t * origin, Cogg_build.error list) result
 (** Tables for a specification given as text, through the cache.
     [pool] parallelizes the build on a miss; the stored bundle is
-    byte-identical at any worker count. *)
+    byte-identical at any worker count.  [profile] builds (and caches) a
+    bundle carrying the profile-specialized hybrid table. *)
 
 val build_file :
   ?pool:Pool.t ->
   ?mode:Lookahead.mode ->
+  ?profile:Cogprof.t ->
   ?cache_dir:string ->
   string ->
   (Tables.t * origin, Cogg_build.error list) result

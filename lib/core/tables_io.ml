@@ -308,12 +308,14 @@ let method_code : Compress.method_ -> int = function
   | Compress.Defaults_only -> 1
   | Compress.Comb_only -> 2
   | Compress.Defaults_and_comb -> 3
+  | Compress.Hybrid -> 4
 
 let method_of_code = function
   | 0 -> Compress.No_compression
   | 1 -> Compress.Defaults_only
   | 2 -> Compress.Comb_only
   | 3 -> Compress.Defaults_and_comb
+  | 4 -> Compress.Hybrid
   | k -> raise (Corrupt (Fmt.str "bad compression method %d" k))
 
 let w_int_arr b arr = w_arr b (fun b v -> w_i32 b v) arr
@@ -330,6 +332,8 @@ let w_compress b (c : Compress.t) =
   w_int_arr b c.Compress.offsets;
   w_int_arr b c.Compress.value;
   w_int_arr b c.Compress.check;
+  w_int_arr b c.Compress.hot_index;
+  w_int_arr b c.Compress.hot_value;
   w_i32 b c.Compress.size_bytes
 
 let r_compress r : Compress.t =
@@ -341,6 +345,8 @@ let r_compress r : Compress.t =
   let offsets = r_int_arr r in
   let value = r_int_arr r in
   let check = r_int_arr r in
+  let hot_index = r_int_arr r in
+  let hot_value = r_int_arr r in
   let size_bytes = r_i32 r in
   (* structural sanity so a corrupt entry surfaces as [Corrupt], never as
      an out-of-bounds probe at dispatch time *)
@@ -351,8 +357,21 @@ let r_compress r : Compress.t =
     || Array.length value <> Array.length check
     || Array.exists (fun rid -> rid < 0 || rid >= n_rows) row_index
   then raise (Corrupt "inconsistent compressed table");
+  (match method_ with
+  | Compress.Hybrid ->
+      if
+        Array.length hot_index <> n_states
+        || Array.length hot_value mod max 1 n_syms <> 0
+        || Array.exists
+             (fun h ->
+               h <> -1 && (h < 0 || h + n_syms > Array.length hot_value))
+             hot_index
+      then raise (Corrupt "inconsistent hybrid hot rows")
+  | _ ->
+      if Array.length hot_index <> 0 || Array.length hot_value <> 0 then
+        raise (Corrupt "hot rows on a non-hybrid table"));
   { Compress.n_states; n_syms; method_; row_index; defaults; offsets; value;
-    check; size_bytes }
+    check; hot_index; hot_value; size_bytes }
 
 let w_conflict b (c : Parse_table.conflict) =
   w_i32 b c.Parse_table.c_state;
@@ -376,7 +395,7 @@ let r_conflict r : Parse_table.conflict =
 (** Serialize a complete table bundle. *)
 let write (t : Tables.t) : string =
   let b = Buffer.create (1 lsl 16) in
-  Buffer.add_string b "CGB2";
+  Buffer.add_string b "CGB3";
   (* grammar *)
   let g = t.Tables.grammar in
   w_arr b w_str g.Grammar.names;
@@ -418,6 +437,8 @@ let write (t : Tables.t) : string =
   w_i32 b t.Tables.parse.Parse_table.automaton.Lr0.start;
   w_list b w_conflict t.Tables.parse.Parse_table.conflicts;
   w_compress b t.Tables.compressed;
+  (* the profile-specialized hybrid table, when the bundle carries one *)
+  w_opt b w_compress t.Tables.hybrid;
   (* templates and type info *)
   Buffer.add_string b (template_array_bytes t);
   w_i32 b t.Tables.n_user_prods;
@@ -434,7 +455,7 @@ let write (t : Tables.t) : string =
     not stored: a placeholder with only the start state is rebuilt, which
     is all the driver needs (it reads actions, never items). *)
 let read (s : string) : Tables.t =
-  if String.length s < 4 || String.sub s 0 4 <> "CGB2" then
+  if String.length s < 4 || String.sub s 0 4 <> "CGB3" then
     raise (Corrupt "bad bundle magic");
   let r = { buf = s; pos = 4 } in
   let names = r_arr r r_str in
@@ -510,6 +531,7 @@ let read (s : string) : Tables.t =
   let start = r_i32 r in
   let conflicts = r_list r r_conflict in
   let compressed = r_compress r in
+  let hybrid = r_opt r r_compress in
   let automaton =
     (* a skeletal automaton: the driver only needs the start state id *)
     {
@@ -533,6 +555,7 @@ let read (s : string) : Tables.t =
     symtab;
     parse;
     compressed;
+    hybrid;
     compiled;
     n_user_prods;
     class_of;

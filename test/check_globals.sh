@@ -28,6 +28,13 @@
 #   - immutable sentinel records/constructors (Driver.bottom,
 #                          Code_buffer.dummy_item): never mutated, used
 #                          only to pre-fill growable arrays
+#   - Cogprof.t collectors  profile-capture state is plain mutable int
+#                          arrays, but every collector is allocated per
+#                          capture run by the caller (Cogprof.create has
+#                          no toplevel instance) and is documented as
+#                          never shared across domains; capture paths
+#                          (pasc, fuzz runner, bench profile) are
+#                          sequential by construction
 
 set -eu
 

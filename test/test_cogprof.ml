@@ -1,0 +1,228 @@
+(* The execution-profile format and the profile-guided specializer:
+   capture, canonical (de)serialization, merging, and the central
+   soundness properties of Compress.specialize — a uniform profile
+   degrades to the unprofiled layout exactly, and any profile at all
+   yields a table the verifier accepts. *)
+
+let tables () = Lazy.force Util.amdahl_tables
+
+let dims () =
+  let t = tables () in
+  ( Cogg.Parse_table.n_states t.Cogg.Tables.parse,
+    Cogg.Grammar.n_prods t.Cogg.Tables.grammar )
+
+(* a profile captured from one real compile *)
+let captured () =
+  let t = tables () in
+  let n_states, n_prods = dims () in
+  let pr = Cogg.Cogprof.create ~n_states ~n_prods in
+  (match Pipeline.compile ~profile:pr t Pipeline.Programs.gcd with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "gcd failed to compile: %s" m);
+  pr
+
+(* -- capture ------------------------------------------------------------------ *)
+
+let test_capture_counts () =
+  let pr = captured () in
+  Alcotest.(check bool) "not empty" false (Cogg.Cogprof.is_empty pr);
+  Alcotest.(check bool)
+    "visits accumulated" true
+    (Cogg.Cogprof.total_visits pr > 0);
+  Alcotest.(check bool)
+    "fires accumulated" true
+    (Cogg.Cogprof.total_fires pr > 0);
+  (* capture is deterministic: same program, same counts *)
+  let again = captured () in
+  Alcotest.(check string)
+    "two captures agree"
+    (Cogg.Cogprof.to_string pr)
+    (Cogg.Cogprof.to_string again)
+
+(* -- (de)serialization -------------------------------------------------------- *)
+
+let test_roundtrip () =
+  let pr = captured () in
+  (match Cogg.Cogprof.of_string (Cogg.Cogprof.to_string pr) with
+  | Error m -> Alcotest.failf "canonical text did not re-read: %s" m
+  | Ok back ->
+      Alcotest.(check string)
+        "text round-trip is exact"
+        (Cogg.Cogprof.to_string pr)
+        (Cogg.Cogprof.to_string back);
+      Alcotest.(check string)
+        "digest is stable" (Cogg.Cogprof.digest pr)
+        (Cogg.Cogprof.digest back));
+  let path = Filename.temp_file "cogprof-test" ".cogprof" in
+  (match Cogg.Cogprof.save path pr with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "save failed: %s" m);
+  (match Cogg.Cogprof.load path with
+  | Error m -> Alcotest.failf "load failed: %s" m
+  | Ok back ->
+      Alcotest.(check string)
+        "file round-trip is exact"
+        (Cogg.Cogprof.to_string pr)
+        (Cogg.Cogprof.to_string back));
+  Sys.remove path
+
+let test_empty_roundtrip () =
+  let n_states, n_prods = dims () in
+  let pr = Cogg.Cogprof.create ~n_states ~n_prods in
+  Alcotest.(check bool) "empty" true (Cogg.Cogprof.is_empty pr);
+  match Cogg.Cogprof.of_string (Cogg.Cogprof.to_string pr) with
+  | Error m -> Alcotest.failf "empty profile did not re-read: %s" m
+  | Ok back ->
+      Alcotest.(check bool) "still empty" true (Cogg.Cogprof.is_empty back);
+      Alcotest.(check int)
+        "dimensions preserved" n_states
+        (Cogg.Cogprof.n_states back)
+
+let test_version_mismatch_rejected () =
+  let n_states, n_prods = dims () in
+  let text = Cogg.Cogprof.to_string (Cogg.Cogprof.create ~n_states ~n_prods) in
+  let bumped =
+    let v = string_of_int Cogg.Cogprof.version in
+    let prefix = "cogprof " ^ v in
+    if String.length text < String.length prefix then
+      Alcotest.fail "unexpected header"
+    else
+      "cogprof 9999"
+      ^ String.sub text (String.length prefix)
+          (String.length text - String.length prefix)
+  in
+  match Cogg.Cogprof.of_string bumped with
+  | Ok _ -> Alcotest.fail "future version accepted"
+  | Error m ->
+      Alcotest.(check bool)
+        (Fmt.str "error names the version (%s)" m)
+        true
+        (Util.contains m "version")
+
+(* -- merging ------------------------------------------------------------------ *)
+
+let test_merge_disjoint_sums () =
+  let n_states, n_prods = dims () in
+  let a = Cogg.Cogprof.create ~n_states ~n_prods in
+  let b = Cogg.Cogprof.create ~n_states ~n_prods in
+  Cogg.Cogprof.visit a 0;
+  Cogg.Cogprof.visit a 0;
+  Cogg.Cogprof.fire a 1;
+  Cogg.Cogprof.visit b (n_states - 1);
+  Cogg.Cogprof.fire b (n_prods - 1);
+  match Cogg.Cogprof.merge a b with
+  | Error m -> Alcotest.failf "same-shape merge failed: %s" m
+  | Ok m ->
+      Alcotest.(check int) "visits sum" 3 (Cogg.Cogprof.total_visits m);
+      Alcotest.(check int) "fires sum" 2 (Cogg.Cogprof.total_fires m);
+      Alcotest.(check int)
+        "disjoint cells land intact" 1
+        m.Cogg.Cogprof.state_visits.(n_states - 1);
+      Alcotest.(check int) "summed cell" 2 m.Cogg.Cogprof.state_visits.(0)
+
+let test_merge_shape_mismatch () =
+  let n_states, n_prods = dims () in
+  let a = Cogg.Cogprof.create ~n_states ~n_prods in
+  let b = Cogg.Cogprof.create ~n_states:(n_states + 1) ~n_prods in
+  match Cogg.Cogprof.merge a b with
+  | Ok _ -> Alcotest.fail "mismatched shapes merged"
+  | Error _ -> ()
+
+(* -- specialization soundness -------------------------------------------------- *)
+
+let test_uniform_profile_is_dispatch_equivalent () =
+  (* specializing with the all-ones profile must agree with the
+     unprofiled comb table at every single (state, symbol) cell: the
+     frequency weighting ties everywhere and the deterministic
+     tie-breaking falls back to the static choice *)
+  let t = tables () in
+  let pt = t.Cogg.Tables.parse in
+  let n_states, n_prods = dims () in
+  let comb = t.Cogg.Tables.compressed in
+  let hybrid =
+    Cogg.Compress.specialize
+      ~profile:(Cogg.Cogprof.uniform ~n_states ~n_prods)
+      pt
+  in
+  let n_syms = comb.Cogg.Compress.n_syms in
+  let mismatches = ref 0 in
+  for s = 0 to n_states - 1 do
+    for sym = 0 to n_syms - 1 do
+      if
+        Cogg.Compress.action_code comb s sym
+        <> Cogg.Compress.action_code hybrid s sym
+      then incr mismatches
+    done
+  done;
+  Alcotest.(check int) "identical at every cell" 0 !mismatches
+
+let test_specialized_verifies () =
+  (* whatever the profile says — skewed, sparse, or captured — the
+     specialized table must still reproduce the original modulo default
+     reductions, and hybrid dispatch must match comb cell-for-cell *)
+  let t = tables () in
+  let pt = t.Cogg.Tables.parse in
+  let comb = t.Cogg.Tables.compressed in
+  let n_syms = comb.Cogg.Compress.n_syms in
+  let n_states, n_prods = dims () in
+  let gen =
+    QCheck.Gen.(
+      pair
+        (array_size (return n_states) (frequency [ (4, return 0); (1, int_bound 10_000) ]))
+        (array_size (return n_prods) (frequency [ (4, return 0); (1, int_bound 10_000) ])))
+  in
+  let prop (state_visits, prod_fires) =
+    let pr = { Cogg.Cogprof.state_visits; prod_fires } in
+    let c = Cogg.Compress.specialize ~profile:pr pt in
+    (match Cogg.Compress.verify c pt with
+    | Ok _ -> ()
+    | Error e -> QCheck.Test.fail_reportf "verify rejected: %s" e);
+    (* hybrid never changes which action a live cell yields vs its own
+       comb fallback semantics: compare against the unprofiled comb on
+       all non-default cells via the original table *)
+    for s = 0 to n_states - 1 do
+      for sym = 0 to n_syms - 1 do
+        let orig = Cogg.Parse_table.action pt s sym in
+        if orig <> Cogg.Parse_table.Error then
+          if
+            Cogg.Compress.action_code c s sym
+            <> Cogg.Compress.encode_action orig
+          then
+            QCheck.Test.fail_reportf
+              "live cell (%d, %d) diverges from the original" s sym
+      done
+    done;
+    true
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:12
+       ~name:"random profiles specialize soundly"
+       (QCheck.make gen ~print:(fun _ -> "profile"))
+       prop)
+
+let () =
+  Alcotest.run "cogprof"
+    [
+      ( "capture",
+        [ Alcotest.test_case "counts accumulate" `Quick test_capture_counts ] );
+      ( "format",
+        [
+          Alcotest.test_case "round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "empty round-trip" `Quick test_empty_roundtrip;
+          Alcotest.test_case "version mismatch rejected" `Quick
+            test_version_mismatch_rejected;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "disjoint merges sum" `Quick
+            test_merge_disjoint_sums;
+          Alcotest.test_case "shape mismatch rejected" `Quick
+            test_merge_shape_mismatch;
+        ] );
+      ( "specialize",
+        [
+          Alcotest.test_case "uniform profile is dispatch-equivalent" `Quick
+            test_uniform_profile_is_dispatch_equivalent;
+          test_specialized_verifies ();
+        ] );
+    ]

@@ -18,7 +18,9 @@ let all_methods =
 (* Default reductions may soften an Error entry into a Reduce (delayed
    error detection); any other disagreement is a packing bug. *)
 let softening_allowed = function
-  | Cogg.Compress.Defaults_only | Cogg.Compress.Defaults_and_comb -> true
+  | Cogg.Compress.Defaults_only | Cogg.Compress.Defaults_and_comb
+  | Cogg.Compress.Hybrid ->
+      true
   | Cogg.Compress.No_compression | Cogg.Compress.Comb_only -> false
 
 let test_per_entry_equivalence () =
