@@ -205,6 +205,21 @@ let compile_cmd =
       (match (profile_out, collector) with
       | Some path, Some pr -> write_profile path pr
       | _ -> ());
+      (* profile drift: when specializing against a stored profile while
+         also capturing a fresh one, compare the hot sets the two would
+         promote — a low overlap means the stored profile no longer
+         matches this workload and the specialization is stale *)
+      (match (spec_profile, collector) with
+      | Some stored, Some fresh when not (Cogg.Cogprof.is_empty fresh) ->
+          let k = Cogg.Compress.default_hot_k in
+          let overlap = Cogg.Cogprof.hot_overlap ~k stored fresh in
+          if overlap < 0.5 then
+            Fmt.epr
+              "warning: profile %s looks stale for this workload (hot-set \
+               overlap %.2f at k=%d); re-capture with --profile-out and \
+               refresh it@."
+              (Option.get specialize) overlap k
+      | _ -> ());
       (* reporting stays sequential and in input order: batch output must
          be byte-identical to compiling the files one by one *)
       let failed = ref false in
@@ -421,6 +436,158 @@ let fuzz_cmd =
                  same-shape profile) — the fuzz-corpus half of the \
                  default specialization profile."))
 
+(* -- the compile service ------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/pascd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+
+let serve_cmd =
+  let run spec_path socket jobs queue_capacity cache_capacity verify
+      no_self_check specialize =
+    let domains =
+      if jobs = 0 then Domain.recommended_domain_count () else jobs
+    in
+    let with_pool f =
+      if domains <= 1 then f None
+      else Cogg.Pool.with_pool ~domains (fun p -> f (Some p))
+    in
+    with_pool @@ fun pool ->
+    let profile =
+      Option.map (fun p -> or_die (Cogg.Cogprof.load p)) specialize
+    in
+    let tables = load_tables ?pool ?profile ~no_cache:false spec_path in
+    (* the table bundle's own cache key doubles as its identity in every
+       result-cache key, so results can never outlive the spec (or the
+       profile) they were compiled under *)
+    let table_key =
+      Cogg.Tables_cache.key ?profile ~mode:Cogg.Lookahead.Slr
+        (read_file spec_path)
+    in
+    let server =
+      or_die
+        (Serve.Server.create ?pool ~queue_capacity
+           ~cache_capacity ~verify ~self_check:(not no_self_check) ~table_key
+           ~socket_path:socket tables)
+    in
+    Fmt.epr "pascd: serving %s on %s (%d domain%s)@." spec_path socket domains
+      (if domains = 1 then "" else "s");
+    Serve.Server.run server;
+    Fmt.epr "pascd: %s@."
+      (String.concat ", "
+         (String.split_on_char '\n' (Serve.Server.stats_text server)
+         |> List.filter (fun l -> l <> "")))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent compile daemon: load the tables once, serve \
+          compile requests over a Unix-domain socket, cache results by \
+          content digest")
+    Term.(
+      const run $ spec_arg $ socket_arg $ jobs_arg
+      $ Arg.(
+          value & opt int 64
+          & info [ "queue" ] ~docv:"N"
+              ~doc:
+                "Pending-compile queue capacity; requests beyond it are \
+                 answered $(b,Overloaded) immediately (admission control)")
+      $ Arg.(
+          value & opt int 256
+          & info [ "cache" ] ~docv:"N"
+              ~doc:"Result cache capacity (entries, FIFO-evicted per shard)")
+      $ Arg.(
+          value
+          & opt
+              (enum
+                 [
+                   ("once", Serve.Server.Verify_once);
+                   ("never", Serve.Server.Verify_never);
+                   ("always", Serve.Server.Verify_always);
+                 ])
+              Serve.Server.Verify_once
+          & info [ "verify" ] ~docv:"MODE"
+              ~doc:
+                "Determinism gate on cache hits: $(b,once) (first hit per \
+                 entry recompiles and compares; the default), $(b,always), \
+                 or $(b,never)")
+      $ Arg.(
+          value & flag
+          & info [ "no-self-check" ]
+              ~doc:
+                "Skip the startup determinism self-check (the oracle run \
+                 that gates the cache's correctness premise)")
+      $ Arg.(
+          value
+          & opt ~vopt:(Some "bench/default.cogprof") (some string) None
+          & info [ "specialize" ] ~docv:"FILE"
+              ~doc:"Serve profile-specialized tables (see $(b,compile))"))
+
+let client_cmd =
+  let run socket srcs show_listing do_stats do_ping do_shutdown pause_ms =
+    let c = or_die (Serve.Client.connect socket) in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    if do_ping then begin
+      or_die (Serve.Client.ping c);
+      Fmt.pr "pong@."
+    end;
+    (match pause_ms with
+    | Some ms -> or_die (Serve.Client.pause c ms)
+    | None -> ());
+    let failed = ref false in
+    if srcs <> [] then begin
+      let sources = Array.of_list (List.map read_file srcs) in
+      let replies = or_die (Serve.Client.compile_batch c sources) in
+      let many = List.length srcs > 1 in
+      Array.iteri
+        (fun i reply ->
+          let path = List.nth srcs i in
+          match reply with
+          | Serve.Wire.Compiled { cached; outcome = Ok (listing, code); _ } ->
+              if many then Fmt.pr "==> %s <==@." path;
+              Fmt.epr "%s: ok (%d bytes%s)@." path (String.length code)
+                (if cached then ", cached" else "");
+              if show_listing then Fmt.pr "%s@." listing
+          | Serve.Wire.Compiled { outcome = Error m; _ } ->
+              Fmt.epr "%s: %s@." path m;
+              failed := true
+          | Serve.Wire.Overloaded _ ->
+              Fmt.epr "%s: daemon overloaded, retry later@." path;
+              failed := true
+          | _ ->
+              Fmt.epr "%s: unexpected reply@." path;
+              failed := true)
+        replies
+    end;
+    if do_stats then Fmt.pr "%s" (or_die (Serve.Client.stats c));
+    if do_shutdown then or_die (Serve.Client.shutdown c);
+    if !failed then exit 1
+  in
+  let flag names doc = Arg.(value & flag & info names ~doc) in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running pascd daemon: compile sources through it, query \
+          its counters, or shut it down")
+    Term.(
+      const run $ socket_arg
+      $ Arg.(
+          value & pos_all file []
+          & info [] ~docv:"SOURCE" ~doc:"mini-Pascal source file(s)")
+      $ flag [ "listing"; "S" ] "Print the returned assembly listing"
+      $ flag [ "stats" ] "Print the daemon's counters"
+      $ flag [ "ping" ] "Liveness probe"
+      $ flag [ "shutdown" ] "Ask the daemon to drain and exit"
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "pause" ] ~docv:"MS"
+              ~doc:
+                "Suspend the daemon's compile-queue draining for $(docv) \
+                 milliseconds (testing hook for the backpressure path)"))
+
 let interp_cmd =
   let run src_path =
     let src = read_file src_path in
@@ -438,4 +605,7 @@ let () =
     Cmd.info "pasc" ~version:"1.0"
       ~doc:"mini-Pascal compiler over the CoGG table-driven code generator"
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; interp_cmd; fuzz_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; interp_cmd; fuzz_cmd; serve_cmd; client_cmd ]))

@@ -104,19 +104,27 @@ let build ?pool ?(mode = Lookahead.Slr) ?(profile : Cogprof.t option)
         | Some s -> kind_of.(s) <- Some k
         | None -> ())
       symtab.Symtab.terminals;
+    let compressed =
+      Compress.compress ?pool ~method_:Compress.Defaults_and_comb parse
+    in
     Ok
       {
         Tables.grammar;
         symtab;
         parse;
-        compressed =
-          Compress.compress ?pool ~method_:Compress.Defaults_and_comb parse;
+        compressed;
         hybrid =
           (* the profile-specialized layout rides alongside the comb
-             table; profile access in [specialize] is bounds-guarded, so
-             a profile captured against other tables degrades to an
-             unhelpful (never unsound) specialization *)
-          Option.map (fun p -> Compress.specialize ?pool ~profile:p parse)
+             table, sized adaptively: as many hot states as fit in 110%
+             of the comb table's bytes.  Profile access in [specialize]
+             is bounds-guarded, so a profile captured against other
+             tables degrades to an unhelpful (never unsound)
+             specialization *)
+          Option.map
+            (fun p ->
+              Compress.specialize ?pool
+                ~size_budget:(compressed.Compress.size_bytes * 110 / 100)
+                ~profile:p parse)
             profile;
         compiled;
         n_user_prods = n_user;

@@ -76,6 +76,43 @@ let merge (a : t) (b : t) : (t, string) result =
           Array.init (n_prods a) (fun i -> a.prod_fires.(i) + b.prod_fires.(i));
       }
 
+(* -- hot-set comparison (profile drift detection) -----------------------------
+
+   Specialization only reads the profile through its hot set (the top-k
+   states by visit count) and relative production frequencies, so
+   "drift" worth warning about is a change in *which* states are hot,
+   not in the raw counts — a rerun of the same workload at a different
+   scale has different counts but the identical hot set. *)
+
+(** [hot_set ~k t] is the top-[k] states by visit count, hottest first,
+    visited states only, ties broken by state id — exactly the set
+    {!Compress.specialize} would promote to dense rows at that [k]. *)
+let hot_set ~(k : int) (t : t) : int list =
+  let n = Array.length t.state_visits in
+  let idx = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      if t.state_visits.(a) <> t.state_visits.(b) then
+        Int.compare t.state_visits.(b) t.state_visits.(a)
+      else Int.compare a b)
+    idx;
+  let rec take i acc =
+    if i >= min k n || t.state_visits.(idx.(i)) = 0 then List.rev acc
+    else take (i + 1) (idx.(i) :: acc)
+  in
+  take 0 []
+
+(** [hot_overlap ~k a b] is the Jaccard similarity of the two profiles'
+    [k]-element hot sets: 1.0 when they agree exactly (or both are
+    empty), approaching 0.0 as the hot states diverge.  Shape-agnostic:
+    states are compared by id, so callers should check {!compatible}
+    first if that matters. *)
+let hot_overlap ~(k : int) (a : t) (b : t) : float =
+  let sa = hot_set ~k a and sb = hot_set ~k b in
+  let inter = List.length (List.filter (fun s -> List.mem s sb) sa) in
+  let union = List.length sa + List.length sb - inter in
+  if union = 0 then 1.0 else float_of_int inter /. float_of_int union
+
 (* -- the on-disk form ---------------------------------------------------------
 
    cogprof 1

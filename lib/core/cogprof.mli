@@ -44,6 +44,17 @@ val merge : t -> t -> (t, string) result
 (** Sum two same-shape profiles into a new one; profiles of different
     dimensions do not merge. *)
 
+val hot_set : k:int -> t -> int list
+(** The top-[k] states by visit count (visited states only), hottest
+    first, ties by state id — the set {!Compress.specialize} would
+    promote to dense rows at that [k]. *)
+
+val hot_overlap : k:int -> t -> t -> float
+(** Jaccard similarity of two profiles' [k]-element hot sets: 1.0 when
+    identical (or both empty).  The drift signal behind
+    [bench profile --check] and the [pasc compile --specialize]
+    staleness warning. *)
+
 val to_string : t -> string
 (** Canonical serialization (sorted, zero-suppressed). *)
 

@@ -339,7 +339,7 @@ let compress ?pool ?(method_ = Defaults_and_comb) (pt : Parse_table.t) : t =
     workloads; override per call with [?hot_k]. *)
 let default_hot_k = 48
 
-let specialize ?pool ?(hot_k = default_hot_k) ~(profile : Cogprof.t)
+let specialize ?pool ?hot_k ?size_budget ~(profile : Cogprof.t)
     (pt : Parse_table.t) : t =
   let n_states = Parse_table.n_states pt in
   let n_syms = Grammar.n_syms pt.Parse_table.grammar in
@@ -368,62 +368,98 @@ let specialize ?pool ?(hot_k = default_hot_k) ~(profile : Cogprof.t)
       if visits a <> visits b then Int.compare (visits b) (visits a)
       else Int.compare a b)
     by_heat;
-  let k =
-    let k = min hot_k n_states in
-    let rec live i = if i < k && visits by_heat.(i) > 0 then live (i + 1) else i in
+  let live_max =
+    let rec live i =
+      if i < n_states && visits by_heat.(i) > 0 then live (i + 1) else i
+    in
     live 0
   in
-  let hot_index = Array.make n_states (-1) in
-  let hot_value = Array.make (k * n_syms) 0 in
-  for slot = 0 to k - 1 do
-    let s = by_heat.(slot) in
-    let d, entries = state_rows.(s) in
-    (* the dense row materializes exactly what the comb probe answers:
-       significant entries explicit, everything else the row default *)
-    let base = slot * n_syms in
-    Array.fill hot_value base n_syms d;
-    List.iter (fun (sym, v) -> hot_value.(base + sym) <- v) entries;
-    hot_index.(s) <- base
-  done;
-  (* comb-pack only the rows some cold state still probes; rows owned
-     exclusively by hot states are served from hot_value and take no
-     comb space.  Row heat = summed visits of the cold states probing
-     it; packing order is densest-and-hottest-first. *)
-  let cold_heat = Array.make n_rows (-1) in
-  Array.iteri
-    (fun s rid ->
-      if hot_index.(s) < 0 then
-        cold_heat.(rid) <- max 0 cold_heat.(rid) + visits s)
-    row_index;
   let row_len = Array.map List.length entries_of in
-  let packable =
-    Array.init n_rows Fun.id
-    |> Array.to_list
-    |> List.filter (fun rid -> cold_heat.(rid) >= 0 && row_len.(rid) > 0)
-    |> Array.of_list
+  (* one complete layout at a given hot-state count; everything above
+     (row extraction, sharing, heat order) is shared across candidates *)
+  let layout (k : int) : t =
+    let k = min k live_max in
+    let hot_index = Array.make n_states (-1) in
+    let hot_value = Array.make (k * n_syms) 0 in
+    for slot = 0 to k - 1 do
+      let s = by_heat.(slot) in
+      let d, entries = state_rows.(s) in
+      (* the dense row materializes exactly what the comb probe answers:
+         significant entries explicit, everything else the row default *)
+      let base = slot * n_syms in
+      Array.fill hot_value base n_syms d;
+      List.iter (fun (sym, v) -> hot_value.(base + sym) <- v) entries;
+      hot_index.(s) <- base
+    done;
+    (* comb-pack only the rows some cold state still probes; rows owned
+       exclusively by hot states are served from hot_value and take no
+       comb space.  Row heat = summed visits of the cold states probing
+       it; packing order is densest-and-hottest-first. *)
+    let cold_heat = Array.make n_rows (-1) in
+    Array.iteri
+      (fun s rid ->
+        if hot_index.(s) < 0 then
+          cold_heat.(rid) <- max 0 cold_heat.(rid) + visits s)
+      row_index;
+    let packable =
+      Array.init n_rows Fun.id
+      |> Array.to_list
+      |> List.filter (fun rid -> cold_heat.(rid) >= 0 && row_len.(rid) > 0)
+      |> Array.of_list
+    in
+    Array.sort
+      (fun (a : int) b ->
+        if row_len.(a) <> row_len.(b) then Int.compare row_len.(b) row_len.(a)
+        else if cold_heat.(a) <> cold_heat.(b) then
+          Int.compare cold_heat.(b) cold_heat.(a)
+        else Int.compare a b)
+      packable;
+    let offsets, value, check =
+      pack_rows ?pool ~n_rows ~entries_of ~order:packable ()
+    in
+    let used = Array.length value in
+    let size_bytes =
+      (used * 2) (* value: 16-bit actions *)
+      + used (* check: 8-bit symbol ids *)
+      + (n_rows * 2) (* offsets *)
+      + (n_states * 2) (* state -> row mapping *)
+      + (n_rows * 2) (* defaults *)
+      + (n_states * 2) (* hot_index *)
+      + (k * n_syms * 2) (* dense hot rows *)
+    in
+    { n_states; n_syms; method_ = Hybrid; row_index; defaults; offsets; value;
+      check; hot_index; hot_value; size_bytes }
   in
-  Array.sort
-    (fun (a : int) b ->
-      if row_len.(a) <> row_len.(b) then Int.compare row_len.(b) row_len.(a)
-      else if cold_heat.(a) <> cold_heat.(b) then
-        Int.compare cold_heat.(b) cold_heat.(a)
-      else Int.compare a b)
-    packable;
-  let offsets, value, check =
-    pack_rows ?pool ~n_rows ~entries_of ~order:packable ()
-  in
-  let used = Array.length value in
-  let size_bytes =
-    (used * 2) (* value: 16-bit actions *)
-    + used (* check: 8-bit symbol ids *)
-    + (n_rows * 2) (* offsets *)
-    + (n_states * 2) (* state -> row mapping *)
-    + (n_rows * 2) (* defaults *)
-    + (n_states * 2) (* hot_index *)
-    + (k * n_syms * 2) (* dense hot rows *)
-  in
-  { n_states; n_syms; method_ = Hybrid; row_index; defaults; offsets; value;
-    check; hot_index; hot_value; size_bytes }
+  match (hot_k, size_budget) with
+  | Some k, _ -> layout (min k n_states)
+  | None, None -> layout (min default_hot_k n_states)
+  | None, Some budget ->
+      (* adaptive: the largest hot-state count whose laid-out size fits
+         the budget.  size(k) grows by ~2·n_syms bytes per promoted
+         state minus whatever comb space exclusively-owned rows free, so
+         it is monotone enough for a binary search; the result is always
+         within budget when even k=0 is (k=0 is comb packing plus two
+         empty side arrays), and fully deterministic — the probe
+         sequence depends only on the table, profile and budget. *)
+      let floor = layout 0 in
+      if floor.size_bytes > budget || live_max = 0 then floor
+      else begin
+        let ceiling = layout live_max in
+        if ceiling.size_bytes <= budget then ceiling
+        else begin
+          let lo = ref 0 and hi = ref live_max and best = ref floor in
+          while !hi - !lo > 1 do
+            let mid = (!lo + !hi) / 2 in
+            let cand = layout mid in
+            if cand.size_bytes <= budget then begin
+              lo := mid;
+              best := cand
+            end
+            else hi := mid
+          done;
+          !best
+        end
+      end
 
 (** O(1) probe returning the raw encoded entry: row_index -> offset ->
     value/check, falling back to the row default on a check miss; hot

@@ -66,16 +66,28 @@ val default_hot_k : int
     rows when [?hot_k] is not given. *)
 
 val specialize :
-  ?pool:Pool.t -> ?hot_k:int -> profile:Cogprof.t -> Parse_table.t -> t
+  ?pool:Pool.t ->
+  ?hot_k:int ->
+  ?size_budget:int ->
+  profile:Cogprof.t ->
+  Parse_table.t ->
+  t
 (** [specialize ~profile pt] is the profile-guided hybrid layout: the
-    top-[hot_k] states by recorded visit count (visited states only) get
+    hottest states by recorded visit count (visited states only) get
     dense O(1) rows; the rest comb-pack densest-and-hottest-first, with
     rows probed only by hot states dropped from the comb entirely; row
     defaults are chosen by recorded production frequency (falling back
     to static cell counts on ties, so a {!Cogprof.uniform} profile
-    yields a table dispatch-equivalent to [compress]).  Deterministic:
-    same table + same profile = byte-identical layout at any worker
-    count. *)
+    yields a table dispatch-equivalent to [compress]).
+
+    The hot-state count: an explicit [?hot_k] is used as-is (clamped to
+    the visited prefix); otherwise, when [?size_budget] (bytes) is
+    given, the largest count whose laid-out [size_bytes] fits the
+    budget is chosen by binary search — when even zero hot states
+    overshoot (tiny budget), the zero-hot layout is returned, so the
+    result is always defined; with neither, {!default_hot_k} applies.
+    Deterministic: same table + same profile + same arguments =
+    byte-identical layout at any worker count. *)
 
 val action_code : t -> int -> int -> int
 (** [action_code c state sym] is the O(1) runtime probe: row_index ->

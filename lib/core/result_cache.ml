@@ -1,0 +1,108 @@
+(** Sharded, content-addressed, in-memory result cache (see the mli).
+
+    Domain-safety: every mutable structure (hash table, FIFO queue)
+    lives inside a shard and is touched only under that shard's mutex;
+    the counters are atomics.  Nothing here is toplevel mutable state —
+    instances are created per service. *)
+
+type 'v shard = {
+  lock : Mutex.t;
+  tbl : (string, 'v) Hashtbl.t;
+  order : string Queue.t;
+      (** insertion order; may carry stale keys for entries that were
+          [remove]d — eviction skips keys no longer in [tbl] *)
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+type 'v t = {
+  shards : 'v shard array;
+  shard_capacity : int;
+  n_hits : int Atomic.t;
+  n_misses : int Atomic.t;
+  n_evictions : int Atomic.t;
+}
+
+(* process-wide observability mirror (enabled Metrics only); instance
+   stats stay exact regardless *)
+let m_hits = Metrics.sum "result_cache.hits"
+let m_misses = Metrics.sum "result_cache.misses"
+let m_evictions = Metrics.sum "result_cache.evictions"
+
+let create ?(shards = 16) ~capacity () : 'v t =
+  let shards = max 1 (min 256 shards) in
+  let shard_capacity = max 1 ((capacity + shards - 1) / shards) in
+  {
+    shards =
+      Array.init shards (fun _ ->
+          {
+            lock = Mutex.create ();
+            tbl = Hashtbl.create 64;
+            order = Queue.create ();
+          });
+    shard_capacity;
+    n_hits = Atomic.make 0;
+    n_misses = Atomic.make 0;
+    n_evictions = Atomic.make 0;
+  }
+
+let shard_of (t : 'v t) (key : string) : 'v shard =
+  t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let with_lock (s : 'v shard) (f : unit -> 'a) : 'a =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+let find (t : 'v t) (key : string) : 'v option =
+  let s = shard_of t key in
+  let r = with_lock s (fun () -> Hashtbl.find_opt s.tbl key) in
+  (match r with
+  | Some _ ->
+      Atomic.incr t.n_hits;
+      Metrics.add m_hits 1
+  | None ->
+      Atomic.incr t.n_misses;
+      Metrics.add m_misses 1);
+  r
+
+(* under the shard lock: pop insertion order until the table fits,
+   skipping stale queue entries left behind by [remove]/replacement *)
+let rec evict_to_fit (t : 'v t) (s : 'v shard) =
+  if Hashtbl.length s.tbl > t.shard_capacity then begin
+    match Queue.take_opt s.order with
+    | None -> () (* impossible: tbl keys are a subset of queued keys *)
+    | Some old ->
+        if Hashtbl.mem s.tbl old then begin
+          Hashtbl.remove s.tbl old;
+          Atomic.incr t.n_evictions;
+          Metrics.add m_evictions 1
+        end;
+        evict_to_fit t s
+  end
+
+let store (t : 'v t) (key : string) (v : 'v) : unit =
+  let s = shard_of t key in
+  with_lock s (fun () ->
+      if Hashtbl.mem s.tbl key then Hashtbl.replace s.tbl key v
+      else begin
+        Hashtbl.replace s.tbl key v;
+        Queue.add key s.order;
+        evict_to_fit t s
+      end)
+
+let remove (t : 'v t) (key : string) : unit =
+  let s = shard_of t key in
+  with_lock s (fun () -> Hashtbl.remove s.tbl key)
+
+let length (t : 'v t) : int =
+  Array.fold_left
+    (fun acc s -> acc + with_lock s (fun () -> Hashtbl.length s.tbl))
+    0 t.shards
+
+let stats (t : 'v t) : stats =
+  {
+    hits = Atomic.get t.n_hits;
+    misses = Atomic.get t.n_misses;
+    evictions = Atomic.get t.n_evictions;
+    entries = length t;
+  }

@@ -1,0 +1,49 @@
+(** Sharded, content-addressed, in-memory result cache.
+
+    The compile service's second cache tier: where {!Tables_cache}
+    amortizes table {e construction} across processes, this caches the
+    {e output} of individual compilations within a long-lived process,
+    keyed by a content digest of (table identity, option fingerprint,
+    source text).  Because every compile is deterministic (the fuzz
+    subsystem's byte-identical-recompile oracle), a cached value is
+    exactly what a fresh compile would produce — the service still
+    gates hits against that property (see [Serve]).
+
+    The table is sharded: each key hashes to one of [shards] buckets,
+    each with its own mutex, hash table and insertion-order queue, so
+    concurrent lookups from a {!Pool}'s domains contend only when they
+    collide on a shard.  Each shard holds at most
+    [capacity / shards] entries; inserting past that evicts the
+    shard's oldest entry (insertion order, FIFO).
+
+    Hit/miss/eviction counts are kept per instance (atomics, readable
+    any time) and mirrored into the {!Metrics} registry
+    ([result_cache.hits]/[.misses]/[.evictions]) when that subsystem
+    is enabled. *)
+
+type 'v t
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val create : ?shards:int -> capacity:int -> unit -> 'v t
+(** [create ~capacity ()] makes an empty cache holding at most
+    [capacity] entries overall (rounded up to a multiple of [shards];
+    at least one entry per shard).  [shards] defaults to 16 and is
+    clamped to [1, 256]. *)
+
+val find : 'v t -> string -> 'v option
+(** Look the key up in its shard, bumping the hit or miss counter. *)
+
+val store : 'v t -> string -> 'v -> unit
+(** Insert (or replace) the key's value, evicting the shard's oldest
+    entries if it is full.  Replacement keeps the key's original age. *)
+
+val remove : 'v t -> string -> unit
+(** Drop the key if present (the service uses this to expel an entry
+    that failed the determinism gate). *)
+
+val length : 'v t -> int
+(** Current number of entries, summed over the shards. *)
+
+val stats : 'v t -> stats
+(** Snapshot of this instance's counters.  Safe from any domain. *)

@@ -12,10 +12,10 @@
 
 (* Bumping this invalidates every existing entry; it must change whenever
    the Tables_io bundle format does, or when table construction starts
-   producing different (still correct) bytes — v4: bundles carry an
-   optional profile-specialized hybrid table (CGB3) and default-reduction
-   ties break deterministically by encoded value. *)
-let format_version = 4
+   producing different (still correct) bytes — v5: profiled builds pick
+   the hybrid hot-state count adaptively under a size budget instead of
+   the fixed 48, so specialized bundles lay out differently. *)
+let format_version = 5
 
 type origin = Cache_hit | Built
 
@@ -23,16 +23,25 @@ let pp_origin ppf = function
   | Cache_hit -> Fmt.string ppf "cache hit"
   | Built -> Fmt.string ppf "built from spec"
 
-type stats = { hits : int; misses : int }
+type stats = { hits : int; misses : int; evictions : int }
 
 (* domain-safe observability counters; the process-lifetime Atomics feed
    [stats] unconditionally, and the same increments are folded into the
    Metrics aggregate when that subsystem is enabled *)
 let hit_count = Atomic.make 0
 let miss_count = Atomic.make 0
-let stats () = { hits = Atomic.get hit_count; misses = Atomic.get miss_count }
+let eviction_count = Atomic.make 0
+
+let stats () =
+  {
+    hits = Atomic.get hit_count;
+    misses = Atomic.get miss_count;
+    evictions = Atomic.get eviction_count;
+  }
+
 let m_hits = Metrics.sum "tables_cache.hits"
 let m_misses = Metrics.sum "tables_cache.misses"
+let m_evictions = Metrics.sum "tables_cache.evictions"
 
 let src = Logs.Src.create "cogg.tables-cache" ~doc:"CoGG table cache"
 
@@ -91,6 +100,66 @@ let rec mkdir_p dir =
    half-written bytes through the rename. *)
 let tmp_counter = Atomic.make 0
 
+(* Size cap: a long-lived daemon rebuilding tables against rotating
+   profiles (every distinct profile digest is a distinct entry) must not
+   grow the cache directory without bound.  Entries are evicted
+   oldest-first by modification time (the entry just written was just
+   touched, so it is always the newest); ties break by file name so the
+   victim set is deterministic.  Everything is best effort — a
+   concurrently deleted file is simply skipped. *)
+let default_max_entries = 64
+
+let max_entries_default () =
+  match Sys.getenv_opt "COGG_CACHE_MAX_ENTRIES" with
+  | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> default_max_entries)
+  | None -> default_max_entries
+
+let is_entry name =
+  String.length name > 9
+  && String.sub name 0 5 = "cogg-"
+  && Filename.check_suffix name ".cgt"
+
+let prune ?cache_dir ?max_entries () : int =
+  let dir = match cache_dir with Some d -> d | None -> default_dir () in
+  let cap = match max_entries with Some n -> max 1 n | None -> max_entries_default () in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      let entries =
+        Array.to_list names
+        |> List.filter_map (fun name ->
+               if not (is_entry name) then None
+               else
+                 let path = Filename.concat dir name in
+                 match Unix.stat path with
+                 | st -> Some (st.Unix.st_mtime, name, path)
+                 | exception Unix.Unix_error _ -> None)
+      in
+      let n = List.length entries in
+      if n <= cap then 0
+      else begin
+        let oldest_first =
+          List.sort
+            (fun (ma, na, _) (mb, nb, _) ->
+              match Float.compare ma mb with
+              | 0 -> String.compare na nb
+              | c -> c)
+            entries
+        in
+        let victims = List.filteri (fun i _ -> i < n - cap) oldest_first in
+        List.fold_left
+          (fun removed (_, _, path) ->
+            match Sys.remove path with
+            | () ->
+                Atomic.incr eviction_count;
+                Metrics.add m_evictions 1;
+                Log.info (fun f -> f "evicted %s (cache over %d entries)" path cap);
+                removed + 1
+            | exception Sys_error _ -> removed)
+          0 victims
+      end
+
 let store path bytes =
   try
     mkdir_p (Filename.dirname path);
@@ -102,7 +171,10 @@ let store path bytes =
     let oc = open_out_bin tmp in
     output_string oc bytes;
     close_out oc;
-    Sys.rename tmp path
+    Sys.rename tmp path;
+    (* the cap covers the directory the entry landed in, which may be a
+       caller-supplied cache_dir rather than the default *)
+    ignore (prune ~cache_dir:(Filename.dirname path) ())
   with Sys_error m -> Log.warn (fun f -> f "cannot store cache entry: %s" m)
 
 let load path : Tables.t option =

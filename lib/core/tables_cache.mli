@@ -11,12 +11,26 @@ type origin = Cache_hit | Built
 
 val pp_origin : Format.formatter -> origin -> unit
 
-type stats = { hits : int; misses : int }
+type stats = { hits : int; misses : int; evictions : int }
 
 val stats : unit -> stats
-(** A snapshot of the process-wide hit/miss counters (observability for
-    tests and CLIs); the counters themselves are atomics, safe to bump
-    from any domain. *)
+(** A snapshot of the process-wide hit/miss/eviction counters
+    (observability for tests and CLIs); the counters themselves are
+    atomics, safe to bump from any domain. *)
+
+val default_max_entries : int
+(** The entry-count cap {!prune} enforces when neither [?max_entries]
+    nor [$COGG_CACHE_MAX_ENTRIES] overrides it. *)
+
+val prune : ?cache_dir:string -> ?max_entries:int -> unit -> int
+(** Enforce the size cap on a cache directory: when it holds more than
+    [max_entries] (default [$COGG_CACHE_MAX_ENTRIES], else
+    {!default_max_entries}) bundle entries, delete the excess
+    oldest-first by modification time (ties by name, so the victim set
+    is deterministic).  Returns the number deleted.  Best effort and
+    race-tolerant — concurrently removed files are skipped, errors are
+    swallowed.  Every successful [store] runs this automatically, so a
+    long-lived daemon's cache directory stays bounded. *)
 
 val key : ?profile:Cogprof.t -> mode:Lookahead.mode -> string -> string
 (** Digest a specification text into its cache key.  When [profile] is

@@ -1,0 +1,150 @@
+(** Client side of the [pascd] compile service (see client.mli). *)
+
+type t = { fd : Unix.file_descr; mutable open_ : bool }
+
+let connect (path : string) : (t, string) result =
+  try
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      Ok { fd; open_ = true }
+    with e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  with
+  | Unix.Unix_error (e, _, _) ->
+      Error (Fmt.str "cannot connect to %s: %s" path (Unix.error_message e))
+  | Sys_error m -> Error m
+
+let close (t : t) =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let request (t : t) (req : Wire.request) : (Wire.reply, string) result =
+  try
+    Wire.write_frame t.fd (Wire.encode_request req);
+    match Wire.read_frame t.fd with
+    | None -> Error "daemon closed the connection"
+    | Some payload -> Wire.decode_reply payload
+  with
+  | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | Failure m -> Error m
+
+let ping (t : t) : (unit, string) result =
+  match request t Wire.Ping with
+  | Ok Wire.Ack -> Ok ()
+  | Ok _ -> Error "expected Ack"
+  | Error _ as e -> e
+
+let stats (t : t) : (string, string) result =
+  match request t Wire.Stats with
+  | Ok (Wire.Stats_reply s) -> Ok s
+  | Ok _ -> Error "expected Stats_reply"
+  | Error _ as e -> e
+
+let pause (t : t) (ms : int) : (unit, string) result =
+  match request t (Wire.Pause ms) with
+  | Ok Wire.Ack -> Ok ()
+  | Ok _ -> Error "expected Ack"
+  | Error _ as e -> e
+
+let shutdown (t : t) : (unit, string) result =
+  match request t Wire.Shutdown with
+  | Ok Wire.Bye -> Ok ()
+  | Ok _ -> Error "expected Bye"
+  | Error _ as e -> e
+
+let compile (t : t) ?(options = Wire.default_options) (source : string) :
+    (Wire.reply, string) result =
+  request t (Wire.Compile { id = 0; options; source })
+
+(* -- interleaved batch -------------------------------------------------------- *)
+
+(** Submit [n] compile requests and collect [n] replies without ever
+    blocking on a write while replies are waiting: all outgoing frames
+    are concatenated into one buffer and pushed with [single_write] as
+    the socket accepts them, and the socket is read whenever it is
+    readable.  The daemon replies synchronously (hits inline, misses
+    after a drain), so interleaving is what prevents the
+    both-sides-blocked-on-write deadlock a naive send-all-then-read-all
+    client would risk on large batches. *)
+let compile_batch (t : t) ?(options = Wire.default_options)
+    (sources : string array) : (Wire.reply array, string) result =
+  let n = Array.length sources in
+  if n = 0 then Ok [||]
+  else begin
+    let out = Buffer.create 4096 in
+    Array.iteri
+      (fun id source ->
+        let payload =
+          Wire.encode_request (Wire.Compile { id; options; source })
+        in
+        let len = String.length payload in
+        Buffer.add_char out (Char.chr ((len lsr 24) land 0xff));
+        Buffer.add_char out (Char.chr ((len lsr 16) land 0xff));
+        Buffer.add_char out (Char.chr ((len lsr 8) land 0xff));
+        Buffer.add_char out (Char.chr (len land 0xff));
+        Buffer.add_string out payload)
+      sources;
+    let out = Bytes.unsafe_of_string (Buffer.contents out) in
+    let out_len = Bytes.length out in
+    let sent = ref 0 in
+    let replies = Array.make n None in
+    let received = ref 0 in
+    let inbuf = ref "" in
+    let chunk = Bytes.create 65536 in
+    let frame_len s =
+      if String.length s < 4 then None
+      else
+        Some
+          ((Char.code s.[0] lsl 24)
+          lor (Char.code s.[1] lsl 16)
+          lor (Char.code s.[2] lsl 8)
+          lor Char.code s.[3])
+    in
+    try
+      while !received < n do
+        let want_write = !sent < out_len in
+        let readable, writable, _ =
+          Unix.select [ t.fd ] (if want_write then [ t.fd ] else []) [] 5.0
+        in
+        if readable = [] && writable = [] then
+          failwith "timed out waiting for the daemon";
+        if readable <> [] then begin
+          let r = Unix.read t.fd chunk 0 (Bytes.length chunk) in
+          if r = 0 then failwith "daemon closed the connection";
+          inbuf := !inbuf ^ Bytes.sub_string chunk 0 r;
+          let continue = ref true in
+          while !continue do
+            match frame_len !inbuf with
+            | Some len when String.length !inbuf >= 4 + len -> (
+                let payload = String.sub !inbuf 4 len in
+                inbuf :=
+                  String.sub !inbuf (4 + len) (String.length !inbuf - 4 - len);
+                match Wire.decode_reply payload with
+                | Error m -> failwith m
+                | Ok reply -> (
+                    let id =
+                      match reply with
+                      | Wire.Compiled { id; _ } | Wire.Overloaded { id } ->
+                          Some id
+                      | Wire.Stats_reply _ | Wire.Ack | Wire.Bye -> None
+                    in
+                    match id with
+                    | Some id when id >= 0 && id < n ->
+                        if replies.(id) = None then incr received;
+                        replies.(id) <- Some reply
+                    | _ -> failwith "unexpected reply in batch"))
+            | _ -> continue := false
+          done
+        end;
+        if writable <> [] && !sent < out_len then
+          sent := !sent + Unix.single_write t.fd out !sent (out_len - !sent)
+      done;
+      Ok (Array.map Option.get replies)
+    with
+    | Failure m -> Error m
+    | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  end

@@ -1,0 +1,258 @@
+(** Wire protocol of the [pascd] compile service: length-prefixed
+    frames, tagged payloads, big-endian integers.  See wire.mli for the
+    frame grammar; this module is pure encoding plus the two blocking
+    frame I/O helpers the client and the test harness share. *)
+
+type dispatch = Default | Flat | Comb | Hybrid
+
+type options = {
+  cse : bool option;
+  checks : bool option;
+  dispatch : dispatch;
+}
+
+let default_options = { cse = None; checks = None; dispatch = Default }
+
+type request =
+  | Compile of { id : int; options : options; source : string }
+  | Stats
+  | Ping
+  | Pause of int
+  | Shutdown
+
+type outcome = (string * string, string) result
+
+type reply =
+  | Compiled of { id : int; cached : bool; outcome : outcome }
+  | Overloaded of { id : int }
+  | Stats_reply of string
+  | Ack
+  | Bye
+
+(* 16 MiB: far above any real listing + object image, far below what a
+   corrupt length prefix could ask us to allocate *)
+let max_frame = 1 lsl 24
+
+(* -- primitive encoders ------------------------------------------------------ *)
+
+let put_u32 b n =
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (n land 0xff))
+
+let get_u32 s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+(* tri-state option byte: 0 = server default, 1 = false, 2 = true *)
+let put_opt_bool b = function
+  | None -> Buffer.add_char b '\000'
+  | Some false -> Buffer.add_char b '\001'
+  | Some true -> Buffer.add_char b '\002'
+
+let get_opt_bool = function
+  | '\000' -> Ok None
+  | '\001' -> Ok (Some false)
+  | '\002' -> Ok (Some true)
+  | c -> Error (Printf.sprintf "bad option byte %d" (Char.code c))
+
+let dispatch_byte = function
+  | Default -> '\000'
+  | Flat -> '\001'
+  | Comb -> '\002'
+  | Hybrid -> '\003'
+
+let dispatch_of_byte = function
+  | '\000' -> Ok Default
+  | '\001' -> Ok Flat
+  | '\002' -> Ok Comb
+  | '\003' -> Ok Hybrid
+  | c -> Error (Printf.sprintf "bad dispatch byte %d" (Char.code c))
+
+(** The cache key's option component: same canonical bytes as the wire
+    encoding, so distinct option sets are distinct key material. *)
+let options_tag (o : options) : string =
+  let b = Buffer.create 3 in
+  put_opt_bool b o.cse;
+  put_opt_bool b o.checks;
+  Buffer.add_char b (dispatch_byte o.dispatch);
+  Buffer.contents b
+
+(* -- requests ----------------------------------------------------------------- *)
+
+let encode_request (r : request) : string =
+  let b = Buffer.create 64 in
+  (match r with
+  | Compile { id; options; source } ->
+      Buffer.add_char b 'C';
+      put_u32 b id;
+      Buffer.add_string b (options_tag options);
+      Buffer.add_string b source
+  | Stats -> Buffer.add_char b 'S'
+  | Ping -> Buffer.add_char b 'P'
+  | Pause ms ->
+      Buffer.add_char b 'Z';
+      put_u32 b ms
+  | Shutdown -> Buffer.add_char b 'Q');
+  Buffer.contents b
+
+let decode_request (s : string) : (request, string) result =
+  let ( let* ) = Result.bind in
+  let n = String.length s in
+  if n = 0 then Error "empty request frame"
+  else
+    match s.[0] with
+    | 'C' ->
+        if n < 8 then Error "truncated compile request"
+        else
+          let* cse = get_opt_bool s.[5] in
+          let* checks = get_opt_bool s.[6] in
+          let* dispatch = dispatch_of_byte s.[7] in
+          Ok
+            (Compile
+               {
+                 id = get_u32 s 1;
+                 options = { cse; checks; dispatch };
+                 source = String.sub s 8 (n - 8);
+               })
+    | 'S' -> Ok Stats
+    | 'P' -> Ok Ping
+    | 'Z' ->
+        if n < 5 then Error "truncated pause request"
+        else Ok (Pause (get_u32 s 1))
+    | 'Q' -> Ok Shutdown
+    | c -> Error (Printf.sprintf "unknown request tag %d" (Char.code c))
+
+(* -- replies ------------------------------------------------------------------ *)
+
+let encode_reply (r : reply) : string =
+  let b = Buffer.create 256 in
+  (match r with
+  | Compiled { id; cached; outcome } -> (
+      Buffer.add_char b 'R';
+      put_u32 b id;
+      Buffer.add_char b (if cached then '\001' else '\000');
+      match outcome with
+      | Ok (listing, code) ->
+          Buffer.add_char b 'K';
+          put_u32 b (String.length listing);
+          Buffer.add_string b listing;
+          Buffer.add_string b code
+      | Error msg ->
+          Buffer.add_char b 'E';
+          Buffer.add_string b msg)
+  | Overloaded { id } ->
+      Buffer.add_char b 'O';
+      put_u32 b id
+  | Stats_reply text ->
+      Buffer.add_char b 'T';
+      Buffer.add_string b text
+  | Ack -> Buffer.add_char b 'A'
+  | Bye -> Buffer.add_char b 'B');
+  Buffer.contents b
+
+let decode_reply (s : string) : (reply, string) result =
+  let n = String.length s in
+  if n = 0 then Error "empty reply frame"
+  else
+    match s.[0] with
+    | 'R' ->
+        if n < 7 then Error "truncated compile reply"
+        else
+          let id = get_u32 s 1 in
+          let cached = s.[5] = '\001' in
+          (match s.[6] with
+          | 'K' ->
+              if n < 11 then Error "truncated compile reply body"
+              else
+                let ll = get_u32 s 7 in
+                if 11 + ll > n then Error "listing length out of range"
+                else
+                  let listing = String.sub s 11 ll in
+                  let code = String.sub s (11 + ll) (n - 11 - ll) in
+                  Ok (Compiled { id; cached; outcome = Ok (listing, code) })
+          | 'E' ->
+              Ok
+                (Compiled
+                   { id; cached; outcome = Error (String.sub s 7 (n - 7)) })
+          | c -> Error (Printf.sprintf "bad outcome tag %d" (Char.code c)))
+    | 'O' ->
+        if n < 5 then Error "truncated overloaded reply"
+        else Ok (Overloaded { id = get_u32 s 1 })
+    | 'T' -> Ok (Stats_reply (String.sub s 1 (n - 1)))
+    | 'A' -> Ok Ack
+    | 'B' -> Ok Bye
+    | c -> Error (Printf.sprintf "unknown reply tag %d" (Char.code c))
+
+(* -- frame I/O ---------------------------------------------------------------- *)
+
+let write_frame (fd : Unix.file_descr) (payload : string) : unit =
+  let n = String.length payload in
+  let framed = Bytes.create (4 + n) in
+  Bytes.set framed 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set framed 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set framed 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set framed 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 framed 4 n;
+  let total = 4 + n in
+  let sent = ref 0 in
+  while !sent < total do
+    sent := !sent + Unix.write fd framed !sent (total - !sent)
+  done
+
+let read_exact fd n ~what : string =
+  let buf = Bytes.create n in
+  let got = ref 0 in
+  while !got < n do
+    let r = Unix.read fd buf !got (n - !got) in
+    if r = 0 then failwith ("unexpected EOF reading " ^ what);
+    got := !got + r
+  done;
+  Bytes.unsafe_to_string buf
+
+let read_frame (fd : Unix.file_descr) : string option =
+  let hdr = Bytes.create 4 in
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < 4 do
+    let r = Unix.read fd hdr !got (4 - !got) in
+    if r = 0 then
+      if !got = 0 then eof := true
+      else failwith "unexpected EOF inside frame header"
+    else got := !got + r
+  done;
+  if !eof then None
+  else
+    let n =
+      (Char.code (Bytes.get hdr 0) lsl 24)
+      lor (Char.code (Bytes.get hdr 1) lsl 16)
+      lor (Char.code (Bytes.get hdr 2) lsl 8)
+      lor Char.code (Bytes.get hdr 3)
+    in
+    if n > max_frame then failwith (Printf.sprintf "oversized frame (%d bytes)" n)
+    else Some (read_exact fd n ~what:"frame payload")
+
+(* -- batch fingerprint -------------------------------------------------------- *)
+
+(** Byte-for-byte the {!Pipeline.Batch.fingerprint} construction, over
+    replies instead of results; anything that is not a [Compiled] reply
+    folds in its own separator so it can never collide with one. *)
+let fingerprint (replies : reply array) : string =
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun r ->
+      match r with
+      | Compiled { outcome = Ok (listing, code); _ } ->
+          Buffer.add_string buf listing;
+          Buffer.add_char buf '\000';
+          Buffer.add_string buf code;
+          Buffer.add_char buf '\001'
+      | Compiled { outcome = Error m; _ } ->
+          Buffer.add_string buf m;
+          Buffer.add_char buf '\002'
+      | Overloaded _ | Stats_reply _ | Ack | Bye -> Buffer.add_char buf '\003')
+    replies;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -1,0 +1,81 @@
+(** Wire protocol of the [pascd] compile service.
+
+    Frames are length-prefixed: a 32-bit big-endian payload length
+    followed by the payload, in both directions.  Payloads are tagged by
+    their first byte and carry fixed-width integers big-endian, so the
+    encoding is byte-identical across platforms and a capture of one
+    session replays exactly.
+
+    The protocol is deliberately minimal: one request per frame, one
+    reply per request, replies matched to compile requests by the
+    caller-chosen [id] (replies may arrive out of request order — cached
+    results are answered inline while misses wait for the compile
+    pool). *)
+
+type dispatch = Default | Flat | Comb | Hybrid
+
+type options = {
+  cse : bool option;  (** [None] = server default (the {!Pipeline.compile} default) *)
+  checks : bool option;
+  dispatch : dispatch;
+}
+
+val default_options : options
+(** Everything defaulted — compiles exactly like
+    [Pipeline.Batch.compile_all] with no overrides, which is what makes
+    served batches fingerprint-identical to direct ones. *)
+
+type request =
+  | Compile of { id : int; options : options; source : string }
+  | Stats  (** counters snapshot, as a [Stats_reply] text *)
+  | Ping  (** liveness probe; answered [Ack] *)
+  | Pause of int
+      (** stop draining the compile queue for this many milliseconds
+          (admission control keeps running, so the queue fills and
+          overflow requests get [Overloaded]) — the deterministic
+          backpressure test hook *)
+  | Shutdown  (** drain, answer [Bye], exit the serve loop *)
+
+type outcome = (string * string, string) result
+(** A compile's observable output: [Ok (listing, object_bytes)] or
+    [Error message] — the same bytes {!Pipeline.Batch.fingerprint}
+    digests. *)
+
+type reply =
+  | Compiled of { id : int; cached : bool; outcome : outcome }
+  | Overloaded of { id : int }
+      (** admission control rejected the request: the pending queue was
+          full.  Retry later; nothing was compiled. *)
+  | Stats_reply of string  (** [key value] lines *)
+  | Ack
+  | Bye
+
+val max_frame : int
+(** Upper bound on accepted payload sizes (defence against garbage on
+    the socket, not a protocol limit). *)
+
+val options_tag : options -> string
+(** Canonical 3-byte encoding of [options] — part of the result cache
+    key, so the same source compiled under different options never
+    collides. *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_reply : reply -> string
+val decode_reply : string -> (reply, string) result
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one length-prefixed frame, looping until all bytes are out.
+    Raises [Unix.Unix_error] on a dead peer. *)
+
+val read_frame : Unix.file_descr -> string option
+(** Read one frame, blocking; [None] on clean EOF before a length
+    prefix.  Raises [Failure] on truncated or oversized frames. *)
+
+val fingerprint : reply array -> string
+(** Digest an id-ordered reply array exactly the way
+    {!Pipeline.Batch.fingerprint} digests its result array: a served
+    batch and a direct batch produced the same compilations iff the two
+    fingerprints are equal.  Non-[Compiled] replies fold in a distinct
+    separator so a dropped or overloaded slot can never collide with a
+    real result. *)

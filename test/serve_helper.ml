@@ -1,0 +1,87 @@
+(* Standalone pascd daemon for the serve test suite: test_serve spawns
+   this executable with a throwaway socket path and talks Wire to it.
+   Kept separate from the Alcotest binaries so a daemon crash is a
+   process exit the parent observes, not a tangled in-process failure. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("serve_helper: " ^ m);
+      exit 2)
+    fmt
+
+let rec find_up depth dir rel =
+  let candidate = Filename.concat dir rel in
+  if Sys.file_exists candidate then Some candidate
+  else if depth = 0 then None
+  else find_up (depth - 1) (Filename.dirname dir) rel
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let socket = ref "" in
+  let queue = ref 64 in
+  let jobs = ref 1 in
+  let cache = ref 256 in
+  let verify = ref Serve.Server.Verify_once in
+  let rec parse = function
+    | [] -> ()
+    | "--socket" :: v :: rest ->
+        socket := v;
+        parse rest
+    | "--queue" :: v :: rest ->
+        queue := int_of_string v;
+        parse rest
+    | "--jobs" :: v :: rest ->
+        jobs := int_of_string v;
+        parse rest
+    | "--cache" :: v :: rest ->
+        cache := int_of_string v;
+        parse rest
+    | "--verify" :: v :: rest ->
+        (verify :=
+           match v with
+           | "never" -> Serve.Server.Verify_never
+           | "once" -> Serve.Server.Verify_once
+           | "always" -> Serve.Server.Verify_always
+           | other -> fail "unknown verify mode %S" other);
+        parse rest
+    | other :: _ -> fail "unknown argument %S" other
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !socket = "" then fail "--socket is required";
+  let spec_path =
+    match
+      find_up 6 (Sys.getcwd ()) (Filename.concat "specs" "amdahl470.cgg")
+    with
+    | Some p -> p
+    | None -> fail "cannot locate specs/amdahl470.cgg from %s" (Sys.getcwd ())
+  in
+  let tables =
+    match Cogg.Cogg_build.build_file spec_path with
+    | Ok t -> t
+    | Error es ->
+        fail "spec failed to build: %s"
+          (String.concat "; "
+             (List.map (Fmt.str "%a" Cogg.Cogg_build.pp_error) es))
+  in
+  let table_key =
+    Cogg.Tables_cache.key ~mode:Cogg.Lookahead.Slr (read_file spec_path)
+  in
+  let pool =
+    if !jobs > 1 then Some (Cogg.Pool.create ~domains:!jobs ()) else None
+  in
+  let server =
+    match
+      Serve.Server.create ?pool ~queue_capacity:!queue ~cache_capacity:!cache
+        ~verify:!verify ~table_key ~socket_path:!socket tables
+    with
+    | Ok s -> s
+    | Error m -> fail "create failed: %s" m
+  in
+  Serve.Server.run server;
+  Option.iter Cogg.Pool.shutdown pool

@@ -200,6 +200,100 @@ let test_specialized_verifies () =
        (QCheck.make gen ~print:(fun _ -> "profile"))
        prop)
 
+(* -- hot sets and drift ------------------------------------------------------- *)
+
+let test_hot_set () =
+  let n_states, n_prods = dims () in
+  let pr = Cogg.Cogprof.create ~n_states ~n_prods in
+  for _ = 1 to 5 do Cogg.Cogprof.visit pr 3 done;
+  for _ = 1 to 2 do Cogg.Cogprof.visit pr 1 done;
+  Cogg.Cogprof.visit pr 7;
+  Cogg.Cogprof.visit pr 2;
+  Alcotest.(check (list int)) "top two by heat" [ 3; 1 ]
+    (Cogg.Cogprof.hot_set ~k:2 pr);
+  Alcotest.(check (list int))
+    "ties break by state id, unvisited states excluded" [ 3; 1; 2; 7 ]
+    (Cogg.Cogprof.hot_set ~k:100 pr);
+  Alcotest.(check (list int)) "k = 0 is empty" [] (Cogg.Cogprof.hot_set ~k:0 pr)
+
+let test_hot_overlap () =
+  let n_states, n_prods = dims () in
+  let mk visits =
+    let pr = Cogg.Cogprof.create ~n_states ~n_prods in
+    List.iter (fun s -> Cogg.Cogprof.visit pr s) visits;
+    pr
+  in
+  let a = mk [ 0; 1; 2 ] and b = mk [ 3; 4; 5 ] and c = mk [ 0; 1; 2 ] in
+  Alcotest.(check (float 1e-9)) "identical sets" 1.0
+    (Cogg.Cogprof.hot_overlap ~k:8 a c);
+  Alcotest.(check (float 1e-9)) "disjoint sets" 0.0
+    (Cogg.Cogprof.hot_overlap ~k:8 a b);
+  Alcotest.(check (float 1e-9)) "both empty counts as no drift" 1.0
+    (Cogg.Cogprof.hot_overlap ~k:8 (mk []) (mk []));
+  (* {0,1,2} vs {1,2,3}: intersection 2, union 4 *)
+  Alcotest.(check (float 1e-9)) "partial overlap is Jaccard" 0.5
+    (Cogg.Cogprof.hot_overlap ~k:8 a (mk [ 1; 2; 3 ]))
+
+(* -- adaptive hot_k under a size budget --------------------------------------- *)
+
+let hot_count (c : Cogg.Compress.t) =
+  Array.fold_left
+    (fun acc o -> if o >= 0 then acc + 1 else acc)
+    0 c.Cogg.Compress.hot_index
+
+let test_budget_respected () =
+  let t = tables () in
+  let pt = t.Cogg.Tables.parse in
+  let pr = captured () in
+  let comb = t.Cogg.Tables.compressed in
+  let budget = comb.Cogg.Compress.size_bytes * 110 / 100 in
+  let c = Cogg.Compress.specialize ~size_budget:budget ~profile:pr pt in
+  Alcotest.(check bool)
+    (Fmt.str "laid-out size %d fits the budget %d" c.Cogg.Compress.size_bytes
+       budget)
+    true
+    (c.Cogg.Compress.size_bytes <= budget);
+  Alcotest.(check bool) "some states promoted" true (hot_count c > 0);
+  match Cogg.Compress.verify c pt with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "budgeted layout failed verification: %s" e
+
+let test_budget_extremes () =
+  let t = tables () in
+  let pt = t.Cogg.Tables.parse in
+  let pr = captured () in
+  (* a budget nothing fits in: the zero-hot floor is still returned and
+     still correct *)
+  let floor = Cogg.Compress.specialize ~size_budget:0 ~profile:pr pt in
+  Alcotest.(check int) "tiny budget promotes nothing" 0 (hot_count floor);
+  (match Cogg.Compress.verify floor pt with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "floor layout failed verification: %s" e);
+  (* an unbounded budget promotes every visited state *)
+  let ceiling = Cogg.Compress.specialize ~size_budget:max_int ~profile:pr pt in
+  let visited =
+    List.length (Cogg.Cogprof.hot_set ~k:(Cogg.Cogprof.n_states pr) pr)
+  in
+  Alcotest.(check int) "huge budget promotes all visited states" visited
+    (hot_count ceiling);
+  match Cogg.Compress.verify ceiling pt with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "ceiling layout failed verification: %s" e
+
+let test_explicit_hot_k_wins () =
+  let t = tables () in
+  let pt = t.Cogg.Tables.parse in
+  let pr = captured () in
+  (* an explicit hot_k overrides the budget entirely *)
+  let c = Cogg.Compress.specialize ~hot_k:4 ~size_budget:0 ~profile:pr pt in
+  Alcotest.(check int) "exactly the requested promotions" 4 (hot_count c);
+  let default = Cogg.Compress.specialize ~profile:pr pt in
+  let explicit =
+    Cogg.Compress.specialize ~hot_k:Cogg.Compress.default_hot_k ~profile:pr pt
+  in
+  Alcotest.(check int)
+    "no arguments means default_hot_k" (hot_count explicit) (hot_count default)
+
 let () =
   Alcotest.run "cogprof"
     [
@@ -224,5 +318,17 @@ let () =
           Alcotest.test_case "uniform profile is dispatch-equivalent" `Quick
             test_uniform_profile_is_dispatch_equivalent;
           test_specialized_verifies ();
+        ] );
+      ( "hot sets",
+        [
+          Alcotest.test_case "hot_set ranks by heat" `Quick test_hot_set;
+          Alcotest.test_case "hot_overlap is Jaccard" `Quick test_hot_overlap;
+        ] );
+      ( "size budget",
+        [
+          Alcotest.test_case "budget respected" `Quick test_budget_respected;
+          Alcotest.test_case "extreme budgets" `Quick test_budget_extremes;
+          Alcotest.test_case "explicit hot_k wins" `Quick
+            test_explicit_hot_k_wins;
         ] );
     ]

@@ -1,0 +1,221 @@
+(* The compile service end to end: a real serve_helper daemon process
+   on a throwaway socket, driven through Serve.Client.  The properties:
+   served batches are byte-identical to direct Pipeline compiles, cache
+   hits are byte-identical to misses, admission control answers
+   Overloaded deterministically, restarts are cold/warm equivalent, and
+   concurrent clients all see the same bytes. *)
+
+let helper_path () =
+  let p =
+    Filename.concat (Filename.dirname Sys.executable_name) "serve_helper.exe"
+  in
+  if Sys.file_exists p then p
+  else Alcotest.failf "serve_helper.exe not found at %s" p
+
+let with_daemon ?(args = []) (f : string -> 'a) : 'a =
+  let sock = Filename.temp_file "pascd-test" ".sock" in
+  Sys.remove sock;
+  let helper = helper_path () in
+  let argv = Array.of_list (helper :: "--socket" :: sock :: args) in
+  let pid =
+    Unix.create_process helper argv Unix.stdin Unix.stdout Unix.stderr
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match Serve.Client.connect sock with
+      | Ok c ->
+          ignore (Serve.Client.shutdown c);
+          Serve.Client.close c
+      | Error _ -> ( try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()));
+      ignore (Unix.waitpid [] pid);
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () -> f sock)
+
+(* the daemon builds its tables before binding, so give it a while *)
+let connect_retry sock =
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  let rec go () =
+    match Serve.Client.connect sock with
+    | Ok c -> c
+    | Error m ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.failf "daemon did not come up: %s" m
+        else begin
+          Unix.sleepf 0.05;
+          go ()
+        end
+  in
+  go ()
+
+let with_client sock f =
+  let c = connect_retry sock in
+  Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
+
+let sources () = Array.of_list (List.map snd Pipeline.Programs.all)
+
+let jobs () =
+  Array.of_list
+    (List.map
+       (fun (name, source) -> { Pipeline.Batch.name; source })
+       Pipeline.Programs.all)
+
+let direct_fingerprint =
+  lazy
+    (Pipeline.Batch.fingerprint
+       (Pipeline.Batch.compile_all (Lazy.force Util.amdahl_tables) (jobs ())))
+
+let batch c srcs =
+  match Serve.Client.compile_batch c srcs with
+  | Ok replies -> replies
+  | Error m -> Alcotest.failf "batch failed: %s" m
+
+let check_all_cached what expect replies =
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Serve.Wire.Compiled { cached; _ } ->
+          if cached <> expect then
+            Alcotest.failf "%s: reply %d has cached=%b, wanted %b" what i
+              cached expect
+      | _ -> Alcotest.failf "%s: reply %d is not a compile result" what i)
+    replies
+
+(* (a) a served batch is byte-identical to compiling directly *)
+let test_batch_matches_direct () =
+  with_daemon (fun sock ->
+      with_client sock (fun c ->
+          let replies = batch c (sources ()) in
+          check_all_cached "cold batch" false replies;
+          Alcotest.(check string)
+            "served fingerprint equals the direct Pipeline fingerprint"
+            (Lazy.force direct_fingerprint)
+            (Serve.Wire.fingerprint replies)))
+
+(* (b) a cache hit serves exactly the bytes the miss produced — under
+   Verify_always every hit recompiles and compares, so a single gate
+   failure would surface in the stats *)
+let test_hit_equals_miss () =
+  with_daemon ~args:[ "--verify"; "always" ] (fun sock ->
+      with_client sock (fun c ->
+          let src = snd (List.hd Pipeline.Programs.all) in
+          let miss =
+            match Serve.Client.compile c src with
+            | Ok r -> r
+            | Error m -> Alcotest.failf "miss failed: %s" m
+          in
+          let hit =
+            match Serve.Client.compile c src with
+            | Ok r -> r
+            | Error m -> Alcotest.failf "hit failed: %s" m
+          in
+          (match (miss, hit) with
+          | ( Serve.Wire.Compiled { cached = false; outcome = o1; _ },
+              Serve.Wire.Compiled { cached = true; outcome = o2; _ } ) ->
+              Alcotest.(check bool)
+                "hit outcome byte-identical to miss" true (o1 = o2)
+          | _ -> Alcotest.fail "expected a miss then a hit");
+          match Serve.Client.stats c with
+          | Error m -> Alcotest.failf "stats failed: %s" m
+          | Ok text ->
+              Alcotest.(check bool)
+                "determinism gate never failed" true
+                (Util.contains text "gate_failures 0")))
+
+(* (c) admission control: with the drain paused and a queue of two,
+   exactly the first two of eight unique compiles are admitted and the
+   other six are refused *)
+let test_overloaded_backpressure () =
+  with_daemon ~args:[ "--queue"; "2"; "--verify"; "never" ] (fun sock ->
+      with_client sock (fun c ->
+          (match Serve.Client.pause c 800 with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "pause failed: %s" m);
+          let gcd = Pipeline.Programs.gcd in
+          let unique =
+            Array.init 8 (fun i -> Printf.sprintf "{ refusal %d }\n%s" i gcd)
+          in
+          let replies = batch c unique in
+          Array.iteri
+            (fun i r ->
+              match r with
+              | Serve.Wire.Compiled { cached = false; outcome = Ok _; _ }
+                when i < 2 ->
+                  ()
+              | Serve.Wire.Overloaded _ when i >= 2 -> ()
+              | Serve.Wire.Compiled _ when i < 2 ->
+                  Alcotest.failf "admitted request %d did not compile" i
+              | _ ->
+                  Alcotest.failf
+                    "request %d: wanted %s, got something else" i
+                    (if i < 2 then "a compile" else "Overloaded"))
+            replies;
+          (* once the pause lapses and the queue drains, service resumes *)
+          match Serve.Client.compile c gcd with
+          | Ok (Serve.Wire.Compiled { outcome = Ok _; _ }) -> ()
+          | Ok _ -> Alcotest.fail "post-pause compile was refused"
+          | Error m -> Alcotest.failf "post-pause compile failed: %s" m))
+
+(* (d) restart equivalence: a cold daemon, a warm cache, and a fresh
+   daemon all produce the same fingerprint *)
+let test_restart_cold_warm () =
+  let first_cold, first_warm =
+    with_daemon (fun sock ->
+        with_client sock (fun c ->
+            let cold = batch c (sources ()) in
+            check_all_cached "cold" false cold;
+            let warm = batch c (sources ()) in
+            check_all_cached "warm" true warm;
+            (Serve.Wire.fingerprint cold, Serve.Wire.fingerprint warm)))
+  in
+  Alcotest.(check string) "warm equals cold" first_cold first_warm;
+  let second_cold =
+    with_daemon (fun sock ->
+        with_client sock (fun c ->
+            let cold = batch c (sources ()) in
+            check_all_cached "restarted cold" false cold;
+            Serve.Wire.fingerprint cold))
+  in
+  Alcotest.(check string) "fresh daemon equals the old one" first_cold
+    second_cold;
+  Alcotest.(check string) "and both equal the direct pipeline"
+    (Lazy.force direct_fingerprint) second_cold
+
+(* (e) concurrent clients on their own connections all read identical
+   bytes — the sharded cache and the pool never cross results *)
+let test_concurrent_clients () =
+  with_daemon ~args:[ "--jobs"; "2" ] (fun sock ->
+      (* one pass to warm the cache so the racers mix hits and misses *)
+      with_client sock (fun c -> ignore (batch c (sources ())));
+      let n = 4 in
+      let fingerprints = Array.make n "" in
+      let racer i =
+        with_client sock (fun c ->
+            fingerprints.(i) <- Serve.Wire.fingerprint (batch c (sources ())))
+      in
+      let threads = Array.init n (fun i -> Thread.create racer i) in
+      Array.iter Thread.join threads;
+      Array.iteri
+        (fun i fp ->
+          Alcotest.(check string)
+            (Printf.sprintf "client %d matches the direct pipeline" i)
+            (Lazy.force direct_fingerprint)
+            fp)
+        fingerprints)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "service",
+        [
+          Alcotest.test_case "served batch matches direct compile" `Quick
+            test_batch_matches_direct;
+          Alcotest.test_case "cache hit equals miss byte-for-byte" `Quick
+            test_hit_equals_miss;
+          Alcotest.test_case "overload answers Overloaded" `Quick
+            test_overloaded_backpressure;
+          Alcotest.test_case "restart is cold/warm equivalent" `Quick
+            test_restart_cold_warm;
+          Alcotest.test_case "concurrent clients agree" `Quick
+            test_concurrent_clients;
+        ] );
+    ]

@@ -223,6 +223,77 @@ let test_mode_is_part_of_key () =
         (Fmt.list Cogg.Cogg_build.pp_error)
         es
 
+(* -- size cap / eviction ------------------------------------------------------ *)
+
+let variant i = intro_spec ^ Printf.sprintf "* cache-churn variant %d\n" i
+
+let entry_count dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      Array.to_list names
+      |> List.filter (fun n ->
+             String.length n > 9
+             && String.sub n 0 5 = "cogg-"
+             && Filename.check_suffix n ".cgt")
+      |> List.length
+
+let test_prune_enforces_cap () =
+  let dir = fresh_cache_dir () in
+  for i = 1 to 5 do
+    ignore (build ~spec:(variant i) dir)
+  done;
+  Alcotest.(check int) "five distinct entries stored" 5 (entry_count dir);
+  (* a cap above the population deletes nothing *)
+  Alcotest.(check int)
+    "roomy cap is a no-op" 0
+    (Cogg.Tables_cache.prune ~cache_dir:dir ~max_entries:8 ());
+  let evictions_before =
+    (Cogg.Tables_cache.stats ()).Cogg.Tables_cache.evictions
+  in
+  Alcotest.(check int)
+    "pruning to three deletes two" 2
+    (Cogg.Tables_cache.prune ~cache_dir:dir ~max_entries:3 ());
+  Alcotest.(check int) "three entries remain" 3 (entry_count dir);
+  Alcotest.(check int)
+    "eviction counter advanced" (evictions_before + 2)
+    (Cogg.Tables_cache.stats ()).Cogg.Tables_cache.evictions;
+  (* idempotent at the cap *)
+  Alcotest.(check int)
+    "already at the cap" 0
+    (Cogg.Tables_cache.prune ~cache_dir:dir ~max_entries:3 ());
+  (* survivors are valid entries: whichever variants remain still load *)
+  let alive =
+    List.filter
+      (fun i ->
+        Sys.file_exists
+          (Cogg.Tables_cache.entry_path ~cache_dir:dir (variant i)))
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check int) "survivors are cache entries" 3 (List.length alive);
+  List.iter
+    (fun i ->
+      let _, o = build ~spec:(variant i) dir in
+      check_origin "survivor still hits" "hit" (origin_str o))
+    alive
+
+let test_store_auto_prunes () =
+  (* every store runs the pruner with the env-configured cap, so a
+     daemon churning through specs keeps its cache directory bounded *)
+  let dir = fresh_cache_dir () in
+  Unix.putenv "COGG_CACHE_MAX_ENTRIES" "2";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "COGG_CACHE_MAX_ENTRIES" "")
+    (fun () ->
+      for i = 1 to 4 do
+        ignore (build ~spec:(variant i) dir)
+      done;
+      Alcotest.(check bool)
+        (Fmt.str "directory stays within the cap (%d entries)"
+           (entry_count dir))
+        true
+        (entry_count dir <= 2))
+
 let () =
   Alcotest.run "tables_cache"
     [
@@ -241,5 +312,11 @@ let () =
             test_mode_is_part_of_key;
           Alcotest.test_case "profile is part of the key" `Quick
             test_profile_is_part_of_key;
+        ] );
+      ( "eviction",
+        [
+          Alcotest.test_case "prune enforces the cap" `Quick
+            test_prune_enforces_cap;
+          Alcotest.test_case "store auto-prunes" `Quick test_store_auto_prunes;
         ] );
     ]
