@@ -19,14 +19,15 @@ let read_file path =
 (* a .cgt file is a serialized table bundle; anything else is a
    specification compiled through the content-hashed table cache (repeat
    invocations on an unchanged spec skip LR construction) *)
-let load_tables ?(mode = Cogg.Lookahead.Slr) path =
+let load_tables ?(mode = Cogg.Lookahead.Slr) ?target path =
   if Filename.check_suffix path ".cgt" then
+    (* the bundle names its own target; --target is only a build input *)
     match Cogg.Tables_io.read (read_file path) with
     | t -> Ok t
     | exception Cogg.Tables_io.Corrupt m ->
         Error (Fmt.str "%s: corrupt table bundle (%s)" path m)
   else
-    match Cogg.Tables_cache.build_file ~mode path with
+    match Cogg.Tables_cache.build_file ~mode ?target path with
     | Ok (t, origin) ->
         if Sys.getenv_opt "COGG_CACHE_VERBOSE" <> None then
           Fmt.epr "[tables-cache] %s: %a@." path Cogg.Tables_cache.pp_origin
@@ -54,6 +55,24 @@ let mode_arg =
     value & opt mode_conv Cogg.Lookahead.Slr
     & info [ "mode" ] ~docv:"MODE" ~doc:"Lookahead construction: slr or lalr")
 
+let target_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           (List.map
+              (fun n -> (n, Machine.Targets.find_exn n))
+              Machine.Targets.names))
+        Machine.Targets.default
+    & info [ "target" ] ~docv:"TARGET"
+        ~doc:
+          (Fmt.str
+             "Machine substrate the specification's opcodes are checked \
+              against: %s (default $(b,%s))"
+             (String.concat " or "
+                (List.map (fun n -> "$(b," ^ n ^ ")") Machine.Targets.names))
+             Machine.Targets.default.Machine.Target.name))
+
 let or_die = function
   | Ok x -> x
   | Error m ->
@@ -61,8 +80,8 @@ let or_die = function
       exit 1
 
 let check_cmd =
-  let run mode spec_path =
-    let t = or_die (load_tables ~mode spec_path) in
+  let run mode target spec_path =
+    let t = or_die (load_tables ~mode ~target spec_path) in
     let conflicts = Cogg.Tables.conflicts t in
     let sr, rr =
       List.partition
@@ -77,20 +96,20 @@ let check_cmd =
       (List.length sr) (List.length rr)
   in
   Cmd.v (Cmd.info "check" ~doc:"Build a specification and report conflicts")
-    Term.(const run $ mode_arg $ spec_arg)
+    Term.(const run $ mode_arg $ target_arg $ spec_arg)
 
 let stats_cmd =
-  let run mode spec_path =
+  let run mode target spec_path =
     let spec = or_die (load_spec spec_path) in
-    let t = or_die (load_tables ~mode spec_path) in
+    let t = or_die (load_tables ~mode ~target spec_path) in
     Fmt.pr "%a" Cogg.Stats.pp_table1 (Cogg.Stats.table1 spec t)
   in
   Cmd.v (Cmd.info "stats" ~doc:"Print the paper's Table-1 statistics")
-    Term.(const run $ mode_arg $ spec_arg)
+    Term.(const run $ mode_arg $ target_arg $ spec_arg)
 
 let sizes_cmd =
-  let run mode spec_path =
-    let t = or_die (load_tables ~mode spec_path) in
+  let run mode target spec_path =
+    let t = or_die (load_tables ~mode ~target spec_path) in
     let s = Cogg.Tables_io.sizes t in
     let row label bytes =
       Fmt.pr "%-28s %8d bytes  %6.1f pages@." label bytes
@@ -101,11 +120,11 @@ let sizes_cmd =
     row "uncompressed parse table" s.Cogg.Tables_io.uncompressed_table
   in
   Cmd.v (Cmd.info "sizes" ~doc:"Print the Table-2 artifact sizes")
-    Term.(const run $ mode_arg $ spec_arg)
+    Term.(const run $ mode_arg $ target_arg $ spec_arg)
 
 let conflicts_cmd =
-  let run mode spec_path limit =
-    let t = or_die (load_tables ~mode spec_path) in
+  let run mode target spec_path limit =
+    let t = or_die (load_tables ~mode ~target spec_path) in
     let g = t.Cogg.Tables.grammar in
     List.iteri
       (fun i c ->
@@ -118,11 +137,11 @@ let conflicts_cmd =
       & info [ "limit"; "n" ] ~docv:"N" ~doc:"Show at most N conflicts")
   in
   Cmd.v (Cmd.info "conflicts" ~doc:"List resolved parsing conflicts")
-    Term.(const run $ mode_arg $ spec_arg $ limit)
+    Term.(const run $ mode_arg $ target_arg $ spec_arg $ limit)
 
 let tables_cmd =
-  let run mode spec_path out =
-    let t = or_die (load_tables ~mode spec_path) in
+  let run mode target spec_path out =
+    let t = or_die (load_tables ~mode ~target spec_path) in
     let bytes = Cogg.Tables_io.write t in
     let oc = open_out_bin out in
     output_string oc bytes;
@@ -138,11 +157,11 @@ let tables_cmd =
   Cmd.v
     (Cmd.info "tables"
        ~doc:"Compile a specification into a loadable table bundle (.cgt)")
-    Term.(const run $ mode_arg $ spec_arg $ out)
+    Term.(const run $ mode_arg $ target_arg $ spec_arg $ out)
 
 let gen_cmd =
-  let run mode spec_path if_path run_it =
-    let t = or_die (load_tables ~mode spec_path) in
+  let run mode target spec_path if_path run_it =
+    let t = or_die (load_tables ~mode ~target spec_path) in
     let text = read_file if_path in
     match Cogg.Codegen.generate_string t text with
     | Error m -> or_die (Error m)
@@ -155,10 +174,11 @@ let gen_cmd =
         Fmt.pr "* object module:@.%s@."
           (Machine.Objmod.to_string r.Cogg.Codegen.objmod);
         if run_it then begin
-          match Machine.Runtime.boot r.Cogg.Codegen.objmod with
+          let tgt = t.Cogg.Tables.target in
+          match tgt.Machine.Target.boot r.Cogg.Codegen.objmod with
           | Error m -> or_die (Error m)
           | Ok (sim, entry) -> (
-              match Machine.Runtime.run sim ~entry with
+              match tgt.Machine.Target.run sim ~entry with
               | Error m -> or_die (Error m)
               | Ok out ->
                   Fmt.pr "* executed %d instructions%a@."
@@ -175,10 +195,12 @@ let gen_cmd =
       & info [] ~docv:"IF-FILE" ~doc:"Linearized intermediate-form program")
   in
   let run_flag =
-    Arg.(value & flag & info [ "run" ] ~doc:"Execute on the 370 simulator")
+    Arg.(
+      value & flag
+      & info [ "run" ] ~doc:"Execute on the target's simulator")
   in
   Cmd.v (Cmd.info "gen" ~doc:"Generate code for an IF program")
-    Term.(const run $ mode_arg $ spec_arg $ if_arg $ run_flag)
+    Term.(const run $ mode_arg $ target_arg $ spec_arg $ if_arg $ run_flag)
 
 let () =
   let info =

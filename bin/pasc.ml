@@ -40,24 +40,55 @@ let jobs_arg =
            fully sequential path; parallel output is byte-identical to \
            it.")
 
+(* --spec defaults to the selected target's own spec file, so
+   `--target risc32` alone does the right thing; naming both pins the
+   spec explicitly (e.g. checking an experimental spec against a
+   substrate). *)
 let spec_arg =
   Arg.(
     value
-    & opt file "specs/amdahl470.cgg"
-    & info [ "spec" ] ~docv:"SPEC" ~doc:"Code generator specification")
+    & opt (some file) None
+    & info [ "spec" ] ~docv:"SPEC"
+        ~doc:
+          "Code generator specification (default: the $(b,--target)'s own \
+           spec file)")
+
+let target_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           (List.map
+              (fun n -> (n, Machine.Targets.find_exn n))
+              Machine.Targets.names))
+        Machine.Targets.default
+    & info [ "target" ] ~docv:"TARGET"
+        ~doc:
+          (Fmt.str
+             "Machine to generate code for (and simulate): %s.  Selects \
+              the spec, the instruction substrate and the simulator; the \
+              default is $(b,%s)."
+             (String.concat " or "
+                (List.map (fun n -> "$(b," ^ n ^ ")") Machine.Targets.names))
+             Machine.Targets.default.Machine.Target.name))
+
+let spec_for target spec_opt =
+  match spec_opt with
+  | Some p -> p
+  | None -> target.Machine.Target.spec_file
 
 (* Built tables are cached on disk keyed by the spec's content digest
-   (plus the profile digest for specialized builds), so repeat runs skip
-   LR construction entirely; on a miss, the pool (if any) parallelizes
-   the build itself. *)
-let load_tables ?pool ?profile ~no_cache spec_path =
+   (plus the target name, plus the profile digest for specialized
+   builds), so repeat runs skip LR construction entirely; on a miss, the
+   pool (if any) parallelizes the build itself. *)
+let load_tables ?pool ?profile ?target ~no_cache spec_path =
   if no_cache then
-    match Cogg.Cogg_build.build_file ?pool ?profile spec_path with
+    match Cogg.Cogg_build.build_file ?pool ?profile ?target spec_path with
     | Ok t -> t
     | Error es ->
         or_die (Error (Fmt.str "%a" (Fmt.list Cogg.Cogg_build.pp_error) es))
   else
-    match Cogg.Tables_cache.build_file ?pool ?profile spec_path with
+    match Cogg.Tables_cache.build_file ?pool ?profile ?target spec_path with
     | Ok (t, origin) ->
         if Sys.getenv_opt "COGG_CACHE_VERBOSE" <> None then
           Fmt.epr "[tables-cache] %s: %a@." spec_path Cogg.Tables_cache.pp_origin
@@ -104,9 +135,16 @@ let run_executed (x : Pipeline.executed) =
   | None -> ()
 
 let compile_cmd =
-  let run spec_path src_paths jobs no_cse no_cache checks baseline show_if
-      show_listing run_it verify stats trace explain profile_out specialize
-      dispatch_opt =
+  let run target spec_opt src_paths jobs no_cse no_cache checks baseline
+      show_if show_listing run_it verify stats trace explain profile_out
+      specialize dispatch_opt =
+    let spec_path = spec_for target spec_opt in
+    if baseline && target.Machine.Target.name <> Machine.Targets.default.Machine.Target.name
+    then
+      or_die
+        (Error
+           "--baseline is the hand-written Amdahl 470 comparator; it has no \
+            other backends");
     let many = List.length src_paths > 1 in
     let header path = if many then Fmt.pr "==> %s <==@." path in
     (* observability: enable before the tables load so cache hits/misses
@@ -157,7 +195,9 @@ let compile_cmd =
       let spec_profile =
         Option.map (fun p -> or_die (Cogg.Cogprof.load p)) specialize
       in
-      let tables = load_tables ?pool ?profile:spec_profile ~no_cache spec_path in
+      let tables =
+        load_tables ?pool ?profile:spec_profile ~target ~no_cache spec_path
+      in
       (match spec_profile with
       | Some p
         when not
@@ -277,7 +317,7 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile (and optionally run) programs")
     Term.(
-      const run $ spec_arg $ srcs_arg $ jobs_arg
+      const run $ target_arg $ spec_arg $ srcs_arg $ jobs_arg
       $ flag [ "no-cse" ] "Disable the common-subexpression optimizer"
       $ flag [ "no-cache" ] "Rebuild the driving tables instead of using the on-disk cache"
       $ flag [ "checks" ] "Emit subscript checking code"
@@ -334,12 +374,22 @@ let compile_cmd =
                  $(b,--specialize), otherwise identical to comb)."))
 
 let fuzz_cmd =
-  let run spec_path seed count start profile minimize malformed jobs corpus
-      profile_out =
+  let run target spec_opt seed count start profile minimize malformed jobs
+      corpus profile_out cross =
+    let spec_path = spec_for target spec_opt in
     let profile =
       Option.map (fun s -> or_die (Fuzz.Profile.of_string s)) profile
     in
-    let tables = load_tables ~no_cache:false spec_path in
+    let tables = load_tables ~target ~no_cache:false spec_path in
+    let cross_tables =
+      (* --cross TARGET: every case additionally compiles and runs under
+         the second backend and the two machines' observable outputs are
+         compared (the cross-backend differential oracle) *)
+      Option.map
+        (fun (t : Machine.Target.t) ->
+          load_tables ~target:t ~no_cache:false t.Machine.Target.spec_file)
+        cross
+    in
     let collector = Option.map (fun _ -> new_collector tables) profile_out in
     let cfg =
       {
@@ -355,6 +405,7 @@ let fuzz_cmd =
           Some (Filename.concat (Filename.get_temp_dir_name ()) "pasc-fuzz-cache");
         log = (fun m -> Fmt.epr "%s@." m);
         collect = collector;
+        cross = cross_tables;
       }
     in
     let report = Fuzz.Runner.run tables cfg in
@@ -419,7 +470,8 @@ let fuzz_cmd =
          "Differentially fuzz the pipeline: random programs through the \
           interpreter-vs-machine, comb-vs-flat and determinism oracles")
     Term.(
-      const run $ spec_arg $ seed_arg $ count_arg $ start_arg $ profile_arg
+      const run $ target_arg $ spec_arg $ seed_arg $ count_arg $ start_arg
+      $ profile_arg
       $ flag [ "minimize" ] "Shrink failing inputs before reporting"
       $ flag [ "malformed" ]
           "Mutate IF streams and check that every failure is a structured \
@@ -434,7 +486,21 @@ let fuzz_cmd =
                  with profile capture on and write the accumulated \
                  $(b,.cogprof) to $(docv) (merging into an existing \
                  same-shape profile) — the fuzz-corpus half of the \
-                 default specialization profile."))
+                 default specialization profile.")
+      $ Arg.(
+          value
+          & opt
+              (some
+                 (enum
+                    (List.map
+                       (fun n -> (n, Machine.Targets.find_exn n))
+                       Machine.Targets.names)))
+              None
+          & info [ "cross" ] ~docv:"TARGET"
+              ~doc:
+                "Cross-backend differential oracle: compile and run every \
+                 Pascal case under $(docv)'s backend as well and compare \
+                 the two machines' observable outputs."))
 
 (* -- the compile service ------------------------------------------------------ *)
 
@@ -445,8 +511,9 @@ let socket_arg =
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
 
 let serve_cmd =
-  let run spec_path socket jobs queue_capacity cache_capacity verify
+  let run target spec_opt socket jobs queue_capacity cache_capacity verify
       no_self_check specialize =
+    let spec_path = spec_for target spec_opt in
     let domains =
       if jobs = 0 then Domain.recommended_domain_count () else jobs
     in
@@ -458,12 +525,12 @@ let serve_cmd =
     let profile =
       Option.map (fun p -> or_die (Cogg.Cogprof.load p)) specialize
     in
-    let tables = load_tables ?pool ?profile ~no_cache:false spec_path in
+    let tables = load_tables ?pool ?profile ~target ~no_cache:false spec_path in
     (* the table bundle's own cache key doubles as its identity in every
        result-cache key, so results can never outlive the spec (or the
-       profile) they were compiled under *)
+       profile, or the target) they were compiled under *)
     let table_key =
-      Cogg.Tables_cache.key ?profile ~mode:Cogg.Lookahead.Slr
+      Cogg.Tables_cache.key ?profile ~target ~mode:Cogg.Lookahead.Slr
         (read_file spec_path)
     in
     let server =
@@ -472,7 +539,8 @@ let serve_cmd =
            ~cache_capacity ~verify ~self_check:(not no_self_check) ~table_key
            ~socket_path:socket tables)
     in
-    Fmt.epr "pascd: serving %s on %s (%d domain%s)@." spec_path socket domains
+    Fmt.epr "pascd: serving %s [%s] on %s (%d domain%s)@." spec_path
+      target.Machine.Target.name socket domains
       (if domains = 1 then "" else "s");
     Serve.Server.run server;
     Fmt.epr "pascd: %s@."
@@ -487,7 +555,7 @@ let serve_cmd =
           compile requests over a Unix-domain socket, cache results by \
           content digest")
     Term.(
-      const run $ spec_arg $ socket_arg $ jobs_arg
+      const run $ target_arg $ spec_arg $ socket_arg $ jobs_arg
       $ Arg.(
           value & opt int 64
           & info [ "queue" ] ~docv:"N"

@@ -64,8 +64,11 @@ let grammar_of_spec (symtab : Symtab.t) (spec : Spec_ast.t) :
   if !errs <> [] then Error (List.rev !errs) else Ok (Grammar.finish b)
 
 let build ?pool ?(mode = Lookahead.Slr) ?(profile : Cogprof.t option)
-    (spec : Spec_ast.t) : (Tables.t, error list) result =
-  let* symtab = Result.map_error (fun e -> [ lift_symtab e ]) (Symtab.of_spec spec) in
+    ?(target = Machine.Targets.default) (spec : Spec_ast.t) :
+    (Tables.t, error list) result =
+  let* symtab =
+    Result.map_error (fun e -> [ lift_symtab e ]) (Symtab.of_spec ~target spec)
+  in
   let* grammar = grammar_of_spec symtab spec in
   let automaton = Lr0.build grammar in
   let parse = Parse_table.build ?pool ~mode automaton in
@@ -77,7 +80,7 @@ let build ?pool ?(mode = Lookahead.Slr) ?(profile : Cogprof.t option)
   let template_results =
     Pool.maybe pool
       (fun (i, (p : Spec_ast.production)) ->
-        Template.compile ~grammar ~symtab ~prod_id:i p)
+        Template.compile ~target ~grammar ~symtab ~prod_id:i p)
       (Array.of_list (List.mapi (fun i p -> (i, p)) spec.Spec_ast.productions))
   in
   let errs = ref [] in
@@ -109,7 +112,8 @@ let build ?pool ?(mode = Lookahead.Slr) ?(profile : Cogprof.t option)
     in
     Ok
       {
-        Tables.grammar;
+        Tables.target;
+        grammar;
         symtab;
         parse;
         compressed;
@@ -133,16 +137,16 @@ let build ?pool ?(mode = Lookahead.Slr) ?(profile : Cogprof.t option)
       }
   end
 
-let build_string ?pool ?mode ?profile (text : string) :
+let build_string ?pool ?mode ?profile ?target (text : string) :
     (Tables.t, error list) result =
   let* spec =
     Result.map_error (fun e -> [ lift_parse e ]) (Spec_parse.of_string text)
   in
-  build ?pool ?mode ?profile spec
+  build ?pool ?mode ?profile ?target spec
 
-let build_file ?pool ?mode ?profile (path : string) :
+let build_file ?pool ?mode ?profile ?target (path : string) :
     (Tables.t, error list) result =
   let* spec =
     Result.map_error (fun e -> [ lift_parse e ]) (Spec_parse.of_file path)
   in
-  build ?pool ?mode ?profile spec
+  build ?pool ?mode ?profile ?target spec

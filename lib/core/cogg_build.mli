@@ -17,6 +17,7 @@ val build :
   ?pool:Pool.t ->
   ?mode:Lookahead.mode ->
   ?profile:Cogprof.t ->
+  ?target:Machine.Target.t ->
   Spec_ast.t ->
   (Tables.t, error list) result
 (** Build the complete table bundle.  [mode] selects SLR(1) (the
@@ -25,12 +26,16 @@ val build :
     compression prep and template compilation; the resulting bundle is
     byte-identical at any worker count.  [profile] additionally builds
     the profile-specialized hybrid table ({!Compress.specialize}) into
-    [Tables.hybrid]; without it the bundle carries none. *)
+    [Tables.hybrid]; without it the bundle carries none.  [target]
+    selects the machine substrate the spec's opcodes and template shapes
+    are checked against (default: the Amdahl 470); it is recorded in
+    [Tables.target] and drives emission, loading and simulation. *)
 
 val build_string :
   ?pool:Pool.t ->
   ?mode:Lookahead.mode ->
   ?profile:Cogprof.t ->
+  ?target:Machine.Target.t ->
   string ->
   (Tables.t, error list) result
 
@@ -38,5 +43,6 @@ val build_file :
   ?pool:Pool.t ->
   ?mode:Lookahead.mode ->
   ?profile:Cogprof.t ->
+  ?target:Machine.Target.t ->
   string ->
   (Tables.t, error list) result

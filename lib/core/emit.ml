@@ -154,9 +154,11 @@ let bank_of_sym t sym : Regalloc.bank =
   | Some b -> b
   | None -> Regalloc.Gp
 
-(* -- CSE helpers ----------------------------------------------------------- *)
+(* -- target hooks ----------------------------------------------------------- *)
 
-let store_mnem (e : Cse.entry) = if e.fp then "std" else "st"
+let target t = t.tables.Tables.target
+
+(* -- CSE helpers ----------------------------------------------------------- *)
 
 (* save an evicted CSE register to its temporary *)
 let save_cse t (ev : Regalloc.evicted) =
@@ -166,62 +168,20 @@ let save_cse t (ev : Regalloc.evicted) =
       append_instruction t
         ~note:(Fmt.str "spill: save CSE %d to its temporary" entry.Cse.id)
         (Code_buffer.Fixed
-           (Machine.Insn.Rx
-              {
-                op = store_mnem entry;
-                r1 = ev.Regalloc.ev_reg;
-                d2 = entry.Cse.temp_dsp;
-                x2 = 0;
-                b2 = entry.Cse.temp_base;
-              }));
+           ((target t).Machine.Target.spill_store ~fp:entry.Cse.fp
+              ~reg:ev.Regalloc.ev_reg ~dsp:entry.Cse.temp_dsp
+              ~base:entry.Cse.temp_base));
       Cse.to_memory t.cse entry.Cse.id
 
 (* -- instruction building --------------------------------------------------- *)
 
-let build_insn (mnem : string) (vals : (int * int list) list) : Machine.Insn.t =
-  (* vals: per operand, (base value, sub values) *)
-  let fmt =
-    match Machine.Insn.format_of_mnemonic mnem with
-    | Some f -> f
-    | None -> err "unknown mnemonic %s at emission" mnem
-  in
-  let plain k =
-    match List.nth_opt vals k with
-    | Some (v, []) -> v
-    | _ -> err "%s: operand %d shape mismatch at emission" mnem (k + 1)
-  in
-  let memop k =
-    match List.nth_opt vals k with
-    | Some (d, []) -> (d, 0, 0)
-    | Some (d, [ b ]) -> (d, 0, b)
-    | Some (d, [ x; b ]) -> (d, x, b)
-    | _ -> err "%s: missing storage operand" mnem
-  in
-  match fmt with
-  | Machine.Insn.RR -> Rr { op = mnem; r1 = plain 0; r2 = plain 1 }
-  | Machine.Insn.RX ->
-      let d2, x2, b2 = memop 1 in
-      Rx { op = mnem; r1 = plain 0; d2; x2; b2 }
-  | Machine.Insn.RS -> (
-      match mnem with
-      | "sla" | "sra" | "sll" | "srl" | "slda" | "srda" | "sldl" | "srdl" ->
-          let d2, _, b2 = memop 1 in
-          Rs { op = mnem; r1 = plain 0; r3 = 0; d2; b2 }
-      | _ ->
-          let d2, _, b2 = memop 2 in
-          Rs { op = mnem; r1 = plain 0; r3 = plain 1; d2; b2 })
-  | Machine.Insn.SI ->
-      let d1, _, b1 = memop 0 in
-      Si { op = mnem; d1; b1; i2 = plain 1 }
-  | Machine.Insn.SS ->
-      let d1, subs1 =
-        match List.nth_opt vals 0 with
-        | Some (d, [ l; b ]) -> (d, (l, b))
-        | _ -> err "%s: first operand must be d(l,b)" mnem
-      in
-      let l, b1 = subs1 in
-      let d2, _, b2 = memop 1 in
-      Ss { op = mnem; l; d1; b1; d2; b2 }
+let build_insn t (mnem : string) (vals : (int * int list) list) :
+    Machine.Insn.t =
+  (* vals: per operand, (base value, sub values); shape checking happened
+     at table-construction time against the same target *)
+  match (target t).Machine.Target.build_insn ~mnem vals with
+  | Ok i -> i
+  | Error m -> err "%s" m
 
 (* -- the reduction --------------------------------------------------------- *)
 
@@ -308,14 +268,15 @@ let reduce (t : t) ~(prod : int) ~(rhs : Driver.ptoken array)
           Option.iter
             (fun (tr : Regalloc.transfer) ->
               (* move the old contents and rebind the translation stack *)
+              let bank = Regalloc.bank_of_class req.Template.n_class in
               append_instruction t
                 ~note:
                   (Fmt.str "need r%d: transfer old contents to r%d"
                      tr.Regalloc.tr_from tr.Regalloc.tr_to)
                 (Code_buffer.Fixed
-                   (Machine.Insn.Rr
-                      { op = "lr"; r1 = tr.Regalloc.tr_to; r2 = tr.Regalloc.tr_from }));
-              let bank = Regalloc.bank_of_class req.Template.n_class in
+                   ((target t).Machine.Target.reg_move
+                      ~fp:(bank = Regalloc.Fp) ~dst:tr.Regalloc.tr_to
+                      ~src:tr.Regalloc.tr_from));
               remap (fun (tok : Driver.ptoken) ->
                   match tok.Driver.pvalue with
                   | Ifl.Value.Reg r
@@ -360,7 +321,7 @@ let reduce (t : t) ~(prod : int) ~(rhs : Driver.ptoken array)
                 (eval o.Template.base, List.map eval o.Template.subs))
               ops
           in
-          append_instruction t (Code_buffer.Fixed (build_insn mnem vals))
+          append_instruction t (Code_buffer.Fixed (build_insn t mnem vals))
       | Template.Modifies src ->
           let cls = class_of_src t c rhs_syms src in
           let bank = Regalloc.bank_of_class cls in
@@ -394,9 +355,8 @@ let reduce (t : t) ~(prod : int) ~(rhs : Driver.ptoken array)
                 Option.iter (save_cse t) evicted;
                 append_instruction t ~note:"modifies: copy-on-write of a shared register"
                   (Code_buffer.Fixed
-                     (Machine.Insn.Rr
-                        { op = (if bank = Regalloc.Fp then "ldr" else "lr");
-                          r1 = fresh; r2 = r }));
+                     ((target t).Machine.Target.reg_move
+                        ~fp:(bank = Regalloc.Fp) ~dst:fresh ~src:r));
                 rhs.(k) <-
                   { rhs.(k) with Driver.pvalue = Ifl.Value.Reg fresh };
                 Regalloc.release t.regs bank r
@@ -414,14 +374,9 @@ let reduce (t : t) ~(prod : int) ~(rhs : Driver.ptoken array)
                   append_instruction t
                     ~note:(Fmt.str "modifies: save CSE %d before clobber" cse_id)
                     (Code_buffer.Fixed
-                       (Machine.Insn.Rx
-                          {
-                            op = store_mnem entry;
-                            r1 = r;
-                            d2 = entry.Cse.temp_dsp;
-                            x2 = 0;
-                            b2 = entry.Cse.temp_base;
-                          }));
+                       ((target t).Machine.Target.spill_store ~fp:entry.Cse.fp
+                          ~reg:r ~dsp:entry.Cse.temp_dsp
+                          ~base:entry.Cse.temp_base));
                   Cse.to_memory t.cse cse_id;
                   Regalloc.drop_cse_shares t.regs bank r
               | Some _ ->
@@ -475,19 +430,9 @@ let reduce (t : t) ~(prod : int) ~(rhs : Driver.ptoken array)
             (eval src, Code_buffer.n_instructions t.buf) :: t.stmt_records
       | Template.List_request src -> t.list_requests <- eval src :: t.list_requests
       | Template.Abort src ->
-          append_instruction t
-            (Code_buffer.Fixed
-               (Machine.Insn.Rx { op = "la"; r1 = 1; d2 = eval src; x2 = 0; b2 = 0 }));
-          append_instruction t
-            (Code_buffer.Fixed
-               (Machine.Insn.Rx
-                  {
-                    op = "bal";
-                    r1 = 14;
-                    d2 = Machine.Runtime.psa_abort;
-                    x2 = 0;
-                    b2 = Machine.Runtime.pr_base;
-                  }))
+          List.iter
+            (fun i -> append_instruction t (Code_buffer.Fixed i))
+            ((target t).Machine.Target.abort_insns ~errno:(eval src))
       | Template.Common { ty; fp; cse; cnt; reg; dsp; base } ->
           let id = eval cse and count = eval cnt and r = eval reg in
           Cse.define t.cse ~id ~ty ~fp ~count ~reg:r ~temp_dsp:(eval dsp)
@@ -568,7 +513,7 @@ let reduce (t : t) ~(prod : int) ~(rhs : Driver.ptoken array)
 let finish ?(name = "MAIN") (t : t) :
     (Machine.Objmod.t * Loader_gen.resolved, string) result =
   if t.open_skips <> [] then Error "unterminated skip at end of module"
-  else Loader_gen.to_objmod ~name t.buf
+  else Loader_gen.to_objmod ~name ~target:(target t) t.buf
 
 let listing (t : t) = Code_buffer.to_listing t.buf
 

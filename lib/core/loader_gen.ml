@@ -69,8 +69,21 @@ let long_size = function
   | Code_buffer.Case_site _ -> 10
   | it -> short_size it
 
-let resolve ?(code_base = Machine.Runtime.code_base) (buf : Code_buffer.t) :
-    resolved =
+(* pc-relative model (RISC-32): every site has exactly one width, so the
+   "short" and "long" tables coincide and the fixpoint converges in one
+   pass with an empty pool.  A case load expands to the three-instruction
+   sequence [addi reg,reg,table; add reg,reg,code_base; lw reg,0(reg)]. *)
+let pc_rel_size = function
+  | Code_buffer.Branch_site _ -> 4
+  | Code_buffer.Case_site _ -> 12
+  | it -> short_size it
+
+let resolve ?(code_base = Machine.Runtime.code_base)
+    ?(target = Machine.Targets.default) (buf : Code_buffer.t) : resolved =
+  let span_dependent =
+    target.Machine.Target.site_model = Machine.Target.Span_dependent
+  in
+  let target_name = target.Machine.Target.name in
   let items = Code_buffer.contents buf in
   let n = Array.length items in
   (* -- one-time analysis: label interning and site resolution ------------ *)
@@ -119,8 +132,12 @@ let resolve ?(code_base = Machine.Runtime.code_base) (buf : Code_buffer.t) :
           incr k
       | _ -> ())
     items;
-  let short_sizes = Array.map short_size items in
-  let long_sizes = Array.map long_size items in
+  let short_sizes =
+    Array.map (if span_dependent then short_size else pc_rel_size) items
+  in
+  let long_sizes =
+    Array.map (if span_dependent then long_size else pc_rel_size) items
+  in
   (* -- sizing fixpoint --------------------------------------------------- *)
   let is_long = Array.make (max 1 n) false in
   let n_long = ref 0 in
@@ -146,15 +163,18 @@ let resolve ?(code_base = Machine.Runtime.code_base) (buf : Code_buffer.t) :
     done;
     total := !pos;
     (* widen sites whose target is out of short range; widening is
-       monotone, so the long count only ever grows *)
-    for s = 0 to !n_sites - 1 do
-      let i = sites.(s) in
-      if (not is_long.(i)) && lbl_offset.(lid.(i)) > 4095 then begin
-        is_long.(i) <- true;
-        incr n_long;
-        changed := true
-      end
-    done
+       monotone, so the long count only ever grows.  Pc-relative targets
+       have a single width: nothing to widen, the loop exits after one
+       placement pass. *)
+    if span_dependent then
+      for s = 0 to !n_sites - 1 do
+        let i = sites.(s) in
+        if (not is_long.(i)) && lbl_offset.(lid.(i)) > 4095 then begin
+          is_long.(i) <- true;
+          incr n_long;
+          changed := true
+        end
+      done
   done;
   (* -- pool slot assignment (site order, for determinism) ---------------- *)
   let pool_slot = Array.make (max 1 n) (-1) in
@@ -180,6 +200,33 @@ let resolve ?(code_base = Machine.Runtime.code_base) (buf : Code_buffer.t) :
       | Code_buffer.Word_lit v -> Bytes.set_int32_be code pos (Int32.of_int v)
       | Code_buffer.Word_label _ ->
           Bytes.set_int32_be code pos (Int32.of_int (target i))
+      | Code_buffer.Branch_site { mask; lbl = _; idx = _; x } when not span_dependent ->
+          let t = target i in
+          let rel = t - pos in
+          if x <> 0 then
+            err "indexed branch not supported on pc-relative target %s"
+              target_name
+          else if rel < -32768 || rel > 32767 then
+            err "pc-relative branch out of range: %d bytes" rel
+          else ignore (put_insn pos (Machine.Insn.Bcc { mask; rel }))
+      | Code_buffer.Case_site { reg; lbl = _; idx = _ } when not span_dependent
+        ->
+          let t = target i in
+          if t < -32768 || t > 32767 then
+            err "case table offset out of immediate range: %d" t
+          else begin
+            let pos =
+              put_insn pos
+                (Machine.Insn.Ri { op = "addi"; rd = reg; rs = reg; imm = t })
+            in
+            let pos =
+              put_insn pos
+                (Machine.Insn.R3
+                   { op = "add"; rd = reg; rs1 = reg; rs2 = code_base })
+            in
+            ignore
+              (put_insn pos (Machine.Insn.Mem { op = "lw"; rd = reg; dsp = 0; rb = reg }))
+          end
       | Code_buffer.Branch_site { mask; lbl = _; idx; x } ->
           let t = target i in
           if not is_long.(i) then
@@ -245,9 +292,9 @@ let resolve ?(code_base = Machine.Runtime.code_base) (buf : Code_buffer.t) :
   }
 
 (** Resolve and wrap into an object module. *)
-let to_objmod ?(name = "MAIN") ?code_base (buf : Code_buffer.t) :
+let to_objmod ?(name = "MAIN") ?code_base ?target (buf : Code_buffer.t) :
     (Machine.Objmod.t * resolved, string) result =
-  match resolve ?code_base buf with
+  match resolve ?code_base ?target buf with
   | r -> Ok (Machine.Objmod.of_code ~name ~entry:r.entry r.code, r)
   | exception Resolve_error m -> Error m
   | exception Machine.Encode.Encode_error m -> Error m

@@ -34,11 +34,17 @@ exception Resolve_error of string
     (A [Word_label] naming an undefined label is also diagnosed this
     way, where it previously escaped as [Not_found].) *)
 
-val resolve : ?code_base:int -> Code_buffer.t -> resolved
+val resolve :
+  ?code_base:int -> ?target:Machine.Target.t -> Code_buffer.t -> resolved
+(** Resolve labels and branch sites.  The target's {!Machine.Target.site_model}
+    selects the resolution strategy: [Span_dependent] (the 370 short/long
+    fixpoint above, the default) or [Pc_relative] (every site a fixed-width
+    pc-relative instruction, no pool, single pass). *)
 
 val to_objmod :
   ?name:string ->
   ?code_base:int ->
+  ?target:Machine.Target.t ->
   Code_buffer.t ->
   (Machine.Objmod.t * resolved, string) result
 (** Resolve and wrap into an object module. *)

@@ -87,7 +87,8 @@ let n_declared t =
   + List.length t.operators + List.length t.opcodes
   + List.length t.constants + List.length t.semantics
 
-let of_spec (spec : Spec_ast.t) : (t, error) result =
+let of_spec ?(target = Machine.Targets.default) (spec : Spec_ast.t) :
+    (t, error) result =
   let table = Hashtbl.create 256 in
   let declare line name info =
     match Hashtbl.find_opt table name with
@@ -147,8 +148,9 @@ let of_spec (spec : Spec_ast.t) : (t, error) result =
           | Spec_ast.Dnone -> ()
           | _ -> fail d.d_line "opcode %s cannot have a value" d.d_name);
           let name = String.lowercase_ascii d.d_name in
-          if not (Machine.Insn.is_mnemonic name) then
-            fail d.d_line "opcode %s is not a known target instruction" d.d_name;
+          if not (target.Machine.Target.is_mnemonic name) then
+            fail d.d_line "opcode %s is not a known %s instruction" d.d_name
+              target.Machine.Target.name;
           declare d.d_line name Opcode;
           name)
         spec.opcodes

@@ -3,6 +3,8 @@
     the runtime needs (paper section 2). *)
 
 type t = {
+  target : Machine.Target.t;
+      (** the machine substrate this bundle's templates emit for *)
   grammar : Grammar.t;
   symtab : Symtab.t;
   parse : Parse_table.t;

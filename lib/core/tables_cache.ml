@@ -12,10 +12,10 @@
 
 (* Bumping this invalidates every existing entry; it must change whenever
    the Tables_io bundle format does, or when table construction starts
-   producing different (still correct) bytes — v5: profiled builds pick
-   the hybrid hot-state count adaptively under a size budget instead of
-   the fixed 48, so specialized bundles lay out differently. *)
-let format_version = 5
+   producing different (still correct) bytes — v6: bundles carry the
+   target name (CGB4) and the key covers the target, so the same spec
+   text checked against two machines never shares an entry. *)
+let format_version = 6
 
 type origin = Cache_hit | Built
 
@@ -59,25 +59,27 @@ let mode_tag : Lookahead.mode -> string = function
   | Lookahead.Slr -> "slr"
   | Lookahead.Lalr -> "lalr"
 
-let key ?(profile : Cogprof.t option) ~(mode : Lookahead.mode)
+let key ?(profile : Cogprof.t option)
+    ?(target = Machine.Targets.default) ~(mode : Lookahead.mode)
     (spec_text : string) : string =
   (* the profile digest is part of the key: a bundle specialized against
      one workload must never serve as a hit for another (or for an
-     unspecialized build) *)
+     unspecialized build).  Likewise the target name: the same spec text
+     checked against two machines yields different bundles. *)
   let profile_tag =
     match profile with None -> "" | Some p -> ":" ^ Cogprof.digest p
   in
   Digest.to_hex
     (Digest.string
-       (Printf.sprintf "cogg-tables-v%d:%s%s:%s" format_version
-          (mode_tag mode) profile_tag spec_text))
+       (Printf.sprintf "cogg-tables-v%d:%s:%s%s:%s" format_version
+          (mode_tag mode) target.Machine.Target.name profile_tag spec_text))
 
 (** Cache file an unchanged spec would hit; exposed so tests (and curious
     users) can inspect or corrupt the entry. *)
-let entry_path ?(mode = Lookahead.Slr) ?profile ?cache_dir
+let entry_path ?(mode = Lookahead.Slr) ?profile ?target ?cache_dir
     (spec_text : string) : string =
   let dir = match cache_dir with Some d -> d | None -> default_dir () in
-  Filename.concat dir ("cogg-" ^ key ?profile ~mode spec_text ^ ".cgt")
+  Filename.concat dir ("cogg-" ^ key ?profile ?target ~mode spec_text ^ ".cgt")
 
 let read_file path =
   let ic = open_in_bin path in
@@ -191,9 +193,9 @@ let load path : Tables.t option =
 
 (** [build_text ?mode ?cache_dir text] returns the tables for a
     specification given as text, via the cache. *)
-let build_text ?pool ?(mode = Lookahead.Slr) ?profile ?cache_dir
+let build_text ?pool ?(mode = Lookahead.Slr) ?profile ?target ?cache_dir
     (text : string) : (Tables.t * origin, Cogg_build.error list) result =
-  let path = entry_path ~mode ?profile ?cache_dir text in
+  let path = entry_path ~mode ?profile ?target ?cache_dir text in
   match load path with
   | Some t ->
       Atomic.incr hit_count;
@@ -203,7 +205,7 @@ let build_text ?pool ?(mode = Lookahead.Slr) ?profile ?cache_dir
   | None -> (
       Atomic.incr miss_count;
       Metrics.add m_misses 1;
-      match Cogg_build.build_string ?pool ~mode ?profile text with
+      match Cogg_build.build_string ?pool ~mode ?profile ?target text with
       | Error es -> Error es
       | Ok t ->
           store path (Tables_io.write t);
@@ -213,8 +215,8 @@ let build_text ?pool ?(mode = Lookahead.Slr) ?profile ?cache_dir
 (** [build_file ?mode ?cache_dir path] is {!build_text} over the file's
     contents: the digest covers the text, so editing the spec in place is
     a clean miss, not a stale hit. *)
-let build_file ?pool ?mode ?profile ?cache_dir (path : string) :
+let build_file ?pool ?mode ?profile ?target ?cache_dir (path : string) :
     (Tables.t * origin, Cogg_build.error list) result =
   match read_file path with
-  | text -> build_text ?pool ?mode ?profile ?cache_dir text
+  | text -> build_text ?pool ?mode ?profile ?target ?cache_dir text
   | exception Sys_error m -> Error [ { Cogg_build.line = 0; msg = m } ]

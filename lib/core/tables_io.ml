@@ -395,7 +395,9 @@ let r_conflict r : Parse_table.conflict =
 (** Serialize a complete table bundle. *)
 let write (t : Tables.t) : string =
   let b = Buffer.create (1 lsl 16) in
-  Buffer.add_string b "CGB3";
+  Buffer.add_string b "CGB4";
+  (* target; resolved through the registry on read *)
+  w_str b t.Tables.target.Machine.Target.name;
   (* grammar *)
   let g = t.Tables.grammar in
   w_arr b w_str g.Grammar.names;
@@ -455,9 +457,15 @@ let write (t : Tables.t) : string =
     not stored: a placeholder with only the start state is rebuilt, which
     is all the driver needs (it reads actions, never items). *)
 let read (s : string) : Tables.t =
-  if String.length s < 4 || String.sub s 0 4 <> "CGB3" then
+  if String.length s < 4 || String.sub s 0 4 <> "CGB4" then
     raise (Corrupt "bad bundle magic");
   let r = { buf = s; pos = 4 } in
+  let target_name = r_str r in
+  let target =
+    match Machine.Targets.find target_name with
+    | Some t -> t
+    | None -> raise (Corrupt (Fmt.str "unknown target %S" target_name))
+  in
   let names = r_arr r r_str in
   let is_nonterminal = r_arr r (fun r -> r_i32 r <> 0) in
   let in_if = r_arr r (fun r -> r_i32 r <> 0) in
@@ -551,7 +559,8 @@ let read (s : string) : Tables.t =
   let class_of = r_arr r (fun r -> r_opt r (fun r -> class_of_code (r_i32 r))) in
   let kind_of = r_arr r (fun r -> r_opt r (fun r -> kind_of_kcode (r_i32 r))) in
   {
-    Tables.grammar;
+    Tables.target;
+    grammar;
     symtab;
     parse;
     compressed;

@@ -187,48 +187,15 @@ let arity line (t : Spec_ast.template) n =
     fail line "%s: expected %d operands, got %d" t.t_op n
       (List.length t.t_operands)
 
-(* validate machine-instruction operand shapes against the format *)
-let compile_machine_instr env line (t : Spec_ast.template) : instr =
-  let fmt =
-    match Machine.Insn.format_of_mnemonic t.t_op with
-    | Some f -> f
-    | None -> fail line "%s is not a target instruction" t.t_op
-  in
+(* validate machine-instruction operand shapes against the target's
+   format tables (the target owns its architected formats) *)
+let compile_machine_instr env line (target : Machine.Target.t)
+    (t : Spec_ast.template) : instr =
   let ops = List.map (resolve_operand env line) t.t_operands in
-  let nsubs k =
-    match List.nth_opt ops k with
-    | Some o -> List.length o.subs
-    | None -> -1
-  in
-  (match fmt with
-  | Machine.Insn.RR ->
-      arity line t 2;
-      if nsubs 0 <> 0 || nsubs 1 <> 0 then
-        fail line "%s: RR operands take no sub-operands" t.t_op
-  | Machine.Insn.RX ->
-      arity line t 2;
-      if nsubs 0 <> 0 then fail line "%s: first operand must be a register" t.t_op;
-      if nsubs 1 > 2 then fail line "%s: too many address sub-operands" t.t_op
-  | Machine.Insn.RS -> (
-      match t.t_op with
-      | "sla" | "sra" | "sll" | "srl" | "slda" | "srda" | "sldl" | "srdl" ->
-          arity line t 2;
-          if nsubs 0 <> 0 then fail line "%s: first operand must be a register" t.t_op;
-          if nsubs 1 > 1 then fail line "%s: shift takes at most d(b)" t.t_op
-      | _ ->
-          arity line t 3;
-          if nsubs 0 <> 0 || nsubs 1 <> 0 then
-            fail line "%s: register operands take no sub-operands" t.t_op;
-          if nsubs 2 > 1 then fail line "%s: address takes at most d(b)" t.t_op)
-  | Machine.Insn.SI ->
-      arity line t 2;
-      if nsubs 0 > 1 then fail line "%s: address takes at most d(b)" t.t_op;
-      if nsubs 1 <> 0 then fail line "%s: immediate takes no sub-operands" t.t_op
-  | Machine.Insn.SS ->
-      arity line t 2;
-      if nsubs 0 <> 2 then
-        fail line "%s: first operand must be d(l,b)" t.t_op;
-      if nsubs 1 > 1 then fail line "%s: second operand takes at most d(b)" t.t_op);
+  let nsubs = List.map (fun o -> List.length o.subs) ops in
+  (match target.Machine.Target.validate ~mnem:t.t_op ~nsubs with
+  | Ok () -> ()
+  | Error msg -> fail line "%s" msg);
   { mnem = t.t_op; ops }
 
 let lhs_push env (lhs : Spec_ast.ssym) : push option =
@@ -264,8 +231,9 @@ let lhs_push env (lhs : Spec_ast.ssym) : push option =
   | { base; idx = None } ->
       fail env.line "LHS %s must be indexed (or lambda)" base
 
-let compile ~(grammar : Grammar.t) ~(symtab : Symtab.t) ~(prod_id : int)
-    (p : Spec_ast.production) : (compiled, error) result =
+let compile ?(target = Machine.Targets.default) ~(grammar : Grammar.t)
+    ~(symtab : Symtab.t) ~(prod_id : int) (p : Spec_ast.production) :
+    (compiled, error) result =
   try
     let rhs_syms = Array.of_list p.p_rhs in
     let rhs = Hashtbl.create 8 in
@@ -507,9 +475,10 @@ let compile ~(grammar : Grammar.t) ~(symtab : Symtab.t) ~(prod_id : int)
                       { cse; fp = t.t_op = "find_real_common"; push_sym };
                   ]
               | _ -> fail line "%s: expected 1 or 2 operands" t.t_op)
-          | op when Machine.Insn.is_mnemonic op -> (
+          | op when target.Machine.Target.is_mnemonic op -> (
               match Symtab.find symtab op with
-              | Some Symtab.Opcode -> [ Instr (compile_machine_instr env line t) ]
+              | Some Symtab.Opcode ->
+                  [ Instr (compile_machine_instr env line target t) ]
               | _ -> fail line "opcode %s is not declared in $Opcodes" op)
           | op -> fail line "unknown template operator %s" op)
         p.p_templates

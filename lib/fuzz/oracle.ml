@@ -154,6 +154,65 @@ let dispatch (tables : Cogg.Tables.t) (toks : Ifl.Token.t list) : status =
   in
   all_pairs results
 
+(* -- cross-backend differential execution -------------------------------------- *)
+
+(** Compile and run the same Pascal program under two table bundles built
+    for different machines and compare everything the program can
+    observe: the write-statement outputs and whether (and why) the run
+    aborted.  The linearized IF is machine-independent, so any program
+    one backend accepts and the other rejects — or that produces
+    different output on the two simulators — indicts one of the specs,
+    one of the substrates, or the shared emission path. *)
+let cross_backend (a : Cogg.Tables.t) (b : Cogg.Tables.t) (source : string) :
+    status =
+  protect @@ fun () ->
+  let name (t : Cogg.Tables.t) = t.Cogg.Tables.target.Machine.Target.name in
+  let run_one (tables : Cogg.Tables.t) =
+    match Pipeline.compile tables source with
+    | Error m -> Error ("compile: " ^ m)
+    | Ok c -> (
+        match Pipeline.execute c with
+        | Error m -> Error ("execute: " ^ m)
+        | Ok x -> Ok x)
+  in
+  match (run_one a, run_one b) with
+  | Error ma, _ when is_capacity_limit ma -> Skip ("capacity: " ^ ma)
+  | _, Error mb when is_capacity_limit mb -> Skip ("capacity: " ^ mb)
+  | Error _, Error _ ->
+      (* both backends reject; the exec oracle owns whether rejection was
+         correct at all *)
+      Pass
+  | Ok _, Error m ->
+      Fail (Fmt.str "divergence: %s rejected what %s ran: %s" (name b) (name a) m)
+  | Error m, Ok _ ->
+      Fail (Fmt.str "divergence: %s rejected what %s ran: %s" (name a) (name b) m)
+  | Ok xa, Ok xb ->
+      let aborted (x : Pipeline.executed) =
+        x.Pipeline.outcome.Machine.Runtime.aborted
+      in
+      if xa.Pipeline.written_ints <> xb.Pipeline.written_ints then
+        Fail
+          (Fmt.str "divergence: integer writes %s=[%a] %s=[%a]" (name a)
+             Fmt.(list ~sep:semi int)
+             xa.Pipeline.written_ints (name b)
+             Fmt.(list ~sep:semi int)
+             xb.Pipeline.written_ints)
+      else if xa.Pipeline.written_reals <> xb.Pipeline.written_reals then
+        Fail
+          (Fmt.str "divergence: real writes %s=[%a] %s=[%a]" (name a)
+             Fmt.(list ~sep:semi float)
+             xa.Pipeline.written_reals (name b)
+             Fmt.(list ~sep:semi float)
+             xb.Pipeline.written_reals)
+      else if aborted xa <> aborted xb then
+        Fail
+          (Fmt.str "divergence: abort %s=%a %s=%a" (name a)
+             Fmt.(option ~none:(any "ran") string)
+             (aborted xa) (name b)
+             Fmt.(option ~none:(any "ran") string)
+             (aborted xb))
+      else Pass
+
 (* -- oracle 3: determinism ---------------------------------------------------- *)
 
 let compiled_signature (c : Pipeline.compiled) : string =

@@ -44,6 +44,10 @@ type config = {
           compiled once with capture on, accumulating state visits and
           production fires across the whole run — the corpus half of
           [pasc fuzz --profile-out] *)
+  cross : Cogg.Tables.t option;
+      (** second backend: every Pascal case additionally compiles and
+          runs under these tables and the two machines' observable
+          outputs must agree (the cross-backend differential oracle) *)
 }
 
 let default_config =
@@ -59,6 +63,7 @@ let default_config =
     cache_dir = None;
     log = ignore;
     collect = None;
+    cross = None;
   }
 
 let render_input = function
@@ -106,6 +111,10 @@ let oracles_for (tables : Cogg.Tables.t) (cfg : config) (input : input) :
           ("dispatch", on_toks (Oracle.dispatch tables));
           ("determinism", on_src (Oracle.determinism tables));
         ]
+        @ (match cfg.cross with
+          | Some other ->
+              [ ("cross", on_src (Oracle.cross_backend tables other)) ]
+          | None -> [])
     | If_stream _ ->
         [
           ("dispatch", on_toks (Oracle.dispatch tables));

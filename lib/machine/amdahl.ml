@@ -1,0 +1,136 @@
+(** The Amdahl 470 (System/360-370 subset) target substrate.
+
+    The opcode tables, encoder and simulator predate the second backend
+    and live in {!Insn}, {!Encode}, {!Sim} and {!Runtime}; this module
+    packages them behind the {!Target.t} interface together with the
+    pieces the emitter used to hard-code: operand-shape validation per
+    architected format, the instruction builder, spill/move/abort
+    idioms, and the span-dependent branch model. *)
+
+let is_shift = function
+  | "sla" | "sra" | "sll" | "srl" | "slda" | "srda" | "sldl" | "srdl" -> true
+  | _ -> false
+
+(* validate machine-instruction operand shapes against the format; [nsubs]
+   lists the sub-operand count of each written operand *)
+let validate ~(mnem : string) ~(nsubs : int list) : (unit, string) result =
+  let fail fmt = Fmt.kstr (fun m -> Error m) fmt in
+  let arity n =
+    if List.length nsubs <> n then
+      fail "%s: expected %d operands, got %d" mnem n (List.length nsubs)
+    else Ok ()
+  in
+  let sub k = List.nth nsubs k in
+  match Insn.format_of_mnemonic mnem with
+  | None -> fail "%s is not a target instruction" mnem
+  | Some Insn.RR ->
+      Result.bind (arity 2) (fun () ->
+          if sub 0 <> 0 || sub 1 <> 0 then
+            fail "%s: RR operands take no sub-operands" mnem
+          else Ok ())
+  | Some Insn.RX ->
+      Result.bind (arity 2) (fun () ->
+          if sub 0 <> 0 then fail "%s: first operand must be a register" mnem
+          else if sub 1 > 2 then fail "%s: too many address sub-operands" mnem
+          else Ok ())
+  | Some Insn.RS ->
+      if is_shift mnem then
+        Result.bind (arity 2) (fun () ->
+            if sub 0 <> 0 then fail "%s: first operand must be a register" mnem
+            else if sub 1 > 1 then fail "%s: shift takes at most d(b)" mnem
+            else Ok ())
+      else
+        Result.bind (arity 3) (fun () ->
+            if sub 0 <> 0 || sub 1 <> 0 then
+              fail "%s: register operands take no sub-operands" mnem
+            else if sub 2 > 1 then fail "%s: address takes at most d(b)" mnem
+            else Ok ())
+  | Some Insn.SI ->
+      Result.bind (arity 2) (fun () ->
+          if sub 0 > 1 then fail "%s: address takes at most d(b)" mnem
+          else if sub 1 <> 0 then
+            fail "%s: immediate takes no sub-operands" mnem
+          else Ok ())
+  | Some Insn.SS ->
+      Result.bind (arity 2) (fun () ->
+          if sub 0 <> 2 then fail "%s: first operand must be d(l,b)" mnem
+          else if sub 1 > 1 then
+            fail "%s: second operand takes at most d(b)" mnem
+          else Ok ())
+
+let build_insn ~(mnem : string) (vals : (int * int list) list) :
+    (Insn.t, string) result =
+  (* vals: per operand, (base value, sub values) *)
+  let fail fmt = Fmt.kstr (fun m -> Error m) fmt in
+  match Insn.format_of_mnemonic mnem with
+  | None -> fail "unknown mnemonic %s at emission" mnem
+  | Some fmt -> (
+      let plain k =
+        match List.nth_opt vals k with
+        | Some (v, []) -> v
+        | _ ->
+            Fmt.failwith "%s: operand %d shape mismatch at emission" mnem (k + 1)
+      in
+      let memop k =
+        match List.nth_opt vals k with
+        | Some (d, []) -> (d, 0, 0)
+        | Some (d, [ b ]) -> (d, 0, b)
+        | Some (d, [ x; b ]) -> (d, x, b)
+        | _ -> Fmt.failwith "%s: missing storage operand" mnem
+      in
+      try
+        Ok
+          (match fmt with
+          | Insn.RR -> Insn.Rr { op = mnem; r1 = plain 0; r2 = plain 1 }
+          | Insn.RX ->
+              let d2, x2, b2 = memop 1 in
+              Insn.Rx { op = mnem; r1 = plain 0; d2; x2; b2 }
+          | Insn.RS ->
+              if is_shift mnem then
+                let d2, _, b2 = memop 1 in
+                Insn.Rs { op = mnem; r1 = plain 0; r3 = 0; d2; b2 }
+              else
+                let d2, _, b2 = memop 2 in
+                Insn.Rs { op = mnem; r1 = plain 0; r3 = plain 1; d2; b2 }
+          | Insn.SI ->
+              let d1, _, b1 = memop 0 in
+              Insn.Si { op = mnem; d1; b1; i2 = plain 1 }
+          | Insn.SS ->
+              let l, d1, b1 =
+                match List.nth_opt vals 0 with
+                | Some (d, [ l; b ]) -> (l, d, b)
+                | _ -> Fmt.failwith "%s: first operand must be d(l,b)" mnem
+              in
+              let d2, _, b2 = memop 1 in
+              Insn.Ss { op = mnem; l; d1; b1; d2; b2 })
+      with Failure m -> Error m)
+
+let spill_store ~fp ~reg ~dsp ~base =
+  Insn.Rx { op = (if fp then "std" else "st"); r1 = reg; d2 = dsp; x2 = 0;
+            b2 = base }
+
+let reg_move ~fp ~dst ~src =
+  Insn.Rr { op = (if fp then "ldr" else "lr"); r1 = dst; r2 = src }
+
+let abort_insns ~errno =
+  [
+    Insn.Rx { op = "la"; r1 = 1; d2 = errno; x2 = 0; b2 = 0 };
+    Insn.Rx
+      { op = "bal"; r1 = 14; d2 = Runtime.psa_abort; x2 = 0;
+        b2 = Runtime.pr_base };
+  ]
+
+let target : Target.t =
+  {
+    Target.name = "amdahl470";
+    spec_file = "specs/amdahl470.cgg";
+    is_mnemonic = Insn.is_mnemonic;
+    validate;
+    build_insn;
+    site_model = Target.Span_dependent;
+    spill_store;
+    reg_move;
+    abort_insns;
+    boot = Runtime.boot;
+    run = Runtime.run;
+  }

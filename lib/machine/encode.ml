@@ -21,10 +21,19 @@ let check_disp what v =
 let check_byte what v =
   if v < 0 || v > 255 then err "%s out of range: %d (must fit 8 bits)" what v
 
+let check_imm16 what v =
+  if v < -32768 || v > 32767 then
+    err "%s out of range: %d (must fit signed 16 bits)" what v
+
 let opcode_of m =
   match Hashtbl.find_opt Insn.opcode_of_mnemonic m with
   | Some (op, f) -> (op, f)
   | None -> err "unknown mnemonic %S" m
+
+let r32_opcode_of m =
+  match Hashtbl.find_opt Insn.r32_opcode_of_mnemonic m with
+  | Some (op, f) -> (op, f)
+  | None -> err "unknown RISC-32 mnemonic %S" m
 
 (** [encode_into insn dst pos] writes the architected byte encoding of
     [insn] at [dst.[pos..]] and returns the position just past it.  All
@@ -94,6 +103,65 @@ let encode_into (i : Insn.t) (dst : Bytes.t) (pos : int) : int =
       Bytes.set_uint8 dst (pos + 4) ((b2 lsl 4) lor (d2 lsr 8));
       Bytes.set_uint8 dst (pos + 5) (d2 land 0xFF);
       pos + 6
+  (* RISC-32 formats: [op(8) a(4) b(4) imm(16)] big-endian, always 4 bytes *)
+  | R3 { op; rd; rs1; rs2 } ->
+      let code, f = r32_opcode_of op in
+      if f <> F_r3 then err "%s is not an R3 instruction" op;
+      check_nibble "rd" rd;
+      check_nibble "rs1" rs1;
+      check_nibble "rs2" rs2;
+      Bytes.set_uint8 dst pos code;
+      Bytes.set_uint8 dst (pos + 1) ((rd lsl 4) lor rs1);
+      Bytes.set_uint8 dst (pos + 2) (rs2 lsl 4);
+      Bytes.set_uint8 dst (pos + 3) 0;
+      pos + 4
+  | R2 { op; rd; rs } ->
+      let code, f = r32_opcode_of op in
+      if f <> F_r2 then err "%s is not an R2 instruction" op;
+      check_nibble "rd" rd;
+      check_nibble "rs" rs;
+      Bytes.set_uint8 dst pos code;
+      Bytes.set_uint8 dst (pos + 1) ((rd lsl 4) lor rs);
+      Bytes.set_uint8 dst (pos + 2) 0;
+      Bytes.set_uint8 dst (pos + 3) 0;
+      pos + 4
+  | Ri { op; rd; rs; imm } ->
+      let code, f = r32_opcode_of op in
+      if f <> F_ri then err "%s is not an RI instruction" op;
+      check_nibble "rd" rd;
+      check_nibble "rs" rs;
+      check_imm16 "imm" imm;
+      Bytes.set_uint8 dst pos code;
+      Bytes.set_uint8 dst (pos + 1) ((rd lsl 4) lor rs);
+      Bytes.set_uint16_be dst (pos + 2) (imm land 0xFFFF);
+      pos + 4
+  | Li { op; rd; imm } ->
+      let code, f = r32_opcode_of op in
+      if f <> F_li then err "%s is not an LI instruction" op;
+      check_nibble "rd" rd;
+      check_imm16 "imm" imm;
+      Bytes.set_uint8 dst pos code;
+      Bytes.set_uint8 dst (pos + 1) (rd lsl 4);
+      Bytes.set_uint16_be dst (pos + 2) (imm land 0xFFFF);
+      pos + 4
+  | Mem { op; rd; dsp; rb } ->
+      let code, f = r32_opcode_of op in
+      if f <> F_mem then err "%s is not a memory instruction" op;
+      check_nibble "rd" rd;
+      check_nibble "rb" rb;
+      check_imm16 "dsp" dsp;
+      Bytes.set_uint8 dst pos code;
+      Bytes.set_uint8 dst (pos + 1) ((rd lsl 4) lor rb);
+      Bytes.set_uint16_be dst (pos + 2) (dsp land 0xFFFF);
+      pos + 4
+  | Bcc { mask; rel } ->
+      let code, _ = r32_opcode_of "bc" in
+      check_nibble "mask" mask;
+      check_imm16 "rel" rel;
+      Bytes.set_uint8 dst pos code;
+      Bytes.set_uint8 dst (pos + 1) (mask lsl 4);
+      Bytes.set_uint16_be dst (pos + 2) (rel land 0xFFFF);
+      pos + 4
 
 (** [encode insn] returns the architected byte encoding in a fresh
     buffer. *)
@@ -160,6 +228,28 @@ let decode (mem : Bytes.t) (pos : int) : Insn.t * int =
                 d2 = ((b4 land 0xF) lsl 8) lor b5;
               },
             6 ))
+
+(** [decode_r32 mem pos] disassembles the RISC-32 instruction at [pos].
+    Returns the symbolic instruction and its size (always 4).  Raises
+    [Encode_error] on an unknown opcode. *)
+let decode_r32 (mem : Bytes.t) (pos : int) : Insn.t * int =
+  let u8 i = Bytes.get_uint8 mem (pos + i) in
+  let imm16 () =
+    let v = (u8 2 lsl 8) lor u8 3 in
+    if v >= 0x8000 then v - 0x10000 else v
+  in
+  let code = u8 0 in
+  match Hashtbl.find_opt Insn.r32_mnemonic_of_opcode code with
+  | None -> err "unknown RISC-32 opcode byte 0x%02X at %d" code pos
+  | Some (op, f) -> (
+      let b1 = u8 1 in
+      match f with
+      | F_r3 -> (R3 { op; rd = b1 lsr 4; rs1 = b1 land 0xF; rs2 = u8 2 lsr 4 }, 4)
+      | F_r2 -> (R2 { op; rd = b1 lsr 4; rs = b1 land 0xF }, 4)
+      | F_ri -> (Ri { op; rd = b1 lsr 4; rs = b1 land 0xF; imm = imm16 () }, 4)
+      | F_li -> (Li { op; rd = b1 lsr 4; imm = imm16 () }, 4)
+      | F_mem -> (Mem { op; rd = b1 lsr 4; rb = b1 land 0xF; dsp = imm16 () }, 4)
+      | F_bcc -> (Bcc { mask = b1 lsr 4; rel = imm16 () }, 4))
 
 (** Encode a whole instruction sequence into one buffer. *)
 let encode_all (is : Insn.t list) : Bytes.t =

@@ -1,26 +1,49 @@
-(** IBM System/360-370 (Amdahl 470) instruction subset.
+(** Symbolic machine instructions for both target substrates.
 
-    Symbolic instructions as filled in by the code emission routine, the
-    opcode/format tables, and instruction sizes.  Binary encoding lives in
-    {!Encode}; execution semantics in {!Sim}. *)
+    The IBM System/360-370 (Amdahl 470) subset uses the five architected
+    formats [Rr]/[Rx]/[Rs]/[Si]/[Ss]; the RISC-32 load/store machine uses
+    the fixed-width [R3]/[R2]/[Ri]/[Li]/[Mem]/[Bcc] formats.  Both share
+    one symbolic type so the emitter, loader and listings are
+    target-independent.  Binary encoding lives in {!Encode}; execution
+    semantics in {!Sim} (Amdahl) and {!Risc32} (RISC-32). *)
 
 (** The five machine instruction formats of the 360/370 subset we model.
     [RR] instructions are 2 bytes, [RX]/[RS]/[SI] are 4, [SS] is 6. *)
 type format = RR | RX | RS | SI | SS
 
+(** RISC-32 formats, all 4 bytes:
+    - [F_r3]: three-register ALU op [op rd,rs1,rs2]
+    - [F_r2]: two-register op [op rd,rs] (also compares and [jr])
+    - [F_ri]: register + 16-bit signed immediate [op rd,rs,imm]
+    - [F_li]: one register + 16-bit signed immediate [li rd,imm]
+    - [F_mem]: load/store/link [op rd,dsp(rb)] with signed 16-bit dsp
+    - [F_bcc]: conditional branch [bc mask,rel] with pc-relative rel16 *)
+type r32_format = F_r3 | F_r2 | F_ri | F_li | F_mem | F_bcc
+
 (** A symbolic machine instruction with all operand fields resolved to
     numbers.  [Rx] covers both indexed storage operands [d2(x2,b2)] and
-    branch instructions (where [r1] is the condition mask). *)
+    branch instructions (where [r1] is the condition mask).  The RISC-32
+    constructors follow: register fields name GPRs or FP registers
+    depending on the mnemonic; [Bcc.rel] is a byte offset relative to the
+    branch instruction's own address. *)
 type t =
   | Rr of { op : string; r1 : int; r2 : int }
   | Rx of { op : string; r1 : int; d2 : int; x2 : int; b2 : int }
   | Rs of { op : string; r1 : int; r3 : int; d2 : int; b2 : int }
   | Si of { op : string; d1 : int; b1 : int; i2 : int }
   | Ss of { op : string; l : int; d1 : int; b1 : int; d2 : int; b2 : int }
+  | R3 of { op : string; rd : int; rs1 : int; rs2 : int }
+  | R2 of { op : string; rd : int; rs : int }
+  | Ri of { op : string; rd : int; rs : int; imm : int }
+  | Li of { op : string; rd : int; imm : int }
+  | Mem of { op : string; rd : int; dsp : int; rb : int }
+  | Bcc of { mask : int; rel : int }
 
 let mnemonic = function
   | Rr { op; _ } | Rx { op; _ } | Rs { op; _ } | Si { op; _ } | Ss { op; _ }
+  | R3 { op; _ } | R2 { op; _ } | Ri { op; _ } | Li { op; _ } | Mem { op; _ }
     -> op
+  | Bcc _ -> "bc"
 
 (** Mnemonic -> (opcode byte, format).  Opcode values are the architected
     System/370 encodings. *)
@@ -167,6 +190,87 @@ let format_of_mnemonic m =
   | Some (_, f) -> Some f
   | None -> None
 
+(** RISC-32 mnemonic -> (opcode byte, format).  The numbering is our own
+    (the machine is fictional); values may overlap the 370 table because
+    the two instruction sets are never decoded from the same memory. *)
+let r32_opcode_table : (string * (int * r32_format)) list =
+  [
+    (* three-register ALU *)
+    ("add", (0x01, F_r3));
+    ("sub", (0x02, F_r3));
+    ("mul", (0x03, F_r3));
+    ("div", (0x04, F_r3));
+    ("rem", (0x05, F_r3));
+    ("and", (0x06, F_r3));
+    ("or", (0x07, F_r3));
+    ("xor", (0x08, F_r3));
+    ("andn", (0x09, F_r3));
+    ("sll", (0x0A, F_r3));
+    ("srl", (0x0B, F_r3));
+    ("sra", (0x0C, F_r3));
+    (* three-register floating point (F registers) *)
+    ("fadd", (0x0D, F_r3));
+    ("fsub", (0x0E, F_r3));
+    ("fmul", (0x0F, F_r3));
+    ("fdiv", (0x10, F_r3));
+    (* two-register *)
+    ("mov", (0x11, F_r2));
+    ("neg", (0x12, F_r2));
+    ("itof", (0x13, F_r2)); (* rd: F register, rs: GPR *)
+    ("ftoi", (0x14, F_r2)); (* rd: GPR, rs: F register *)
+    ("fmov", (0x15, F_r2));
+    ("fneg", (0x16, F_r2));
+    ("fabs", (0x17, F_r2));
+    ("fhlv", (0x18, F_r2)); (* halve: rd <- rs / 2.0 *)
+    ("cmp", (0x19, F_r2)); (* signed compare, sets cc *)
+    ("cmpu", (0x1A, F_r2)); (* unsigned compare, sets cc *)
+    ("fcmp", (0x1B, F_r2)); (* float compare, sets cc *)
+    ("jr", (0x1C, F_r2)); (* jump register: pc <- rs (rd unused) *)
+    (* register-immediate *)
+    ("addi", (0x20, F_ri));
+    ("subi", (0x21, F_ri));
+    ("andi", (0x22, F_ri));
+    ("ori", (0x23, F_ri));
+    ("xori", (0x24, F_ri));
+    ("slli", (0x25, F_ri));
+    ("srli", (0x26, F_ri));
+    ("srai", (0x27, F_ri));
+    (* load-immediate / compare-immediate *)
+    ("li", (0x28, F_li));
+    ("cmpi", (0x29, F_li));
+    (* loads and stores, dsp(rb) addressing only *)
+    ("lw", (0x30, F_mem));
+    ("lh", (0x31, F_mem)); (* sign-extending halfword load *)
+    ("lb", (0x32, F_mem)); (* zero-extending byte load *)
+    ("sw", (0x33, F_mem));
+    ("sh", (0x34, F_mem));
+    ("sb", (0x35, F_mem));
+    ("fld", (0x36, F_mem)); (* load double *)
+    ("fsd", (0x37, F_mem)); (* store double *)
+    ("fls", (0x38, F_mem)); (* load single (widen to double) *)
+    ("fss", (0x39, F_mem)); (* store single (round to f32 bits) *)
+    ("jl", (0x3A, F_mem)); (* jump-and-link: rd <- next, pc <- rb+dsp *)
+    (* conditional branch, pc-relative *)
+    ("bc", (0x40, F_bcc));
+  ]
+
+let r32_opcode_of_mnemonic : (string, int * r32_format) Hashtbl.t =
+  let h = Hashtbl.create 64 in
+  List.iter (fun (m, v) -> Hashtbl.replace h m v) r32_opcode_table;
+  h
+
+let r32_mnemonic_of_opcode : (int, string * r32_format) Hashtbl.t =
+  let h = Hashtbl.create 64 in
+  List.iter (fun (m, (op, f)) -> Hashtbl.replace h op (m, f)) r32_opcode_table;
+  h
+
+let r32_is_mnemonic m = Hashtbl.mem r32_opcode_of_mnemonic m
+
+let r32_format_of_mnemonic m =
+  match Hashtbl.find_opt r32_opcode_of_mnemonic m with
+  | Some (_, f) -> Some f
+  | None -> None
+
 let size_of_format = function RR -> 2 | RX | RS | SI -> 4 | SS -> 6
 
 (** Encoded size in bytes of a symbolic instruction. *)
@@ -174,6 +278,7 @@ let size = function
   | Rr _ -> 2
   | Rx _ | Rs _ | Si _ -> 4
   | Ss _ -> 6
+  | R3 _ | R2 _ | Ri _ | Li _ | Mem _ | Bcc _ -> 4
 
 (** Assembly-listing rendering, in the style of the paper's Appendix 1
     ([l r1,132(r12)], [sla r1,2], [mvc 144(4,13),168(13)], ...).
@@ -196,6 +301,10 @@ let render (b : Buffer.t) (t : t) : unit =
   in
   let reg r =
     ch 'r';
+    int r
+  in
+  let freg r =
+    ch 'f';
     int r
   in
   match t with
@@ -269,6 +378,62 @@ let render (b : Buffer.t) (t : t) : unit =
       ch '(';
       reg b2;
       ch ')'
+  | R3 { op; rd; rs1; rs2 } ->
+      let r = if String.length op > 0 && op.[0] = 'f' then freg else reg in
+      mnem op;
+      r rd;
+      ch ',';
+      r rs1;
+      ch ',';
+      r rs2
+  | R2 { op; rd; rs } -> (
+      mnem op;
+      match op with
+      | "jr" -> reg rs
+      | "itof" ->
+          freg rd;
+          ch ',';
+          reg rs
+      | "ftoi" ->
+          reg rd;
+          ch ',';
+          freg rs
+      | "fmov" | "fneg" | "fabs" | "fhlv" | "fcmp" ->
+          freg rd;
+          ch ',';
+          freg rs
+      | _ ->
+          reg rd;
+          ch ',';
+          reg rs)
+  | Ri { op; rd; rs; imm } ->
+      mnem op;
+      reg rd;
+      ch ',';
+      reg rs;
+      ch ',';
+      int imm
+  | Li { op; rd; imm } ->
+      mnem op;
+      reg rd;
+      ch ',';
+      int imm
+  | Mem { op; rd; dsp; rb } ->
+      let r =
+        match op with "fld" | "fsd" | "fls" | "fss" -> freg | _ -> reg
+      in
+      mnem op;
+      r rd;
+      ch ',';
+      int dsp;
+      ch '(';
+      reg rb;
+      ch ')'
+  | Bcc { mask; rel } ->
+      mnem "bc";
+      int mask;
+      ch ',';
+      int rel
 
 let to_string t =
   let b = Buffer.create 24 in

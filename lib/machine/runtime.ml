@@ -61,7 +61,11 @@ let psa_case_low = 280
 let psa_case_high = 284
 let psa_abort = 288
 let psa_real_to_int = 292 (* runtime conversion routine (trap stub) *)
+let psa_exit_code = 296 (* frame teardown routine (load/store targets) *)
+let psa_blockmove = 300 (* block move routine (targets without SS mvc) *)
 let psa_scratch = 512
+let psa_scratch_lo = 516 (* second scratch word (argument passing) *)
+let psa_scratch_len = 520 (* third scratch word (block-move length) *)
 let psa_proctab = 768 (* procedure address table, filled by the loader *)
 let psa_size = 1024
 

@@ -448,12 +448,17 @@ let step t =
   | Rs { op; r1; r3; d2; b2 } -> exec_rs t op r1 r3 (ea_rs t ~d:d2 ~b:b2)
   | Si { op; d1; b1; i2 } -> exec_si t op (ea_rs t ~d:d1 ~b:b1) i2
   | Ss { op; l; d1; b1; d2; b2 } ->
-      exec_ss t op l (ea_rs t ~d:d1 ~b:b1) (ea_rs t ~d:d2 ~b:b2));
+      exec_ss t op l (ea_rs t ~d:d1 ~b:b1) (ea_rs t ~d:d2 ~b:b2)
+  | R3 _ | R2 _ | Ri _ | Li _ | Mem _ | Bcc _ ->
+      err "RISC-32 instruction on the 370 simulator");
   t.steps <- t.steps + 1
 
 (** Run from [entry] until the PC reaches the halt address, a trap handler
-    stops the machine, or [max_steps] is exceeded. *)
-let run ?(max_steps = 1_000_000) t ~entry =
+    stops the machine, or [max_steps] is exceeded.  [run_with] takes the
+    single-instruction interpreter as a parameter so per-target substrates
+    (which decode different instruction sets into the same machine state)
+    can reuse the trap/halt/budget discipline unchanged. *)
+let run_with ~(step : t -> unit) ?(max_steps = 1_000_000) t ~entry =
   t.pc <- entry;
   t.running <- true;
   let budget = ref max_steps in
@@ -472,6 +477,8 @@ let run ?(max_steps = 1_000_000) t ~entry =
           if !budget <= 0 then err "instruction budget exhausted (%d steps)" max_steps
   done;
   t.steps
+
+let run ?max_steps t ~entry = run_with ~step ?max_steps t ~entry
 
 let abort t reason =
   t.aborted <- Some reason;

@@ -1,0 +1,51 @@
+(** Per-target machine substrate.
+
+    Bird's thesis is that retargeting the code generator "merely requires
+    a rewriting of the templates": the tables are built from a new spec
+    file and the table-driven emission routine stays unchanged.  The parts
+    that {e cannot} come from the spec — the opcode/format tables, the
+    instruction builder, the branch-site resolution model, the simulator
+    and its runtime support traps — are collected in this record, one
+    value per machine.  Everything above [lib/machine] (template
+    compilation, the emitter, the loader, the pipeline) is parameterized
+    by a [Target.t] and never mentions a concrete instruction set.
+
+    See {!Amdahl} and {!Risc32} for the two substrates, and {!Targets}
+    for the name -> (spec path, substrate) registry. *)
+
+(** How label references inside the code buffer are resolved:
+    - [Span_dependent]: branches have a short form with a limited
+      displacement and a long form through a literal pool; sizing is a
+      fixpoint (the 370 model).
+    - [Pc_relative]: every branch is one fixed-width pc-relative
+      instruction; sizing is a single pass (the RISC-32 model). *)
+type site_model = Span_dependent | Pc_relative
+
+type t = {
+  name : string;  (** registry key, e.g. "amdahl470" *)
+  spec_file : string;  (** spec path relative to the repo root *)
+  is_mnemonic : string -> bool;
+      (** does this target's opcode table define the mnemonic? *)
+  validate : mnem:string -> nsubs:int list -> (unit, string) result;
+      (** shape-check a template instruction at table-construction time:
+          [nsubs] lists, per written operand, its sub-operand count *)
+  build_insn : mnem:string -> (int * int list) list -> (Insn.t, string) result;
+      (** build a symbolic instruction from evaluated operand values at
+          emission time (same shape as [validate] accepted) *)
+  site_model : site_model;
+  spill_store : fp:bool -> reg:int -> dsp:int -> base:int -> Insn.t;
+      (** store an evicted CSE register to its temporary *)
+  reg_move : fp:bool -> dst:int -> src:int -> Insn.t;
+      (** register-to-register copy (need transfers, copy-on-write) *)
+  abort_insns : errno:int -> Insn.t list;
+      (** the [abort] semop: pass [errno] to the runtime abort routine *)
+  boot : ?layout:Runtime.layout -> Objmod.t -> (Sim.t * int, string) result;
+      (** create a simulator, install the PSA and traps, load the module *)
+  run :
+    ?max_steps:int ->
+    ?layout:Runtime.layout ->
+    Sim.t ->
+    entry:int ->
+    (Runtime.outcome, string) result;
+      (** run a booted program to completion *)
+}

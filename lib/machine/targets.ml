@@ -1,0 +1,25 @@
+(** The target registry: name -> (spec path, substrate).
+
+    A plain association list — adding a backend means adding one row (and
+    the spec + substrate it names).  Deliberately immutable: the registry
+    is consulted from the domain pool, so it must carry no toplevel
+    mutable state (see test/check_globals.sh). *)
+
+let all : (string * Target.t) list =
+  [ (Amdahl.target.Target.name, Amdahl.target);
+    (Risc32.target.Target.name, Risc32.target) ]
+
+let names = List.map fst all
+
+let find (name : string) : Target.t option = List.assoc_opt name all
+
+let find_exn (name : string) : Target.t =
+  match find name with
+  | Some t -> t
+  | None ->
+      invalid_arg
+        (Fmt.str "unknown target %S (known: %s)" name
+           (String.concat ", " names))
+
+(** The default target, used everywhere a target is not named. *)
+let default = Amdahl.target

@@ -14,6 +14,9 @@ type compiled = {
   shaped : Shaper.Irgen.shaped;
   tokens : Ifl.Token.t list;
   gen : Cogg.Codegen.result_t;
+  target : Machine.Target.t;
+      (** the machine the tables were built for; drives loading and
+          simulation in {!execute} *)
 }
 
 let ( let* ) = Result.bind
@@ -47,7 +50,10 @@ let compile ?(cse = true) ?(checks = false) ?strategy ?dispatch ?profile
           tables tokens)
   with
   | Error e -> Error (Fmt.str "%a" Cogg.Codegen.pp_error e)
-  | Ok gen -> Ok { source; checked; shaped; tokens; gen }
+  | Ok gen ->
+      Ok
+        { source; checked; shaped; tokens; gen;
+          target = tables.Cogg.Tables.target }
 
 type executed = {
   sim : Machine.Sim.t;
@@ -60,7 +66,10 @@ type executed = {
 (** Load and run a compiled program. *)
 let execute ?(layout = Machine.Runtime.default_layout) ?(max_steps = 5_000_000)
     (c : compiled) : (executed, string) result =
-  let* sim, entry = Machine.Runtime.boot ~layout c.gen.Cogg.Codegen.objmod in
+  let tgt = c.target in
+  let* sim, entry =
+    tgt.Machine.Target.boot ~layout c.gen.Cogg.Codegen.objmod
+  in
   (* resolve the procedure address table: the role of a linking loader *)
   let labels = c.gen.Cogg.Codegen.resolved.Cogg.Loader_gen.labels in
   let* () =
@@ -77,7 +86,7 @@ let execute ?(layout = Machine.Runtime.default_layout) ?(max_steps = 5_000_000)
         | None -> Error (Fmt.str "procedure label L%d unresolved" lbl))
       (Ok ()) c.shaped.Shaper.Irgen.proc_slots
   in
-  let* outcome = Machine.Runtime.run ~max_steps ~layout sim ~entry in
+  let* outcome = tgt.Machine.Target.run ~max_steps ~layout sim ~entry in
   let frame = outcome.Machine.Runtime.final_frame in
   let sh = c.shaped in
   let n_ints = Machine.Sim.load_w sim (frame + sh.Shaper.Irgen.wcount_i_disp) in

@@ -31,6 +31,10 @@ let request (t : t) (req : Wire.request) : (Wire.reply, string) result =
   with
   | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
   | Failure m -> Error m
+  | Wire.Frame_too_large sz ->
+      Error
+        (Fmt.str "request too large for the wire (%d bytes > %d frame cap)" sz
+           Wire.max_frame)
 
 let ping (t : t) : (unit, string) result =
   match request t Wire.Ping with
@@ -42,6 +46,12 @@ let stats (t : t) : (string, string) result =
   match request t Wire.Stats with
   | Ok (Wire.Stats_reply s) -> Ok s
   | Ok _ -> Error "expected Stats_reply"
+  | Error _ as e -> e
+
+let hello (t : t) : (string, string) result =
+  match request t Wire.Hello with
+  | Ok (Wire.Hello_reply target) -> Ok target
+  | Ok _ -> Error "expected Hello_reply"
   | Error _ as e -> e
 
 let pause (t : t) (ms : int) : (unit, string) result =
@@ -108,12 +118,16 @@ let compile_batch (t : t) ?(options = Wire.default_options)
       while !received < n do
         let want_write = !sent < out_len in
         let readable, writable, _ =
-          Unix.select [ t.fd ] (if want_write then [ t.fd ] else []) [] 5.0
+          Wire.retry_eintr (fun () ->
+              Unix.select [ t.fd ] (if want_write then [ t.fd ] else []) [] 5.0)
         in
         if readable = [] && writable = [] then
           failwith "timed out waiting for the daemon";
         if readable <> [] then begin
-          let r = Unix.read t.fd chunk 0 (Bytes.length chunk) in
+          let r =
+            Wire.retry_eintr (fun () ->
+                Unix.read t.fd chunk 0 (Bytes.length chunk))
+          in
           if r = 0 then failwith "daemon closed the connection";
           inbuf := !inbuf ^ Bytes.sub_string chunk 0 r;
           let continue = ref true in
@@ -130,7 +144,9 @@ let compile_batch (t : t) ?(options = Wire.default_options)
                       match reply with
                       | Wire.Compiled { id; _ } | Wire.Overloaded { id } ->
                           Some id
-                      | Wire.Stats_reply _ | Wire.Ack | Wire.Bye -> None
+                      | Wire.Stats_reply _ | Wire.Hello_reply _ | Wire.Ack
+                      | Wire.Bye ->
+                          None
                     in
                     match id with
                     | Some id when id >= 0 && id < n ->
@@ -141,7 +157,10 @@ let compile_batch (t : t) ?(options = Wire.default_options)
           done
         end;
         if writable <> [] && !sent < out_len then
-          sent := !sent + Unix.single_write t.fd out !sent (out_len - !sent)
+          sent :=
+            !sent
+            + Wire.retry_eintr (fun () ->
+                  Unix.single_write t.fd out !sent (out_len - !sent))
       done;
       Ok (Array.map Option.get replies)
     with

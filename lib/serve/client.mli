@@ -20,6 +20,12 @@ val request : t -> Wire.request -> (Wire.reply, string) result
 
 val ping : t -> (unit, string) result
 val stats : t -> (string, string) result
+
+val hello : t -> (string, string) result
+(** Ask the daemon which target it serves; returns the registry name
+    (["amdahl470"], ["risc32"], ...) so a caller can refuse to feed
+    sources meant for one machine to a daemon serving another. *)
+
 val pause : t -> int -> (unit, string) result
 (** Ask the daemon to stop draining its compile queue for [ms]
     milliseconds (the backpressure test hook). *)

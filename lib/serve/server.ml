@@ -30,6 +30,7 @@ type stats = {
   verified_hits : int;
   overloaded : int;
   gate_failures : int;
+  oversized : int;
   cache : Cogg.Result_cache.stats;
 }
 
@@ -81,6 +82,7 @@ type t = {
   mutable n_verified_hits : int;
   mutable n_overloaded : int;
   mutable n_gate_failures : int;
+  mutable n_oversized : int;
 }
 
 let stats (t : t) : stats =
@@ -91,6 +93,7 @@ let stats (t : t) : stats =
     verified_hits = t.n_verified_hits;
     overloaded = t.n_overloaded;
     gate_failures = t.n_gate_failures;
+    oversized = t.n_oversized;
     cache = Cogg.Result_cache.stats t.cache;
   }
 
@@ -104,6 +107,7 @@ let stats_text (t : t) : string =
   line "verified_hits" s.verified_hits;
   line "overloaded" s.overloaded;
   line "gate_failures" s.gate_failures;
+  line "oversized" s.oversized;
   line "cache_hits" s.cache.Cogg.Result_cache.hits;
   line "cache_misses" s.cache.Cogg.Result_cache.misses;
   line "cache_evictions" s.cache.Cogg.Result_cache.evictions;
@@ -111,6 +115,9 @@ let stats_text (t : t) : string =
   line "queue_capacity" t.queue_capacity;
   line "pool_size"
     (match t.pool with Some p -> Cogg.Pool.size p | None -> 1);
+  Buffer.add_string b
+    (Printf.sprintf "target %s\n"
+       t.tables.Cogg.Tables.target.Machine.Target.name);
   Buffer.contents b
 
 (* -- the compile itself ------------------------------------------------------- *)
@@ -151,11 +158,26 @@ let close_conn (t : t) (c : conn) =
   end
 
 let send (t : t) (c : conn) (r : Wire.reply) =
-  if c.alive then
-    try Wire.write_frame c.fd (Wire.encode_reply r)
+  if c.alive then begin
+    (* encode once; a reply too big for the wire (a pathological listing
+       or object image) is replaced by a structured error the client can
+       actually receive, instead of an un-receivable frame that would get
+       the connection dropped at the peer's length check *)
+    let payload = Wire.encode_reply r in
+    let payload =
+      let n = String.length payload in
+      if n <= Wire.max_frame then payload
+      else begin
+        t.n_oversized <- t.n_oversized + 1;
+        Log.warn (fun f -> f "reply of %d bytes exceeds the frame cap" n);
+        Wire.encode_reply (Wire.oversized_substitute r ~size:n)
+      end
+    in
+    try Wire.write_frame c.fd payload
     with Unix.Unix_error _ | Sys_error _ ->
       Log.info (fun f -> f "client went away mid-reply");
       close_conn t c
+  end
 
 (* -- request handling --------------------------------------------------------- *)
 
@@ -195,6 +217,9 @@ let handle_request (t : t) (c : conn) (req : Wire.request) =
   | Wire.Compile { id; options; source } -> handle_compile t c ~id options source
   | Wire.Stats -> send t c (Wire.Stats_reply (stats_text t))
   | Wire.Ping -> send t c Wire.Ack
+  | Wire.Hello ->
+      send t c
+        (Wire.Hello_reply t.tables.Cogg.Tables.target.Machine.Target.name)
   | Wire.Pause ms ->
       t.pause_until <- Unix.gettimeofday () +. (float_of_int ms /. 1000.);
       send t c Wire.Ack
@@ -344,6 +369,7 @@ let create ?pool ?(queue_capacity = 64) ?(cache_capacity = 256) ?cache_shards
             n_verified_hits = 0;
             n_overloaded = 0;
             n_gate_failures = 0;
+            n_oversized = 0;
           }
       with
       | Unix.Unix_error (e, _, _) ->

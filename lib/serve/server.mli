@@ -35,6 +35,9 @@ type stats = {
   verified_hits : int;  (** hits that recompiled, compared equal *)
   overloaded : int;  (** requests refused by admission control *)
   gate_failures : int;  (** cached bytes differed from a fresh compile *)
+  oversized : int;
+      (** replies too large for the wire, answered by a structured
+          error instead *)
   cache : Cogg.Result_cache.stats;
 }
 

@@ -18,6 +18,7 @@ type request =
   | Stats
   | Ping
   | Pause of int
+  | Hello
   | Shutdown
 
 type outcome = (string * string, string) result
@@ -26,12 +27,15 @@ type reply =
   | Compiled of { id : int; cached : bool; outcome : outcome }
   | Overloaded of { id : int }
   | Stats_reply of string
+  | Hello_reply of string
   | Ack
   | Bye
 
 (* 16 MiB: far above any real listing + object image, far below what a
    corrupt length prefix could ask us to allocate *)
 let max_frame = 1 lsl 24
+
+exception Frame_too_large of int
 
 (* -- primitive encoders ------------------------------------------------------ *)
 
@@ -96,6 +100,7 @@ let encode_request (r : request) : string =
   | Pause ms ->
       Buffer.add_char b 'Z';
       put_u32 b ms
+  | Hello -> Buffer.add_char b 'H'
   | Shutdown -> Buffer.add_char b 'Q');
   Buffer.contents b
 
@@ -123,6 +128,7 @@ let decode_request (s : string) : (request, string) result =
     | 'Z' ->
         if n < 5 then Error "truncated pause request"
         else Ok (Pause (get_u32 s 1))
+    | 'H' -> Ok Hello
     | 'Q' -> Ok Shutdown
     | c -> Error (Printf.sprintf "unknown request tag %d" (Char.code c))
 
@@ -150,6 +156,9 @@ let encode_reply (r : reply) : string =
   | Stats_reply text ->
       Buffer.add_char b 'T';
       Buffer.add_string b text
+  | Hello_reply target ->
+      Buffer.add_char b 'h';
+      Buffer.add_string b target
   | Ack -> Buffer.add_char b 'A'
   | Bye -> Buffer.add_char b 'B');
   Buffer.contents b
@@ -183,14 +192,40 @@ let decode_reply (s : string) : (reply, string) result =
         if n < 5 then Error "truncated overloaded reply"
         else Ok (Overloaded { id = get_u32 s 1 })
     | 'T' -> Ok (Stats_reply (String.sub s 1 (n - 1)))
+    | 'h' -> Ok (Hello_reply (String.sub s 1 (n - 1)))
     | 'A' -> Ok Ack
     | 'B' -> Ok Bye
     | c -> Error (Printf.sprintf "unknown reply tag %d" (Char.code c))
 
 (* -- frame I/O ---------------------------------------------------------------- *)
 
+(* Partial-transfer loops must survive signal delivery: a timer or
+   profiling signal landing mid-[read]/[write] returns EINTR (OCaml
+   installs handlers without SA_RESTART), and before this helper a
+   signal-bombed client would tear a frame in half and desynchronize the
+   stream.  Only EINTR is retried — real errors still raise. *)
+let rec retry_eintr (f : unit -> 'a) : 'a =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
+(** Substitute for a reply whose encoding exceeds [max_frame]: same id
+    and shape, but carrying a structured error the peer can actually
+    receive (the read side rejects oversized frames, so sending the real
+    bytes would only get the connection dropped). *)
+let oversized_substitute (r : reply) ~(size : int) : reply =
+  let msg =
+    Printf.sprintf "reply too large for the wire (%d bytes > %d frame cap)"
+      size max_frame
+  in
+  match r with
+  | Compiled { id; cached; _ } -> Compiled { id; cached; outcome = Error msg }
+  | Overloaded _ | Stats_reply _ | Hello_reply _ | Ack | Bye -> Stats_reply msg
+
 let write_frame (fd : Unix.file_descr) (payload : string) : unit =
   let n = String.length payload in
+  (* enforce the cap on the send side too: the receiver would reject the
+     length prefix anyway, so raise before a single byte goes out and
+     leave the stream clean for a recovery reply *)
+  if n > max_frame then raise (Frame_too_large n);
   let framed = Bytes.create (4 + n) in
   Bytes.set framed 0 (Char.chr ((n lsr 24) land 0xff));
   Bytes.set framed 1 (Char.chr ((n lsr 16) land 0xff));
@@ -200,14 +235,15 @@ let write_frame (fd : Unix.file_descr) (payload : string) : unit =
   let total = 4 + n in
   let sent = ref 0 in
   while !sent < total do
-    sent := !sent + Unix.write fd framed !sent (total - !sent)
+    sent :=
+      !sent + retry_eintr (fun () -> Unix.write fd framed !sent (total - !sent))
   done
 
 let read_exact fd n ~what : string =
   let buf = Bytes.create n in
   let got = ref 0 in
   while !got < n do
-    let r = Unix.read fd buf !got (n - !got) in
+    let r = retry_eintr (fun () -> Unix.read fd buf !got (n - !got)) in
     if r = 0 then failwith ("unexpected EOF reading " ^ what);
     got := !got + r
   done;
@@ -218,7 +254,7 @@ let read_frame (fd : Unix.file_descr) : string option =
   let got = ref 0 in
   let eof = ref false in
   while (not !eof) && !got < 4 do
-    let r = Unix.read fd hdr !got (4 - !got) in
+    let r = retry_eintr (fun () -> Unix.read fd hdr !got (4 - !got)) in
     if r = 0 then
       if !got = 0 then eof := true
       else failwith "unexpected EOF inside frame header"
@@ -253,6 +289,7 @@ let fingerprint (replies : reply array) : string =
       | Compiled { outcome = Error m; _ } ->
           Buffer.add_string buf m;
           Buffer.add_char buf '\002'
-      | Overloaded _ | Stats_reply _ | Ack | Bye -> Buffer.add_char buf '\003')
+      | Overloaded _ | Stats_reply _ | Hello_reply _ | Ack | Bye ->
+          Buffer.add_char buf '\003')
     replies;
   Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -34,6 +34,10 @@ type request =
           (admission control keeps running, so the queue fills and
           overflow requests get [Overloaded]) — the deterministic
           backpressure test hook *)
+  | Hello
+      (** identity probe; answered [Hello_reply] with the daemon's
+          target name, so a client can refuse to feed sources meant for
+          one machine to a daemon serving another *)
   | Shutdown  (** drain, answer [Bye], exit the serve loop *)
 
 type outcome = (string * string, string) result
@@ -47,12 +51,29 @@ type reply =
       (** admission control rejected the request: the pending queue was
           full.  Retry later; nothing was compiled. *)
   | Stats_reply of string  (** [key value] lines *)
+  | Hello_reply of string  (** the serving target's registry name *)
   | Ack
   | Bye
 
 val max_frame : int
-(** Upper bound on accepted payload sizes (defence against garbage on
-    the socket, not a protocol limit). *)
+(** Upper bound on payload sizes in both directions (defence against
+    garbage on the socket, not a protocol limit).  The read side rejects
+    larger length prefixes; {!write_frame} refuses to emit them. *)
+
+exception Frame_too_large of int
+(** Raised by {!write_frame} before any byte is written when the payload
+    exceeds {!max_frame} — an oversized frame could never be received,
+    so sending it would only desynchronize the stream. *)
+
+val retry_eintr : (unit -> 'a) -> 'a
+(** Run [f], retrying on [EINTR] — the wrapper every blocking
+    [read]/[write]/[select] in this protocol goes through, so signal
+    delivery (timers, profilers) can never tear a frame. *)
+
+val oversized_substitute : reply -> size:int -> reply
+(** The reply a server sends in place of one whose encoding came out at
+    [size] > {!max_frame}: same id, structured [Error] outcome.  Its own
+    encoding always fits. *)
 
 val options_tag : options -> string
 (** Canonical 3-byte encoding of [options] — part of the result cache

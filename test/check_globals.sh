@@ -35,24 +35,32 @@
 #                          never shared across domains; capture paths
 #                          (pasc, fuzz runner, bench profile) are
 #                          sequential by construction
+#   - Targets.all          the per-target registry (lib/machine) is a
+#                          plain immutable association list consulted
+#                          from pool domains; adding a backend adds a
+#                          row, never a mutation.  The opcode tables in
+#                          Insn (Hashtbl.t lookups) are populated once
+#                          at module initialization, before any domain
+#                          is spawned, and are read-only afterwards.
 
 set -eu
 
-dir="${1:-lib/core}"
-
-pattern='^let [a-zA-Z_0-9]+ *(: *[^=]*)?= *(ref |Hashtbl\.create|Buffer\.create|Bytes\.create|Bytes\.make|Array\.make|Array\.create|Queue\.create|Stack\.create)'
+[ "$#" -gt 0 ] || set -- lib/core
 
 status=0
-for f in "$dir"/*.ml; do
-  hits=$(grep -nE "$pattern" "$f" || true)
-  if [ -n "$hits" ]; then
-    echo "toplevel mutable state in $f (use a per-compile context or Atomic.t):" >&2
-    echo "$hits" >&2
-    status=1
+pattern='^let [a-zA-Z_0-9]+ *(: *[^=]*)?= *(ref |Hashtbl\.create|Buffer\.create|Bytes\.create|Bytes\.make|Array\.make|Array\.create|Queue\.create|Stack\.create)'
+
+for dir in "$@"; do
+  for f in "$dir"/*.ml; do
+    hits=$(grep -nE "$pattern" "$f" || true)
+    if [ -n "$hits" ]; then
+      echo "toplevel mutable state in $f (use a per-compile context or Atomic.t):" >&2
+      echo "$hits" >&2
+      status=1
+    fi
+  done
+  if [ "$status" -eq 0 ]; then
+    echo "check_globals: no toplevel mutable bindings in $dir"
   fi
 done
-
-if [ "$status" -eq 0 ]; then
-  echo "check_globals: no toplevel mutable bindings in $dir"
-fi
 exit "$status"

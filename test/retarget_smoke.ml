@@ -1,0 +1,79 @@
+(* End-to-end retargeting smoke behind `dune build @retarget`: build the
+   driving tables for BOTH registered targets from their specification
+   files, verify the canonical corpus on each backend against the
+   reference interpreter, then sweep a fixed-seed slice of generated
+   programs through the cross-backend differential oracle.  Exits
+   nonzero on any divergence.
+
+   COGG_RETARGET_COUNT overrides the sweep size for longer local runs. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("retarget_smoke: " ^ m);
+      exit 1)
+    fmt
+
+let rec find_up depth dir rel =
+  let candidate = Filename.concat dir rel in
+  if Sys.file_exists candidate then Some candidate
+  else if depth = 0 then None
+  else find_up (depth - 1) (Filename.dirname dir) rel
+
+let build name =
+  let target = Machine.Targets.find_exn name in
+  let rel = target.Machine.Target.spec_file in
+  let path =
+    match find_up 6 (Sys.getcwd ()) rel with
+    | Some p -> p
+    | None -> fail "cannot locate %s from %s" rel (Sys.getcwd ())
+  in
+  match Cogg.Cogg_build.build_file ~target path with
+  | Ok t -> t
+  | Error es ->
+      fail "%s failed to build: %s" name
+        (String.concat "; "
+           (List.map (Fmt.str "%a" Cogg.Cogg_build.pp_error) es))
+
+let () =
+  let bundles = List.map build Machine.Targets.names in
+  (* every canonical program, on every backend, machine vs interpreter *)
+  List.iter
+    (fun (name, src) ->
+      List.iter
+        (fun (t : Cogg.Tables.t) ->
+          let tn = t.Cogg.Tables.target.Machine.Target.name in
+          match Pipeline.verify t src with
+          | Ok v when v.Pipeline.agreed -> ()
+          | Ok _ -> fail "%s: machine/interpreter disagree on %s" name tn
+          | Error m -> fail "%s on %s: %s" name tn m)
+        bundles)
+    Pipeline.Programs.all;
+  (* fixed-seed cross-backend differential sweep *)
+  let amdahl, risc32 =
+    match bundles with
+    | [ a; b ] -> (a, b)
+    | _ -> fail "expected exactly two registered targets"
+  in
+  let count =
+    match
+      Option.bind (Sys.getenv_opt "COGG_RETARGET_COUNT") int_of_string_opt
+    with
+    | Some n when n > 0 -> n
+    | _ -> 48
+  in
+  let findings = ref 0 in
+  for index = 0 to count - 1 do
+    let rng = Fuzz.Rng.derive ~seed:11 ~index in
+    let src = Fuzz.Gen_pascal.source rng (Fuzz.Profile.rotate index) in
+    match Fuzz.Oracle.cross_backend amdahl risc32 src with
+    | Fuzz.Oracle.Pass | Fuzz.Oracle.Skip _ -> ()
+    | st ->
+        incr findings;
+        Fmt.epr "case %d: %a@.%s@." index Fuzz.Oracle.pp_status st src
+  done;
+  if !findings > 0 then fail "%d cross-backend divergences" !findings;
+  Printf.printf
+    "retarget: %d targets built from spec; corpus verified on each; %d \
+     cross-backend cases, 0 divergences\n"
+    (List.length bundles) count

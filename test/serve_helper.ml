@@ -28,10 +28,17 @@ let () =
   let jobs = ref 1 in
   let cache = ref 256 in
   let verify = ref Serve.Server.Verify_once in
+  let target = ref Machine.Targets.default in
   let rec parse = function
     | [] -> ()
     | "--socket" :: v :: rest ->
         socket := v;
+        parse rest
+    | "--target" :: v :: rest ->
+        (target :=
+           match Machine.Targets.find v with
+           | Some t -> t
+           | None -> fail "unknown target %S" v);
         parse rest
     | "--queue" :: v :: rest ->
         queue := int_of_string v;
@@ -54,15 +61,14 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !socket = "" then fail "--socket is required";
+  let spec_rel = !target.Machine.Target.spec_file in
   let spec_path =
-    match
-      find_up 6 (Sys.getcwd ()) (Filename.concat "specs" "amdahl470.cgg")
-    with
+    match find_up 6 (Sys.getcwd ()) spec_rel with
     | Some p -> p
-    | None -> fail "cannot locate specs/amdahl470.cgg from %s" (Sys.getcwd ())
+    | None -> fail "cannot locate %s from %s" spec_rel (Sys.getcwd ())
   in
   let tables =
-    match Cogg.Cogg_build.build_file spec_path with
+    match Cogg.Cogg_build.build_file ~target:!target spec_path with
     | Ok t -> t
     | Error es ->
         fail "spec failed to build: %s"
@@ -70,7 +76,8 @@ let () =
              (List.map (Fmt.str "%a" Cogg.Cogg_build.pp_error) es))
   in
   let table_key =
-    Cogg.Tables_cache.key ~mode:Cogg.Lookahead.Slr (read_file spec_path)
+    Cogg.Tables_cache.key ~mode:Cogg.Lookahead.Slr ~target:!target
+      (read_file spec_path)
   in
   let pool =
     if !jobs > 1 then Some (Cogg.Pool.create ~domains:!jobs ()) else None

@@ -164,6 +164,9 @@ let smoke_config () =
     jobs = 4;
     spec = Some (Util.spec_path "amdahl470.cgg");
     cache_dir = Some "_fuzz_cache";
+    (* every Pascal case also compiles and runs on the second backend;
+       the cross-backend oracle demands identical observable output *)
+    cross = Some (Lazy.force Util.risc32_tables);
   }
 
 let test_smoke () =
@@ -236,7 +239,8 @@ let () =
         [
           Alcotest.test_case "chr finding stays fixed" `Quick
             test_exec_oracle_chr_regression;
-          Alcotest.test_case "fixed-seed batch, three oracles" `Quick test_smoke;
+          Alcotest.test_case "fixed-seed batch, both targets" `Quick
+            test_smoke;
           Alcotest.test_case "malformed sweep is total" `Quick
             test_malformed_sweep;
         ] );

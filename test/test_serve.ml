@@ -202,6 +202,109 @@ let test_concurrent_clients () =
             fp)
         fingerprints)
 
+(* (f) send-side frame cap: an oversized payload is refused before a
+   single byte goes out, so the stream stays clean for a recovery
+   reply.  Pre-fix, write_frame would happily emit a frame the peer's
+   length check must drop the connection over. *)
+let test_write_frame_cap () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      let big = String.make (Serve.Wire.max_frame + 1) 'x' in
+      (match Serve.Wire.write_frame a big with
+      | () -> Alcotest.fail "oversized frame was written"
+      | exception Serve.Wire.Frame_too_large n ->
+          Alcotest.(check int) "reported size" (Serve.Wire.max_frame + 1) n);
+      (* nothing leaked: the peer has nothing to read *)
+      Unix.set_nonblock b;
+      match Unix.read b (Bytes.create 1) 0 1 with
+      | _ -> Alcotest.fail "bytes were written before the size check"
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ())
+
+(* (g) a reply whose encoding exceeds the cap is replaced by a
+   structured error carrying the same id, and the substitute itself
+   fits the wire *)
+let test_oversized_substitute () =
+  let huge = String.make (Serve.Wire.max_frame + 64) 'L' in
+  let r =
+    Serve.Wire.Compiled { id = 7; cached = false; outcome = Ok (huge, "") }
+  in
+  let size = String.length (Serve.Wire.encode_reply r) in
+  Alcotest.(check bool)
+    "the synthetic reply really is oversized" true
+    (size > Serve.Wire.max_frame);
+  match Serve.Wire.oversized_substitute r ~size with
+  | Serve.Wire.Compiled { id = 7; cached = false; outcome = Error m } as sub ->
+      Alcotest.(check bool) "error names the cap" true
+        (Util.contains m "frame cap");
+      Alcotest.(check bool) "substitute fits the wire" true
+        (String.length (Serve.Wire.encode_reply sub) <= Serve.Wire.max_frame)
+  | _ -> Alcotest.fail "substitute lost the reply's id or shape"
+
+(* (h) Hello names the serving target, the stats report it too, and a
+   daemon serving the second backend really compiles for it *)
+let test_hello_target () =
+  with_daemon (fun sock ->
+      with_client sock (fun c ->
+          match Serve.Client.hello c with
+          | Ok t -> Alcotest.(check string) "default daemon" "amdahl470" t
+          | Error m -> Alcotest.failf "hello failed: %s" m));
+  with_daemon ~args:[ "--target"; "risc32" ] (fun sock ->
+      with_client sock (fun c ->
+          (match Serve.Client.hello c with
+          | Ok t -> Alcotest.(check string) "risc32 daemon" "risc32" t
+          | Error m -> Alcotest.failf "hello failed: %s" m);
+          (match Serve.Client.stats c with
+          | Ok text ->
+              Alcotest.(check bool) "stats name the target" true
+                (Util.contains text "target risc32")
+          | Error m -> Alcotest.failf "stats failed: %s" m);
+          match Serve.Client.compile c Pipeline.Programs.gcd with
+          | Ok (Serve.Wire.Compiled { outcome = Ok _; _ }) -> ()
+          | Ok _ -> Alcotest.fail "risc32 daemon refused a known program"
+          | Error m -> Alcotest.failf "compile failed: %s" m))
+
+(* (i) EINTR immunity: a 1ms interval timer signal-bombs the client for
+   the whole of a large batch; every read/write/select in the framing
+   path must retry rather than tear a frame.  Pre-fix, Unix.write in
+   write_frame (or the batch's select/read/single_write) raises
+   Unix_error EINTR and the batch fails. *)
+let test_eintr_signal_bomb () =
+  with_daemon ~args:[ "--jobs"; "2" ] (fun sock ->
+      with_client sock (fun c ->
+          let old = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+          let tick = { Unix.it_interval = 0.001; it_value = 0.001 } in
+          ignore (Unix.setitimer Unix.ITIMER_REAL tick);
+          Fun.protect
+            ~finally:(fun () ->
+              ignore
+                (Unix.setitimer Unix.ITIMER_REAL
+                   { Unix.it_interval = 0.; it_value = 0. });
+              Sys.set_signal Sys.sigalrm old)
+            (fun () ->
+              (* a large all-miss batch first: plenty of frames in both
+                 directions while the timer fires *)
+              let gcd = Pipeline.Programs.gcd in
+              let unique =
+                Array.init 48 (fun i ->
+                    Printf.sprintf "{ eintr %d }\n%s" i gcd)
+              in
+              Array.iteri
+                (fun i r ->
+                  match r with
+                  | Serve.Wire.Compiled { outcome = Ok _; _ } -> ()
+                  | _ -> Alcotest.failf "bombed batch: reply %d not Ok" i)
+                (batch c unique);
+              (* and the standing corpus must still digest identically *)
+              Alcotest.(check string)
+                "signal-bombed batch matches the direct pipeline"
+                (Lazy.force direct_fingerprint)
+                (Serve.Wire.fingerprint (batch c (sources ()))))))
+
 let () =
   Alcotest.run "serve"
     [
@@ -217,5 +320,16 @@ let () =
             test_restart_cold_warm;
           Alcotest.test_case "concurrent clients agree" `Quick
             test_concurrent_clients;
+        ] );
+      ( "wire robustness",
+        [
+          Alcotest.test_case "send-side frame cap refuses cleanly" `Quick
+            test_write_frame_cap;
+          Alcotest.test_case "oversized reply becomes a structured error"
+            `Quick test_oversized_substitute;
+          Alcotest.test_case "hello names the serving target" `Quick
+            test_hello_target;
+          Alcotest.test_case "EINTR bombing never tears a frame" `Quick
+            test_eintr_signal_bomb;
         ] );
     ]

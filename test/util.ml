@@ -45,6 +45,22 @@ let amdahl_tables_hybrid : Cogg.Tables.t Lazy.t =
            (Fmt.list Cogg.Cogg_build.pp_error)
            es)
 
+(* The second backend, built from its own spec against the RISC-32
+   substrate.  Frame discipline and PSA layout are shared with the
+   Amdahl target, so the same helpers read its results. *)
+let risc32_tables : Cogg.Tables.t Lazy.t =
+  lazy
+    (match
+       Cogg.Cogg_build.build_file
+         ~target:(Machine.Targets.find_exn "risc32")
+         (spec_path "risc32.cgg")
+     with
+    | Ok t -> t
+    | Error es ->
+        Alcotest.failf "risc32.cgg failed to build: %a"
+          (Fmt.list Cogg.Cogg_build.pp_error)
+          es)
+
 (* Local variable displacements within the frame. *)
 let local n = Machine.Runtime.locals_base + (4 * n)
 
@@ -57,14 +73,16 @@ type run = {
 
 (* Generate code for an IF program (textual syntax), boot it, initialize
    locals ([slot, value] pairs against the main frame), run, and return
-   the machine. *)
+   the machine.  The simulator and trap set come from the bundle's own
+   target, so the same helper drives both backends. *)
 let compile_and_run ?(layout = Machine.Runtime.default_layout) ?strategy
     ?(locals = []) ?(floats = []) (tables : Cogg.Tables.t) (if_text : string)
     : run =
+  let tgt = tables.Cogg.Tables.target in
   match Cogg.Codegen.generate_string ?strategy tables if_text with
   | Error m -> Alcotest.failf "codegen failed: %s" m
   | Ok genresult -> (
-      match Machine.Runtime.boot ~layout genresult.Cogg.Codegen.objmod with
+      match tgt.Machine.Target.boot ~layout genresult.Cogg.Codegen.objmod with
       | Error m -> Alcotest.failf "boot failed: %s" m
       | Ok (sim, entry) -> (
           let frame = Machine.Runtime.main_frame layout in
@@ -75,7 +93,7 @@ let compile_and_run ?(layout = Machine.Runtime.default_layout) ?strategy
             (fun (slot, v) ->
               Machine.Sim.store_f64 sim (frame + local slot) v)
             floats;
-          match Machine.Runtime.run ~layout sim ~entry with
+          match tgt.Machine.Target.run ~layout sim ~entry with
           | Error m ->
               Alcotest.failf "execution failed: %s\nlisting:\n%s" m
                 genresult.Cogg.Codegen.listing
