@@ -79,8 +79,50 @@ let or_die = function
       Fmt.epr "%s@." m;
       exit 1
 
+let rec find_up ?(depth = 6) dir rel =
+  let candidate = Filename.concat dir rel in
+  if Sys.file_exists candidate then Some candidate
+  else if depth = 0 then None
+  else find_up ~depth:(depth - 1) (Filename.dirname dir) rel
+
+(* Dead-template report: productions whose rendered form never appears
+   in the coverage baseline never fire under the whole checked-in
+   corpus — their templates are untested weight in the table.  The
+   Depmap footprint says how much automaton each one is entangled with
+   (what an edit to it would dirty in an incremental rebuild). *)
+let report_dead_templates (t : Cogg.Tables.t) (baseline : string) =
+  let covered = Hashtbl.create 256 in
+  let ic = open_in baseline in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" then Hashtbl.replace covered line ()
+     done
+   with End_of_file -> close_in ic);
+  let g = t.Cogg.Tables.grammar in
+  let dm =
+    Cogg.Depmap.build ~compressed:t.Cogg.Tables.compressed
+      ~n_user_prods:t.Cogg.Tables.n_user_prods t.Cogg.Tables.parse
+  in
+  let dead = ref [] in
+  for p = t.Cogg.Tables.n_user_prods - 1 downto 0 do
+    let render = Cogg.Grammar.prod_to_string g (Cogg.Grammar.prod g p) in
+    if not (Hashtbl.mem covered render) then dead := (p, render) :: !dead
+  done;
+  match !dead with
+  | [] ->
+      Fmt.pr "  every template fires in the coverage corpus (%s)@."
+        (Filename.basename baseline)
+  | dead ->
+      Fmt.pr "  %d of %d templates never fire in the coverage corpus:@."
+        (List.length dead) t.Cogg.Tables.n_user_prods;
+      List.iter
+        (fun (p, render) ->
+          Fmt.pr "    %s  [%a]@." render (fun ppf -> Cogg.Depmap.pp_prod ppf dm) p)
+        dead
+
 let check_cmd =
-  let run mode target spec_path =
+  let run mode target spec_path dead_baseline =
     let t = or_die (load_tables ~mode ~target spec_path) in
     let conflicts = Cogg.Tables.conflicts t in
     let sr, rr =
@@ -93,10 +135,32 @@ let check_cmd =
       (Cogg.Parse_table.n_states t.Cogg.Tables.parse);
     Fmt.pr
       "  %d shift/reduce and %d reduce/reduce conflicts resolved (Graham-Glanville policy)@."
-      (List.length sr) (List.length rr)
+      (List.length sr) (List.length rr);
+    match dead_baseline with
+    | None -> ()
+    | Some "" -> (
+        match find_up (Sys.getcwd ()) "test/coverage_baseline.txt" with
+        | Some p -> report_dead_templates t p
+        | None ->
+            or_die
+              (Error
+                 "cannot locate test/coverage_baseline.txt (pass \
+                  --dead-templates=FILE explicitly)"))
+    | Some p -> report_dead_templates t p
+  in
+  let dead_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "dead-templates" ] ~docv:"BASELINE"
+          ~doc:
+            "Report productions whose templates never fire in the coverage \
+             corpus recorded in $(docv) (default: locate \
+             test/coverage_baseline.txt upward from the working directory), \
+             with each one's automaton footprint")
   in
   Cmd.v (Cmd.info "check" ~doc:"Build a specification and report conflicts")
-    Term.(const run $ mode_arg $ target_arg $ spec_arg)
+    Term.(const run $ mode_arg $ target_arg $ spec_arg $ dead_arg)
 
 let stats_cmd =
   let run mode target spec_path =

@@ -607,7 +607,9 @@ let client_cmd =
     let failed = ref false in
     if srcs <> [] then begin
       let sources = Array.of_list (List.map read_file srcs) in
-      let replies = or_die (Serve.Client.compile_batch c sources) in
+      (* honor the daemon's backoff hint: one bounded retry turns a
+         transient queue overflow into a served batch *)
+      let replies = or_die (Serve.Client.compile_batch c ~retry:true sources) in
       let many = List.length srcs > 1 in
       Array.iteri
         (fun i reply ->
@@ -621,8 +623,9 @@ let client_cmd =
           | Serve.Wire.Compiled { outcome = Error m; _ } ->
               Fmt.epr "%s: %s@." path m;
               failed := true
-          | Serve.Wire.Overloaded _ ->
-              Fmt.epr "%s: daemon overloaded, retry later@." path;
+          | Serve.Wire.Overloaded { retry_after_ms; _ } ->
+              Fmt.epr "%s: daemon overloaded (retry in ~%d ms)@." path
+                retry_after_ms;
               failed := true
           | _ ->
               Fmt.epr "%s: unexpected reply@." path;

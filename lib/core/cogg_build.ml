@@ -134,8 +134,225 @@ let build ?pool ?(mode = Lookahead.Slr) ?(profile : Cogprof.t option)
         n_user_prods = n_user;
         class_of;
         kind_of;
+        hashes = Spec_hash.of_spec symtab spec;
+        profile_digest = Option.map Cogprof.digest profile;
       }
   end
+
+(* -- incremental rebuilds ---------------------------------------------------- *)
+
+type incr_stats = {
+  spliced_tables : bool;
+      (** automaton, action table, conflicts and comb packing were
+          reused wholesale from the previous build *)
+  templates_reused : int;
+  templates_recompiled : int;
+}
+
+let pp_incr_stats ppf (s : incr_stats) =
+  Fmt.pf ppf "%s; templates: %d reused, %d recompiled"
+    (if s.spliced_tables then "tables spliced" else "tables rebuilt")
+    s.templates_reused s.templates_recompiled
+
+let scratch_stats n =
+  { spliced_tables = false; templates_reused = 0; templates_recompiled = n }
+
+(** Rebuild the bundle for [spec], splicing in whatever [previous] (a
+    build of an earlier revision of the same spec, same target and
+    lookahead mode) still covers:
+
+    - same declaration structure ([Spec_hash.decls]) keeps symbol ids
+      stable, so any production whose content hash is unchanged reuses
+      its previously compiled template (rebound to its new id);
+    - same grammar shape ([Spec_hash.shape]) additionally reuses the
+      LR(0) automaton, action table, conflict log and comb packing
+      wholesale — comb packing is a global first-fit, so it is reused
+      all-or-nothing, never partially repacked;
+    - the hybrid table is spliced only when the requested profile
+      digests identically to the one the previous build specialized
+      against.
+
+    Anything the previous build cannot cover (different target, shifted
+    symbol ids, a previous bundle with inconsistent metadata) falls back
+    to a full {!build}.  In every case the result is byte-identical
+    ({!Tables_io.write}) to a from-scratch build of [spec] at any worker
+    count — splicing changes how the bytes are obtained, never which
+    bytes. *)
+let build_incremental ?pool ?(mode = Lookahead.Slr)
+    ?(profile : Cogprof.t option) ?(target = Machine.Targets.default)
+    ~(previous : Tables.t) (spec : Spec_ast.t) :
+    (Tables.t * incr_stats, error list) result =
+  let n_user = List.length spec.Spec_ast.productions in
+  let fallback () =
+    Result.map
+      (fun t -> (t, scratch_stats n_user))
+      (build ?pool ~mode ?profile ~target spec)
+  in
+  if
+    previous.Tables.target.Machine.Target.name
+    <> target.Machine.Target.name
+    || previous.Tables.parse.Parse_table.mode <> mode
+    || Array.length previous.Tables.hashes.Spec_hash.prods
+       <> previous.Tables.n_user_prods
+  then fallback ()
+  else
+    let* symtab =
+      Result.map_error
+        (fun e -> [ lift_symtab e ])
+        (Symtab.of_spec ~target spec)
+    in
+    let* grammar = grammar_of_spec symtab spec in
+    let hashes = Spec_hash.of_spec symtab spec in
+    let prev_h = previous.Tables.hashes in
+    if
+      hashes.Spec_hash.decls <> prev_h.Spec_hash.decls
+      || grammar.Grammar.names
+         <> previous.Tables.grammar.Grammar.names
+    then
+      (* symbol ids shifted: neither templates nor tables are reusable *)
+      fallback ()
+    else begin
+      (* symbol ids are stable, so compiled templates transfer across
+         the edit wherever the production's content hash still matches;
+         assign reuse sources sequentially (a hash can legitimately
+         repeat — duplicated productions — so sources are consumed
+         first-come in declaration order, deterministically), then fan
+         the residual compiles out over the pool. *)
+      let sources : (string, int Queue.t) Hashtbl.t = Hashtbl.create 64 in
+      Array.iteri
+        (fun j h ->
+          match previous.Tables.compiled.(j) with
+          | Some _ ->
+              let q =
+                match Hashtbl.find_opt sources h with
+                | Some q -> q
+                | None ->
+                    let q = Queue.create () in
+                    Hashtbl.add sources h q;
+                    q
+              in
+              Queue.add j q
+          | None -> ())
+        prev_h.Spec_hash.prods;
+      let plan =
+        List.mapi
+          (fun i (p : Spec_ast.production) ->
+            match Hashtbl.find_opt sources hashes.Spec_hash.prods.(i) with
+            | Some q when not (Queue.is_empty q) -> (i, p, Some (Queue.pop q))
+            | _ -> (i, p, None))
+          spec.Spec_ast.productions
+      in
+      let n_reused =
+        List.length (List.filter (fun (_, _, r) -> r <> None) plan)
+      in
+      let template_results =
+        Pool.maybe pool
+          (fun (i, (p : Spec_ast.production), reuse) ->
+            match reuse with
+            | Some j ->
+                let c = Option.get previous.Tables.compiled.(j) in
+                Ok { c with Template.c_prod = i }
+            | None -> Template.compile ~target ~grammar ~symtab ~prod_id:i p)
+          (Array.of_list plan)
+      in
+      let compiled = Array.make (Grammar.n_prods grammar) None in
+      let errs = ref [] in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok c -> compiled.(i) <- Some c
+          | Error e -> errs := lift_template e :: !errs)
+        template_results;
+      if !errs <> [] then Error (List.rev !errs)
+      else begin
+        let splice = hashes.Spec_hash.shape = prev_h.Spec_hash.shape in
+        let parse =
+          if splice then
+            (* same shape + same ids: LR construction and conflict
+               resolution read nothing else, so the previous rows are
+               exactly what a fresh build would produce.  The automaton
+               is re-anchored on the new grammar (production line
+               numbers may have moved); its states may be skeletal when
+               [previous] came off disk, which is all the driver needs. *)
+            {
+              Parse_table.grammar;
+              automaton =
+                {
+                  Lr0.grammar;
+                  states =
+                    previous.Tables.parse.Parse_table.automaton.Lr0.states;
+                  start =
+                    previous.Tables.parse.Parse_table.automaton.Lr0.start;
+                };
+              mode;
+              actions = previous.Tables.parse.Parse_table.actions;
+              conflicts = previous.Tables.parse.Parse_table.conflicts;
+            }
+          else Parse_table.build ?pool ~mode (Lr0.build grammar)
+        in
+        let compressed =
+          if splice then previous.Tables.compressed
+          else Compress.compress ?pool ~method_:Compress.Defaults_and_comb parse
+        in
+        let profile_digest = Option.map Cogprof.digest profile in
+        let hybrid =
+          Option.map
+            (fun p ->
+              match previous.Tables.hybrid with
+              | Some h
+                when splice && previous.Tables.profile_digest = profile_digest
+                ->
+                  h
+              | _ ->
+                  Compress.specialize ?pool
+                    ~size_budget:(compressed.Compress.size_bytes * 110 / 100)
+                    ~profile:p parse)
+            profile
+        in
+        let n = Grammar.n_syms grammar in
+        let class_of = Array.make n None in
+        let kind_of = Array.make n None in
+        List.iter
+          (fun (name, cls) ->
+            match Grammar.sym grammar name with
+            | Some s -> class_of.(s) <- Some cls
+            | None -> ())
+          symtab.Symtab.nonterminals;
+        List.iter
+          (fun (name, k) ->
+            match Grammar.sym grammar name with
+            | Some s -> kind_of.(s) <- Some k
+            | None -> ())
+          symtab.Symtab.terminals;
+        Ok
+          ( {
+              Tables.target;
+              grammar;
+              symtab;
+              parse;
+              compressed;
+              hybrid;
+              compiled;
+              n_user_prods = n_user;
+              class_of;
+              kind_of;
+              hashes;
+              profile_digest;
+            },
+            {
+              spliced_tables = splice;
+              templates_reused = n_reused;
+              templates_recompiled = n_user - n_reused;
+            } )
+      end
+    end
+
+let build_incremental_string ?pool ?mode ?profile ?target ~previous
+    (text : string) : (Tables.t * incr_stats, error list) result =
+  let* spec =
+    Result.map_error (fun e -> [ lift_parse e ]) (Spec_parse.of_string text)
+  in
+  build_incremental ?pool ?mode ?profile ?target ~previous spec
 
 let build_string ?pool ?mode ?profile ?target (text : string) :
     (Tables.t, error list) result =

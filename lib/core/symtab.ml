@@ -87,6 +87,49 @@ let n_declared t =
   + List.length t.operators + List.length t.opcodes
   + List.length t.constants + List.length t.semantics
 
+(* -- per-production scopes ---------------------------------------------------
+
+   The slice of the symbol table one production can observe: its LHS and
+   RHS symbols, its template operator names, and every identifier its
+   operand atoms mention.  Scopes compose by union — the table relevant
+   to a set of productions is exactly the union of their scopes (the
+   extended-symbol-table view of Nazari et al.) — which is what lets the
+   incremental builder hash each production against its scope alone: an
+   edit to a declaration invalidates only the productions whose scopes
+   contain it, never the whole table. *)
+
+let scope_names (p : Spec_ast.production) : string list =
+  let acc = ref [] in
+  let add name = acc := name :: !acc in
+  let add_ssym (s : Spec_ast.ssym) = add s.Spec_ast.base in
+  let add_atom = function
+    | Spec_ast.Asym s -> add_ssym s
+    | Spec_ast.Anum _ -> ()
+  in
+  add_ssym p.Spec_ast.p_lhs;
+  List.iter add_ssym p.Spec_ast.p_rhs;
+  List.iter
+    (fun (tm : Spec_ast.template) ->
+      (* opcodes and semantic operators are declared lowercased *)
+      add (String.lowercase_ascii tm.Spec_ast.t_op);
+      List.iter
+        (fun (o : Spec_ast.operand) ->
+          add_atom o.Spec_ast.o_base;
+          List.iter add_atom o.Spec_ast.o_subs)
+        tm.Spec_ast.t_operands)
+    p.Spec_ast.p_templates;
+  List.sort_uniq String.compare !acc
+
+let scope_of_production (t : t) (p : Spec_ast.production) :
+    (string * info option) list =
+  List.map (fun n -> (n, find t n)) (scope_names p)
+
+(** The union of several productions' scopes, deduplicated: the symbol
+    table a sub-specification of exactly those productions would read. *)
+let scope_union (t : t) (ps : Spec_ast.production list) :
+    (string * info option) list =
+  List.sort_uniq compare (List.concat_map (scope_of_production t) ps)
+
 let of_spec ?(target = Machine.Targets.default) (spec : Spec_ast.t) :
     (t, error) result =
   let table = Hashtbl.create 256 in

@@ -22,6 +22,14 @@ type t = {
   n_user_prods : int;
   class_of : Symtab.reg_class option array;  (** by grammar symbol *)
   kind_of : Symtab.value_kind option array;  (** by grammar symbol *)
+  hashes : Spec_hash.t;
+      (** per-production content hashes of the spec this bundle was
+          built from — the partial-build state an incremental rebuild
+          diffs against; persisted in the bundle (format v5) *)
+  profile_digest : string option;
+      (** {!Cogprof.digest} of the profile behind [hybrid], when the
+          bundle carries one; an incremental rebuild only splices the
+          hybrid table when the requested profile digests identically *)
 }
 
 let class_of t sym = t.class_of.(sym)

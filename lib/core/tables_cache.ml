@@ -12,16 +12,20 @@
 
 (* Bumping this invalidates every existing entry; it must change whenever
    the Tables_io bundle format does, or when table construction starts
-   producing different (still correct) bytes — v6: bundles carry the
-   target name (CGB4) and the key covers the target, so the same spec
-   text checked against two machines never shares an entry. *)
-let format_version = 6
+   producing different (still correct) bytes — v7: bundles carry the
+   incremental appendix (CGB5: per-production content hashes, lookahead
+   mode, profile digest), and a per-lineage pointer file lets a miss on
+   an edited spec locate the previous build and splice instead of
+   rebuilding from scratch. *)
+let format_version = 7
 
-type origin = Cache_hit | Built
+type origin = Cache_hit | Built | Built_incremental of Cogg_build.incr_stats
 
 let pp_origin ppf = function
   | Cache_hit -> Fmt.string ppf "cache hit"
   | Built -> Fmt.string ppf "built from spec"
+  | Built_incremental st ->
+      Fmt.pf ppf "incrementally rebuilt (%a)" Cogg_build.pp_incr_stats st
 
 type stats = { hits : int; misses : int; evictions : int }
 
@@ -162,22 +166,70 @@ let prune ?cache_dir ?max_entries () : int =
           0 victims
       end
 
+let write_atomic path bytes =
+  mkdir_p (Filename.dirname path);
+  let tmp =
+    Printf.sprintf "%s.%d.%d.%d.tmp" path (Unix.getpid ())
+      (Domain.self () :> int)
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
+  let oc = open_out_bin tmp in
+  output_string oc bytes;
+  close_out oc;
+  Sys.rename tmp path
+
 let store path bytes =
   try
-    mkdir_p (Filename.dirname path);
-    let tmp =
-      Printf.sprintf "%s.%d.%d.%d.tmp" path (Unix.getpid ())
-        (Domain.self () :> int)
-        (Atomic.fetch_and_add tmp_counter 1)
-    in
-    let oc = open_out_bin tmp in
-    output_string oc bytes;
-    close_out oc;
-    Sys.rename tmp path;
+    write_atomic path bytes;
     (* the cap covers the directory the entry landed in, which may be a
        caller-supplied cache_dir rather than the default *)
     ignore (prune ~cache_dir:(Filename.dirname path) ())
   with Sys_error m -> Log.warn (fun f -> f "cannot store cache entry: %s" m)
+
+(* -- lineage pointers --------------------------------------------------------
+
+   Entries are keyed by the spec text, so an edited spec is a clean miss
+   — by design, but it also severs the edited spec from the build of its
+   previous revision, which is precisely what an incremental rebuild
+   wants to splice from.  The bridge is one pointer file per lineage
+   (format version x mode x target x profile digest, everything in the
+   key except the text): it names the newest entry stored for that
+   lineage.  On a miss, the pointer locates the previous partial build;
+   the pointer itself is a hint — stale, pruned-away or corrupt targets
+   simply degrade to a scratch build. *)
+
+let lineage_path ?(mode = Lookahead.Slr) ?(profile : Cogprof.t option)
+    ?(target = Machine.Targets.default) ?cache_dir () : string =
+  let dir = match cache_dir with Some d -> d | None -> default_dir () in
+  let profile_tag =
+    match profile with None -> "" | Some p -> ":" ^ Cogprof.digest p
+  in
+  let tag =
+    Printf.sprintf "cogg-lineage-v%d:%s:%s%s" format_version (mode_tag mode)
+      target.Machine.Target.name profile_tag
+  in
+  Filename.concat dir ("cogg-" ^ Digest.to_hex (Digest.string tag) ^ ".ptr")
+
+let read_lineage (lpath : string) : string option =
+  if not (Sys.file_exists lpath) then None
+  else
+    match read_file lpath with
+    | name when is_entry (String.trim name) -> Some (String.trim name)
+    | _ -> None
+    | exception Sys_error _ -> None
+
+let store_lineage (lpath : string) (entry_name : string) =
+  match read_lineage lpath with
+  | Some name when name = entry_name -> ()
+  | _ -> (
+      try write_atomic lpath entry_name
+      with Sys_error m ->
+        Log.warn (fun f -> f "cannot store lineage pointer: %s" m))
+
+let incremental_enabled () =
+  match Sys.getenv_opt "COGG_NO_INCREMENTAL" with
+  | None | Some "" | Some "0" -> true
+  | Some _ -> false
 
 let load path : Tables.t option =
   if not (Sys.file_exists path) then None
@@ -192,25 +244,66 @@ let load path : Tables.t option =
         None
 
 (** [build_text ?mode ?cache_dir text] returns the tables for a
-    specification given as text, via the cache. *)
+    specification given as text, via the cache.  On a miss, the lineage
+    pointer is consulted for the previous build of the same (mode,
+    target, profile) line: when one loads, the rebuild is incremental —
+    {!Cogg_build.build_incremental} splices every artifact the edit
+    left untouched — and still byte-identical to a scratch build, so
+    the stored entry is the same either way. *)
 let build_text ?pool ?(mode = Lookahead.Slr) ?profile ?target ?cache_dir
     (text : string) : (Tables.t * origin, Cogg_build.error list) result =
   let path = entry_path ~mode ?profile ?target ?cache_dir text in
+  let lpath = lineage_path ~mode ?profile ?target ?cache_dir () in
   match load path with
   | Some t ->
       Atomic.incr hit_count;
       Metrics.add m_hits 1;
+      (* keep the lineage pointing at the newest build, so the *next*
+         edit diffs against this revision *)
+      store_lineage lpath (Filename.basename path);
       Log.info (fun f -> f "hit %s" path);
       Ok (t, Cache_hit)
   | None -> (
       Atomic.incr miss_count;
       Metrics.add m_misses 1;
-      match Cogg_build.build_string ?pool ~mode ?profile ?target text with
+      let previous =
+        if not (incremental_enabled ()) then None
+        else
+          match read_lineage lpath with
+          | Some name when name <> Filename.basename path ->
+              load (Filename.concat (Filename.dirname path) name)
+          | _ -> None
+      in
+      let built =
+        match previous with
+        | Some prev ->
+            Cogg_build.build_incremental_string ?pool ~mode ?profile ?target
+              ~previous:prev text
+        | None ->
+            Result.map
+              (fun t ->
+                (t, Cogg_build.
+                     {
+                       spliced_tables = false;
+                       templates_reused = 0;
+                       templates_recompiled = 0;
+                     }))
+              (Cogg_build.build_string ?pool ~mode ?profile ?target text)
+      in
+      match built with
       | Error es -> Error es
-      | Ok t ->
+      | Ok (t, st) ->
           store path (Tables_io.write t);
-          Log.info (fun f -> f "miss; built and stored %s" path);
-          Ok (t, Built))
+          store_lineage lpath (Filename.basename path);
+          let origin =
+            if
+              st.Cogg_build.spliced_tables
+              || st.Cogg_build.templates_reused > 0
+            then Built_incremental st
+            else Built
+          in
+          Log.info (fun f -> f "miss; %a: %s" pp_origin origin path);
+          Ok (t, origin))
 
 (** [build_file ?mode ?cache_dir path] is {!build_text} over the file's
     contents: the digest covers the text, so editing the spec in place is

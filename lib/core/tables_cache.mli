@@ -7,7 +7,10 @@
     never an error.  Entries live in [$COGG_CACHE_DIR], else
     [$XDG_CACHE_HOME/cogg], else [_cache/] under the working directory. *)
 
-type origin = Cache_hit | Built
+type origin = Cache_hit | Built | Built_incremental of Cogg_build.incr_stats
+(** [Built_incremental] is a miss answered by splicing the previous
+    build of the same lineage ({!Cogg_build.build_incremental}); the
+    stored bytes are identical to a scratch build, only cheaper. *)
 
 val pp_origin : Format.formatter -> origin -> unit
 
@@ -53,6 +56,19 @@ val entry_path :
   string
 (** [entry_path spec_text] is the cache file a given specification text
     maps to (whether or not it exists yet). *)
+
+val lineage_path :
+  ?mode:Lookahead.mode ->
+  ?profile:Cogprof.t ->
+  ?target:Machine.Target.t ->
+  ?cache_dir:string ->
+  unit ->
+  string
+(** The pointer file naming the newest entry of a (mode, target,
+    profile) lineage — everything in the key except the spec text.  A
+    miss follows it to the previous partial build and rebuilds
+    incrementally; it is refreshed on every hit and store.  Setting
+    [COGG_NO_INCREMENTAL=1] makes misses ignore it (scratch builds). *)
 
 val build_text :
   ?pool:Pool.t ->

@@ -392,10 +392,27 @@ let r_conflict r : Parse_table.conflict =
   let c_chosen = r_action r in
   { Parse_table.c_state; c_sym; c_kind; c_chosen; c_dropped = r_action r }
 
-(** Serialize a complete table bundle. *)
+(* v5 appendix: the incremental-rebuild metadata (per-production content
+   hashes, declaration/shape digests, lookahead mode, profile digest)
+   rides in the bundle behind its own magic, so a cached entry is a
+   complete partial build: a later process can diff an edited spec
+   against it and splice (Cogg_build.build_incremental) without ever
+   having seen the original spec text. *)
+let appendix_magic = "CGI5"
+
+let mode_code : Lookahead.mode -> int = function
+  | Lookahead.Slr -> 0
+  | Lookahead.Lalr -> 1
+
+let mode_of_code = function
+  | 0 -> Lookahead.Slr
+  | 1 -> Lookahead.Lalr
+  | k -> raise (Corrupt (Fmt.str "bad lookahead mode %d" k))
+
+(** Serialize a complete table bundle (format v5). *)
 let write (t : Tables.t) : string =
   let b = Buffer.create (1 lsl 16) in
-  Buffer.add_string b "CGB4";
+  Buffer.add_string b "CGB5";
   (* target; resolved through the registry on read *)
   w_str b t.Tables.target.Machine.Target.name;
   (* grammar *)
@@ -451,14 +468,25 @@ let write (t : Tables.t) : string =
   w_arr b
     (fun b k -> w_opt b (fun b k -> w_i32 b (kind_code k)) k)
     t.Tables.kind_of;
+  (* incremental appendix *)
+  Buffer.add_string b appendix_magic;
+  w_i32 b (mode_code t.Tables.parse.Parse_table.mode);
+  w_str b t.Tables.hashes.Spec_hash.decls;
+  w_str b t.Tables.hashes.Spec_hash.shape;
+  w_arr b w_str t.Tables.hashes.Spec_hash.prods;
+  w_opt b w_str t.Tables.profile_digest;
   Buffer.contents b
 
 (** Reload a bundle written by {!write}.  The embedded LR(0) automaton is
     not stored: a placeholder with only the start state is rebuilt, which
     is all the driver needs (it reads actions, never items). *)
 let read (s : string) : Tables.t =
-  if String.length s < 4 || String.sub s 0 4 <> "CGB4" then
-    raise (Corrupt "bad bundle magic");
+  if String.length s < 4 || String.sub s 0 4 <> "CGB5" then
+    raise
+      (Corrupt
+         (if String.length s >= 4 && String.sub s 0 3 = "CGB" then
+            Fmt.str "stale bundle format %s (want CGB5)" (String.sub s 0 4)
+          else "bad bundle magic"));
   let r = { buf = s; pos = 4 } in
   let target_name = r_str r in
   let target =
@@ -550,14 +578,25 @@ let read (s : string) : Tables.t =
       start;
     }
   in
-  let parse =
-    { Parse_table.grammar; automaton; mode = Lookahead.Slr; actions; conflicts }
-  in
   (* templates and type info *)
   let compiled = r_template_array r in
   let n_user_prods = r_i32 r in
   let class_of = r_arr r (fun r -> r_opt r (fun r -> class_of_code (r_i32 r))) in
   let kind_of = r_arr r (fun r -> r_opt r (fun r -> kind_of_kcode (r_i32 r))) in
+  (* incremental appendix *)
+  if
+    r.pos + 4 > String.length r.buf
+    || String.sub r.buf r.pos 4 <> appendix_magic
+  then raise (Corrupt "missing incremental appendix");
+  r.pos <- r.pos + 4;
+  let mode = mode_of_code (r_i32 r) in
+  let decls = r_str r in
+  let shape = r_str r in
+  let prod_hashes = r_arr r r_str in
+  if Array.length prod_hashes <> n_user_prods then
+    raise (Corrupt "production hash count does not match the bundle");
+  let profile_digest = r_opt r r_str in
+  let parse = { Parse_table.grammar; automaton; mode; actions; conflicts } in
   {
     Tables.target;
     grammar;
@@ -569,4 +608,6 @@ let read (s : string) : Tables.t =
     n_user_prods;
     class_of;
     kind_of;
+    hashes = { Spec_hash.decls; shape; prods = prod_hashes };
+    profile_digest;
   }

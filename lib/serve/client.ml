@@ -80,31 +80,12 @@ let compile (t : t) ?(options = Wire.default_options) (source : string) :
     after a drain), so interleaving is what prevents the
     both-sides-blocked-on-write deadlock a naive send-all-then-read-all
     client would risk on large batches. *)
-let compile_batch (t : t) ?(options = Wire.default_options)
+let compile_batch (t : t) ?(options = Wire.default_options) ?(retry = false)
     (sources : string array) : (Wire.reply array, string) result =
   let n = Array.length sources in
   if n = 0 then Ok [||]
   else begin
-    let out = Buffer.create 4096 in
-    Array.iteri
-      (fun id source ->
-        let payload =
-          Wire.encode_request (Wire.Compile { id; options; source })
-        in
-        let len = String.length payload in
-        Buffer.add_char out (Char.chr ((len lsr 24) land 0xff));
-        Buffer.add_char out (Char.chr ((len lsr 16) land 0xff));
-        Buffer.add_char out (Char.chr ((len lsr 8) land 0xff));
-        Buffer.add_char out (Char.chr (len land 0xff));
-        Buffer.add_string out payload)
-      sources;
-    let out = Bytes.unsafe_of_string (Buffer.contents out) in
-    let out_len = Bytes.length out in
-    let sent = ref 0 in
     let replies = Array.make n None in
-    let received = ref 0 in
-    let inbuf = ref "" in
-    let chunk = Bytes.create 65536 in
     let frame_len s =
       if String.length s < 4 then None
       else
@@ -114,8 +95,34 @@ let compile_batch (t : t) ?(options = Wire.default_options)
           lor (Char.code s.[2] lsl 8)
           lor Char.code s.[3])
     in
-    try
-      while !received < n do
+    (* one select-interleaved send/receive round over the given ids;
+       replies land in [replies] by id (overwriting — a retry round
+       replaces the [Overloaded] placeholder with the real answer) *)
+    let exchange (ids : int array) : unit =
+      let outstanding = Array.make n false in
+      Array.iter (fun id -> outstanding.(id) <- true) ids;
+      let out = Buffer.create 4096 in
+      Array.iter
+        (fun id ->
+          let payload =
+            Wire.encode_request
+              (Wire.Compile { id; options; source = sources.(id) })
+          in
+          let len = String.length payload in
+          Buffer.add_char out (Char.chr ((len lsr 24) land 0xff));
+          Buffer.add_char out (Char.chr ((len lsr 16) land 0xff));
+          Buffer.add_char out (Char.chr ((len lsr 8) land 0xff));
+          Buffer.add_char out (Char.chr (len land 0xff));
+          Buffer.add_string out payload)
+        ids;
+      let out = Bytes.unsafe_of_string (Buffer.contents out) in
+      let out_len = Bytes.length out in
+      let sent = ref 0 in
+      let received = ref 0 in
+      let want = Array.length ids in
+      let inbuf = ref "" in
+      let chunk = Bytes.create 65536 in
+      while !received < want do
         let want_write = !sent < out_len in
         let readable, writable, _ =
           Wire.retry_eintr (fun () ->
@@ -142,15 +149,16 @@ let compile_batch (t : t) ?(options = Wire.default_options)
                 | Ok reply -> (
                     let id =
                       match reply with
-                      | Wire.Compiled { id; _ } | Wire.Overloaded { id } ->
+                      | Wire.Compiled { id; _ } | Wire.Overloaded { id; _ } ->
                           Some id
                       | Wire.Stats_reply _ | Wire.Hello_reply _ | Wire.Ack
                       | Wire.Bye ->
                           None
                     in
                     match id with
-                    | Some id when id >= 0 && id < n ->
-                        if replies.(id) = None then incr received;
+                    | Some id when id >= 0 && id < n && outstanding.(id) ->
+                        outstanding.(id) <- false;
+                        incr received;
                         replies.(id) <- Some reply
                     | _ -> failwith "unexpected reply in batch"))
             | _ -> continue := false
@@ -161,7 +169,29 @@ let compile_batch (t : t) ?(options = Wire.default_options)
             !sent
             + Wire.retry_eintr (fun () ->
                   Unix.single_write t.fd out !sent (out_len - !sent))
-      done;
+      done
+    in
+    try
+      exchange (Array.init n Fun.id);
+      (* one bounded retry: resubmit the rejected ids after honoring the
+         longest backoff hint the daemon sent.  A second rejection stands
+         — the caller sees [Overloaded] and decides. *)
+      if retry then begin
+        let rejected = ref [] and hint = ref 0 in
+        Array.iteri
+          (fun id r ->
+            match r with
+            | Some (Wire.Overloaded { retry_after_ms; _ }) ->
+                rejected := id :: !rejected;
+                hint := max !hint retry_after_ms
+            | _ -> ())
+          replies;
+        match List.rev !rejected with
+        | [] -> ()
+        | ids ->
+            Unix.sleepf (float_of_int !hint /. 1000.);
+            exchange (Array.of_list ids)
+      end;
       Ok (Array.map Option.get replies)
     with
     | Failure m -> Error m

@@ -37,8 +37,18 @@ val compile : t -> ?options:Wire.options -> string -> (Wire.reply, string) resul
 (** Compile one source (request id 0). *)
 
 val compile_batch :
-  t -> ?options:Wire.options -> string array -> (Wire.reply array, string) result
+  t ->
+  ?options:Wire.options ->
+  ?retry:bool ->
+  string array ->
+  (Wire.reply array, string) result
 (** Submit every source (ids [0..n-1]) and collect all replies, indexed
     by id — so the array lines up with the input whatever order the
     daemon answered in, and [Wire.fingerprint] of the result is
-    comparable to [Pipeline.Batch.fingerprint] of a direct batch. *)
+    comparable to [Pipeline.Batch.fingerprint] of a direct batch.
+
+    [retry] (default [false]) honors the daemon's backoff hint: any
+    [Overloaded] slots are resubmitted exactly once, after sleeping the
+    longest [retry_after_ms] among them.  A slot rejected twice keeps
+    its [Overloaded] reply — the bound is what keeps a saturated daemon
+    from turning the client into a hot retry loop. *)

@@ -181,11 +181,24 @@ let send (t : t) (c : conn) (r : Wire.reply) =
 
 (* -- request handling --------------------------------------------------------- *)
 
+(** The backoff hint an overloaded reply carries: the remainder of any
+    active pause (during which the queue cannot drain at all) plus a
+    small per-queued-job estimate, so a deeper queue asks for a longer
+    wait.  A hint, not a promise — the client's retry still goes through
+    admission control like any other request. *)
+let retry_after_ms (t : t) : int =
+  let pause_ms =
+    let rem = t.pause_until -. Unix.gettimeofday () in
+    if rem > 0. then int_of_float (Float.ceil (rem *. 1000.)) else 0
+  in
+  pause_ms + (2 * Queue.length t.pending) + 1
+
 let enqueue (t : t) (job : job) =
   if Queue.length t.pending >= t.queue_capacity then begin
     t.n_overloaded <- t.n_overloaded + 1;
     Cogg.Metrics.add m_overloaded 1;
-    send t job.j_conn (Wire.Overloaded { id = job.j_id })
+    send t job.j_conn
+      (Wire.Overloaded { id = job.j_id; retry_after_ms = retry_after_ms t })
   end
   else Queue.add job t.pending
 

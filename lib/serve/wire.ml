@@ -25,7 +25,7 @@ type outcome = (string * string, string) result
 
 type reply =
   | Compiled of { id : int; cached : bool; outcome : outcome }
-  | Overloaded of { id : int }
+  | Overloaded of { id : int; retry_after_ms : int }
   | Stats_reply of string
   | Hello_reply of string
   | Ack
@@ -150,9 +150,10 @@ let encode_reply (r : reply) : string =
       | Error msg ->
           Buffer.add_char b 'E';
           Buffer.add_string b msg)
-  | Overloaded { id } ->
+  | Overloaded { id; retry_after_ms } ->
       Buffer.add_char b 'O';
-      put_u32 b id
+      put_u32 b id;
+      put_u32 b retry_after_ms
   | Stats_reply text ->
       Buffer.add_char b 'T';
       Buffer.add_string b text
@@ -190,7 +191,11 @@ let decode_reply (s : string) : (reply, string) result =
           | c -> Error (Printf.sprintf "bad outcome tag %d" (Char.code c)))
     | 'O' ->
         if n < 5 then Error "truncated overloaded reply"
-        else Ok (Overloaded { id = get_u32 s 1 })
+        else
+          (* pre-hint peers encode only the id; treat a missing hint as
+             "retry whenever", not a decode error *)
+          let retry_after_ms = if n >= 9 then get_u32 s 5 else 0 in
+          Ok (Overloaded { id = get_u32 s 1; retry_after_ms })
     | 'T' -> Ok (Stats_reply (String.sub s 1 (n - 1)))
     | 'h' -> Ok (Hello_reply (String.sub s 1 (n - 1)))
     | 'A' -> Ok Ack

@@ -47,9 +47,13 @@ type outcome = (string * string, string) result
 
 type reply =
   | Compiled of { id : int; cached : bool; outcome : outcome }
-  | Overloaded of { id : int }
+  | Overloaded of { id : int; retry_after_ms : int }
       (** admission control rejected the request: the pending queue was
-          full.  Retry later; nothing was compiled. *)
+          full.  Nothing was compiled.  [retry_after_ms] is the server's
+          backoff hint — how long it expects to need before the queue
+          has room (derived from any active pause plus the queue depth);
+          0 means "retry whenever" (also what decoding a pre-hint peer's
+          5-byte reply yields). *)
   | Stats_reply of string  (** [key value] lines *)
   | Hello_reply of string  (** the serving target's registry name *)
   | Ack

@@ -155,6 +155,60 @@ let test_overloaded_backpressure () =
           | Ok _ -> Alcotest.fail "post-pause compile was refused"
           | Error m -> Alcotest.failf "post-pause compile failed: %s" m))
 
+(* (c2) the backoff hint: with the drain paused and the queue full,
+   every rejection carries a positive retry_after_ms (pause remainder
+   plus queue depth) *)
+let test_retry_after_hint () =
+  with_daemon ~args:[ "--queue"; "1"; "--verify"; "never" ] (fun sock ->
+      with_client sock (fun c ->
+          (match Serve.Client.pause c 600 with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "pause failed: %s" m);
+          let gcd = Pipeline.Programs.gcd in
+          let unique =
+            Array.init 3 (fun i -> Printf.sprintf "{ hint %d }\n%s" i gcd)
+          in
+          let replies = batch c unique in
+          Array.iteri
+            (fun i r ->
+              match r with
+              | Serve.Wire.Compiled { outcome = Ok _; _ } when i = 0 -> ()
+              | Serve.Wire.Overloaded { retry_after_ms; _ } when i > 0 ->
+                  if retry_after_ms <= 0 then
+                    Alcotest.failf "rejection %d: hint %d is not positive" i
+                      retry_after_ms
+              | _ -> Alcotest.failf "reply %d has the wrong shape" i)
+            replies))
+
+(* (c3) honoring the hint: a pause-driven burst that overflows the
+   queue becomes an all-Ok batch under [~retry:true] — the rejected
+   slots are resubmitted once, after the daemon's suggested backoff,
+   by which time the pause has lapsed and the queue has drained *)
+let test_retry_recovers () =
+  with_daemon ~args:[ "--queue"; "4"; "--verify"; "never" ] (fun sock ->
+      with_client sock (fun c ->
+          (match Serve.Client.pause c 400 with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "pause failed: %s" m);
+          let gcd = Pipeline.Programs.gcd in
+          let unique =
+            Array.init 6 (fun i -> Printf.sprintf "{ retry %d }\n%s" i gcd)
+          in
+          match Serve.Client.compile_batch c ~retry:true unique with
+          | Error m -> Alcotest.failf "retrying batch failed: %s" m
+          | Ok replies ->
+              Array.iteri
+                (fun i r ->
+                  match r with
+                  | Serve.Wire.Compiled { cached = false; outcome = Ok _; _ }
+                    ->
+                      ()
+                  | Serve.Wire.Overloaded _ ->
+                      Alcotest.failf
+                        "reply %d still Overloaded after the bounded retry" i
+                  | _ -> Alcotest.failf "reply %d has the wrong shape" i)
+                replies))
+
 (* (d) restart equivalence: a cold daemon, a warm cache, and a fresh
    daemon all produce the same fingerprint *)
 let test_restart_cold_warm () =
@@ -316,6 +370,10 @@ let () =
             test_hit_equals_miss;
           Alcotest.test_case "overload answers Overloaded" `Quick
             test_overloaded_backpressure;
+          Alcotest.test_case "rejections carry a backoff hint" `Quick
+            test_retry_after_hint;
+          Alcotest.test_case "bounded retry honors the hint" `Quick
+            test_retry_recovers;
           Alcotest.test_case "restart is cold/warm equivalent" `Quick
             test_restart_cold_warm;
           Alcotest.test_case "concurrent clients agree" `Quick
