@@ -109,7 +109,15 @@ let report_dead_templates (t : Cogg.Tables.t) (baseline : string) =
     let render = Cogg.Grammar.prod_to_string g (Cogg.Grammar.prod g p) in
     if not (Hashtbl.mem covered render) then dead := (p, render) :: !dead
   done;
-  match !dead with
+  (* sorted by rendered form (then id), so the report is stable under
+     production renumbering and diffable across spec edits *)
+  let dead =
+    List.sort
+      (fun (p1, r1) (p2, r2) ->
+        match String.compare r1 r2 with 0 -> compare p1 p2 | c -> c)
+      !dead
+  in
+  match dead with
   | [] ->
       Fmt.pr "  every template fires in the coverage corpus (%s)@."
         (Filename.basename baseline)

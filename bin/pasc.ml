@@ -373,9 +373,47 @@ let compile_cmd =
                  $(b,hybrid) (profile-specialized; needs \
                  $(b,--specialize), otherwise identical to comb)."))
 
+let rec find_up ?(depth = 6) dir rel =
+  let candidate = Filename.concat dir rel in
+  if Sys.file_exists candidate then Some candidate
+  else if depth = 0 then None
+  else find_up ~depth:(depth - 1) (Filename.dirname dir) rel
+
+(* The real-program bank doubles as a distillation candidate source. *)
+let read_program_dir dir : Fuzz.Runner.corpus_entry list =
+  Sys.readdir dir |> Array.to_list |> List.sort String.compare
+  |> List.filter_map (fun f ->
+         let kind =
+           if Filename.check_suffix f ".pas" then Some "pascal"
+           else if Filename.check_suffix f ".ifl" then Some "if"
+           else None
+         in
+         Option.map
+           (fun e_kind ->
+             {
+               Fuzz.Runner.e_name = Filename.remove_extension f;
+               e_kind;
+               e_text = read_file (Filename.concat dir f);
+             })
+           kind)
+
+let write_corpus_entry dir index (e : Fuzz.Runner.corpus_entry) : string =
+  let ext = if e.Fuzz.Runner.e_kind = "pascal" then "pas" else "ifl" in
+  let path =
+    Filename.concat dir (Fmt.str "%02d-%s.%s" index e.Fuzz.Runner.e_name ext)
+  in
+  let oc = open_out path in
+  let header = Fmt.str "distilled corpus seed: %s" e.Fuzz.Runner.e_name in
+  output_string oc
+    (if ext = "pas" then "{ " ^ header ^ " }\n" else "* " ^ header ^ "\n");
+  output_string oc e.Fuzz.Runner.e_text;
+  output_string oc "\n";
+  close_out oc;
+  path
+
 let fuzz_cmd =
   let run target spec_opt seed count start profile minimize malformed jobs
-      corpus profile_out cross =
+      corpus profile_out cross guided shards minutes replay distill =
     let spec_path = spec_for target spec_opt in
     let profile =
       Option.map (fun s -> or_die (Fuzz.Profile.of_string s)) profile
@@ -390,6 +428,126 @@ let fuzz_cmd =
           load_tables ~target:t ~no_cache:false t.Machine.Target.spec_file)
         cross
     in
+    let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
+    match (replay, distill) with
+    | Some line, _ -> begin
+        (* --replay SEED:INDEX[:m1.m2...]: reconstruct the exact input
+           from its lineage and re-run the oracles on it *)
+        match Fuzz.Runner.replay tables ?cross:cross_tables line with
+        | Error m -> or_die (Error m)
+        | Ok (input, verdicts) ->
+            Fmt.pr "replay %s (%s input):@.%s@." (String.trim line)
+              (match input with
+              | Fuzz.Runner.Pascal_src _ -> "pascal"
+              | Fuzz.Runner.If_stream _ -> "if")
+              (Fuzz.Runner.render_input input);
+            let bad = ref false in
+            List.iter
+              (fun (name, st) ->
+                Fmt.pr "%s: %a@." name Fuzz.Oracle.pp_status st;
+                if Fuzz.Oracle.is_finding st then bad := true)
+              verdicts;
+            if !bad then exit 1
+      end
+    | None, Some dir ->
+        (* --distill DIR: greedy minimal seed set covering every
+           production any candidate can reach.  Candidates: the standard
+           workload programs, the coverage pins, the real-program bank,
+           the fixed-seed fuzz slice, and a guided run's kept pool. *)
+        let real =
+          match find_up (Sys.getcwd ()) "examples/programs" with
+          | Some d -> read_program_dir d
+          | None -> []
+        in
+        let greport =
+          Fuzz.Runner.run_guided tables
+            {
+              Fuzz.Runner.default_guided with
+              Fuzz.Runner.g_seed = seed;
+              g_budget = max count 512;
+              g_shards = shards;
+              g_jobs = jobs;
+              g_log = (fun m -> Fmt.epr "%s@." m);
+            }
+        in
+        let cands =
+          List.map
+            (fun (name, src) ->
+              { Fuzz.Runner.e_name = name; e_kind = "pascal"; e_text = src })
+            Pipeline.Programs.all
+          @ Fuzz.Runner.pinned_entries @ real
+          @ Fuzz.Runner.generated_entries ~seed ~pascal_count:72 ~if_count:24
+          @ Fuzz.Runner.kept_entries greport
+        in
+        let selected, universe = Fuzz.Runner.distill_corpus tables cands in
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iteri
+          (fun i e ->
+            Fmt.epr "wrote %s@." (write_corpus_entry dir (i + 1) e))
+          selected;
+        Fmt.pr
+          "distilled %d candidates to %d seeds covering all %d reachable \
+           productions@."
+          (List.length cands) (List.length selected) universe
+    | None, None when guided ->
+        (* --guided: the coverage-guided scheduler; --minutes M keeps
+           draining mutation batches until the wall clock expires *)
+        let stop =
+          Option.map
+            (fun m ->
+              let deadline = Unix.gettimeofday () +. (m *. 60.) in
+              fun () -> Unix.gettimeofday () >= deadline)
+            minutes
+        in
+        let budget = if minutes = None then count else max_int in
+        let r =
+          Fuzz.Runner.run_guided tables
+            {
+              Fuzz.Runner.default_guided with
+              Fuzz.Runner.g_seed = seed;
+              g_budget = budget;
+              g_shards = shards;
+              g_jobs = jobs;
+              g_oracles = true;
+              g_cross = cross_tables;
+              g_stop = stop;
+              g_log = (fun m -> Fmt.epr "%s@." m);
+            }
+        in
+        Fmt.pr
+          "guided fuzz: seed %d, %d cases: %d kept seeds, %d productions, %d \
+           bigrams, %d findings@."
+          seed r.Fuzz.Runner.g_cases
+          (List.length r.Fuzz.Runner.g_kept)
+          (Fuzz.Covmap.prods_covered r.Fuzz.Runner.g_covmap)
+          (Fuzz.Covmap.bigrams_covered r.Fuzz.Runner.g_covmap)
+          (List.length r.Fuzz.Runner.g_findings);
+        List.iter
+          (fun (k : Fuzz.Runner.kept) ->
+            Fmt.pr "kept %s (+%d features)@."
+              (Fuzz.Runner.replay_line k.Fuzz.Runner.k_lineage)
+              k.Fuzz.Runner.k_gain)
+          r.Fuzz.Runner.g_kept;
+        List.iter
+          (fun (f : Fuzz.Runner.guided_finding) ->
+            Fmt.pr
+              "finding: %s oracle %s: %a@.  input:@.%s@.  replay: pasc fuzz \
+               --spec %s --replay %s@."
+              (Fuzz.Runner.replay_line f.Fuzz.Runner.gf_lineage)
+              f.Fuzz.Runner.gf_oracle Fuzz.Oracle.pp_status
+              f.Fuzz.Runner.gf_status f.Fuzz.Runner.gf_repro spec_path
+              (Fuzz.Runner.replay_line f.Fuzz.Runner.gf_lineage))
+          r.Fuzz.Runner.g_findings;
+        (match corpus with
+        | None -> ()
+        | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            List.iteri
+              (fun i e ->
+                Fmt.epr "wrote %s@." (write_corpus_entry dir (i + 1) e))
+              (Fuzz.Runner.kept_entries r));
+        if r.Fuzz.Runner.g_findings <> [] then exit 1
+    | None, None ->
     let collector = Option.map (fun _ -> new_collector tables) profile_out in
     let cfg =
       {
@@ -399,7 +557,7 @@ let fuzz_cmd =
         profile;
         minimize;
         malformed;
-        jobs = (if jobs = 0 then Domain.recommended_domain_count () else jobs);
+        jobs;
         spec = Some spec_path;
         cache_dir =
           Some (Filename.concat (Filename.get_temp_dir_name ()) "pasc-fuzz-cache");
@@ -500,7 +658,44 @@ let fuzz_cmd =
               ~doc:
                 "Cross-backend differential oracle: compile and run every \
                  Pascal case under $(docv)'s backend as well and compare \
-                 the two machines' observable outputs."))
+                 the two machines' observable outputs.")
+      $ flag [ "guided" ]
+          "Coverage-guided mode: keep and mutate inputs that discover new \
+           production (bigram) coverage; every kept seed prints its \
+           (seed, index, mutation-path) lineage for $(b,--replay)"
+      $ Arg.(
+          value & opt int 8
+          & info [ "shards" ] ~docv:"S"
+              ~doc:
+                "Logical shards in guided mode: each shard owns an \
+                 independent RNG stream for scheduling decisions, so the \
+                 run is deterministic for a fixed (seed, shard count) at \
+                 any $(b,-j) worker count")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "minutes" ] ~docv:"M"
+              ~doc:
+                "Long-run guided mode: keep draining mutation batches \
+                 across the pool until $(docv) minutes of wall clock have \
+                 passed (overrides $(b,--count))")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "replay" ] ~docv:"LINEAGE"
+              ~doc:
+                "Reproduce a guided-mode input from its printed lineage \
+                 ($(b,SEED:INDEX) or $(b,SEED:INDEX:m1.m2...)), print it, \
+                 and re-run the oracles on it")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "distill" ] ~docv:"DIR"
+              ~doc:
+                "Corpus distillation: compute a greedy-minimal seed set \
+                 covering every production any candidate reaches (standard \
+                 programs, the real-program bank, a fixed-seed fuzz slice \
+                 and a guided run's kept pool) and write it to $(docv)"))
 
 (* -- the compile service ------------------------------------------------------ *)
 

@@ -1,0 +1,75 @@
+{ A two-stack precedence-climbing expression evaluator over
+  int-encoded token arrays (operands are non-negative; -1 + , -2 - ,
+  -3 * , -4 div, -5 ( , -6 ) , -7 end) — the stack-machine rendering of
+  a recursive-descent parser, since procedures carry no parameters and
+  may only be called from the main program. }
+program expreval;
+var toks : array[0..31] of integer;
+    vals, ops : array[0..15] of integer;
+    vsp, osp, ip, tok, res, lhs, rhs, op, p1, p2, pass : integer;
+    reducing, ended : boolean;
+
+procedure apply;  { pop one operator and two operands, push the result }
+begin
+  osp := osp - 1; op := ops[osp];
+  vsp := vsp - 1; rhs := vals[vsp];
+  vsp := vsp - 1; lhs := vals[vsp];
+  if op = -1 then res := lhs + rhs
+  else if op = -2 then res := lhs - rhs
+  else if op = -3 then res := lhs * rhs
+  else res := lhs div rhs;
+  vals[vsp] := res;
+  vsp := vsp + 1
+end;
+
+procedure precof;  { operator in op, precedence out in p1 }
+begin
+  if (op = -3) or (op = -4) then p1 := 2
+  else if (op = -1) or (op = -2) then p1 := 1
+  else p1 := 0
+end;
+
+begin
+  { 7 + 3 * (10 - 4) div 2 - 5 = 11 }
+  toks[0] := 7;  toks[1] := -1; toks[2] := 3;  toks[3] := -3;
+  toks[4] := -5; toks[5] := 10; toks[6] := -2; toks[7] := 4;
+  toks[8] := -6; toks[9] := -4; toks[10] := 2; toks[11] := -2;
+  toks[12] := 5; toks[13] := -7;
+  { ((8 + 2) * 6) div (9 - 4) = 12 }
+  toks[14] := -5; toks[15] := -5; toks[16] := 8;  toks[17] := -1;
+  toks[18] := 2;  toks[19] := -6; toks[20] := -3; toks[21] := 6;
+  toks[22] := -6; toks[23] := -4; toks[24] := -5; toks[25] := 9;
+  toks[26] := -2; toks[27] := 4;  toks[28] := -6; toks[29] := -7;
+  ip := 0;
+  for pass := 1 to 2 do begin
+    vsp := 0; osp := 0;
+    ended := false;
+    while not ended do begin
+      tok := toks[ip];
+      if tok >= 0 then begin
+        vals[vsp] := tok; vsp := vsp + 1
+      end else if tok = -5 then begin
+        ops[osp] := tok; osp := osp + 1
+      end else if tok = -6 then begin
+        while ops[osp - 1] <> -5 do apply;
+        osp := osp - 1
+      end else if tok = -7 then begin
+        while osp > 0 do apply;
+        ended := true
+      end else begin
+        op := tok; precof; p2 := p1;
+        reducing := osp > 0;
+        while reducing do begin
+          op := ops[osp - 1]; precof;
+          if p1 >= p2 then begin
+            apply;
+            reducing := osp > 0
+          end else reducing := false
+        end;
+        ops[osp] := tok; osp := osp + 1
+      end;
+      ip := ip + 1
+    end;
+    write(vals[0])
+  end
+end.

@@ -1,0 +1,39 @@
+{ Heapsort over a 1-based array: sift-down as a flagged while loop,
+  shared between heap construction (downto) and extraction. }
+program heapsort;
+var a : array[1..24] of integer;
+    n, i, k, child, t, limit : integer;
+    sifting : boolean;
+
+procedure siftdown;  { sift a[k] down within a[1..limit] }
+begin
+  sifting := true;
+  while sifting and (2 * k <= limit) do begin
+    child := 2 * k;
+    if child < limit then
+      if a[child + 1] > a[child] then child := child + 1;
+    if a[child] > a[k] then begin
+      t := a[k]; a[k] := a[child]; a[child] := t;
+      k := child
+    end else sifting := false
+  end
+end;
+
+begin
+  n := 24;
+  for i := 1 to n do a[i] := (53 * i * i + 7 * i) mod 101 - 33;
+  limit := n;
+  for i := n div 2 downto 1 do begin
+    k := i;
+    siftdown
+  end;
+  i := n;
+  while i > 1 do begin
+    t := a[1]; a[1] := a[i]; a[i] := t;
+    i := i - 1;
+    limit := i;
+    k := 1;
+    siftdown
+  end;
+  for i := 1 to n do write(a[i])
+end.

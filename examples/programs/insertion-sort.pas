@@ -1,0 +1,24 @@
+{ Insertion sort over a 16-element array seeded from a linear
+  congruence, with a boolean flag instead of a short-circuit guard so
+  no subscript is ever evaluated out of bounds. }
+program insertsort;
+var a : array[0..15] of integer;
+    i, j, key, n : integer;
+    placed : boolean;
+begin
+  n := 15;
+  for i := 0 to n do a[i] := (83 * i + 29) mod 61 - 17;
+  for i := 1 to n do begin
+    key := a[i];
+    j := i;
+    placed := false;
+    while (j > 0) and not placed do begin
+      if a[j - 1] > key then begin
+        a[j] := a[j - 1];
+        j := j - 1
+      end else placed := true
+    end;
+    a[j] := key
+  end;
+  for i := 0 to n do write(a[i])
+end.

@@ -1,0 +1,21 @@
+{ Fixed-point amortization in integer cents: a loan balance accruing
+  monthly interest against a constant payment, with the loop guarded by
+  both a payoff test and a hard month cap. }
+program interest;
+var balance, payment, month, accrued, totalint : integer;
+begin
+  balance := 1000000;   { 10,000.00 in cents }
+  payment := 45000;     { 450.00 per month }
+  totalint := 0;
+  month := 0;
+  while (balance > 0) and (month < 60) do begin
+    accrued := balance * 7 div 1200;   { 7% APR, monthly accrual }
+    totalint := totalint + accrued;
+    balance := balance + accrued - payment;
+    month := month + 1
+  end;
+  if balance < 0 then balance := 0;
+  write(month);
+  write(balance);
+  write(totalint)
+end.

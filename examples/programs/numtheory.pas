@@ -1,0 +1,30 @@
+{ Integer number theory: square-and-multiply modular exponentiation,
+  Euclid's gcd, and a divisor-sum probe of the perfect number 496. }
+program numtheory;
+var base, e, m, power, x, y, t, sum, d, n : integer;
+begin
+  { 7^20 mod 1009 }
+  base := 7; e := 20; m := 1009;
+  power := 1;
+  x := base mod m;
+  while e > 0 do begin
+    if odd(e) then power := power * x mod m;
+    x := x * x mod m;
+    e := e div 2
+  end;
+  write(power);
+  { gcd(3528, 3780) }
+  x := 3528; y := 3780;
+  while y <> 0 do begin
+    t := x mod y;
+    x := y;
+    y := t
+  end;
+  write(x);
+  { sum of proper divisors of 496 (a perfect number) }
+  n := 496;
+  sum := 0;
+  for d := 1 to 248 do
+    if n mod d = 0 then sum := sum + d;
+  write(sum)
+end.

@@ -1,0 +1,33 @@
+{ Iterative quicksort: Lomuto partition with an explicit segment stack
+  (procedures take no parameters in this subset, so the pending-range
+  stack replaces recursion). }
+program quicksort;
+var a : array[0..31] of integer;
+    stlo, sthi : array[0..39] of integer;
+    sp, lo, hi, i, j, pivot, t, n : integer;
+begin
+  n := 31;
+  for i := 0 to n do a[i] := (171 * i + 55) mod 127 - 40;
+  stlo[0] := 0;
+  sthi[0] := n;
+  sp := 1;
+  while sp > 0 do begin
+    sp := sp - 1;
+    lo := stlo[sp];
+    hi := sthi[sp];
+    if lo < hi then begin
+      pivot := a[hi];
+      i := lo - 1;
+      for j := lo to hi - 1 do
+        if a[j] <= pivot then begin
+          i := i + 1;
+          t := a[i]; a[i] := a[j]; a[j] := t
+        end;
+      t := a[i + 1]; a[i + 1] := a[hi]; a[hi] := t;
+      i := i + 1;
+      stlo[sp] := lo;    sthi[sp] := i - 1; sp := sp + 1;
+      stlo[sp] := i + 1; sthi[sp] := hi;    sp := sp + 1
+    end
+  end;
+  for i := 0 to n do write(a[i])
+end.

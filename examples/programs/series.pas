@@ -1,0 +1,34 @@
+{ Real-arithmetic kernels: e by its factorial series, a geometric
+  series at 1/2, and a fixed-step trapezoid integral of x*x on [0,2]. }
+program series;
+var sum, term, di, xv, px, step, area, prev, cur : real;
+    i : integer;
+begin
+  { e = sum 1/k! to 12 terms }
+  sum := 1.0; term := 1.0; di := 0.0;
+  for i := 1 to 12 do begin
+    di := di + 1.0;
+    term := term / di;
+    sum := sum + term
+  end;
+  write(sum);
+  { sum (1/2)^k for k = 1..20 }
+  xv := 0.5; px := 1.0; sum := 0.0;
+  for i := 1 to 20 do begin
+    px := px * xv;
+    sum := sum + px
+  end;
+  write(sum);
+  { trapezoid rule for x*x on [0,2], 40 panels }
+  step := 0.05;
+  xv := 0.0;
+  prev := 0.0;
+  area := 0.0;
+  for i := 1 to 40 do begin
+    xv := xv + step;
+    cur := xv * xv;
+    area := area + (prev + cur) * 0.5 * step;
+    prev := cur
+  end;
+  write(area)
+end.

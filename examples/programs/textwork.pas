@@ -1,0 +1,36 @@
+{ Character/set workload: a generated letter sequence, vowel counting
+  through a set (letters mapped into 0..25), a reversal with a rolling
+  checksum, and a palindrome test over a mirrored word. }
+program textwork;
+var s, r : array[0..31] of char;
+    vowels : set of 0..31;
+    i, n, count, code : integer;
+    pal : boolean;
+begin
+  n := 26;
+  for i := 0 to n - 1 do s[i] := chr(97 + (i * 7 + 3) mod 26);
+  include(vowels, 0);  include(vowels, 4);  include(vowels, 8);
+  include(vowels, 14); include(vowels, 20);
+  count := 0;
+  for i := 0 to n - 1 do
+    if (ord(s[i]) - 97) in vowels then count := count + 1;
+  write(count);
+  { reverse into r, then checksum the reversal }
+  for i := 0 to n - 1 do r[i] := s[n - 1 - i];
+  code := 0;
+  for i := 0 to n - 1 do code := (code * 31 + ord(r[i])) mod 65521;
+  write(code);
+  { a mirrored word is a palindrome; an ascending one is not }
+  for i := 0 to n - 1 do s[i] := chr(97 + min(i, n - 1 - i));
+  pal := true;
+  for i := 0 to n - 1 do
+    if s[i] <> s[n - 1 - i] then pal := false;
+  if pal then count := 1 else count := 0;
+  write(count);
+  for i := 0 to n - 1 do s[i] := chr(97 + i mod 26);
+  pal := true;
+  for i := 0 to n - 1 do
+    if s[i] <> s[n - 1 - i] then pal := false;
+  if pal then count := 1 else count := 0;
+  write(count)
+end.

@@ -1,0 +1,137 @@
+(** The coverage signal for guided fuzzing: which user productions an
+    input fires, which production {e bigrams} (consecutive fire pairs)
+    it exercises, and a few auxiliary outcome bits.
+
+    The map is exact — one bit per production, one per ordered
+    production pair, no hashing — so coverage is deterministic: the same
+    corpus produces the same map on any machine at any worker count,
+    which is what lets the @guided alias demand identical maps at -j1
+    and -jmax.  At 199 user productions the whole map is ~5 KB.
+
+    A single input's footprint is an {!obs}: the sorted, deduplicated
+    list of feature indices it touches.  Observations are computed once
+    per case (in parallel, they are pure), then merged into the map
+    sequentially in a fixed order, so the kept-seed pool is independent
+    of evaluation scheduling. *)
+
+type t = {
+  n : int;  (** user productions *)
+  bits : Bytes.t;
+  mutable prods : int;  (** distinct productions covered *)
+  mutable bigrams : int;  (** distinct production bigrams covered *)
+}
+
+(** Feature indices of one input, sorted and deduplicated. *)
+type obs = int list
+
+(* feature layout: [0, n) production fired; [n, n + n*n) bigram a->b at
+   n + a*n + b; then the auxiliary outcome bits *)
+let n_aux = 3
+
+let aux_ok = 0
+let aux_error = 1
+let aux_long = 2
+
+let n_features_of n = n + (n * n) + n_aux
+
+let create ~(n_prods : int) : t =
+  {
+    n = n_prods;
+    bits = Bytes.make ((n_features_of n_prods + 7) / 8) '\000';
+    prods = 0;
+    bigrams = 0;
+  }
+
+let n_prods (t : t) = t.n
+
+let mem (t : t) (f : int) : bool =
+  Char.code (Bytes.get t.bits (f lsr 3)) land (1 lsl (f land 7)) <> 0
+
+let set (t : t) (f : int) : unit =
+  let b = f lsr 3 in
+  Bytes.set t.bits b
+    (Char.chr (Char.code (Bytes.get t.bits b) lor (1 lsl (f land 7))));
+  if f < t.n then t.prods <- t.prods + 1
+  else if f < t.n + (t.n * t.n) then t.bigrams <- t.bigrams + 1
+
+(** Turn one input's raw trace — the in-order list of fired user
+    productions plus the compile outcome — into its feature set. *)
+let features ~(n_prods : int) ~(fired : int list) ~(ok : bool) ~(long : bool)
+    : obs =
+  let seen = Hashtbl.create 64 in
+  let feat f = if not (Hashtbl.mem seen f) then Hashtbl.replace seen f () in
+  let rec go prev = function
+    | [] -> ()
+    | p :: rest ->
+        feat p;
+        (match prev with
+        | Some a -> feat (n_prods + (a * n_prods) + p)
+        | None -> ());
+        go (Some p) rest
+  in
+  go None fired;
+  let aux = n_prods + (n_prods * n_prods) in
+  feat (aux + if ok then aux_ok else aux_error);
+  if long then feat (aux + aux_long);
+  List.sort compare (Hashtbl.fold (fun f () acc -> f :: acc) seen [])
+
+let novel (t : t) (o : obs) : bool = List.exists (fun f -> not (mem t f)) o
+
+(** Merge an observation; returns how many features were new. *)
+let add (t : t) (o : obs) : int =
+  List.fold_left
+    (fun gain f ->
+      if mem t f then gain
+      else begin
+        set t f;
+        gain + 1
+      end)
+    0 o
+
+let merge_into ~(dst : t) (src : t) : unit =
+  assert (dst.n = src.n);
+  for f = 0 to n_features_of src.n - 1 do
+    if mem src f && not (mem dst f) then set dst f
+  done
+
+let prods_covered (t : t) = t.prods
+let bigrams_covered (t : t) = t.bigrams
+let equal (a : t) (b : t) : bool = a.n = b.n && Bytes.equal a.bits b.bits
+let digest (t : t) : string = Digest.to_hex (Digest.bytes t.bits)
+
+(* -- corpus distillation -------------------------------------------------- *)
+
+(** Greedy minimal set cover: pick, at every step, the candidate
+    covering the most still-uncovered elements (earliest candidate wins
+    ties, so the result is deterministic); stop when the union of every
+    candidate's set is covered.  Returns the selected candidate indices
+    in pick order. *)
+let distill (sets : int list array) : int list =
+  let uncovered = Hashtbl.create 256 in
+  Array.iter
+    (fun s -> List.iter (fun p -> Hashtbl.replace uncovered p ()) s)
+    sets;
+  let selected = ref [] in
+  while Hashtbl.length uncovered > 0 do
+    let best = ref (-1) and best_gain = ref 0 in
+    Array.iteri
+      (fun i s ->
+        let gain =
+          List.fold_left
+            (fun g p -> if Hashtbl.mem uncovered p then g + 1 else g)
+            0 s
+        in
+        if gain > !best_gain then begin
+          best := i;
+          best_gain := gain
+        end)
+      sets;
+    if !best < 0 then
+      (* cannot happen: the universe is the union of the sets *)
+      Hashtbl.reset uncovered
+    else begin
+      List.iter (Hashtbl.remove uncovered) sets.(!best);
+      selected := !best :: !selected
+    end
+  done;
+  List.rev !selected

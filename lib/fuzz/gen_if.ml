@@ -131,6 +131,103 @@ let program ?(branch_heavy = false) ?size (rng : Rng.t) : T.t list =
 let to_text (toks : T.t list) : string =
   String.concat " " (List.map T.to_string toks)
 
+(* -- well-formedness-preserving mutation -------------------------------------- *)
+
+(* Split a well-formed stream into its [statement]-marker-delimited
+   chunks: the head (procedure_entry), one token run per statement, and
+   whatever trails the last marker (pending label definitions and
+   procedure_exit travel glued to the final chunk). *)
+let split_chunks (toks : T.t list) : T.t list * T.t list list =
+  let is_marker t = t.T.sym = "statement" in
+  let rec go_head head = function
+    | t :: rest when not (is_marker t) -> go_head (t :: head) rest
+    | rest -> (List.rev head, rest)
+  in
+  let head, rest = go_head [] toks in
+  let rec go_chunks chunks current = function
+    | [] -> List.rev (List.rev current :: chunks)
+    | t :: rest when is_marker t && current <> [] ->
+        go_chunks (List.rev current :: chunks) [ t ] rest
+    | t :: rest -> go_chunks chunks (t :: current) rest
+  in
+  let chunks = match rest with [] -> [] | _ -> go_chunks [] [] rest in
+  (head, chunks)
+
+let chunk_has_label (chunk : T.t list) : bool =
+  List.exists
+    (fun t -> match t.T.value with Ifl.Value.Label _ -> true | _ -> false)
+    chunk
+
+(** One guided-fuzzing mutation that keeps the stream in the machine
+    grammar's language: duplicate or delete a label-free statement
+    chunk, or insert a freshly generated assignment statement.  The
+    final chunk (which carries the pending label definitions and
+    [procedure_exit]) and every chunk that references or defines a
+    label are left in place, so every label stays defined exactly once,
+    downstream of all its references. *)
+let mutate_one (r : Rng.t) (toks : T.t list) : T.t list =
+  let head, chunks = split_chunks toks in
+  let n = List.length chunks in
+  let eligible =
+    List.filteri (fun i c -> i < n - 1 && not (chunk_has_label c)) chunks
+    |> List.length
+  in
+  let fresh_chunk () =
+    [
+      T.op "statement";
+      T.int "stmt" (900 + Rng.int r 100);
+      T.op "assign";
+      T.op "fullword";
+      T.int "dsp" (dsp r);
+      T.reg "r" mem_base;
+    ]
+    @ expr r (Rng.int r 4)
+  in
+  let rebuild chunks' = head @ List.concat chunks' in
+  let pick_eligible k =
+    (* index (among all chunks) of the k-th eligible one *)
+    let rec go i k = function
+      | [] -> -1
+      | c :: rest ->
+          if i < n - 1 && not (chunk_has_label c) then
+            if k = 0 then i else go (i + 1) (k - 1) rest
+          else go (i + 1) k rest
+    in
+    go 0 k chunks
+  in
+  let cands =
+    [ (5, `Insert) ]
+    @ (if eligible >= 1 then [ (2, `Dup) ] else [])
+    @ if eligible >= 2 then [ (1, `Delete) ] else []
+  in
+  match Rng.weighted r cands with
+  | `Insert ->
+      let i = Rng.int r (max 1 n) in
+      rebuild
+        (List.concat
+           [
+             List.filteri (fun j _ -> j < i) chunks;
+             [ fresh_chunk () ];
+             List.filteri (fun j _ -> j >= i) chunks;
+           ])
+  | `Dup ->
+      let i = pick_eligible (Rng.int r eligible) in
+      rebuild
+        (List.concat_map
+           (fun (j, c) -> if j = i then [ c; c ] else [ c ])
+           (List.mapi (fun j c -> (j, c)) chunks))
+  | `Delete ->
+      let i = pick_eligible (Rng.int r eligible) in
+      rebuild
+        (List.filteri (fun j _ -> j <> i) chunks)
+
+(** A stacked step of 2..4 single mutations, so a mutant's novelty
+    budget is comparable to a fresh stream's on top of the retained
+    parent structure. *)
+let mutate_wellformed (r : Rng.t) (toks : T.t list) : T.t list =
+  let rec go k toks = if k = 0 then toks else go (k - 1) (mutate_one r toks) in
+  go (Rng.range r 2 4) toks
+
 (* -- mutation ---------------------------------------------------------------- *)
 
 (* symbol pool for replacement/insertion: real grammar symbols plus one

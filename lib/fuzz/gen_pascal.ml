@@ -574,3 +574,69 @@ let render (p : A.program) : string =
 (** Generate and render in one step. *)
 let source ?size (rng : Rng.t) (profile : Profile.t) : string =
   render (program ?size rng profile)
+
+(* -- well-formedness-preserving mutation -------------------------------------- *)
+
+(** One guided-fuzzing mutation step.  Every oracle-soundness invariant
+    the generator maintains is {e expression-local} (safe divisors,
+    folded subscripts, bounded reals) or travels inside a single
+    top-level statement (a loop and its counter discipline), so editing
+    the main body at whole-statement granularity preserves them all:
+
+    - {e insert} a freshly generated statement (full generator power,
+      same profile declarations);
+    - {e delete} a statement — deleting a loop's counter init is safe
+      because every loop re-establishes termination by itself (while
+      counts a reserved counter down to 0 unconditionally, repeat counts
+      up, for has literal bounds);
+    - {e duplicate} a statement — a duplicated while body re-runs from
+      the counter's post-loop value 0 and exits immediately;
+    - {e swap} two adjacent statements.
+
+    The trailing [write] block is never touched: observable output stays
+    in the main program's straight-line tail, inside the runtime's
+    capture windows. *)
+let mutate (rng : Rng.t) (profile : Profile.t) (p : A.program) : A.program =
+  let d = decls_of_profile profile in
+  let d = { d with procs = List.map (fun pr -> pr.A.p_name) p.A.procs } in
+  let c = { rng; d; in_proc = false } in
+  let is_write = function A.Scall ("write", _) -> true | _ -> false in
+  let body, tail =
+    let rec go tail = function
+      | s :: rest when is_write s -> go (s :: tail) rest
+      | rest -> (List.rev rest, tail)
+    in
+    go [] (List.rev p.A.main)
+  in
+  let one body =
+    let n = List.length body in
+    let splice i take repl =
+      List.concat
+        [
+          List.filteri (fun j _ -> j < i) body;
+          repl;
+          List.filteri (fun j _ -> j >= i + take) body;
+        ]
+    in
+    let nth i = List.nth body i in
+    let cands =
+      [ (6, `Insert) ]
+      @ (if n >= 1 then [ (2, `Dup) ] else [])
+      @ (if n >= 2 then [ (1, `Delete); (1, `Swap) ] else [])
+    in
+    match Rng.weighted rng cands with
+    | `Insert ->
+        let i = Rng.int rng (n + 1) in
+        splice i 0 (stmts c ~depth:0 ~ldepth:0 ~fuel:(Rng.range rng 2 4))
+    | `Delete -> splice (Rng.int rng n) 1 []
+    | `Dup ->
+        let i = Rng.int rng n in
+        splice i 1 [ nth i; nth i ]
+    | `Swap ->
+        let i = Rng.int rng (n - 1) in
+        splice i 2 [ nth (i + 1); nth i ]
+  in
+  (* a stacked step: a mutant's novelty budget is comparable to a fresh
+     program's, on top of the retained parent structure *)
+  let rec steps k body = if k = 0 then body else steps (k - 1) (one body) in
+  { p with A.main = steps (Rng.range rng 2 4) body @ tail }

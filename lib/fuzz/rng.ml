@@ -29,6 +29,13 @@ let derive ~(seed : int) ~(index : int) : t =
   let z = next r in
   { s = Int64.logxor z (Int64.mul (Int64.of_int (index + 1)) golden) }
 
+(** Fold [v] into [key], splitmix-style: the lineage key of a mutated
+    seed is the parent's key with the mutation counter mixed in, so
+    every (seed, index, mutation-path) names one RNG stream forever. *)
+let mix (key : int) (v : int) : int =
+  let r = { s = Int64.logxor (Int64.of_int key) (Int64.mul (Int64.of_int (v + 1)) golden) } in
+  Int64.to_int (next r)
+
 (** [int t bound] is uniform-ish in [0, bound); 0 when [bound <= 0]. *)
 let int (t : t) (bound : int) : int =
   if bound <= 0 then 0

@@ -1,0 +1,394 @@
+{ distilled corpus seed: guided-1-498 }
+program fuzz;
+var
+  i0 : integer;
+  i1 : integer;
+  i2 : integer;
+  z0 : 0..500;
+  p0 : boolean;
+  p1 : boolean;
+  c0 : char;
+  c1 : char;
+  r0 : real;
+  r1 : real;
+  a0 : array[0..7] of integer;
+  s0 : set of 0..15;
+  k0 : integer;
+  k1 : integer;
+  k2 : integer;
+procedure q0;
+begin
+  a0[2] := ((-(i1 - i0)) mod (-4));
+  c1 := 't';
+  exclude(s0, abs((abs(k0) mod 16)));
+  i0 := sqr((-704))
+end;
+procedure q1;
+begin
+  if p0 then
+    begin
+      a0[(0 + abs(((-a0[1]) mod 8)))] := a0[0]
+    end
+  else
+    begin
+      if ((p1 and false) and (a0[3] <= i1)) then
+        begin
+          a0[(0 + abs(((24 mod (1 + abs((a0[7] mod 9)))) mod 8)))] := (z0 + min(i0, a0[0]))
+        end
+      else
+        begin
+          include(s0, abs((i1 mod 16)))
+        end
+    end;
+  if p0 then
+    begin
+      z0 := (0 + abs(((893 - a0[1]) mod 501)))
+    end
+  else
+    begin
+      include(s0, abs(((-((-924) div 6)) mod 16)));
+      if p0 then
+        begin
+          if p0 then
+            begin
+              include(s0, abs((max(sqr(797), min(26, z0)) mod 16)));
+              if (not (true or true)) then
+                begin
+                  p0 := p1
+                end
+            end;
+          if p0 then
+            begin
+              if (abs((i1 mod 16)) in s0) then
+                begin
+                  r0 := ((-((-31.48) + (58.28 - r1))) + (-(r1 / 6.70)));
+                  c1 := c0;
+                  a0[(0 + abs((k2 mod 8)))] := (i2 + (-886))
+                end
+              else
+                begin
+                  a0[(0 + abs((sqr((i2 div (1 + abs((abs(z0) mod 9))))) mod 8)))] := i1;
+                  i1 := ord(c0)
+                end;
+              i0 := abs(((-985) - 561));
+              if odd((((k2 + z0) mod (1 + abs(((i1 - z0) mod 9)))) div (1 + abs((z0 mod 9))))) then
+                begin
+                  i1 := abs((i0 * k2));
+                  i1 := (-max((ord(c0) - 493), sqr(a0[1])))
+                end
+            end
+        end
+      else
+        begin
+          i1 := k2;
+          case abs(((((k0 + ord(c1)) div (-8)) * (sqr(ord(c1)) - max(a0[7], 449))) mod 2)) of
+            0:
+              begin
+                if (not true) then
+                  begin
+                    a0[(0 + abs(((-833) mod 8)))] := abs((sqr(k1) div (1 + abs((((a0[0] div (1 + abs((a0[5] mod 9)))) div (1 + abs(((i1 + a0[2]) mod 9)))) mod 9)))));
+                    exclude(s0, abs((succ((i0 - 2)) mod 16)))
+                  end
+              end;
+            otherwise
+              begin
+                a0[0] := z0
+              end
+          end
+        end
+    end;
+  exclude(s0, abs(((abs((-873)) - (a0[7] * 977)) mod 16)))
+end;
+begin
+  case abs((899 mod 4)) of
+    0:
+      begin
+        case abs(((-195) mod 2)) of
+          0:
+            begin
+              case abs((sqr((-917)) mod 3)) of
+                0:
+                  begin
+                    i2 := (-i1);
+                    p1 := odd(sqr(ord(c1)))
+                  end;
+                1:
+                  begin
+                    r0 := (-r1);
+                    if ((a0[3] div 3) <> (535 - i2)) then
+                      begin
+                        z0 := 255;
+                        p1 := ((-952) = (((i2 - a0[5]) * (z0 * (-548))) + (i1 - (384 * 799))));
+                        a0[4] := sqr(abs((sqr(100) div 4)))
+                      end
+                  end;
+                2:
+                  begin
+                    if ((91.67 <= r1) and (not (abs(((a0[6] mod (1 + abs((k1 mod 9)))) mod 16)) in s0))) then
+                      begin
+                        p0 := ((-432) <> ord(c0));
+                        i1 := ((i2 div (1 + abs((z0 mod 9)))) - ord(c1))
+                      end
+                    else
+                      begin
+                        c1 := chr((abs(((-(i1 - k0)) mod 90)) + 32));
+                        i0 := abs(i2)
+                      end
+                  end;
+              end;
+              for k0 := 4 to 11 do
+                begin
+                  exclude(s0, abs((((a0[0] - a0[2]) + (k0 mod (1 + abs((998 mod 9))))) mod 16)));
+                  i0 := (k0 div 5)
+                end
+            end;
+          otherwise
+            begin
+              if (p1 and p0) then
+                begin
+                  r0 := r0;
+                  if odd(pred(ord(c0))) then
+                    begin
+                      a0[(0 + abs((pred(338) mod 8)))] := (z0 div 4)
+                    end
+                  else
+                    begin
+                      r0 := (r0 * 68.65)
+                    end
+                end
+              else
+                begin
+                  z0 := (0 + abs((succ(succ((993 + a0[0]))) mod 501)));
+                  c0 := c1
+                end
+            end
+        end;
+        k0 := 0;
+        repeat
+          k1 := 0;
+          repeat
+            r0 := (-(((45.88 * 80.39) - (12.89 - r1)) * 40.45));
+            r1 := 53.54;
+            i2 := (-687);
+            k1 := (k1 + 1)
+          until (k1 >= 4);
+          k1 := 7;
+          while (k1 > 0) do
+            begin
+              c0 := 'h';
+              i0 := k1;
+              k1 := (k1 - 1)
+            end;
+          a0[1] := min((((a0[6] + a0[6]) + (k1 - (-567))) * 460), (((a0[2] + (-136)) div 7) * (-(a0[4] + a0[1]))));
+          k0 := (k0 + 1)
+        until (k0 >= 4)
+      end;
+    1:
+      begin
+        k0 := 3;
+        while ((k0 > 0) and (not odd(247))) do
+          begin
+            if (not (not p0)) then
+              begin
+                if odd((a0[1] - z0)) then
+                  begin
+                    p1 := ((sqr((707 mod 6)) * sqr(i0)) < a0[3]);
+                    a0[(0 + abs(((succ(ord(c1)) mod 7) mod 8)))] := min(21, z0);
+                    r0 := (((96.52 + r0) * 79.88) + ((-70.21) * 74.78))
+                  end
+              end
+            else
+              begin
+                p0 := p0;
+                i0 := sqr((k1 - ((-ord(c1)) mod (1 + abs(((ord(c1) + k0) mod 9))))))
+              end;
+            p1 := p1;
+            for k1 := 8 to 12 do
+              begin
+                if odd(sqr(i1)) then
+                  begin
+                    r0 := (-(r1 * 98.17));
+                    r0 := (4.89 / 6.16);
+                    i2 := min(ord(c1), i1)
+                  end
+                else
+                  begin
+                    a0[(0 + abs((k2 mod 8)))] := i2;
+                    a0[(0 + abs((max((pred((ord(c0) div (1 + abs((i1 mod 9))))) - sqr((207 * i0))), ((sqr(a0[2]) + (ord(c0) + ord(c1))) * (((-961) - a0[0]) + sqr(k2)))) mod 8)))] := (568 mod (1 + abs(((-965) mod 9))))
+                  end
+              end;
+            k0 := (k0 - 1)
+          end;
+        p0 := ((abs((min(a0[2], k2) mod 16)) in s0) or (abs((pred(ord(c0)) mod 16)) in s0))
+      end;
+    2:
+      begin
+        for k0 := 12 downto 8 do
+          begin
+            if false then
+              begin
+                r0 := (-54.91)
+              end;
+            r0 := r0;
+            a0[(0 + abs(((ord(c1) div 7) mod 8)))] := max((k2 div 7), sqr((-335)))
+          end;
+        if (((-pred(ord(c1))) div 8) > ((succ(a0[7]) + ((-535) + 538)) mod (1 + abs((abs((k1 + (-242))) mod 9))))) then
+          begin
+            k0 := 0;
+            repeat
+              i0 := abs(a0[4]);
+              k0 := (k0 + 1)
+            until (k0 >= 3);
+            i1 := (ord(c0) mod 9)
+          end
+        else
+          begin
+            z0 := 213;
+            case abs((abs(z0) mod 3)) of
+              0:
+                begin
+                  if (k1 >= ord(c1)) then
+                    begin
+                      i1 := abs((-min(969, z0)));
+                      include(s0, abs((((i1 - k1) mod (-2)) mod 16)))
+                    end;
+                  p0 := ((((p1 or false) = ('h' < 'p')) and ((266 <= z0) or (true <> p0))) and odd((abs(ord(c0)) + succ(k0))))
+                end;
+              1:
+                begin
+                  r0 := 72.33
+                end;
+              otherwise
+                begin
+                  c0 := chr((abs((max(k0, abs(k2)) mod 90)) + 32))
+                end
+            end
+          end
+      end;
+    otherwise
+      begin
+        case abs((sqr((-862)) mod 3)) of
+          0:
+            begin
+              exclude(s0, abs((((ord(c0) * z0) mod (1 + abs((((-555) div 6) mod 9)))) mod 16)));
+              a0[(0 + abs(((((-i2) + (z0 - ord(c1))) mod 2) mod 8)))] := ((-41) div (1 + abs((sqr(701) mod 9))))
+            end;
+          1:
+            begin
+              p1 := (p1 and p1);
+              c0 := 'x'
+            end;
+          otherwise
+            begin
+              for k0 := 12 downto 6 do
+                begin
+                  exclude(s0, abs(((-(ord(c1) + (-800))) mod 16)))
+                end
+            end
+        end
+      end
+  end;
+  q1;
+  r0 := (60.05 - 9.58);
+  p0 := (((a0[7] - (a0[6] mod 5)) div (-2)) >= (-sqr((-z0))));
+  z0 := 475;
+  if p1 then
+    begin
+      z0 := (0 + abs(((abs(ord(c1)) * (a0[3] + i0)) mod 501)));
+      k0 := 7;
+      while (k0 > 0) do
+        begin
+          for k1 := 2 downto (-2) do
+            begin
+              i2 := sqr((abs(a0[0]) mod (1 + abs((succ(k1) mod 9)))));
+              p1 := (z0 = (abs(a0[6]) * (-i0)));
+              r0 := r1
+            end;
+          if (192 < succ((k1 mod (1 + abs((731 mod 9)))))) then
+            begin
+              if (succ('n') > chr((abs((i0 mod 90)) + 32))) then
+                begin
+                  a0[(0 + abs(((a0[1] div 2) mod 8)))] := i0
+                end
+              else
+                begin
+                  a0[(0 + abs(((-76) mod 8)))] := (z0 - k1)
+                end;
+              i2 := 485
+            end
+          else
+            begin
+              if (r0 > ((81.71 / 9.12) * 27.57)) then
+                begin
+                  i0 := (abs(a0[2]) * (a0[1] - k0));
+                  a0[(0 + abs((ord(c0) mod 8)))] := max(i0, (-323))
+                end
+              else
+                begin
+                  z0 := 52;
+                  i0 := k1
+                end
+            end;
+          i0 := abs(((k0 + a0[3]) + abs((-442))));
+          k0 := (k0 - 1)
+        end
+    end
+  else
+    begin
+      z0 := 271;
+      p0 := (not (sqr((-914)) = i1))
+    end;
+  k0 := 1;
+  while ((k0 > 0) and ((i1 div (1 + abs((k2 mod 9)))) <= k1)) do
+    begin
+      z0 := (0 + abs(((ord(c0) - a0[1]) mod 501)));
+      if (((88.07 + r1) + 14.25) < ((32.36 / 4.76) + 98.75)) then
+        begin
+          z0 := 403;
+          for k1 := 9 downto 1 do
+            begin
+              if p0 then
+                begin
+                  z0 := (0 + abs(((((i2 + (-332)) * abs(ord(c1))) - abs((845 - a0[0]))) mod 501)))
+                end
+            end;
+          if p1 then
+            begin
+              r1 := ((-97.33) * 25.33);
+              z0 := 461
+            end
+          else
+            begin
+              c1 := 'g'
+            end
+        end;
+      k1 := 0;
+      repeat
+        i0 := abs((-a0[0]));
+        if (abs((k2 mod 16)) in s0) then
+          begin
+            i2 := (succ(z0) div (1 + abs((960 mod 9))));
+            c1 := succ(chr((abs(((i0 div 6) mod 90)) + 32)));
+            if (not (((z0 mod 9) > (256 * k1)) or odd(min(a0[1], z0)))) then
+              begin
+                r0 := ((r0 / 6.76) - r1);
+                z0 := (0 + abs((((max(k1, 392) mod (1 + abs(((k2 - k1) mod 9)))) - abs((-k1))) mod 501)));
+                include(s0, abs(((sqr(a0[5]) div (1 + abs((k2 mod 9)))) mod 16)))
+              end
+            else
+              begin
+                p0 := true;
+                i2 := a0[4]
+              end
+          end;
+        k1 := (k1 + 1)
+      until (k1 >= 1);
+      k0 := (k0 - 1)
+    end;
+  write(i0);
+  write(i1);
+  write(i2);
+  write(r0);
+  write(r1)
+end.
+

@@ -1,0 +1,372 @@
+{ distilled corpus seed: guided-1-464 }
+program fuzz;
+var
+  i0 : integer;
+  i1 : integer;
+  i2 : integer;
+  z0 : 0..255;
+  a0 : array[0..7] of integer;
+  a1 : array[1..6] of -100..100;
+  a2 : array[0..4] of boolean;
+  k0 : integer;
+  k1 : integer;
+  k2 : integer;
+begin
+  for k0 := (-1) downto (-4) do
+    begin
+      k1 := 3;
+      while (k1 > 0) do
+        begin
+          for k2 := (-6) to (-5) do
+            begin
+              z0 := (0 + abs((abs(abs(k1)) mod 256)));
+              i2 := (-929);
+              if ((true and false) and ((false and (k1 = k2)) and true)) then
+                begin
+                  a1[(1 + abs((k2 mod 6)))] := (max(succ((-412)), k2) mod 101)
+                end
+              else
+                begin
+                  i2 := (-206)
+                end
+            end;
+          a1[4] := (abs(k2) mod 101);
+          a0[(0 + abs((max((((-783) mod (1 + abs(((-945) mod 9)))) div (1 + abs((sqr(23) mod 9)))), min(k0, sqr(359))) mod 8)))] := (succ(abs((k1 + 76))) mod (1 + abs((((868 div (1 + abs((i0 mod 9)))) - ((-202) mod (1 + abs((k2 mod 9))))) mod 9))));
+          k1 := (k1 - 1)
+        end;
+      case abs((a1[3] mod 3)) of
+        0:
+          begin
+            z0 := (0 + abs((((-424) mod (1 + abs(((sqr(i2) div 9) mod 9)))) mod 256)));
+            if (i0 < i1) then
+              begin
+                a1[(1 + abs((((-(-670)) + succ(770)) mod 6)))] := (96 mod 101);
+                if false then
+                  begin
+                    i1 := (-(-max(k0, k2)));
+                    z0 := 150;
+                    i0 := (((-(813 mod 4)) div 1) mod 1)
+                  end;
+                if false then
+                  begin
+                    i2 := sqr((abs((-k2)) - ((-a1[2]) + succ((-865)))));
+                    z0 := 131
+                  end
+              end
+          end;
+        1:
+          begin
+            a2[(0 + abs((sqr(sqr(83)) mod 5)))] := (((-6) + k1) <= succ(78))
+          end;
+        otherwise
+          begin
+            i2 := 427
+          end
+      end
+    end;
+  if (true and true) then
+    begin
+      if (false and true) then
+        begin
+          k0 := 6;
+          while ((k0 > 0) and (true or false)) do
+            begin
+              i0 := ((z0 * i0) * (z0 div (1 + abs(((-106) mod 9)))));
+              a0[1] := ((((z0 - i2) * (-z0)) div 2) - max(((-k1) * ((-892) div (1 + abs((k0 mod 9))))), 7));
+              z0 := 221;
+              k0 := (k0 - 1)
+            end;
+          a1[(1 + abs((((-362) - k0) mod 6)))] := ((a1[3] - k0) mod 101);
+          if false then
+            begin
+              a0[(0 + abs((a0[7] mod 8)))] := (i2 + i1);
+              z0 := (0 + abs((((a0[6] div (1 + abs(((k0 + i0) mod 9)))) + k0) mod 256)));
+              z0 := 21
+            end
+          else
+            begin
+              z0 := (0 + abs((abs(sqr(max(427, (68 + z0)))) mod 256)))
+            end
+        end;
+      case abs((z0 mod 4)) of
+        0:
+          begin
+            a1[(1 + abs((((max((-i1), (-k0)) - (abs((-416)) - k0)) mod 8) mod 6)))] := (pred(i0) mod 101);
+            for k0 := 12 downto 11 do
+              begin
+                i2 := (max(abs((i1 mod 6)), succ(abs(295))) - (-((-(-64)) - sqr(i1))));
+                z0 := (0 + abs((min(i0, 537) mod 256)))
+              end
+          end;
+        1:
+          begin
+            i2 := k2;
+            a1[(1 + abs((((-sqr(i1)) div 6) mod 6)))] := ((-(a0[3] - k0)) mod 101)
+          end;
+        2:
+          begin
+            a1[(1 + abs(((a0[6] * succ((-abs(k0)))) mod 6)))] := (i0 mod 101)
+          end;
+        3:
+          begin
+            k0 := 4;
+            while (k0 > 0) do
+              begin
+                a2[(0 + abs(((-min((59 * abs(a1[6])), pred((i2 - (-63))))) mod 5)))] := false;
+                z0 := 174;
+                k0 := (k0 - 1)
+              end;
+            a0[(0 + abs(((((39 div 9) div (1 + abs((succ(a1[4]) mod 9)))) + (abs(a1[3]) - (154 div 2))) mod 8)))] := (((i1 - k0) div (1 + abs(((k2 mod (1 + abs((457 mod 9)))) mod 9)))) + sqr(pred(i1)))
+          end;
+      end;
+      if (abs(k1) <= a1[3]) then
+        begin
+          k0 := 2;
+          while ((k0 > 0) and (not (true and true))) do
+            begin
+              i2 := (((923 mod (1 + abs(((-711) mod 9)))) + (a0[3] div 3)) * (pred(60) * pred(82)));
+              if ((-571) = (pred(587) - (728 mod (1 + abs((i1 mod 9)))))) then
+                begin
+                  a1[6] := (abs(abs(a0[5])) mod 101);
+                  a0[4] := succ(succ(k1));
+                  i0 := (-135)
+                end
+              else
+                begin
+                  i2 := max(abs(i2), (k2 mod 5));
+                  z0 := 3
+                end;
+              if (sqr(((i1 mod (1 + abs((z0 mod 9)))) div 5)) > succ(((-32) - abs(k0)))) then
+                begin
+                  a2[(0 + abs((pred((-68)) mod 5)))] := (min(k1, i0) = 61)
+                end
+              else
+                begin
+                  a2[(0 + abs(((abs((821 - 31)) * (-(64 div (1 + abs((566 mod 9)))))) mod 5)))] := (((-312) < a0[3]) and false)
+                end;
+              k0 := (k0 - 1)
+            end
+        end
+    end
+  else
+    begin
+      k0 := 3;
+      while (k0 > 0) do
+        begin
+          for k1 := 4 to 9 do
+            begin
+              z0 := (0 + abs((sqr((i1 div (-8))) mod 256)));
+              if false then
+                begin
+                  a2[4] := true;
+                  a1[(1 + abs(((sqr(succ(max(z0, (-184)))) * 94) mod 6)))] := (((-(289 - k0)) - max((-k1), (-(-591)))) mod 101);
+                  a1[(1 + abs((((-644) div 9) mod 6)))] := (sqr(573) mod 101)
+                end;
+              z0 := (0 + abs(((sqr((z0 - k1)) mod (1 + abs((((i2 div (1 + abs((z0 mod 9)))) div 8) mod 9)))) mod 256)))
+            end;
+          if odd((602 div 7)) then
+            begin
+              i0 := i0
+            end;
+          case abs(((z0 mod 5) mod 3)) of
+            0:
+              begin
+                a2[2] := (z0 < z0);
+                a1[6] := (148 mod 101)
+              end;
+            1:
+              begin
+                z0 := 26;
+                a1[(1 + abs((max(i0, pred(239)) mod 6)))] := (82 mod 101)
+              end;
+            otherwise
+              begin
+                i1 := i1
+              end
+          end;
+          k0 := (k0 - 1)
+        end
+    end;
+  z0 := 198;
+  k0 := 4;
+  while (k0 > 0) do
+    begin
+      z0 := 149;
+      i2 := (i1 * i2);
+      k0 := (k0 - 1)
+    end;
+  for k0 := 7 to 14 do
+    begin
+      k1 := 6;
+      while ((k1 > 0) and true) do
+        begin
+          z0 := 241;
+          if false then
+            begin
+              if true then
+                begin
+                  a0[7] := ((-809) - abs((94 - a1[5])))
+                end
+            end;
+          k1 := (k1 - 1)
+        end;
+      z0 := (0 + abs((sqr((i2 div (1 + abs(((3 div (1 + abs((i0 mod 9)))) mod 9))))) mod 256)));
+      z0 := (0 + abs((i0 mod 256)))
+    end;
+  case abs((succ(abs(max(k2, k1))) mod 3)) of
+    0:
+      begin
+        k0 := 2;
+        while (k0 > 0) do
+          begin
+            i0 := a0[0];
+            z0 := 79;
+            k0 := (k0 - 1)
+          end
+      end;
+    1:
+      begin
+        i1 := ((a1[3] mod 1) - (z0 mod (-8)))
+      end;
+    2:
+      begin
+        k0 := 1;
+        while (k0 > 0) do
+          begin
+            for k1 := 0 to 1 do
+              begin
+                if false then
+                  begin
+                    i0 := sqr((abs(min(120, 655)) mod (-7)));
+                    i2 := (-504);
+                    a2[(0 + abs((abs(((a1[4] * 637) + (-i2))) mod 5)))] := ((false and (k0 = (-208))) or ((7 * k0) > (169 * a0[3])))
+                  end
+                else
+                  begin
+                    a2[3] := false;
+                    a1[(1 + abs((k2 mod 6)))] := (abs((k2 + abs((i0 + 186)))) mod 101)
+                  end
+              end;
+            k1 := 0;
+            repeat
+              if false then
+                begin
+                  i1 := abs(abs(k0))
+                end;
+              a0[(0 + abs(((k1 mod (1 + abs(((-906) mod 9)))) mod 8)))] := k2;
+              if (a1[2] <> k2) then
+                begin
+                  a1[(1 + abs((abs((sqr(i0) - ((-133) mod 4))) mod 6)))] := (succ((sqr(204) + (a1[4] mod 8))) mod 101)
+                end;
+              k1 := (k1 + 1)
+            until (k1 >= 1);
+            k0 := (k0 - 1)
+          end;
+        if (true and true) then
+          begin
+            i0 := k0;
+            i2 := sqr(abs((sqr((-49)) mod (1 + abs((min(k1, a1[5]) mod 9))))));
+            a0[1] := sqr(z0)
+          end
+        else
+          begin
+            z0 := 118;
+            a0[(0 + abs(((((-(k0 + 718)) mod (1 + abs((((245 * i2) + k0) mod 9)))) - abs(succ(abs((-235))))) mod 8)))] := k1
+          end
+      end;
+  end;
+  i2 := 482;
+  if ((z0 mod (1 + abs(((i1 div (1 + abs((a1[3] mod 9)))) mod 9)))) >= ((k2 + (-738)) div (1 + abs(((-987) mod 9))))) then
+    begin
+      if (true or true) then
+        begin
+          k0 := 0;
+          repeat
+            if (not (true or true)) then
+              begin
+                i2 := (-i2);
+                i0 := abs(a0[1])
+              end
+            else
+              begin
+                a0[(0 + abs(((k2 div 6) mod 8)))] := (sqr(260) * (k0 - a0[7]));
+                i1 := (sqr((-830)) div (1 + abs(((a1[3] div (-1)) mod 9))))
+              end;
+            if (abs(abs((-888))) <> (-806)) then
+              begin
+                a0[(0 + abs((pred(k1) mod 8)))] := i2;
+                i0 := pred((((-170) + sqr(k0)) - z0));
+                z0 := 132
+              end
+            else
+              begin
+                a1[5] := (i1 mod 101);
+                i2 := (z0 div 3)
+              end;
+            k0 := (k0 + 1)
+          until (k0 >= 3);
+          i0 := (84 mod 2);
+          if false then
+            begin
+              if (sqr(abs((-267))) = (-((-753) + succ(878)))) then
+                begin
+                  i2 := 241;
+                  a0[0] := (-782)
+                end
+            end
+          else
+            begin
+              i1 := pred(348)
+            end
+        end
+      else
+        begin
+          case abs((z0 mod 4)) of
+            0:
+              begin
+                i0 := (-(-(((-114) mod (1 + abs((k1 mod 9)))) div (1 + abs((min(487, i2) mod 9))))))
+              end;
+            1:
+              begin
+                if (not (z0 >= a1[6])) then
+                  begin
+                    a2[4] := true;
+                    a0[2] := sqr((-(((-250) div 2) * pred(i1))))
+                  end
+              end;
+            2:
+              begin
+                a0[(0 + abs((((-(-798)) div (1 + abs((abs(k0) mod 9)))) mod 8)))] := succ((succ(565) + (-i1)))
+              end;
+            3:
+              begin
+                z0 := (0 + abs(((pred(sqr(max(k2, i2))) mod (-3)) mod 256)));
+                a0[3] := i0
+              end;
+          end;
+          if false then
+            begin
+              i1 := a1[4];
+              a2[(0 + abs(((k1 + (-118)) mod 5)))] := ((not false) and true);
+              i1 := max(abs(78), succ(39))
+            end
+        end
+    end;
+  for k0 := 4 downto (-1) do
+    begin
+      for k1 := 11 downto 3 do
+        begin
+          i0 := k0;
+          z0 := 131
+        end
+    end;
+  if true then
+    begin
+      a0[2] := z0
+    end;
+  z0 := 70;
+  write(i0);
+  write(i1);
+  write(i2)
+end.
+

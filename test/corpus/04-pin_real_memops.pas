@@ -1,0 +1,2 @@
+{ distilled corpus seed: pin_real_memops }
+program pin; var r0, r1, r2 : real; begin r0 := 1.5; r1 := 2.25; r2 := (r0 + 1.0) - r1; r2 := (r2 * 2.0) + r1; r2 := (r2 / 2.0) * r1; r2 := (r0 - 1.0) / r1; write(r2) end.

@@ -1,0 +1,237 @@
+{ distilled corpus seed: fuzz-s1-i46 }
+program fuzz;
+var
+  i0 : integer;
+  i1 : integer;
+  p0 : boolean;
+  p1 : boolean;
+  p2 : boolean;
+  s0 : set of 0..31;
+  k0 : integer;
+  k1 : integer;
+  k2 : integer;
+begin
+  k0 := 3;
+  while (k0 > 0) do
+    begin
+      i1 := k0;
+      if (true or ((-(i0 div (-9))) >= i1)) then
+        begin
+          if (k0 < sqr((-850))) then
+            begin
+              i0 := (min(i1, k1) - succ(k0));
+              i1 := (((901 + 713) mod (-9)) - (pred(k0) - 519))
+            end
+          else
+            begin
+              i1 := min(max(((989 - i0) + 975), sqr((-i1))), sqr(((-k1) div (1 + abs((succ(i1) mod 9))))));
+              i1 := max(k0, 743)
+            end;
+          i1 := abs((-712))
+        end
+      else
+        begin
+          k1 := 8;
+          while ((k1 > 0) and true) do
+            begin
+              p1 := (odd(((i1 - (-644)) - k1)) and (p1 or p2));
+              i1 := (-i1);
+              k1 := (k1 - 1)
+            end
+        end;
+      k0 := (k0 - 1)
+    end;
+  if (832 <> i0) then
+    begin
+      i0 := 906;
+      i0 := ((i1 mod 9) - k0)
+    end
+  else
+    begin
+      case abs((k1 mod 4)) of
+        0:
+          begin
+            p2 := (true or false);
+            case abs(((i0 + ((((-879) * k1) - (167 div 9)) * max(max(k0, (-184)), (k0 * 129)))) mod 2)) of
+              0:
+                begin
+                  i0 := k2
+                end;
+              otherwise
+                begin
+                  if (true <> p1) then
+                    begin
+                      i1 := pred((i1 * k0));
+                      i1 := (-(-(-k2)))
+                    end
+                end
+            end
+          end;
+        1:
+          begin
+            k0 := 0;
+            repeat
+              p0 := (abs((k2 mod 32)) in s0);
+              p2 := (false and true);
+              i1 := (k0 - 696);
+              k0 := (k0 + 1)
+            until (k0 >= 6)
+          end;
+        2:
+          begin
+            i0 := min(min(abs((730 + i0)), (sqr(i1) mod 6)), abs((sqr(i0) div 2)));
+            i1 := pred(((-abs(i1)) + 108))
+          end;
+        otherwise
+          begin
+            k0 := 5;
+            while ((k0 > 0) and (abs(((i0 div (1 + abs(((-270) mod 9)))) mod 32)) in s0)) do
+              begin
+                i0 := (-67);
+                k0 := (k0 - 1)
+              end
+          end
+      end;
+      for k0 := 2 downto 0 do
+        begin
+          p0 := (min(abs((-675)), ((-701) mod (1 + abs(((-893) mod 9))))) >= abs((-i1)))
+        end
+    end;
+  i0 := (213 - (-17));
+  for k0 := (-5) downto (-5) do
+    begin
+      i0 := k1
+    end;
+  if odd((i1 + k2)) then
+    begin
+      i1 := k2;
+      k0 := 0;
+      repeat
+        k1 := 6;
+        while ((k1 > 0) and ((k1 + (-84)) = (702 div 6))) do
+          begin
+            if (p2 or true) then
+              begin
+                p0 := ((abs((abs(k1) mod 32)) in s0) or (not (abs((k1 mod 32)) in s0)));
+                i0 := i1;
+                p2 := ((true and p1) = ((-806) < (-964)))
+              end
+            else
+              begin
+                p0 := (abs((((((-421) + (-272)) - k1) mod 7) mod 32)) in s0);
+                i1 := (-429)
+              end;
+            k1 := (k1 - 1)
+          end;
+        case abs(((-succ(((k1 + i1) - sqr(k2)))) mod 3)) of
+          0:
+            begin
+              if (abs((max(i1, (-325)) mod 32)) in s0) then
+                begin
+                  i0 := (k0 + (max(i0, 500) + (i0 * k1)))
+                end
+              else
+                begin
+                  exclude(s0, abs((((-581) + (k0 div (1 + abs((k0 mod 9))))) mod 32)));
+                  i0 := sqr((k0 - 654))
+                end
+            end;
+          1:
+            begin
+              i1 := (sqr(k1) + (-succ((-(-872)))));
+              p2 := (p2 = (abs((i0 mod 32)) in s0))
+            end;
+          otherwise
+            begin
+              i0 := i1
+            end
+        end;
+        k0 := (k0 + 1)
+      until (k0 >= 6)
+    end
+  else
+    begin
+      if (false <> true) then
+        begin
+          p0 := ((i0 + (-951)) < (k0 + abs((-k1))))
+        end;
+      p2 := p2
+    end;
+  for k0 := 11 downto 11 do
+    begin
+      i0 := (((-908) mod (1 + abs((303 mod 9)))) * (-939))
+    end;
+  i0 := (-585);
+  k0 := 0;
+  repeat
+    if (not ((false and true) or odd(k1))) then
+      begin
+        i0 := (((k0 mod (1 + abs(((-498) mod 9)))) mod 1) div (-1));
+        for k1 := 10 to 10 do
+          begin
+            i1 := (-k1);
+            i0 := ((-147) * k1);
+            if (true and p2) then
+              begin
+                i1 := succ(pred((-723)));
+                p2 := p2;
+                i0 := (max(pred(385), abs((-733))) * ((k2 - (-103)) + ((-641) + i0)))
+              end
+          end
+      end
+    else
+      begin
+        i0 := i0;
+        i0 := (max(316, ((-712) - 722)) * k0)
+      end;
+    if ((abs((((i1 mod 6) * k0) mod 32)) in s0) <> (abs(((((-770) - i0) + ((-215) + i0)) mod 32)) in s0)) then
+      begin
+        k1 := 5;
+        while (k1 > 0) do
+          begin
+            if ((sqr(i1) * max(499, k2)) = (i0 div 4)) then
+              begin
+                p0 := (((-422) = 182) and (false or p0));
+                p0 := false;
+                i0 := 447
+              end;
+            k1 := (k1 - 1)
+          end;
+        if odd((i0 div 6)) then
+          begin
+            i1 := k1;
+            p0 := p0;
+            i1 := ((max((k1 mod (-7)), (-780)) div 5) mod (1 + abs(((pred(989) - (-664)) mod 9))))
+          end
+      end
+    else
+      begin
+        for k1 := (-2) to (-1) do
+          begin
+            p2 := (abs(((-27) mod 32)) in s0);
+            p2 := (not (not odd(k1)))
+          end;
+        k1 := 8;
+        while (k1 > 0) do
+          begin
+            p2 := false;
+            i1 := i0;
+            if (max((-547), k2) > (83 + (-415))) then
+              begin
+                include(s0, abs(((-(i0 div (1 + abs((k0 mod 9))))) mod 32)));
+                i0 := i1
+              end
+            else
+              begin
+                p1 := (pred((k1 div (-8))) = (((-713) + 206) mod 5));
+                i1 := pred(i0)
+              end;
+            k1 := (k1 - 1)
+          end
+      end;
+    k0 := (k0 + 1)
+  until (k0 >= 2);
+  write(i0);
+  write(i1)
+end.
+

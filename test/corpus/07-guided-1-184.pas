@@ -1,0 +1,213 @@
+{ distilled corpus seed: guided-1-184 }
+program fuzz;
+var
+  i0 : integer;
+  i1 : integer;
+  i2 : integer;
+  z0 : 0..255;
+  a0 : array[0..7] of integer;
+  a1 : array[1..6] of -100..100;
+  a2 : array[0..4] of boolean;
+  k0 : integer;
+  k1 : integer;
+  k2 : integer;
+begin
+  k0 := 0;
+  repeat
+    k1 := 0;
+    repeat
+      case abs((i1 mod 4)) of
+        0:
+          begin
+            a2[(0 + abs((min(succ((-924)), ((49 div 4) mod 7)) mod 5)))] := ((((-71) div (1 + abs((pred(k0) mod 9)))) * 551) > (((i2 - k2) - max(z0, (-317))) mod (-9)))
+          end;
+        1:
+          begin
+            i1 := (((a0[1] mod 2) * ((-125) * k1)) mod (1 + abs(((max(i1, k1) + pred(i0)) mod 9))))
+          end;
+        2:
+          begin
+            a2[(0 + abs((sqr((a0[3] div (-4))) mod 5)))] := ((((k0 * a1[1]) - sqr(k0)) - (i2 + ((-559) div (1 + abs(((-271) mod 9)))))) > min((-173), ((-i0) mod 1)));
+            if (true or true) then
+              begin
+                z0 := 51
+              end
+          end;
+        3:
+          begin
+            i2 := 68
+          end;
+      end;
+      k1 := (k1 + 1)
+    until (k1 >= 1);
+    k0 := (k0 + 1)
+  until (k0 >= 4);
+  a2[(0 + abs((((-(-abs(299))) div (1 + abs(((-441) mod 9)))) mod 5)))] := true;
+  k0 := 3;
+  while (k0 > 0) do
+    begin
+      z0 := 48;
+      case abs((((-269) * k1) mod 4)) of
+        0:
+          begin
+            if true then
+              begin
+                i2 := abs(((-(-175)) mod (1 + abs((min(44, 9) mod 9)))))
+              end;
+            i2 := ((-225) div 8)
+          end;
+        1:
+          begin
+            if true then
+              begin
+                if false then
+                  begin
+                    a0[1] := (max(abs(((-757) mod (1 + abs((a0[3] mod 9))))), ((a1[5] div (1 + abs((i1 mod 9)))) div (1 + abs(((205 - (-588)) mod 9))))) - (173 + a0[3]));
+                    i0 := i1
+                  end
+                else
+                  begin
+                    a1[(1 + abs(((abs((sqr(94) div (-1))) div (1 + abs(((-(444 mod (1 + abs((i1 mod 9))))) mod 9)))) mod 6)))] := (k2 mod 101);
+                    a0[7] := (min(max((-535), k2), a0[7]) * ((-a1[4]) + a0[6]))
+                  end
+              end
+            else
+              begin
+                i0 := a1[2];
+                i1 := (k0 + (-934))
+              end
+          end;
+        2:
+          begin
+            z0 := 235
+          end;
+        3:
+          begin
+            k1 := 1;
+            while (k1 > 0) do
+              begin
+                z0 := 48;
+                a1[(1 + abs((pred(((sqr(k1) mod (1 + abs((max(i1, z0) mod 9)))) * i1)) mod 6)))] := ((-22) mod 101);
+                k1 := (k1 - 1)
+              end
+          end;
+      end;
+      k0 := (k0 - 1)
+    end;
+  z0 := 250;
+  i1 := ((sqr((-924)) * sqr(k2)) * k0);
+  a0[(0 + abs((184 mod 8)))] := ((i0 + 998) mod 9);
+  if ((true or true) or (false and true)) then
+    begin
+      if true then
+        begin
+          i1 := (max(max(succ((-985)), sqr(a1[4])), sqr((6 * 590))) mod 6);
+          a1[5] := ((((-598) - a1[1]) div (1 + abs(((988 mod 8) mod 9)))) mod 101)
+        end;
+      if false then
+        begin
+          for k0 := 0 to 2 do
+            begin
+              a0[(0 + abs(((234 - (i0 * a1[2])) mod 8)))] := abs((-sqr(i2)))
+            end;
+          for k0 := 2 downto 0 do
+            begin
+              i2 := min(succ(((k2 mod (-8)) mod (1 + abs((abs(110) mod 9))))), sqr(107));
+              a0[(0 + abs((pred((max(i2, 262) mod (1 + abs(((a1[4] - i2) mod 9))))) mod 8)))] := k1;
+              if false then
+                begin
+                  i2 := (sqr(((-483) * (-255))) mod (1 + abs((pred((i2 div 8)) mod 9))))
+                end
+            end;
+          i0 := abs(k1)
+        end
+      else
+        begin
+          a2[(0 + abs((i1 mod 5)))] := (true and ((((-320) + i1) div (1 + abs(((i2 - k1) mod 9)))) = succ((k0 div 3))));
+          for k0 := 1 to 10 do
+            begin
+              a0[(0 + abs(((-12) mod 8)))] := abs(z0);
+              a2[(0 + abs((k0 mod 5)))] := odd((((k0 div (1 + abs((i2 mod 9)))) - k1) div (-3)))
+            end
+        end
+    end
+  else
+    begin
+      k0 := 2;
+      while (k0 > 0) do
+        begin
+          z0 := (0 + abs((((-439) - 975) mod 256)));
+          k1 := 4;
+          while (k1 > 0) do
+            begin
+              z0 := 171;
+              z0 := 141;
+              if (true and true) then
+                begin
+                  a1[1] := ((sqr(179) - z0) mod 101);
+                  a1[(1 + abs((k1 mod 6)))] := (50 mod 101)
+                end;
+              k1 := (k1 - 1)
+            end;
+          k0 := (k0 - 1)
+        end;
+      k0 := 0;
+      repeat
+        if false then
+          begin
+            a0[(0 + abs(((i2 - (-(k2 * 13))) mod 8)))] := (abs(k1) div 5)
+          end
+        else
+          begin
+            i1 := (-993);
+            i0 := abs(((65 * a0[6]) - (i2 mod (1 + abs((234 mod 9))))))
+          end;
+        k0 := (k0 + 1)
+      until (k0 >= 1)
+    end;
+  a0[1] := ((sqr(succ(120)) - pred(((-273) mod (1 + abs((z0 mod 9)))))) + a1[5]);
+  for k0 := 2 to 9 do
+    begin
+      if false then
+        begin
+          if ((not (a1[5] <> 672)) and ((true and false) and false)) then
+            begin
+              if true then
+                begin
+                  i2 := (-min(k0, k1))
+                end
+              else
+                begin
+                  a1[(1 + abs(((abs((-462)) div (1 + abs(((a1[5] mod (-9)) mod 9)))) mod 6)))] := (pred(sqr((22 * 976))) mod 101);
+                  a0[7] := abs((succ(k0) mod (1 + abs((((k1 mod (1 + abs(((-895) mod 9)))) - (-573)) mod 9)))))
+                end
+            end;
+          if (not false) then
+            begin
+              if true then
+                begin
+                  z0 := 32;
+                  a1[4] := (k0 mod 101)
+                end;
+              i0 := (-(-122))
+            end
+        end
+      else
+        begin
+          a1[6] := (21 mod 101)
+        end;
+      k1 := 0;
+      repeat
+        for k2 := 8 downto 3 do
+          begin
+            i0 := abs((z0 + z0))
+          end;
+        k1 := (k1 + 1)
+      until (k1 >= 4);
+      i1 := 44
+    end;
+  write(i0);
+  write(i1);
+  write(i2)
+end.
+

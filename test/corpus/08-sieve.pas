@@ -1,0 +1,20 @@
+{ distilled corpus seed: sieve }
+
+program sieve;
+var i, j, count : integer;
+    composite : array[2..120] of boolean;
+begin
+  count := 0;
+  for i := 2 to 120 do composite[i] := false;
+  for i := 2 to 120 do
+    if not composite[i] then begin
+      count := count + 1;
+      j := i + i;
+      while j <= 120 do begin
+        composite[j] := true;
+        j := j + i
+      end
+    end;
+  write(count)
+end.
+

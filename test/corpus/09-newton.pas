@@ -1,0 +1,19 @@
+{ distilled corpus seed: newton }
+
+program newton;
+var x, estimate, previous : real;
+    iterations : integer;
+begin
+  x := 1234.5;
+  estimate := x / 2.0;
+  previous := 0.0;
+  iterations := 0;
+  while abs(estimate - previous) > 0.0001 do begin
+    previous := estimate;
+    estimate := (estimate + x / estimate) / 2.0;
+    iterations := iterations + 1
+  end;
+  write(estimate);
+  write(iterations)
+end.
+

@@ -1,0 +1,191 @@
+{ distilled corpus seed: fuzz-s1-i41 }
+program fuzz;
+var
+  i0 : integer;
+  i1 : integer;
+  p0 : boolean;
+  p1 : boolean;
+  p2 : boolean;
+  s0 : set of 0..31;
+  k0 : integer;
+  k1 : integer;
+  k2 : integer;
+begin
+  p0 := true;
+  p1 := ((-((k0 mod (1 + abs(((-776) mod 9)))) div (1 + abs((sqr(45) mod 9))))) >= max((abs(i1) div (1 + abs(((110 + k1) mod 9)))), sqr(sqr(k0))));
+  case abs((((318 * (-257)) - (i0 - k0)) mod 4)) of
+    0:
+      begin
+        i1 := i1
+      end;
+    1:
+      begin
+        i1 := (-983)
+      end;
+    2:
+      begin
+        k0 := 0;
+        repeat
+          k1 := 5;
+          while (k1 > 0) do
+            begin
+              if false then
+                begin
+                  i0 := (299 + 19)
+                end
+              else
+                begin
+                  p0 := ((-169) > (-848))
+                end;
+              if true then
+                begin
+                  i0 := (-525);
+                  i1 := pred(min(abs(k1), sqr(i1)));
+                  i0 := sqr(((-k2) * (924 + k1)))
+                end
+              else
+                begin
+                  exclude(s0, abs((((148 + i1) * sqr(169)) mod 32)));
+                  i1 := (pred(((-760) * k1)) - (-483))
+                end;
+              k1 := (k1 - 1)
+            end;
+          i0 := abs(max((-405), i0));
+          k0 := (k0 + 1)
+        until (k0 >= 3)
+      end;
+    3:
+      begin
+        k0 := 3;
+        while ((k0 > 0) and false) do
+          begin
+            i0 := ((abs((-171)) - (89 mod (1 + abs((k2 mod 9))))) mod (1 + abs((222 mod 9))));
+            k1 := 0;
+            repeat
+              if (odd((-215)) and (p0 and true)) then
+                begin
+                  i1 := (-896)
+                end;
+              p2 := p2;
+              k1 := (k1 + 1)
+            until (k1 >= 2);
+            p2 := (false = p2);
+            k0 := (k0 - 1)
+          end;
+        k0 := 7;
+        while (k0 > 0) do
+          begin
+            for k1 := 10 to 10 do
+              begin
+                i0 := (-(sqr((-858)) + k0));
+                p2 := ((219 div (-8)) < ((-401) mod (1 + abs((k0 mod 9)))));
+                i0 := (-402)
+              end;
+            if true then
+              begin
+                i0 := i0;
+                i0 := ((abs(succ((-587))) * (((-851) mod 3) * (-629))) mod 1);
+                i1 := k0
+              end
+            else
+              begin
+                i1 := i0;
+                i0 := pred((-abs(k1)))
+              end;
+            for k1 := 10 downto 3 do
+              begin
+                if (min(846, 654) = (369 + 347)) then
+                  begin
+                    i1 := (i1 * (-302));
+                    i0 := max(k1, 691);
+                    i0 := max(455, (-469))
+                  end
+                else
+                  begin
+                    i0 := abs((k0 div (1 + abs((i0 mod 9)))))
+                  end;
+                include(s0, abs((((i1 mod (1 + abs(((-859) mod 9)))) * (505 div 7)) mod 32)));
+                exclude(s0, abs((((k1 - 864) * (k2 * 607)) mod 32)))
+              end;
+            k0 := (k0 - 1)
+          end
+      end;
+  end;
+  i1 := k2;
+  for k0 := 6 downto 1 do
+    begin
+      k1 := 3;
+      while (k1 > 0) do
+        begin
+          i0 := (min(sqr((-251)), (-(-260))) + ((k0 - i1) * sqr(k0)));
+          k1 := (k1 - 1)
+        end;
+      if (k0 <> i0) then
+        begin
+          i1 := k1;
+          for k1 := 8 to 17 do
+            begin
+              i0 := min(i0, i1)
+            end
+        end
+    end;
+  k0 := 6;
+  while (k0 > 0) do
+    begin
+      if ((i0 > k0) = p2) then
+        begin
+          k1 := 8;
+          while ((k1 > 0) and p1) do
+            begin
+              p1 := ((((-400) * (-i1)) = ((k0 - (-426)) mod (1 + abs(((979 * k2) mod 9))))) or (((p2 and p1) and ((-748) <> 439)) or (odd((-929)) <> true)));
+              exclude(s0, abs(((-(-(-147))) mod 32)));
+              i1 := 258;
+              k1 := (k1 - 1)
+            end
+        end;
+      i0 := (k1 * 767);
+      k1 := 5;
+      while ((k1 > 0) and p1) do
+        begin
+          for k2 := 11 to 20 do
+            begin
+              if (((486 - k2) <= (k1 - 490)) or (not odd((-277)))) then
+                begin
+                  i0 := i0;
+                  i1 := (k0 - k0);
+                  i1 := 334
+                end
+            end;
+          i1 := (i0 mod (1 + abs((abs((988 mod (1 + abs((k1 mod 9))))) mod 9))));
+          k2 := 7;
+          while ((k2 > 0) and (abs(((k2 + 332) mod 32)) in s0)) do
+            begin
+              if (min(k1, i0) >= max(163, k0)) then
+                begin
+                  p1 := ((((-534) mod 5) - (-919)) <> sqr(max(i1, (-265))));
+                  p0 := (false = p0)
+                end;
+              if p0 then
+                begin
+                  i0 := (-((((-308) mod 8) * (-i0)) div (-5)));
+                  i0 := 526;
+                  i0 := (((-k1) mod 3) - (-k1))
+                end
+              else
+                begin
+                  i0 := 143
+                end;
+              i1 := k0;
+              k2 := (k2 - 1)
+            end;
+          k1 := (k1 - 1)
+        end;
+      k0 := (k0 - 1)
+    end;
+  p1 := true;
+  i0 := 658;
+  include(s0, abs((pred(((-65) mod (-3))) mod 32)));
+  write(i0);
+  write(i1)
+end.
+

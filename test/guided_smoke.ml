@@ -1,0 +1,132 @@
+(* Coverage-guided fuzzing oracle behind `dune build @guided` (run at
+   COGG_JOBS=1 and COGG_JOBS=max by the alias):
+
+   1. Strictness: at a fixed 512-case budget, the guided scheduler must
+      cover strictly more distinct production bigrams than blind random
+      generation at the same budget (and at least as many productions).
+      Feedback has to earn its keep.
+
+   2. Determinism: the same (seed, shard count) must produce the
+      identical kept-seed pool (lineage for lineage) and the identical
+      coverage map when the round batches are evaluated across
+      COGG_JOBS domains as when they run fully sequentially.
+
+   3. Lineage: every kept seed's replay line reconstructs the exact
+      input bytes.
+
+   COGG_GUIDED_BUDGET overrides the budget for longer local runs. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("guided_smoke: " ^ m);
+      exit 1)
+    fmt
+
+let rec find_up depth dir rel =
+  let candidate = Filename.concat dir rel in
+  if Sys.file_exists candidate then Some candidate
+  else if depth = 0 then None
+  else find_up (depth - 1) (Filename.dirname dir) rel
+
+let jobs =
+  (* floor "max" at 2 so the parallel evaluation path is exercised even
+     on a single-core machine *)
+  match Sys.getenv_opt "COGG_JOBS" with
+  | Some "max" -> max 2 (Domain.recommended_domain_count ())
+  | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1)
+  | None -> max 2 (Domain.recommended_domain_count ())
+
+let budget =
+  match
+    Option.bind (Sys.getenv_opt "COGG_GUIDED_BUDGET") int_of_string_opt
+  with
+  | Some n when n > 0 -> n
+  | _ -> 512
+
+let tables =
+  let rel = "specs/amdahl470.cgg" in
+  let path =
+    match find_up 6 (Sys.getcwd ()) rel with
+    | Some p -> p
+    | None -> fail "cannot locate %s from %s" rel (Sys.getcwd ())
+  in
+  match Cogg.Cogg_build.build_file path with
+  | Ok t -> t
+  | Error es ->
+      fail "amdahl470.cgg failed to build: %s"
+        (String.concat "; "
+           (List.map (Fmt.str "%a" Cogg.Cogg_build.pp_error) es))
+
+let seed = 11
+
+let guided ~jobs =
+  Fuzz.Runner.run_guided tables
+    {
+      Fuzz.Runner.default_guided with
+      Fuzz.Runner.g_seed = seed;
+      g_budget = budget;
+      g_jobs = jobs;
+    }
+
+let () =
+  (* 1: guided strictly beats random on bigrams at the same budget *)
+  let g = guided ~jobs in
+  let gc = g.Fuzz.Runner.g_covmap in
+  let rc = Fuzz.Runner.random_coverage tables ~seed ~count:budget in
+  Printf.printf
+    "guided:  %d cases, %d kept, %d productions, %d bigrams\n%!"
+    g.Fuzz.Runner.g_cases
+    (List.length g.Fuzz.Runner.g_kept)
+    (Fuzz.Covmap.prods_covered gc)
+    (Fuzz.Covmap.bigrams_covered gc);
+  Printf.printf "random:  %d cases, %d productions, %d bigrams\n%!" budget
+    (Fuzz.Covmap.prods_covered rc)
+    (Fuzz.Covmap.bigrams_covered rc);
+  if g.Fuzz.Runner.g_cases <> budget then
+    fail "guided ran %d cases, wanted the exact %d budget"
+      g.Fuzz.Runner.g_cases budget;
+  if not (Fuzz.Covmap.bigrams_covered gc > Fuzz.Covmap.bigrams_covered rc)
+  then
+    fail "guided bigram coverage %d not strictly above random %d at %d cases"
+      (Fuzz.Covmap.bigrams_covered gc)
+      (Fuzz.Covmap.bigrams_covered rc)
+      budget;
+  if Fuzz.Covmap.prods_covered gc < Fuzz.Covmap.prods_covered rc then
+    fail "guided production coverage %d below random %d"
+      (Fuzz.Covmap.prods_covered gc)
+      (Fuzz.Covmap.prods_covered rc);
+  (* 2: same (seed, shard count) -> identical pool + map at -j1 vs -jN *)
+  let g1 = guided ~jobs:1 in
+  let lines (r : Fuzz.Runner.guided_report) =
+    List.map
+      (fun (k : Fuzz.Runner.kept) -> Fuzz.Runner.replay_line k.Fuzz.Runner.k_lineage)
+      r.Fuzz.Runner.g_kept
+  in
+  if lines g <> lines g1 then
+    fail "kept-seed pool diverges between -j%d and -j1 (%d vs %d seeds)" jobs
+      (List.length (lines g))
+      (List.length (lines g1));
+  if not (Fuzz.Covmap.equal gc g1.Fuzz.Runner.g_covmap) then
+    fail "coverage map diverges between -j%d and -j1 (%s vs %s)" jobs
+      (Fuzz.Covmap.digest gc)
+      (Fuzz.Covmap.digest g1.Fuzz.Runner.g_covmap);
+  (* 3: every kept seed's lineage reconstructs the exact input bytes *)
+  List.iter
+    (fun (k : Fuzz.Runner.kept) ->
+      let line = Fuzz.Runner.replay_line k.Fuzz.Runner.k_lineage in
+      match Fuzz.Runner.parse_replay line with
+      | Error m -> fail "kept seed %s does not parse back: %s" line m
+      | Ok l ->
+          let input, _ = Fuzz.Runner.input_of_lineage l in
+          if
+            Fuzz.Runner.render_input input
+            <> Fuzz.Runner.render_input k.Fuzz.Runner.k_input
+          then fail "kept seed %s does not replay to the same bytes" line)
+    g.Fuzz.Runner.g_kept;
+  Printf.printf
+    "guided: deterministic at -j1/-j%d (map %s), %d kept lineages replay \
+     byte-identically\n"
+    jobs (Fuzz.Covmap.digest gc)
+    (List.length g.Fuzz.Runner.g_kept)

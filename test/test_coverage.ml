@@ -1,69 +1,80 @@
-(* Production-coverage report for specs/amdahl470.cgg.
+(* Production-coverage report for specs/amdahl470.cgg, driven by the
+   distilled corpus checked in under test/corpus/ (the greedy minimal
+   seed set `pasc fuzz --distill` selects from the standard programs,
+   the real-workload bank, the fixed fuzz slice and a guided run).
 
-   Compiles the standard workload corpus (Pipeline.Programs) plus a
-   fixed-seed fuzz corpus (Pascal programs across every profile, and raw
-   IF streams including branch-heavy ones) with the Codegen [on_reduce]
-   hook recording every user production that fires.  The set of fired
-   productions must cover everything in the checked-in baseline
-   (test/coverage_baseline.txt): a drop means a template lost its
-   exercise and the suite would no longer notice it breaking.
+   Every production in the checked-in baseline
+   (test/coverage_baseline.txt) must still fire when the corpus
+   compiles: a drop means a template lost its exercise and the suite
+   would no longer notice it breaking.  Regressions are reported by
+   name and specification line, not as a bare count.
 
    Newly-covered productions are reported but do not fail the test; add
    them to the baseline to lock them in.
 
-   Regenerate the baseline with:
+   Regenerate corpus and baseline with:
+     dune exec bin/pasc.exe -- fuzz --distill test/corpus
      COGG_COVERAGE_WRITE=$PWD/test/coverage_baseline.txt \
        dune exec test/test_coverage.exe *)
 
 let tables () = Lazy.force Util.amdahl_tables
 
-(* the corpus: every standard program + a fixed-seed fuzz slice *)
-let fuzz_seed = 5
-let fuzz_pascal_count = 72
-let fuzz_if_count = 24
+let corpus_dir () =
+  match Util.find_up (Sys.getcwd ()) "test/corpus" with
+  | Some d -> d
+  | None -> Alcotest.failf "cannot locate test/corpus from %s" (Sys.getcwd ())
 
-(* Deterministic pins for productions the seeded fuzz slice is not
-   guaranteed to keep hitting as the generators evolve (RNG drift).
-   These are coverage-only programs — deliberately NOT part of
-   Pipeline.Programs, whose batch fingerprint is pinned elsewhere. *)
-let pinned_programs =
-  [
-    ( "pin_real_memops",
-      (* register-resident left operand, plain-variable right operand:
-         forces the RX-form real productions over dblrealword memory *)
-      "program pin; var r0, r1, r2 : real; begin r0 := 1.5; r1 := 2.25; r2 \
-       := (r0 + 1.0) - r1; r2 := (r2 * 2.0) + r1; r2 := (r2 / 2.0) * r1; \
-       r2 := (r0 - 1.0) / r1; write(r2) end." );
-  ]
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+(* the distilled seeds: Pascal sources and raw IF streams *)
+let corpus () : (string * [ `Pascal | `If ] * string) list =
+  let dir = corpus_dir () in
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.filter_map (fun f ->
+         let path = Filename.concat dir f in
+         if Filename.check_suffix f ".pas" then
+           Some (f, `Pascal, read_file path)
+         else if Filename.check_suffix f ".ifl" then
+           Some (f, `If, read_file path)
+         else None)
 
 let record_corpus (t : Cogg.Tables.t) : (int, unit) Hashtbl.t =
   let fired = Hashtbl.create 256 in
   let on_reduce p =
     if Cogg.Tables.is_user_prod t p then Hashtbl.replace fired p ()
   in
+  let seeds = corpus () in
+  if seeds = [] then Alcotest.fail "test/corpus is empty";
   List.iter
-    (fun (name, source) ->
-      match Pipeline.compile ~on_reduce t source with
-      | Ok _ -> ()
-      | Error m -> Alcotest.failf "corpus program %s failed to compile: %s" name m)
-    (Pipeline.Programs.all @ pinned_programs);
-  for i = 0 to fuzz_pascal_count - 1 do
-    let rng = Fuzz.Rng.derive ~seed:fuzz_seed ~index:i in
-    let source =
-      Fuzz.Gen_pascal.source rng (Fuzz.Profile.rotate i)
-    in
-    (* capacity limits (register pressure on deep expressions) are fine
-       here: the productions that fired before the limit still count *)
-    match Pipeline.compile ~on_reduce t source with
-    | Ok _ | Error _ -> ()
-  done;
-  for i = 0 to fuzz_if_count - 1 do
-    let rng = Fuzz.Rng.derive ~seed:fuzz_seed ~index:(1000 + i) in
-    let toks = Fuzz.Gen_if.program ~branch_heavy:(i mod 3 = 0) rng in
-    match Cogg.Codegen.generate ~on_reduce t toks with
-    | Ok _ | Error _ -> ()
-  done;
+    (fun (name, kind, text) ->
+      match kind with
+      | `Pascal ->
+          (* capacity limits (register pressure on the big guided seeds)
+             are fine here: the productions that fired before the limit
+             still count, matching what distillation measured *)
+          ignore (Pipeline.compile ~on_reduce t text)
+      | `If -> (
+          match Ifl.Reader.program_of_string text with
+          | Error m -> Alcotest.failf "corpus seed %s failed to read: %s" name m
+          | Ok toks -> ignore (Cogg.Codegen.generate ~on_reduce t toks)))
+    seeds;
   fired
+
+(* production render -> specification line, for naming regressions *)
+let spec_lines (t : Cogg.Tables.t) : (string, int) Hashtbl.t =
+  let g = t.Cogg.Tables.grammar in
+  let m = Hashtbl.create 256 in
+  for p = 0 to Cogg.Grammar.n_prods g - 1 do
+    if Cogg.Tables.is_user_prod t p then
+      let pr = Cogg.Grammar.prod g p in
+      Hashtbl.replace m (Cogg.Grammar.prod_to_string g pr) pr.Cogg.Grammar.line
+  done;
+  m
 
 let fired_names (t : Cogg.Tables.t) (fired : (int, unit) Hashtbl.t) :
     string list =
@@ -107,12 +118,60 @@ let test_coverage_no_drop () =
       (List.length fresh)
       Fmt.(list ~sep:Fmt.cut (fmt "  %s"))
       fresh;
-  if missing <> [] then
+  if missing <> [] then begin
+    let lines = spec_lines t in
+    let located =
+      List.map
+        (fun b ->
+          match Hashtbl.find_opt lines b with
+          | Some l -> Fmt.str "%s  (spec line %d)" b l
+          | None -> Fmt.str "%s  (no longer in the grammar)" b)
+        missing
+    in
     Alcotest.failf
       "production coverage dropped: %d baseline productions no longer fire:@.%a"
       (List.length missing)
       Fmt.(list ~sep:Fmt.cut (fmt "  %s"))
-      missing
+      located
+  end
+
+let test_distilled_budget () =
+  (* the distillation acceptance bar: few seeds, broad coverage *)
+  let t = tables () in
+  let seeds = List.length (corpus ()) in
+  let covered = Hashtbl.length (record_corpus t) in
+  Fmt.epr "distilled corpus: %d seeds covering %d productions@." seeds covered;
+  if seeds > 24 then
+    Alcotest.failf "distilled corpus has %d seeds, budget is 24" seeds;
+  if covered < 119 then
+    Alcotest.failf "distilled corpus covers %d productions, expected >= 119"
+      covered
+
+(* the `coggc check --dead-templates` count, pinned per spec: renders
+   are shared across backends, so both compare against the same
+   baseline.  A rise means corpus coverage regressed; a drop means new
+   templates came alive — lower the pin to lock the improvement in. *)
+let dead_count (t : Cogg.Tables.t) : int =
+  let covered = read_lines (baseline_path ()) in
+  let covered_tbl = Hashtbl.create 256 in
+  List.iter (fun l -> Hashtbl.replace covered_tbl l ()) covered;
+  let g = t.Cogg.Tables.grammar in
+  let dead = ref 0 in
+  for p = 0 to t.Cogg.Tables.n_user_prods - 1 do
+    let render = Cogg.Grammar.prod_to_string g (Cogg.Grammar.prod g p) in
+    if not (Hashtbl.mem covered_tbl render) then incr dead
+  done;
+  !dead
+
+let test_dead_templates_amdahl () =
+  Alcotest.(check int)
+    "dead templates (amdahl470)" 75
+    (dead_count (Lazy.force Util.amdahl_tables))
+
+let test_dead_templates_risc32 () =
+  Alcotest.(check int)
+    "dead templates (risc32)" 75
+    (dead_count (Lazy.force Util.risc32_tables))
 
 let test_coverage_fraction () =
   (* the corpus must keep exercising a healthy majority of the spec *)
@@ -133,6 +192,11 @@ let () =
         [
           Alcotest.test_case "no drop against baseline" `Quick
             test_coverage_no_drop;
+          Alcotest.test_case "distilled budget" `Quick test_distilled_budget;
+          Alcotest.test_case "dead templates pinned (amdahl470)" `Quick
+            test_dead_templates_amdahl;
+          Alcotest.test_case "dead templates pinned (risc32)" `Quick
+            test_dead_templates_risc32;
           Alcotest.test_case "overall fraction" `Quick test_coverage_fraction;
         ] );
     ]

@@ -212,6 +212,100 @@ let test_malformed_sweep () =
     0
     (List.length report.Fuzz.Runner.r_findings)
 
+(* -- the guided leg: feedback must not lose to blind sampling ------------------ *)
+
+let guided_budget = 96
+
+let guided_report =
+  lazy
+    (Fuzz.Runner.run_guided (tables ())
+       {
+         Fuzz.Runner.default_guided with
+         Fuzz.Runner.g_seed = smoke_seed ();
+         g_budget = guided_budget;
+         g_jobs = 2;
+         g_oracles = true;
+         g_cross = Some (Lazy.force Util.risc32_tables);
+       })
+
+let test_guided_smoke () =
+  let g = Lazy.force guided_report in
+  List.iter
+    (fun (f : Fuzz.Runner.guided_finding) ->
+      Fmt.epr "finding: %s oracle %s: %a@.%s@."
+        (Fuzz.Runner.replay_line f.Fuzz.Runner.gf_lineage)
+        f.Fuzz.Runner.gf_oracle Fuzz.Oracle.pp_status f.Fuzz.Runner.gf_status
+        f.Fuzz.Runner.gf_repro)
+    g.Fuzz.Runner.g_findings;
+  Alcotest.(check int)
+    (Fmt.str "zero findings across %d guided cases" guided_budget)
+    0
+    (List.length g.Fuzz.Runner.g_findings);
+  Alcotest.(check int) "exact budget" guided_budget g.Fuzz.Runner.g_cases;
+  (* coverage must be at least the random baseline at the same case
+     count (the strict > bar at the full 512 budget lives in @guided) *)
+  let rc =
+    Fuzz.Runner.random_coverage (tables ()) ~seed:(smoke_seed ())
+      ~count:guided_budget
+  in
+  let gc = g.Fuzz.Runner.g_covmap in
+  Alcotest.(check bool)
+    (Fmt.str "guided productions %d >= random %d"
+       (Fuzz.Covmap.prods_covered gc)
+       (Fuzz.Covmap.prods_covered rc))
+    true
+    (Fuzz.Covmap.prods_covered gc >= Fuzz.Covmap.prods_covered rc);
+  Alcotest.(check bool)
+    (Fmt.str "guided bigrams %d >= random %d"
+       (Fuzz.Covmap.bigrams_covered gc)
+       (Fuzz.Covmap.bigrams_covered rc))
+    true
+    (Fuzz.Covmap.bigrams_covered gc >= Fuzz.Covmap.bigrams_covered rc)
+
+(* -- replay lineage: the printed line IS the seed ------------------------------ *)
+
+let verdicts t ~cross input =
+  List.map
+    (fun (name, check) -> (name, Fmt.str "%a" Fuzz.Oracle.pp_status (check input)))
+    (Fuzz.Runner.oracles_for t
+       { Fuzz.Runner.default_config with Fuzz.Runner.cross = Some cross }
+       input)
+
+let test_replay_lineage_property () =
+  let t = tables () in
+  let cross = Lazy.force Util.risc32_tables in
+  let g = Lazy.force guided_report in
+  let kept = Array.of_list g.Fuzz.Runner.g_kept in
+  Alcotest.(check bool) "kept pool nonempty" true (Array.length kept > 0);
+  let prop i =
+    let k = kept.(i mod Array.length kept) in
+    let line = Fuzz.Runner.replay_line k.Fuzz.Runner.k_lineage in
+    match Fuzz.Runner.replay t ~cross line with
+    | Error m -> QCheck.Test.fail_reportf "replay %s failed: %s" line m
+    | Ok (input, replayed) ->
+        if
+          Fuzz.Runner.render_input input
+          <> Fuzz.Runner.render_input k.Fuzz.Runner.k_input
+        then
+          QCheck.Test.fail_reportf "replay %s: different input bytes" line;
+        let replayed =
+          List.map
+            (fun (n, st) -> (n, Fmt.str "%a" Fuzz.Oracle.pp_status st))
+            replayed
+        in
+        let direct = verdicts t ~cross k.Fuzz.Runner.k_input in
+        if replayed <> direct then
+          QCheck.Test.fail_reportf
+            "replay %s: verdicts diverge (%s vs %s)" line
+            (String.concat ", " (List.map (fun (n, s) -> n ^ ":" ^ s) replayed))
+            (String.concat ", " (List.map (fun (n, s) -> n ^ ":" ^ s) direct));
+        true
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:40
+       ~name:"kept replay lines reproduce bytes and verdicts"
+       QCheck.small_nat prop)
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -243,5 +337,9 @@ let () =
             test_smoke;
           Alcotest.test_case "malformed sweep is total" `Quick
             test_malformed_sweep;
+          Alcotest.test_case "guided leg, coverage >= random" `Quick
+            test_guided_smoke;
+          Alcotest.test_case "replay lineage property" `Quick
+            test_replay_lineage_property;
         ] );
     ]
